@@ -1,0 +1,407 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`), plus ablation
+// benchmarks for the design choices called out in DESIGN.md §5.
+//
+// Wall-clock ns/op measures the simulator itself; the paper's metrics —
+// virtual turnaround times and speedups — are attached as custom metrics
+// (virt-ms, novirt-ms, speedup and friends).
+package gpuvirt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gpuvirt/internal/experiments"
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/gpusim"
+	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/model"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/spmd"
+	"gpuvirt/internal/task"
+	"gpuvirt/internal/workloads"
+)
+
+// --- Table II ---
+
+func BenchmarkTableII_Profiles(b *testing.B) {
+	var rows []model.Params
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Tinit.Seconds()*1e3, "vecadd-Tinit-ms")
+	b.ReportMetric(rows[0].TdataIn.Seconds()*1e3, "vecadd-Tin-ms")
+	b.ReportMetric(rows[1].Tcomp.Seconds()*1e3, "ep-Tcomp-ms")
+}
+
+// --- Figure 9 ---
+
+func benchSeries(b *testing.B, w workloads.Workload, n int) {
+	cfg := spmd.Config{
+		Arch:       experiments.Arch(),
+		N:          n,
+		SpecFor:    w.Spec,
+		SwitchCost: w.SwitchCost,
+	}
+	var dms, vms float64
+	for i := 0; i < b.N; i++ {
+		dres, err := spmd.RunDirect(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vres, err := spmd.RunVirt(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dms = dres.Turnaround.Seconds() * 1e3
+		vms = vres.Turnaround.Seconds() * 1e3
+	}
+	b.ReportMetric(dms, "novirt-ms")
+	b.ReportMetric(vms, "virt-ms")
+	b.ReportMetric(dms/vms, "speedup")
+}
+
+func BenchmarkFigure9_VectorAdd8(b *testing.B) { benchSeries(b, workloads.PaperVectorAdd(), 8) }
+func BenchmarkFigure9_EP8(b *testing.B)        { benchSeries(b, workloads.PaperEP(), 8) }
+
+// --- Table III ---
+
+func BenchmarkTableIII_Speedups(b *testing.B) {
+	var rows []experiments.SpeedupRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Experimental, "vecadd-speedup")
+	b.ReportMetric(rows[0].Theoretical, "vecadd-theory")
+	b.ReportMetric(rows[1].Experimental, "ep-speedup")
+	b.ReportMetric(rows[1].Theoretical, "ep-theory")
+}
+
+// --- Figure 10 ---
+
+func BenchmarkFigure10_Overhead(b *testing.B) {
+	var pts []experiments.OverheadPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].OverheadPct, "overhead-25MB-pct")
+	b.ReportMetric(pts[len(pts)-1].OverheadPct, "overhead-400MB-pct")
+}
+
+// --- Table IV ---
+
+func BenchmarkTableIV_Classes(b *testing.B) {
+	var rows []experiments.AppRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.TableIV()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.CycleMS, r.Name+"-cycle-ms")
+	}
+}
+
+// --- Figures 11-15: one benchmark per application figure ---
+
+func BenchmarkFigure11_MM(b *testing.B)           { benchSeries(b, workloads.PaperMM(), 8) }
+func BenchmarkFigure12_MG(b *testing.B)           { benchSeries(b, workloads.PaperMG(), 8) }
+func BenchmarkFigure13_BlackScholes(b *testing.B) { benchSeries(b, workloads.PaperBlackScholes(), 8) }
+func BenchmarkFigure14_CG(b *testing.B)           { benchSeries(b, workloads.PaperCG(), 8) }
+func BenchmarkFigure15_Electrostatics(b *testing.B) {
+	benchSeries(b, workloads.PaperElectrostatics(), 8)
+}
+
+// --- Figure 16 ---
+
+func BenchmarkFigure16_Speedups(b *testing.B) {
+	var rows []experiments.SpeedupRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure16()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Experimental, r.Name+"-speedup")
+	}
+}
+
+// --- Equation 6 ---
+
+func BenchmarkSmaxBound(b *testing.B) {
+	p := model.Params{
+		Ntask: 8, Tinit: 1519 * sim.Millisecond, TctxSwitch: 148 * sim.Millisecond,
+		TdataIn: 136 * sim.Millisecond, Tcomp: 10 * sim.Millisecond, TdataOut: 67 * sim.Millisecond,
+	}
+	var s float64
+	for i := 0; i < b.N; i++ {
+		for n := 1; n <= 1024; n *= 2 {
+			s = p.WithNtask(n).Speedup()
+		}
+	}
+	b.ReportMetric(s, "speedup-n1024")
+	b.ReportMetric(p.Smax(), "smax")
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// AblationBarrier: the paper's synchronized flush (barrier over all
+// parties) vs immediate per-request flushing.
+func BenchmarkAblationBarrier(b *testing.B) {
+	w := workloads.PaperMG() // both transfers and compute in flight
+	base := spmd.Config{Arch: experiments.Arch(), N: 8, SpecFor: w.Spec, SwitchCost: w.SwitchCost}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		r1, err := spmd.RunVirt(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		noBar := base
+		noBar.PartiesOverride = 1
+		r2, err := spmd.RunVirt(noBar)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with = r1.Turnaround.Seconds() * 1e3
+		without = r2.Turnaround.Seconds() * 1e3
+	}
+	b.ReportMetric(with, "barrier-ms")
+	b.ReportMetric(without, "nobarrier-ms")
+}
+
+// AblationPinned: pinned staging buffers (the paper's design) vs
+// pageable staging.
+func BenchmarkAblationPinned(b *testing.B) {
+	w := workloads.PaperVectorAdd()
+	base := spmd.Config{Arch: experiments.Arch(), N: 8, SpecFor: w.Spec, SwitchCost: w.SwitchCost}
+	var pinned, pageable float64
+	for i := 0; i < b.N; i++ {
+		r1, err := spmd.RunVirt(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pg := base
+		pg.PageableStaging = true
+		r2, err := spmd.RunVirt(pg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pinned = r1.Turnaround.Seconds() * 1e3
+		pageable = r2.Turnaround.Seconds() * 1e3
+	}
+	b.ReportMetric(pinned, "pinned-ms")
+	b.ReportMetric(pageable, "pageable-ms")
+}
+
+// AblationKernelWindow: sensitivity to Fermi's concurrent-kernel window.
+func BenchmarkAblationKernelWindow(b *testing.B) {
+	w := workloads.PaperEP()
+	var t1, t4, t16 float64
+	run := func(window int) float64 {
+		arch := experiments.Arch()
+		arch.MaxConcurrentKernels = window
+		cfg := spmd.Config{Arch: arch, N: 8, SpecFor: w.Spec, SwitchCost: w.SwitchCost}
+		res, err := spmd.RunVirt(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Turnaround.Seconds() * 1e3
+	}
+	for i := 0; i < b.N; i++ {
+		t1, t4, t16 = run(1), run(4), run(16)
+	}
+	b.ReportMetric(t1, "window1-ms")
+	b.ReportMetric(t4, "window4-ms")
+	b.ReportMetric(t16, "window16-ms")
+}
+
+// AblationOverlap: Fermi's copy/compute overlap vs a pre-Fermi device
+// (Tesla C1060) with neither overlap nor concurrent kernels.
+func BenchmarkAblationOverlap(b *testing.B) {
+	// Black-Scholes blocks (128 threads) fit both architectures; the
+	// workload moves 20 MB per process and computes for hundreds of ms,
+	// so copy/compute overlap is visible.
+	w := workloads.BlackScholes(1_000_000, 64, 240)
+	var fermiMS, gt200MS float64
+	for i := 0; i < b.N; i++ {
+		r1, err := spmd.RunVirt(spmd.Config{Arch: fermi.TeslaC2070(), N: 8, SpecFor: w.Spec, SwitchCost: w.SwitchCost})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := spmd.RunVirt(spmd.Config{Arch: fermi.TeslaC1060(), N: 8, SpecFor: w.Spec, SwitchCost: w.SwitchCost})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fermiMS = r1.Turnaround.Seconds() * 1e3
+		gt200MS = r2.Turnaround.Seconds() * 1e3
+	}
+	b.ReportMetric(fermiMS, "fermi-ms")
+	b.ReportMetric(gt200MS, "gt200-ms")
+}
+
+// AblationBlockingSTP: the paper's poll-based STP handshake vs a
+// blocking status response.
+func BenchmarkAblationBlockingSTP(b *testing.B) {
+	w := workloads.PaperEP()
+	base := spmd.Config{Arch: experiments.Arch(), N: 8, SpecFor: w.Spec, SwitchCost: w.SwitchCost}
+	var polled, blocking float64
+	var polls int
+	for i := 0; i < b.N; i++ {
+		r1, err := spmd.RunVirt(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bl := base
+		bl.BlockingSTP = true
+		r2, err := spmd.RunVirt(bl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		polled = r1.Turnaround.Seconds() * 1e3
+		blocking = r2.Turnaround.Seconds() * 1e3
+		polls = r1.STPPolls
+	}
+	b.ReportMetric(polled, "polled-ms")
+	b.ReportMetric(blocking, "blocking-ms")
+	b.ReportMetric(float64(polls), "stp-polls")
+}
+
+// --- Simulator micro-benchmarks ---
+
+func BenchmarkSimEngineEvents(b *testing.B) {
+	env := sim.NewEnv()
+	for i := 0; i < b.N; i++ {
+		env.After(sim.Duration(i), func() {})
+	}
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkOccupancyCalc(b *testing.B) {
+	arch := fermi.TeslaC2070()
+	r := fermi.BlockResources{ThreadsPerBlock: 256, RegsPerThread: 21, SharedMemPerBlock: 4096}
+	for i := 0; i < b.N; i++ {
+		if _, err := arch.Occupancy(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeviceAllocator(b *testing.B) {
+	a := gpusim.NewAllocator(1<<30, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Alloc(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelWaveScheduling(b *testing.B) {
+	// Cost of simulating one paper-scale vector-add kernel (48829
+	// blocks, ~3500 waves).
+	w := workloads.PaperVectorAdd()
+	cfg := spmd.Config{Arch: experiments.Arch(), N: 1, SpecFor: w.Spec, SwitchCost: w.SwitchCost}
+	for i := 0; i < b.N; i++ {
+		if _, err := spmd.RunDirect(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extensions beyond the paper ---
+
+// ExtensionCluster: node-local virtualization vs rCUDA-style remote GPU
+// access over two interconnects (the paper's Section II argument).
+func BenchmarkExtensionCluster(b *testing.B) {
+	var rows []experiments.ClusterRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExtensionCluster()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TurnaroundMS, "local-ms")
+	b.ReportMetric(rows[1].TurnaroundMS, "remote-ib-ms")
+	b.ReportMetric(rows[2].TurnaroundMS, "remote-gige-ms")
+}
+
+// ExtensionMultiGPU: scaling the manager across 1/2/4 GPUs for a
+// device-saturating workload.
+func BenchmarkExtensionMultiGPU(b *testing.B) {
+	var rows []experiments.MultiGPURow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExtensionMultiGPU()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Scaling, fmt.Sprintf("%dgpu-scaling", r.GPUs))
+	}
+}
+
+// AblationFlushPolicy: flush-order sensitivity under a heterogeneous
+// batch (one large task, seven small). Under simultaneous SPMD arrival,
+// FIFO naturally approximates SJF — staging time correlates with job
+// size, so small jobs reach the barrier first — while the adversarial
+// largest-first order multiplies mean turnaround. (When a large job
+// arrives first, SJF strictly beats FIFO: see
+// vgpu.TestFlushPolicySJFImprovesMeanTurnaround.)
+func BenchmarkAblationFlushPolicy(b *testing.B) {
+	specFor := func(i int) *task.Spec {
+		if i == 0 {
+			return workloads.VectorAdd(1 << 24).Spec(i) // 128 MiB in
+		}
+		return workloads.VectorAdd(1 << 18).Spec(i) // 2 MiB in
+	}
+	run := func(policy gvm.FlushPolicy) float64 {
+		cfg := spmd.Config{
+			Arch: experiments.Arch(), N: 8,
+			SpecFor:     specFor,
+			FlushPolicy: policy,
+		}
+		res, err := spmd.RunVirt(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mean float64
+		for _, d := range res.PerProcess {
+			mean += d.Seconds() * 1e3
+		}
+		return mean / float64(len(res.PerProcess))
+	}
+	var fifo, sjf, ljf float64
+	for i := 0; i < b.N; i++ {
+		fifo = run(gvm.FlushFIFO)
+		sjf = run(gvm.FlushSJF)
+		ljf = run(gvm.FlushLJF)
+	}
+	b.ReportMetric(fifo, "fifo-meanturn-ms")
+	b.ReportMetric(sjf, "sjf-meanturn-ms")
+	b.ReportMetric(ljf, "ljf-meanturn-ms")
+}

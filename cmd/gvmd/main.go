@@ -1,0 +1,80 @@
+// Command gvmd runs the GPU Virtualization Manager as a real daemon: it
+// owns a simulated Fermi GPU and serves the paper's six-verb protocol
+// (REQ/SND/STR/STP/RCV/RLS) to separate OS processes over a Unix-domain
+// socket, with file-backed shared-memory segments under /dev/shm as the
+// data plane — the daemon-mode equivalent of the in-simulation GVM.
+//
+// Usage:
+//
+//	gvmd -socket /tmp/gvmd.sock -parties 4 -functional
+//
+// Clients connect with internal/ipc.Dial (see examples/multiprocess).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/ipc"
+)
+
+func main() {
+	socket := flag.String("socket", "/tmp/gvmd.sock", "unix socket path")
+	parties := flag.Int("parties", 1, "STR barrier width (number of SPMD processes)")
+	functional := flag.Bool("functional", true, "carry real data and compute real results")
+	shmDir := flag.String("shm", "", "shared-memory directory (default /dev/shm)")
+	archName := flag.String("arch", "c2070", "gpu architecture: c2070|c2050|gtx480|c1060")
+	gpus := flag.Int("gpus", 1, "number of simulated GPUs the manager owns")
+	barrierTimeout := flag.Duration("barrier-timeout", 0, "flush partial STR batches after this long (0 = strict barrier)")
+	flag.Parse()
+
+	arch, err := archByName(*archName)
+	if err != nil {
+		log.Fatalf("gvmd: %v", err)
+	}
+	os.Remove(*socket) // stale socket from a previous run
+	srv, err := ipc.NewServer(ipc.ServerConfig{
+		Socket:         *socket,
+		Arch:           arch,
+		Parties:        *parties,
+		Functional:     *functional,
+		ShmDir:         *shmDir,
+		GPUs:           *gpus,
+		BarrierTimeout: *barrierTimeout,
+		Logger:         log.New(os.Stderr, "gvmd: ", log.LstdFlags),
+	})
+	if err != nil {
+		log.Fatalf("gvmd: %v", err)
+	}
+	log.Printf("gvmd: serving %dx %s on %s (parties=%d functional=%v)",
+		*gpus, arch.Name, *socket, *parties, *functional)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("gvmd: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("gvmd: close: %v", err)
+	}
+	os.Remove(*socket)
+}
+
+func archByName(name string) (fermi.Arch, error) {
+	switch name {
+	case "c2070":
+		return fermi.TeslaC2070(), nil
+	case "c2050":
+		return fermi.TeslaC2050(), nil
+	case "gtx480":
+		return fermi.GeForceGTX480(), nil
+	case "c1060":
+		return fermi.TeslaC1060(), nil
+	default:
+		return fermi.Arch{}, fmt.Errorf("unknown architecture %q", name)
+	}
+}

@@ -1,0 +1,85 @@
+// Command gvmprof extracts a workload's execution-model parameters (the
+// paper's Table II procedure): Tinit for N simultaneous processes, the
+// cycle stages Tdata_in / Tcomp / Tdata_out from a solo run on an idle
+// device, and the per-application context-switch cost — then evaluates
+// the analytical model (equations 1-6) on them.
+//
+// Usage:
+//
+//	gvmprof -workload vecadd -procs 8
+//	gvmprof -workload ep -param m=24 -procs 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/spmd"
+	"gpuvirt/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "vecadd", "workload: "+strings.Join(workloads.Names(), "|"))
+	procs := flag.Int("procs", 8, "number of SPMD processes (Ntask)")
+	params := multiFlag{}
+	flag.Var(&params, "param", "workload parameter key=value (repeatable)")
+	flag.Parse()
+
+	ref := workloads.Ref{Name: *name, Params: params.m}
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		log.Fatalf("gvmprof: %v", err)
+	}
+	cfg := spmd.Config{
+		Arch:       fermi.TeslaC2070(),
+		N:          *procs,
+		SpecFor:    w.Spec,
+		SwitchCost: w.SwitchCost,
+	}
+	p, err := spmd.Profile(cfg)
+	if err != nil {
+		log.Fatalf("gvmprof: %v", err)
+	}
+	fmt.Printf("Workload:        %s (%s)\n", w.Name, w.ProblemSize)
+	fmt.Printf("Grid size:       %d\n", w.GridSize)
+	fmt.Printf("Class:           %s\n", w.Class)
+	fmt.Printf("Ntask:           %d\n", p.Ntask)
+	fmt.Printf("Tinit:           %10.3f ms\n", p.Tinit.Seconds()*1e3)
+	fmt.Printf("Tdata_in:        %10.3f ms\n", p.TdataIn.Seconds()*1e3)
+	fmt.Printf("Tcomp:           %10.3f ms\n", p.Tcomp.Seconds()*1e3)
+	fmt.Printf("Tdata_out:       %10.3f ms\n", p.TdataOut.Seconds()*1e3)
+	fmt.Printf("Tctx_switch:     %10.3f ms\n", p.TctxSwitch.Seconds()*1e3)
+	fmt.Printf("\nAnalytical model (Section IV):\n")
+	fmt.Printf("Ttotal_no_vt:    %10.3f ms   (equation 1)\n", p.TotalNoVirt().Seconds()*1e3)
+	fmt.Printf("Ttotal_vt:       %10.3f ms   (equation 4)\n", p.TotalVirt().Seconds()*1e3)
+	fmt.Printf("Speedup S:       %10.3f      (equation 5)\n", p.Speedup())
+	if s := p.Smax(); s > 0 {
+		fmt.Printf("Smax:            %10.3f      (equation 6)\n", s)
+	} else {
+		fmt.Printf("Smax:            unbounded (no I/O term)\n")
+	}
+}
+
+type multiFlag struct{ m map[string]int }
+
+func (f *multiFlag) String() string { return fmt.Sprint(f.m) }
+
+func (f *multiFlag) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want key=value, got %q", v)
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return err
+	}
+	if f.m == nil {
+		f.m = make(map[string]int)
+	}
+	f.m[k] = n
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package gpuvirt reproduces "GPU Resource Sharing and Virtualization on
+// High Performance Computing Systems" (Li, Narayana, El-Araby,
+// El-Ghazawi; ICPP 2011) as a pure-Go system: a deterministic Fermi-class
+// GPU simulator, the GPU Virtualization Manager (GVM) run-time that gives
+// every SPMD process its own Virtual GPU over one shared device, the
+// conventional direct-sharing baseline, the paper's analytical model, and
+// the complete evaluation — every table and figure regenerates from the
+// benchmarks in bench_test.go and the gvmbench command.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results.
+package gpuvirt

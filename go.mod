@@ -1,0 +1,3 @@
+module gpuvirt
+
+go 1.22

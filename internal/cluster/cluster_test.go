@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"testing"
+
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/task"
+	"gpuvirt/internal/workloads"
+)
+
+func TestConfigValidation(t *testing.T) {
+	env := sim.NewEnv()
+	bad := []Config{
+		{Nodes: 0, GPUNodes: 0, CoresPerNode: 4},
+		{Nodes: 2, GPUNodes: 0, CoresPerNode: 4},
+		{Nodes: 2, GPUNodes: 3, CoresPerNode: 4},
+		{Nodes: 2, GPUNodes: 1, CoresPerNode: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(env, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestInterconnectTransferTime(t *testing.T) {
+	ic := Interconnect{Bandwidth: 1e9, Latency: 10 * sim.Microsecond}
+	if got := ic.TransferTime(0); got != 10*sim.Microsecond {
+		t.Fatalf("latency-only = %v", got)
+	}
+	if got := ic.TransferTime(1e9); got != sim.Second+10*sim.Microsecond {
+		t.Fatalf("1GB = %v", got)
+	}
+	if QDRInfiniBand().Bandwidth <= GigabitEthernet().Bandwidth {
+		t.Fatal("IB should be faster than GigE")
+	}
+}
+
+func TestGPUNodeForRoundRobin(t *testing.T) {
+	env := sim.NewEnv()
+	c, err := New(env, Config{Nodes: 4, GPUNodes: 2, CoresPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GPUNodeFor(0); got.ID != 0 {
+		t.Fatalf("local node 0 -> %d", got.ID)
+	}
+	if got := c.GPUNodeFor(2); got.ID != 0 {
+		t.Fatalf("GPU-less node 2 -> %d, want 0", got.ID)
+	}
+	if got := c.GPUNodeFor(3); got.ID != 1 {
+		t.Fatalf("GPU-less node 3 -> %d, want 1", got.ID)
+	}
+	if !c.Node(0).HasGPU() || c.Node(3).HasGPU() {
+		t.Fatal("GPU placement wrong")
+	}
+}
+
+func jobSpec(w workloads.Workload) func(node, rank int) *task.Spec {
+	return func(node, rank int) *task.Spec { return w.Spec(rank) }
+}
+
+func TestLocalJobMatchesSingleNode(t *testing.T) {
+	// One GPU node, local processes only: no network time.
+	env := sim.NewEnv()
+	c, err := New(env, Config{Nodes: 1, GPUNodes: 1, CoresPerNode: 4, Parties: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workloads.EP(20, 4)
+	res, err := c.RunJob(4, jobSpec(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteProcs != 0 || res.LocalProcs != 4 {
+		t.Fatalf("remote=%d local=%d", res.RemoteProcs, res.LocalProcs)
+	}
+	if res.NetworkTime != 0 {
+		t.Fatalf("local job spent %v on the network", res.NetworkTime)
+	}
+	if res.Turnaround <= 0 {
+		t.Fatal("no turnaround measured")
+	}
+}
+
+func TestRemoteAccessPaysNetworkCosts(t *testing.T) {
+	// Two nodes, one GPU: node 1's processes go remote. Their cycles
+	// must be slower than node 0's by at least the payload transfer time.
+	w := workloads.VectorAdd(4_000_000) // 32 MB in, 16 MB out
+	run := func(ic Interconnect) JobResult {
+		env := sim.NewEnv()
+		c, err := New(env, Config{Nodes: 2, GPUNodes: 1, CoresPerNode: 1, Interconnect: ic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.RunJob(1, jobSpec(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ib := run(QDRInfiniBand())
+	if ib.RemoteProcs != 1 || ib.LocalProcs != 1 {
+		t.Fatalf("remote=%d local=%d", ib.RemoteProcs, ib.LocalProcs)
+	}
+	if ib.NetworkTime <= 0 {
+		t.Fatal("remote job reports zero network time")
+	}
+	wire := QDRInfiniBand().TransferTime(32e6) + QDRInfiniBand().TransferTime(16e6)
+	if ib.NetworkTime < wire {
+		t.Fatalf("network time %v < payload wire time %v", ib.NetworkTime, wire)
+	}
+	// A slower network hurts more.
+	ge := run(GigabitEthernet())
+	if ge.NetworkTime <= ib.NetworkTime {
+		t.Fatalf("GigE network time %v <= IB %v", ge.NetworkTime, ib.NetworkTime)
+	}
+	if ge.Turnaround <= ib.Turnaround {
+		t.Fatalf("GigE turnaround %v <= IB %v", ge.Turnaround, ib.Turnaround)
+	}
+}
+
+func TestLocalVirtualizationBeatsRemoteAccess(t *testing.T) {
+	// The paper's argument against related work [11]: 8 processes on one
+	// GPU node through the local GVM vs 8 processes spread over GPU-less
+	// nodes reaching the same GPU remotely.
+	w := workloads.VectorAdd(4_000_000)
+
+	envL := sim.NewEnv()
+	local, err := New(envL, Config{Nodes: 1, GPUNodes: 1, CoresPerNode: 8, Parties: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := local.RunJob(8, jobSpec(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	envR := sim.NewEnv()
+	remote, err := New(envR, Config{Nodes: 9, GPUNodes: 1, CoresPerNode: 1, Interconnect: GigabitEthernet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 idles; nodes 1..8 each run one remote process.
+	rres, err := remote.RunJob(1, jobSpec(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Turnaround <= lres.Turnaround {
+		t.Fatalf("remote access (%v) not slower than local virtualization (%v)",
+			rres.Turnaround, lres.Turnaround)
+	}
+}
+
+func TestConnectToGPUlessNodeFails(t *testing.T) {
+	env := sim.NewEnv()
+	c, err := New(env, Config{Nodes: 2, GPUNodes: 1, CoresPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workloads.VectorAdd(1024)
+	var connErr error
+	env.Go("p", func(p *sim.Proc) {
+		_, connErr = c.Connect(p, 0, 1, w.Spec(0))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if connErr == nil {
+		t.Fatal("Connect to a GPU-less node succeeded")
+	}
+}
+
+func TestFunctionalClusterJob(t *testing.T) {
+	// Real data through a remote VGPU: results still correct.
+	env := sim.NewEnv()
+	c, err := New(env, Config{Nodes: 2, GPUNodes: 1, CoresPerNode: 1, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workloads.VectorAdd(2048)
+	var checkErr error
+	env.Go("remote-proc", func(p *sim.Proc) {
+		target := c.GPUNodeFor(1)
+		p.Wait(target.Mgr.Ready())
+		v, err := c.Connect(p, 1, target.ID, w.Spec(0))
+		if err != nil {
+			checkErr = err
+			return
+		}
+		spec := w.Spec(0)
+		in := make([]byte, spec.InBytes)
+		w.Fill(0, in)
+		out := make([]byte, spec.OutBytes)
+		if err := v.RunCycle(p, in, out); err != nil {
+			checkErr = err
+			return
+		}
+		checkErr = w.Check(0, out)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if checkErr != nil {
+		t.Fatal(checkErr)
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	env := sim.NewEnv()
+	c, err := New(env, Config{Nodes: 2, GPUNodes: 1, CoresPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Env() != env {
+		t.Fatal("Env() wrong")
+	}
+	if c.Nodes() != 2 {
+		t.Fatalf("Nodes() = %d", c.Nodes())
+	}
+}

@@ -1,0 +1,215 @@
+// Package cuda provides a CUDA-like host programming framework for the GPU
+// simulator: grid/block geometry, kernel descriptors with both a functional
+// implementation (the kernel really computes its result on the host) and a
+// cost model (cycles of work per thread, used by the simulator's timing
+// engine), plus typed views of device memory.
+//
+// Functional kernels are written at *block* granularity: the function is
+// invoked once per thread block and loops over the block's threads itself.
+// This preserves the CUDA decomposition (indexing by blockIdx/threadIdx)
+// while staying efficient in Go.
+package cuda
+
+import (
+	"fmt"
+
+	"gpuvirt/internal/fermi"
+)
+
+// Dim3 is a CUDA dim3: a 3-dimensional extent. Zero components are
+// treated as 1 by Norm.
+type Dim3 struct{ X, Y, Z int }
+
+// Dim returns a Dim3 with the given extents; y and z default to 1 when 0.
+func Dim(x int, yz ...int) Dim3 {
+	d := Dim3{X: x, Y: 1, Z: 1}
+	if len(yz) > 0 {
+		d.Y = yz[0]
+	}
+	if len(yz) > 1 {
+		d.Z = yz[1]
+	}
+	return d.Norm()
+}
+
+// Norm replaces zero components with 1.
+func (d Dim3) Norm() Dim3 {
+	if d.X == 0 {
+		d.X = 1
+	}
+	if d.Y == 0 {
+		d.Y = 1
+	}
+	if d.Z == 0 {
+		d.Z = 1
+	}
+	return d
+}
+
+// Count returns X*Y*Z.
+func (d Dim3) Count() int {
+	d = d.Norm()
+	return d.X * d.Y * d.Z
+}
+
+// Flat converts the coordinate to a flat index within extent e
+// (x-major, CUDA convention: idx = (z*e.Y + y)*e.X + x).
+func (d Dim3) Flat(e Dim3) int {
+	e = e.Norm()
+	return (d.Z*e.Y+d.Y)*e.X + d.X
+}
+
+// String formats the dim as "XxYxZ" (suppressing trailing 1s).
+func (d Dim3) String() string {
+	d = d.Norm()
+	switch {
+	case d.Z != 1:
+		return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z)
+	case d.Y != 1:
+		return fmt.Sprintf("%dx%d", d.X, d.Y)
+	default:
+		return fmt.Sprintf("%d", d.X)
+	}
+}
+
+// DevPtr is a device memory address (0 is the null pointer).
+type DevPtr uint64
+
+// Memory is the view of device memory that functional kernels receive.
+// In timing-only simulations Bytes returns nil and kernels must not be
+// executed functionally.
+type Memory interface {
+	// Bytes returns a mutable slice aliasing n bytes of device memory at p.
+	Bytes(p DevPtr, n int64) []byte
+}
+
+// BlockCtx is the execution context handed to a functional kernel for one
+// thread block.
+type BlockCtx struct {
+	BlockIdx Dim3 // this block's coordinates within the grid
+	GridDim  Dim3
+	BlockDim Dim3
+	Mem      Memory
+	Args     []any
+}
+
+// GlobalBase returns the flat global index of thread (0,0,0) of this block
+// for 1-D launches: blockIdx.X * blockDim.X.
+func (c *BlockCtx) GlobalBase() int { return c.BlockIdx.X * c.BlockDim.X }
+
+// Arg returns argument i (panics if out of range, like a bad kernel call).
+func (c *BlockCtx) Arg(i int) any { return c.Args[i] }
+
+// Ptr returns argument i as a DevPtr.
+func (c *BlockCtx) Ptr(i int) DevPtr { return c.Args[i].(DevPtr) }
+
+// Int returns argument i as an int.
+func (c *BlockCtx) Int(i int) int { return c.Args[i].(int) }
+
+// Float32Arg returns argument i as a float32.
+func (c *BlockCtx) Float32Arg(i int) float32 { return c.Args[i].(float32) }
+
+// Float64Arg returns argument i as a float64.
+func (c *BlockCtx) Float64Arg(i int) float64 { return c.Args[i].(float64) }
+
+// BlockFunc is a functional kernel body invoked once per thread block.
+type BlockFunc func(c *BlockCtx)
+
+// Kernel is a launchable GPU kernel: geometry, per-block resource
+// footprint, a cost model for the timing engine, and an optional
+// functional body.
+type Kernel struct {
+	Name  string
+	Grid  Dim3
+	Block Dim3
+
+	// Resource footprint per block (occupancy inputs).
+	RegsPerThread     int
+	SharedMemPerBlock int
+
+	// Cost model: SP-lane cycles of work per thread, and device-memory
+	// traffic per thread in bytes (enforces a bandwidth floor on the
+	// kernel's duration).
+	CyclesPerThread   float64
+	MemBytesPerThread float64
+
+	// Func optionally computes the kernel's real result. It may be nil
+	// for timing-only workloads.
+	Func BlockFunc
+	Args []any
+}
+
+// Threads returns the total number of threads in the launch.
+func (k *Kernel) Threads() int { return k.Grid.Count() * k.Block.Count() }
+
+// Blocks returns the total number of thread blocks in the launch.
+func (k *Kernel) Blocks() int { return k.Grid.Count() }
+
+// Resources returns the occupancy inputs for this kernel.
+func (k *Kernel) Resources() fermi.BlockResources {
+	return fermi.BlockResources{
+		ThreadsPerBlock:   k.Block.Count(),
+		RegsPerThread:     k.RegsPerThread,
+		SharedMemPerBlock: k.SharedMemPerBlock,
+	}
+}
+
+// Validate reports configuration errors in the launch.
+func (k *Kernel) Validate(arch fermi.Arch) error {
+	if k.Grid.Count() < 1 {
+		return fmt.Errorf("cuda: kernel %q: empty grid", k.Name)
+	}
+	if k.Block.Count() < 1 {
+		return fmt.Errorf("cuda: kernel %q: empty block", k.Name)
+	}
+	if k.CyclesPerThread < 0 || k.MemBytesPerThread < 0 {
+		return fmt.Errorf("cuda: kernel %q: negative cost model", k.Name)
+	}
+	if _, err := arch.Occupancy(k.Resources()); err != nil {
+		return fmt.Errorf("cuda: kernel %q: %w", k.Name, err)
+	}
+	return nil
+}
+
+// TotalWorkCycles returns the cost model's total lane-cycles for the launch.
+func (k *Kernel) TotalWorkCycles() float64 {
+	return float64(k.Threads()) * k.CyclesPerThread
+}
+
+// TotalMemBytes returns the cost model's total device-memory traffic.
+func (k *Kernel) TotalMemBytes() float64 {
+	return float64(k.Threads()) * k.MemBytesPerThread
+}
+
+// Clone returns a copy of the kernel with freshly copied Args, so a
+// template kernel can be launched with per-process arguments.
+func (k *Kernel) Clone() *Kernel {
+	c := *k
+	c.Args = append([]any(nil), k.Args...)
+	return &c
+}
+
+// RunFunctional executes the kernel body for every block in the grid, in
+// deterministic block order, against mem. It is the host-side reference
+// execution used by tests and functional examples. It returns an error if
+// the kernel has no functional body.
+func (k *Kernel) RunFunctional(mem Memory) error {
+	if k.Func == nil {
+		return fmt.Errorf("cuda: kernel %q has no functional body", k.Name)
+	}
+	g := k.Grid.Norm()
+	for z := 0; z < g.Z; z++ {
+		for y := 0; y < g.Y; y++ {
+			for x := 0; x < g.X; x++ {
+				k.Func(&BlockCtx{
+					BlockIdx: Dim3{X: x, Y: y, Z: z},
+					GridDim:  g,
+					BlockDim: k.Block.Norm(),
+					Mem:      mem,
+					Args:     k.Args,
+				})
+			}
+		}
+	}
+	return nil
+}

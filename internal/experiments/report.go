@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpuvirt/internal/model"
+	"gpuvirt/internal/stats"
+)
+
+// RenderTableII formats the micro-benchmark profiles as the paper's
+// Table II.
+func RenderTableII(rows []model.Params) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II. INITIAL BENCHMARK PROFILES AND PARAMETERS\n")
+	fmt.Fprintf(&b, "%-16s", "")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%16s", r.Name)
+	}
+	b.WriteByte('\n')
+	line := func(label string, f func(model.Params) float64) {
+		fmt.Fprintf(&b, "%-16s", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%16.3f", f(r))
+		}
+		b.WriteByte('\n')
+	}
+	line("Tinit (ms)", func(p model.Params) float64 { return p.Tinit.Seconds() * 1e3 })
+	line("Tdata_in (ms)", func(p model.Params) float64 { return p.TdataIn.Seconds() * 1e3 })
+	line("Tcomp (ms)", func(p model.Params) float64 { return p.Tcomp.Seconds() * 1e3 })
+	line("Tdata_out (ms)", func(p model.Params) float64 { return p.TdataOut.Seconds() * 1e3 })
+	line("Tctx_switch (ms)", func(p model.Params) float64 { return p.TctxSwitch.Seconds() * 1e3 })
+	return b.String()
+}
+
+// RenderSeries formats turnaround curves (Figures 9, 11-15) with a
+// per-workload speedup summary line.
+func RenderSeries(title string, series []TurnaroundSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %s (turnaround, ms)\n", s.Workload)
+		fmt.Fprintf(&b, "    %-6s %14s %14s %10s\n", "procs", "no-virt", "virt", "speedup")
+		for i, n := range s.N {
+			sp := 0.0
+			if s.VirtMS[i] > 0 {
+				sp = s.NoVirtMS[i] / s.VirtMS[i]
+			}
+			fmt.Fprintf(&b, "    %-6d %14.1f %14.1f %9.2fx\n", n, s.NoVirtMS[i], s.VirtMS[i], sp)
+		}
+		if sp := stats.Speedups(s.NoVirtMS, s.VirtMS); sp != nil {
+			sum := stats.Summarize(sp)
+			fmt.Fprintf(&b, "    speedup over 1..%d procs: geomean %.2fx, min %.2fx, max %.2fx\n",
+				len(sp), stats.GeoMean(sp), sum.Min, sum.Max)
+		}
+	}
+	return b.String()
+}
+
+// RenderTableIII formats the speedup comparison as the paper's Table III.
+func RenderTableIII(rows []SpeedupRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE III. SPEEDUP COMPARISONS (8 PROCESSES)\n")
+	fmt.Fprintf(&b, "  %-22s", "")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%14s", r.Name)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  %-22s", "Experimental Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%14.3f", r.Experimental)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  %-22s", "Theoretical Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%14.3f", r.Theoretical)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  %-22s", "Theoretical Deviation")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%13.3f%%", r.Deviation*100)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderFigure10 formats the overhead sweep.
+func RenderFigure10(points []OverheadPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 10. VIRTUALIZATION OVERHEADS (1 process, vector add)\n")
+	fmt.Fprintf(&b, "  %-10s %14s %14s %10s\n", "data (MB)", "turnaround", "pure GPU", "overhead")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  %-10d %12.1fms %12.1fms %9.1f%%\n",
+			p.DataMB, p.TurnaroundMS, p.PureGPUMS, p.OverheadPct)
+	}
+	return b.String()
+}
+
+// RenderTableIV formats the application catalog.
+func RenderTableIV(rows []AppRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE IV. DETAILS OF APPLICATION BENCHMARKS\n")
+	fmt.Fprintf(&b, "  %-15s %-24s %6s  %-15s %12s %10s\n",
+		"Benchmark", "Problem Size", "Grid", "Class", "comp:I/O", "cycle(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-15s %-24s %6d  %-15s %12.2f %10.1f\n",
+			r.Name, r.ProblemSize, r.GridSize, string(r.Class), r.CompIORatio, r.CycleMS)
+	}
+	return b.String()
+}
+
+// RenderFigure16 formats the application speedups.
+func RenderFigure16(rows []SpeedupRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 16. SPEEDUPS WITH 8 PROCESSES (virtualized vs direct)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-15s %6.2fx\n", r.Name, r.Experimental)
+	}
+	return b.String()
+}

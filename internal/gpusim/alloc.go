@@ -1,0 +1,130 @@
+package gpusim
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuvirt/internal/cuda"
+)
+
+// Allocator manages the device memory address space with a first-fit
+// free-list. Allocations are aligned to Align bytes; address 0 is never
+// handed out (it is the null DevPtr), so the first Align bytes are
+// reserved.
+type Allocator struct {
+	total int64
+	align int64
+	free  []span // sorted by offset, coalesced
+	used  map[cuda.DevPtr]int64
+	inUse int64
+}
+
+type span struct{ off, size int64 }
+
+// NewAllocator returns an allocator over total bytes with the given
+// alignment (power of two, >= 1).
+func NewAllocator(total, align int64) *Allocator {
+	if total <= align {
+		panic("gpusim: allocator total must exceed alignment")
+	}
+	if align < 1 || align&(align-1) != 0 {
+		panic("gpusim: alignment must be a positive power of two")
+	}
+	return &Allocator{
+		total: total,
+		align: align,
+		free:  []span{{off: align, size: total - align}},
+		used:  make(map[cuda.DevPtr]int64),
+	}
+}
+
+// Total returns the size of the managed address space.
+func (a *Allocator) Total() int64 { return a.total }
+
+// InUse returns the number of bytes currently allocated (after rounding).
+func (a *Allocator) InUse() int64 { return a.inUse }
+
+// Allocations returns the number of live allocations.
+func (a *Allocator) Allocations() int { return len(a.used) }
+
+// Alloc reserves n bytes and returns the device address, or an
+// out-of-memory error. Zero or negative sizes are rejected.
+func (a *Allocator) Alloc(n int64) (cuda.DevPtr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("gpusim: alloc of %d bytes", n)
+	}
+	size := (n + a.align - 1) / a.align * a.align
+	for i, s := range a.free {
+		if s.size < size {
+			continue
+		}
+		ptr := cuda.DevPtr(s.off)
+		if s.size == size {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i] = span{off: s.off + size, size: s.size - size}
+		}
+		a.used[ptr] = size
+		a.inUse += size
+		return ptr, nil
+	}
+	return 0, fmt.Errorf("gpusim: out of device memory: need %d bytes, %d free (fragmented into %d spans)",
+		size, a.total-a.align-a.inUse, len(a.free))
+}
+
+// Free releases the allocation at ptr. Freeing an unknown address is an
+// error (double free / wild pointer).
+func (a *Allocator) Free(ptr cuda.DevPtr) error {
+	size, ok := a.used[ptr]
+	if !ok {
+		return fmt.Errorf("gpusim: free of unallocated device pointer %#x", uint64(ptr))
+	}
+	delete(a.used, ptr)
+	a.inUse -= size
+	s := span{off: int64(ptr), size: size}
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off > s.off })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = s
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].size == a.free[i+1].off {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].size == a.free[i].off {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+	return nil
+}
+
+// SizeOf returns the rounded size of the live allocation at ptr.
+func (a *Allocator) SizeOf(ptr cuda.DevPtr) (int64, bool) {
+	n, ok := a.used[ptr]
+	return n, ok
+}
+
+// checkInvariants verifies the free list is sorted, coalesced, in-range
+// and disjoint from allocations; used by tests.
+func (a *Allocator) checkInvariants() error {
+	var freeTotal int64
+	for i, s := range a.free {
+		if s.size <= 0 || s.off < a.align || s.off+s.size > a.total {
+			return fmt.Errorf("span %d out of range: %+v", i, s)
+		}
+		if i > 0 {
+			prev := a.free[i-1]
+			if prev.off+prev.size > s.off {
+				return fmt.Errorf("spans %d,%d overlap", i-1, i)
+			}
+			if prev.off+prev.size == s.off {
+				return fmt.Errorf("spans %d,%d not coalesced", i-1, i)
+			}
+		}
+		freeTotal += s.size
+	}
+	if freeTotal+a.inUse != a.total-a.align {
+		return fmt.Errorf("accounting: free %d + used %d != %d", freeTotal, a.inUse, a.total-a.align)
+	}
+	return nil
+}

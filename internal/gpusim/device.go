@@ -1,0 +1,494 @@
+// Package gpusim is a deterministic discrete-event simulator of a
+// Fermi-class GPU: device memory, DMA engines, contexts with switch costs,
+// streams, and an SM scheduler with processor-sharing block execution,
+// concurrent-kernel window and copy/compute overlap.
+//
+// The simulator has two modes. In functional mode it allocates real
+// backing memory, memcpys move real bytes, and kernels with functional
+// bodies compute real results — used by tests and examples. In timing-only
+// mode no bytes move and only the virtual clock advances — used by the
+// paper-scale experiments, where buffers reach hundreds of megabytes.
+package gpusim
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/trace"
+)
+
+// ComputeMode mirrors the CUDA device compute modes (nvidia-smi -c).
+type ComputeMode int
+
+const (
+	// ComputeDefault allows any number of contexts to share the device
+	// ("sharing compute mode", the paper's baseline configuration).
+	ComputeDefault ComputeMode = iota
+	// ComputeExclusive admits a single context — the configuration a
+	// GVM deployment would use so no process can bypass the manager.
+	ComputeExclusive
+	// ComputeProhibited admits no contexts at all.
+	ComputeProhibited
+)
+
+func (m ComputeMode) String() string {
+	switch m {
+	case ComputeDefault:
+		return "default"
+	case ComputeExclusive:
+		return "exclusive"
+	case ComputeProhibited:
+		return "prohibited"
+	default:
+		return fmt.Sprintf("ComputeMode(%d)", int(m))
+	}
+}
+
+// Config configures a simulated device.
+type Config struct {
+	Arch       fermi.Arch
+	Functional bool          // allocate backing memory and run kernel bodies
+	Mode       ComputeMode   // context admission policy (default: shared)
+	Tracer     *trace.Tracer // optional execution tracer
+}
+
+// Device is one simulated GPU attached to a simulation environment.
+type Device struct {
+	env        *sim.Env
+	arch       fermi.Arch
+	functional bool
+	tracer     *trace.Tracer
+
+	// Functional-mode backing memory, one slice per live allocation,
+	// sorted by device address. Memory use is proportional to what is
+	// allocated, not to the card's capacity.
+	bufs  []devBuf
+	alloc *Allocator
+
+	h2dEngine *sim.Resource
+	d2hEngine *sim.Resource
+	exclusive *sim.Resource // serializes copies and kernels when the arch lacks overlap
+
+	driver       *sim.Resource // serializes device init and context creation
+	initialized  bool
+	mode         ComputeMode
+	liveCtxs     int
+	nextCtxID    int
+	nextStreamID int
+
+	arbOwner  *Context // context currently owning the device
+	arbHolder bool
+	arbQueue  []arbWaiter
+	sched     *smScheduler
+
+	// Counters for tests and reporting.
+	ContextSwitches int
+	BytesH2D        int64
+	BytesD2H        int64
+	KernelsRun      int
+}
+
+type arbWaiter struct {
+	ctx   *Context
+	grant *sim.Event
+}
+
+// New creates a simulated device. The architecture must validate.
+func New(env *sim.Env, cfg Config) (*Device, error) {
+	if err := cfg.Arch.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		env:        env,
+		arch:       cfg.Arch,
+		functional: cfg.Functional,
+		mode:       cfg.Mode,
+		tracer:     cfg.Tracer,
+		alloc:      NewAllocator(cfg.Arch.MemBytes, 256),
+		driver:     env.NewResource(1),
+	}
+	d.h2dEngine = env.NewResource(1)
+	if cfg.Arch.CopyEngines >= 2 {
+		d.d2hEngine = env.NewResource(1)
+	} else {
+		d.d2hEngine = d.h2dEngine
+	}
+	if !cfg.Arch.ConcurrentCopyExec {
+		d.exclusive = env.NewResource(1)
+	}
+	d.sched = newSMScheduler(env, d)
+	return d, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(env *sim.Env, cfg Config) *Device {
+	d, err := New(env, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Env returns the simulation environment the device lives in.
+func (d *Device) Env() *sim.Env { return d.env }
+
+// Arch returns the device's architecture description.
+func (d *Device) Arch() fermi.Arch { return d.arch }
+
+// Functional reports whether the device carries real data.
+func (d *Device) Functional() bool { return d.functional }
+
+// MemInUse returns allocated device memory in bytes.
+func (d *Device) MemInUse() int64 { return d.alloc.InUse() }
+
+// devBuf is one functional-mode allocation's backing store.
+type devBuf struct {
+	start cuda.DevPtr
+	data  []byte
+}
+
+// Bytes implements cuda.Memory: a mutable view of device memory. In
+// timing-only mode it returns nil. The range must lie within a single
+// live allocation.
+func (d *Device) Bytes(p cuda.DevPtr, n int64) []byte {
+	if !d.functional {
+		return nil
+	}
+	if p == 0 || n < 0 {
+		panic(fmt.Sprintf("gpusim: device memory access ptr=%#x n=%d", uint64(p), n))
+	}
+	i := sort.Search(len(d.bufs), func(i int) bool { return d.bufs[i].start > p }) - 1
+	if i >= 0 {
+		b := d.bufs[i]
+		off := int64(p - b.start)
+		if off+n <= int64(len(b.data)) {
+			return b.data[off : off+n : off+n]
+		}
+	}
+	panic(fmt.Sprintf("gpusim: device memory access outside any allocation: ptr=%#x n=%d", uint64(p), n))
+}
+
+// attachBacking registers functional backing for a fresh allocation.
+func (d *Device) attachBacking(p cuda.DevPtr, n int64) {
+	if !d.functional {
+		return
+	}
+	i := sort.Search(len(d.bufs), func(i int) bool { return d.bufs[i].start > p })
+	d.bufs = append(d.bufs, devBuf{})
+	copy(d.bufs[i+1:], d.bufs[i:])
+	d.bufs[i] = devBuf{start: p, data: make([]byte, n)}
+}
+
+// detachBacking drops an allocation's backing on free.
+func (d *Device) detachBacking(p cuda.DevPtr) {
+	if !d.functional {
+		return
+	}
+	i := sort.Search(len(d.bufs), func(i int) bool { return d.bufs[i].start >= p })
+	if i < len(d.bufs) && d.bufs[i].start == p {
+		d.bufs = append(d.bufs[:i], d.bufs[i+1:]...)
+	}
+}
+
+func (d *Device) emit(lane, label string, start, end sim.Time) {
+	if d.tracer != nil {
+		d.tracer.Add(lane, label, start, end)
+	}
+}
+
+// Context is a GPU context. Every process in the non-virtualized baseline
+// owns one; the virtualization manager owns exactly one for everybody.
+type Context struct {
+	dev       *Device
+	id        int
+	destroyed bool
+
+	// SwitchCost overrides the architecture's context-switch cost when
+	// nonzero; the paper's Table II measures different switch costs for
+	// different applications (context footprints differ).
+	SwitchCost sim.Duration
+}
+
+// TryCreateContext initializes the device (first call only) and creates
+// a context, paying the driver costs on the calling process's virtual
+// time. Creation is serialized on the driver lock, so N processes
+// initializing simultaneously pay DeviceInitCost + N x ContextCreateCost
+// in total, which is the paper's Tinit. The device's compute mode may
+// refuse admission: exclusive mode admits one live context, prohibited
+// mode none — exactly CUDA's semantics.
+func (d *Device) TryCreateContext(p *sim.Proc) (*Context, error) {
+	start := p.Now()
+	d.driver.Acquire(p, 1)
+	defer d.driver.Release(1)
+	switch d.mode {
+	case ComputeProhibited:
+		return nil, fmt.Errorf("gpusim: %s: compute mode prohibits contexts", d.arch.Name)
+	case ComputeExclusive:
+		if d.liveCtxs > 0 {
+			return nil, fmt.Errorf("gpusim: %s: exclusive compute mode, a context already exists", d.arch.Name)
+		}
+	}
+	if !d.initialized {
+		p.Sleep(d.arch.DeviceInitCost)
+		d.initialized = true
+	}
+	p.Sleep(d.arch.ContextCreateCost)
+	d.nextCtxID++
+	d.liveCtxs++
+	c := &Context{dev: d, id: d.nextCtxID}
+	d.emit("driver", fmt.Sprintf("ctx%d create", c.id), start, p.Now())
+	return c, nil
+}
+
+// CreateContext is TryCreateContext for callers that own the device's
+// admission policy (the manager, tests); it panics on refusal.
+func (d *Device) CreateContext(p *sim.Proc) *Context {
+	c, err := d.TryCreateContext(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Mode returns the device's compute mode.
+func (d *Device) Mode() ComputeMode { return d.mode }
+
+// LiveContexts returns the number of undestroyed contexts.
+func (d *Device) LiveContexts() int { return d.liveCtxs }
+
+// ID returns the context's device-unique id.
+func (c *Context) ID() int { return c.id }
+
+// Device returns the device the context belongs to.
+func (c *Context) Device() *Device { return c.dev }
+
+// Destroy marks the context dead; further operations panic. The
+// device-admission slot is returned (relevant in exclusive compute mode).
+func (c *Context) Destroy() {
+	if !c.destroyed {
+		c.destroyed = true
+		c.dev.liveCtxs--
+	}
+}
+
+func (c *Context) mustLive() {
+	if c.destroyed {
+		panic(fmt.Sprintf("gpusim: use of destroyed context %d", c.id))
+	}
+}
+
+// switchCost returns the cost of switching the device to this context.
+func (c *Context) switchCost() sim.Duration {
+	if c.SwitchCost != 0 {
+		return c.SwitchCost
+	}
+	return c.dev.arch.ContextSwitchCost
+}
+
+// Acquire makes this context current on the device, blocking the process
+// until the device is free (strict FIFO with other contexts). If the
+// device was last owned by a different context, the context-switch cost is
+// paid on this process's virtual time. Acquire/Release bracket a unit of
+// work that must not interleave with other contexts — e.g. one full
+// send/compute/retrieve cycle in the non-virtualized baseline, or the
+// whole lifetime of the virtualization manager.
+func (c *Context) Acquire(p *sim.Proc) {
+	c.mustLive()
+	d := c.dev
+	if d.arbHolder {
+		w := arbWaiter{ctx: c, grant: d.env.NewEvent()}
+		d.arbQueue = append(d.arbQueue, w)
+		p.Wait(w.grant)
+	} else {
+		d.arbHolder = true
+	}
+	if d.arbOwner != nil && d.arbOwner != c {
+		start := p.Now()
+		p.Sleep(c.switchCost())
+		d.ContextSwitches++
+		d.emit("driver", fmt.Sprintf("switch ctx%d->ctx%d", d.arbOwner.id, c.id), start, p.Now())
+	}
+	d.arbOwner = c
+}
+
+// Release lets the next queued context acquire the device.
+func (c *Context) Release() {
+	d := c.dev
+	if !d.arbHolder || d.arbOwner != c {
+		panic("gpusim: Release of device not held by this context")
+	}
+	if len(d.arbQueue) == 0 {
+		d.arbHolder = false
+		return
+	}
+	next := d.arbQueue[0]
+	d.arbQueue = d.arbQueue[1:]
+	next.grant.Fire(nil)
+}
+
+// Malloc allocates device memory for this context.
+func (c *Context) Malloc(n int64) (cuda.DevPtr, error) {
+	c.mustLive()
+	p, err := c.dev.alloc.Alloc(n)
+	if err != nil {
+		return 0, err
+	}
+	rounded, _ := c.dev.alloc.SizeOf(p)
+	c.dev.attachBacking(p, rounded)
+	return p, nil
+}
+
+// MustMalloc is Malloc that panics on out-of-memory.
+func (c *Context) MustMalloc(n int64) cuda.DevPtr {
+	p, err := c.Malloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SizeOf returns the rounded size of a live allocation.
+func (c *Context) SizeOf(p cuda.DevPtr) (int64, bool) {
+	return c.dev.alloc.SizeOf(p)
+}
+
+// Free releases device memory.
+func (c *Context) Free(p cuda.DevPtr) error {
+	c.mustLive()
+	if err := c.dev.alloc.Free(p); err != nil {
+		return err
+	}
+	c.dev.detachBacking(p)
+	return nil
+}
+
+// HostBuffer is host memory used as a source or destination of transfers.
+// Pinned buffers transfer faster and are required for async overlap on
+// real hardware; the simulator only differentiates bandwidth.
+type HostBuffer struct {
+	data   []byte
+	size   int64
+	pinned bool
+}
+
+// AllocHost allocates a host buffer. In timing-only mode no memory is
+// reserved.
+func (d *Device) AllocHost(n int64, pinned bool) *HostBuffer {
+	if n <= 0 {
+		panic("gpusim: AllocHost of non-positive size")
+	}
+	b := &HostBuffer{size: n, pinned: pinned}
+	if d.functional {
+		b.data = make([]byte, n)
+	}
+	return b
+}
+
+// WrapHost wraps an existing host slice as a (pageable or pinned) buffer.
+func WrapHost(data []byte, pinned bool) *HostBuffer {
+	return &HostBuffer{data: data, size: int64(len(data)), pinned: pinned}
+}
+
+// Size returns the buffer's size in bytes.
+func (b *HostBuffer) Size() int64 { return b.size }
+
+// Pinned reports whether the buffer is page-locked.
+func (b *HostBuffer) Pinned() bool { return b.pinned }
+
+// Data returns the backing slice (nil in timing-only mode).
+func (b *HostBuffer) Data() []byte { return b.data }
+
+// memcpyH2D performs a host-to-device copy on the calling process,
+// occupying the H2D engine for the full transfer (transfers in one
+// direction never overlap each other, per the paper's model).
+func (c *Context) memcpyH2D(p *sim.Proc, dst cuda.DevPtr, src *HostBuffer, off, n int64) {
+	c.mustLive()
+	if n <= 0 {
+		return
+	}
+	d := c.dev
+	if d.exclusive != nil {
+		d.exclusive.Acquire(p, 1)
+		defer d.exclusive.Release(1)
+	}
+	d.h2dEngine.Acquire(p, 1)
+	start := p.Now()
+	p.Sleep(d.arch.TransferTime(n, true, src.pinned))
+	if d.functional && src.data != nil {
+		copy(d.Bytes(dst, n), src.data[off:off+n])
+	}
+	d.BytesH2D += n
+	d.h2dEngine.Release(1)
+	d.emit("h2d", fmt.Sprintf("ctx%d H2D %dB", c.id, n), start, p.Now())
+}
+
+// memcpyD2H performs a device-to-host copy on the calling process.
+func (c *Context) memcpyD2H(p *sim.Proc, dst *HostBuffer, off int64, src cuda.DevPtr, n int64) {
+	c.mustLive()
+	if n <= 0 {
+		return
+	}
+	d := c.dev
+	if d.exclusive != nil {
+		d.exclusive.Acquire(p, 1)
+		defer d.exclusive.Release(1)
+	}
+	d.d2hEngine.Acquire(p, 1)
+	start := p.Now()
+	p.Sleep(d.arch.TransferTime(n, false, dst.pinned))
+	if d.functional && dst.data != nil {
+		copy(dst.data[off:off+n], d.Bytes(src, n))
+	}
+	d.BytesD2H += n
+	d.d2hEngine.Release(1)
+	d.emit("d2h", fmt.Sprintf("ctx%d D2H %dB", c.id, n), start, p.Now())
+}
+
+// MemcpyH2D is the synchronous host-to-device copy.
+func (c *Context) MemcpyH2D(p *sim.Proc, dst cuda.DevPtr, src *HostBuffer, n int64) {
+	c.memcpyH2D(p, dst, src, 0, n)
+}
+
+// MemcpyD2H is the synchronous device-to-host copy.
+func (c *Context) MemcpyD2H(p *sim.Proc, dst *HostBuffer, src cuda.DevPtr, n int64) {
+	c.memcpyD2H(p, dst, 0, src, n)
+}
+
+// Launch runs a kernel synchronously on the calling process: it pays the
+// launch overhead, dispatches the kernel to the SM scheduler, and blocks
+// until the kernel completes.
+func (c *Context) Launch(p *sim.Proc, k *cuda.Kernel) error {
+	done, err := c.LaunchAsync(p, k)
+	if err != nil {
+		return err
+	}
+	p.Wait(done)
+	return nil
+}
+
+// LaunchAsync pays the launch overhead on the calling process and enqueues
+// the kernel for execution; the returned event fires at completion.
+func (c *Context) LaunchAsync(p *sim.Proc, k *cuda.Kernel) (*sim.Event, error) {
+	c.mustLive()
+	if err := k.Validate(c.dev.arch); err != nil {
+		return nil, err
+	}
+	d := c.dev
+	p.Sleep(d.arch.KernelLaunchOverhead)
+	if d.exclusive != nil {
+		// Architectures without copy/compute overlap serialize the kernel
+		// against transfers: hold the exclusive engine for the duration.
+		d.exclusive.Acquire(p, 1)
+		done := d.sched.launch(c, k)
+		release := d.env.NewEvent()
+		done.OnFire(func(any) {
+			d.exclusive.Release(1)
+			release.Fire(nil)
+		})
+		return release, nil
+	}
+	return d.sched.launch(c, k), nil
+}

@@ -1,0 +1,536 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/sim"
+)
+
+func newTestDevice(t *testing.T, functional bool) (*sim.Env, *Device) {
+	t.Helper()
+	env := sim.NewEnv()
+	arch := fermi.TeslaC2070()
+	if functional {
+		arch.MemBytes = 64 << 20 // keep functional backing small in tests
+	}
+	dev, err := New(env, Config{Arch: arch, Functional: functional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, dev
+}
+
+func run(t *testing.T, env *sim.Env) {
+	t.Helper()
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsInvalidArch(t *testing.T) {
+	env := sim.NewEnv()
+	arch := fermi.TeslaC2070()
+	arch.SMs = 0
+	if _, err := New(env, Config{Arch: arch}); err == nil {
+		t.Fatal("New accepted an invalid arch")
+	}
+}
+
+func TestContextCreationCosts(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	arch := dev.Arch()
+	var finished []sim.Time
+	for i := 0; i < 8; i++ {
+		env.Go("init", func(p *sim.Proc) {
+			dev.CreateContext(p)
+			finished = append(finished, p.Now())
+		})
+	}
+	run(t, env)
+	// Serialized on the driver lock: total Tinit = DeviceInit + 8 x Create.
+	want := sim.Time(arch.DeviceInitCost + 8*arch.ContextCreateCost)
+	last := finished[len(finished)-1]
+	if last != want {
+		t.Fatalf("total init = %v, want %v (paper Tinit)", last, want)
+	}
+	// With the calibrated C2070 this is the paper's ~1519 ms.
+	if ms := last.Milliseconds(); math.Abs(ms-1519) > 1 {
+		t.Fatalf("Tinit = %.3f ms, want ~1519 ms (Table II)", ms)
+	}
+}
+
+func TestContextSwitchCostsAndCounting(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	var c1, c2 *Context
+	env.Go("setup", func(p *sim.Proc) {
+		c1 = dev.CreateContext(p)
+		c2 = dev.CreateContext(p)
+
+		base := p.Now()
+		c1.Acquire(p) // first-ever acquire: no previous owner, no switch
+		if got := p.Now().Sub(base); got != 0 {
+			t.Errorf("first acquire cost %v, want 0", got)
+		}
+		c1.Release()
+
+		base = p.Now()
+		c1.Acquire(p) // same owner: free
+		if got := p.Now().Sub(base); got != 0 {
+			t.Errorf("same-context acquire cost %v, want 0", got)
+		}
+		c1.Release()
+
+		base = p.Now()
+		c2.Acquire(p) // owner change: pays switch cost
+		if got := p.Now().Sub(base); got != dev.Arch().ContextSwitchCost {
+			t.Errorf("switch cost %v, want %v", got, dev.Arch().ContextSwitchCost)
+		}
+		c2.Release()
+	})
+	run(t, env)
+	if dev.ContextSwitches != 1 {
+		t.Fatalf("ContextSwitches = %d, want 1", dev.ContextSwitches)
+	}
+}
+
+func TestContextSwitchOverride(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	env.Go("setup", func(p *sim.Proc) {
+		c1 := dev.CreateContext(p)
+		c2 := dev.CreateContext(p)
+		c2.SwitchCost = 220 * sim.Millisecond
+		c1.Acquire(p)
+		c1.Release()
+		base := p.Now()
+		c2.Acquire(p)
+		if got := p.Now().Sub(base); got != 220*sim.Millisecond {
+			t.Errorf("override switch cost %v, want 220ms", got)
+		}
+		c2.Release()
+	})
+	run(t, env)
+}
+
+func TestContextArbiterFIFOSerializesCycles(t *testing.T) {
+	// Three processes, three contexts, each holding the device for 10 ms:
+	// cycles serialize with one switch between consecutive holders.
+	env, dev := newTestDevice(t, false)
+	var done []sim.Time
+	var ctxs []*Context
+	env.Go("setup", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			ctxs = append(ctxs, dev.CreateContext(p))
+		}
+		for i := 0; i < 3; i++ {
+			c := ctxs[i]
+			env.Go("user", func(p *sim.Proc) {
+				c.Acquire(p)
+				p.Sleep(10 * sim.Millisecond)
+				c.Release()
+				done = append(done, p.Now())
+			})
+		}
+	})
+	run(t, env)
+	sw := dev.Arch().ContextSwitchCost
+	t0 := sim.Time(dev.Arch().DeviceInitCost + 3*dev.Arch().ContextCreateCost)
+	want := []sim.Time{
+		t0.Add(10 * sim.Millisecond),
+		t0.Add(10*sim.Millisecond + sw + 10*sim.Millisecond),
+		t0.Add(10*sim.Millisecond + sw + 10*sim.Millisecond + sw + 10*sim.Millisecond),
+	}
+	if len(done) != 3 {
+		t.Fatalf("%d completions", len(done))
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completion %d at %v, want %v", i, done[i], want[i])
+		}
+	}
+	if dev.ContextSwitches != 2 {
+		t.Fatalf("ContextSwitches = %d, want 2", dev.ContextSwitches)
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	env.Go("bad", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on unmatched Release")
+			}
+		}()
+		c.Release()
+	})
+	run(t, env)
+}
+
+func TestDestroyedContextPanics(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	env.Go("bad", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		c.Destroy()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on use after Destroy")
+			}
+		}()
+		c.Acquire(p)
+	})
+	run(t, env)
+}
+
+func TestMemcpyTiming(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	arch := dev.Arch()
+	var n int64 = 10 << 20
+	env.Go("xfer", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		dst := c.MustMalloc(n)
+		host := dev.AllocHost(n, false)
+		base := p.Now()
+		c.MemcpyH2D(p, dst, host, n)
+		if got, want := p.Now().Sub(base), arch.TransferTime(n, true, false); got != want {
+			t.Errorf("H2D pageable took %v, want %v", got, want)
+		}
+		pinnedHost := dev.AllocHost(n, true)
+		base = p.Now()
+		c.MemcpyH2D(p, dst, pinnedHost, n)
+		if got, want := p.Now().Sub(base), arch.TransferTime(n, true, true); got != want {
+			t.Errorf("H2D pinned took %v, want %v", got, want)
+		}
+		base = p.Now()
+		c.MemcpyD2H(p, host, dst, n)
+		if got, want := p.Now().Sub(base), arch.TransferTime(n, false, false); got != want {
+			t.Errorf("D2H took %v, want %v", got, want)
+		}
+	})
+	run(t, env)
+	if dev.BytesH2D != 2*n || dev.BytesD2H != n {
+		t.Fatalf("byte counters: H2D=%d D2H=%d", dev.BytesH2D, dev.BytesD2H)
+	}
+}
+
+func TestSameDirectionTransfersSerialize(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	arch := dev.Arch()
+	var n int64 = 8 << 20
+	one := arch.TransferTime(n, true, false)
+	var finish []sim.Time
+	env.Go("setup", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		dst1, dst2 := c.MustMalloc(n), c.MustMalloc(n)
+		h := dev.AllocHost(n, false)
+		t0 := p.Now()
+		for _, dst := range []cuda.DevPtr{dst1, dst2} {
+			dst := dst
+			env.Go("x", func(p *sim.Proc) {
+				c.MemcpyH2D(p, dst, h, n)
+				finish = append(finish, p.Now().Add(-sim.Duration(t0)))
+			})
+		}
+	})
+	run(t, env)
+	if finish[0] != sim.Time(one) || finish[1] != sim.Time(2*one) {
+		t.Fatalf("finishes = %v, want [%v %v] (full-bandwidth FIFO)", finish, one, 2*one)
+	}
+}
+
+func TestOppositeDirectionsOverlapWithTwoEngines(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	arch := dev.Arch()
+	var n int64 = 8 << 20
+	var finish []sim.Time
+	env.Go("setup", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		d := c.MustMalloc(n)
+		h := dev.AllocHost(n, false)
+		env.Go("in", func(p *sim.Proc) {
+			c.MemcpyH2D(p, d, h, n)
+			finish = append(finish, p.Now())
+		})
+		env.Go("out", func(p *sim.Proc) {
+			c.MemcpyD2H(p, h, d, n)
+			finish = append(finish, p.Now())
+		})
+	})
+	run(t, env)
+	setup := sim.Time(arch.DeviceInitCost + arch.ContextCreateCost)
+	// D2H (3.0 GB/s) finishes slightly before H2D (2.95 GB/s); both overlap.
+	wantD2H := setup.Add(arch.TransferTime(n, false, false))
+	wantH2D := setup.Add(arch.TransferTime(n, true, false))
+	if finish[0] != wantD2H {
+		t.Fatalf("D2H finished at %v, want %v", finish[0], wantD2H)
+	}
+	if finish[1] != wantH2D {
+		t.Fatalf("H2D finished at %v, want %v (should overlap D2H)", finish[1], wantH2D)
+	}
+}
+
+func TestSingleCopyEngineSerializesDirections(t *testing.T) {
+	env := sim.NewEnv()
+	arch := fermi.GeForceGTX480() // 1 copy engine
+	dev := MustNew(env, Config{Arch: arch})
+	var n int64 = 8 << 20
+	var finishes []sim.Time
+	env.Go("setup", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		d := c.MustMalloc(n)
+		h := dev.AllocHost(n, false)
+		t0 := p.Now()
+		env.Go("in", func(p *sim.Proc) {
+			c.MemcpyH2D(p, d, h, n)
+			finishes = append(finishes, p.Now().Add(-sim.Duration(t0)))
+		})
+		env.Go("out", func(p *sim.Proc) {
+			c.MemcpyD2H(p, h, d, n)
+			finishes = append(finishes, p.Now().Add(-sim.Duration(t0)))
+		})
+	})
+	run(t, env)
+	h2d := arch.TransferTime(n, true, false)
+	d2h := arch.TransferTime(n, false, false)
+	if finishes[0] != sim.Time(h2d) {
+		t.Fatalf("first = %v, want %v", finishes[0], h2d)
+	}
+	if finishes[1] != sim.Time(h2d+d2h) {
+		t.Fatalf("second = %v, want %v (serialized on one engine)", finishes[1], h2d+d2h)
+	}
+}
+
+func TestFunctionalMemcpyMovesBytes(t *testing.T) {
+	env, dev := newTestDevice(t, true)
+	env.Go("io", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		d := c.MustMalloc(16)
+		src := dev.AllocHost(16, false)
+		for i := range src.Data() {
+			src.Data()[i] = byte(i * 3)
+		}
+		c.MemcpyH2D(p, d, src, 16)
+		dst := dev.AllocHost(16, true)
+		c.MemcpyD2H(p, dst, d, 16)
+		for i, b := range dst.Data() {
+			if b != byte(i*3) {
+				t.Errorf("byte %d = %d, want %d", i, b, i*3)
+			}
+		}
+	})
+	run(t, env)
+}
+
+func TestTimingOnlyModeHasNoBacking(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	env.Go("io", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		d := c.MustMalloc(16)
+		if dev.Bytes(d, 16) != nil {
+			t.Error("timing-only device returned backing memory")
+		}
+		h := dev.AllocHost(16, false)
+		if h.Data() != nil {
+			t.Error("timing-only host buffer has data")
+		}
+		// Copies must still advance time without touching memory.
+		base := p.Now()
+		c.MemcpyH2D(p, d, h, 16)
+		if p.Now() == base {
+			t.Error("timing-only copy took no time")
+		}
+	})
+	run(t, env)
+}
+
+func TestDeviceBytesOutOfRangePanics(t *testing.T) {
+	env, dev := newTestDevice(t, true)
+	env.Go("oob", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		dev.Bytes(cuda.DevPtr(dev.Arch().MemBytes-4), 16)
+	})
+	run(t, env)
+}
+
+func TestHostBufferWrap(t *testing.T) {
+	data := []byte{1, 2, 3}
+	b := WrapHost(data, true)
+	if b.Size() != 3 || !b.Pinned() || &b.Data()[0] != &data[0] {
+		t.Fatal("WrapHost did not alias the slice")
+	}
+}
+
+func TestComputeModes(t *testing.T) {
+	env := sim.NewEnv()
+	arch := fermi.TeslaC2070()
+
+	excl := MustNew(env, Config{Arch: arch, Mode: ComputeExclusive})
+	proh := MustNew(env, Config{Arch: arch, Mode: ComputeProhibited})
+	env.Go("p", func(p *sim.Proc) {
+		// Exclusive: first context admitted, second refused, admitted
+		// again after Destroy.
+		c1, err := excl.TryCreateContext(p)
+		if err != nil {
+			t.Errorf("first exclusive context refused: %v", err)
+			return
+		}
+		if _, err := excl.TryCreateContext(p); err == nil {
+			t.Error("second context admitted in exclusive mode")
+		}
+		c1.Destroy()
+		if _, err := excl.TryCreateContext(p); err != nil {
+			t.Errorf("context after Destroy refused: %v", err)
+		}
+		// Prohibited: nothing admitted.
+		if _, err := proh.TryCreateContext(p); err == nil {
+			t.Error("context admitted in prohibited mode")
+		}
+	})
+	run(t, env)
+	if excl.Mode() != ComputeExclusive || excl.LiveContexts() != 1 {
+		t.Fatalf("mode=%v live=%d", excl.Mode(), excl.LiveContexts())
+	}
+}
+
+func TestComputeModeStrings(t *testing.T) {
+	if ComputeDefault.String() != "default" ||
+		ComputeExclusive.String() != "exclusive" ||
+		ComputeProhibited.String() != "prohibited" {
+		t.Fatal("mode names wrong")
+	}
+	if ComputeMode(9).String() == "" {
+		t.Fatal("unknown mode has empty name")
+	}
+}
+
+func TestDoubleDestroyCountsOnce(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	env.Go("p", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		c.Destroy()
+		c.Destroy()
+	})
+	run(t, env)
+	if dev.LiveContexts() != 0 {
+		t.Fatalf("LiveContexts = %d after double destroy", dev.LiveContexts())
+	}
+}
+
+func TestContextFreeAndSizeOf(t *testing.T) {
+	env, dev := newTestDevice(t, true)
+	env.Go("p", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		ptr := c.MustMalloc(1000)
+		size, ok := c.SizeOf(ptr)
+		if !ok || size != 1024 {
+			t.Errorf("SizeOf = %d,%v, want 1024 (rounded)", size, ok)
+		}
+		// Functional backing is attached and readable.
+		b := dev.Bytes(ptr, 1000)
+		if len(b) != 1000 {
+			t.Errorf("Bytes len = %d", len(b))
+		}
+		b[0] = 42
+		if err := c.Free(ptr); err != nil {
+			t.Error(err)
+		}
+		if _, ok := c.SizeOf(ptr); ok {
+			t.Error("SizeOf found a freed allocation")
+		}
+		// Backing is detached: access panics.
+		defer func() {
+			if recover() == nil {
+				t.Error("Bytes on freed allocation did not panic")
+			}
+		}()
+		dev.Bytes(ptr, 4)
+	})
+	run(t, env)
+	if dev.MemInUse() != 0 {
+		t.Fatalf("MemInUse = %d", dev.MemInUse())
+	}
+	if !dev.Functional() {
+		t.Fatal("Functional() = false on functional device")
+	}
+	if dev.Env() == nil {
+		t.Fatal("Env() nil")
+	}
+}
+
+func TestFreeUnknownPointerErrors(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	env.Go("p", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		if err := c.Free(cuda.DevPtr(512)); err == nil {
+			t.Error("Free of unknown pointer succeeded")
+		}
+	})
+	run(t, env)
+}
+
+func TestStreamAccessors(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	env.Go("p", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		c.Acquire(p)
+		defer c.Release()
+		s := c.NewStream()
+		if s.ID() == 0 {
+			t.Error("stream ID zero")
+		}
+		if s.Context() != c {
+			t.Error("stream context wrong")
+		}
+		if s.Busy() != 0 {
+			t.Error("fresh stream busy")
+		}
+		d := c.MustMalloc(1024)
+		h := dev.AllocHost(1024, true)
+		s.MemcpyH2DAsync(d, h, 1024)
+		if s.Busy() != 1 {
+			t.Errorf("Busy = %d after enqueue", s.Busy())
+		}
+		s.Synchronize(p)
+	})
+	run(t, env)
+}
+
+func TestSchedulerUtilization(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	env.Go("p", func(p *sim.Proc) {
+		if dev.sched.Utilization() != 0 {
+			t.Error("idle utilization != 0")
+		}
+		c := dev.CreateContext(p)
+		c.Acquire(p)
+		defer c.Release()
+		k := &cuda.Kernel{Name: "u", Grid: cuda.Dim(14), Block: cuda.Dim(128), CyclesPerThread: 1e6}
+		done, err := c.LaunchAsync(p, k)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(sim.Microsecond)
+		if u := dev.sched.Utilization(); u <= 0 || u > 1 {
+			t.Errorf("mid-run utilization = %v", u)
+		}
+		p.Wait(done)
+		if dev.sched.Utilization() != 0 {
+			t.Error("utilization after completion != 0")
+		}
+	})
+	run(t, env)
+}
+
+func TestAllocatorTotal(t *testing.T) {
+	a := NewAllocator(1<<20, 256)
+	if a.Total() != 1<<20 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+}

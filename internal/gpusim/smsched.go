@@ -1,0 +1,373 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/sim"
+)
+
+// smScheduler models the device's SM array. Thread blocks of admitted
+// kernels are dispatched round-robin across SMs subject to the kernel's
+// occupancy limit and the SM's warp/register/shared-memory/block budgets.
+// Blocks resident on an SM drain under processor sharing: the SM's issue
+// throughput is divided among resident warps, with a per-warp cap that
+// models imperfect latency hiding at low occupancy (a lone warp cannot
+// saturate an SM).
+//
+// Concurrent execution follows Fermi's rules: at most
+// Arch.MaxConcurrentKernels kernels are admitted at once, and only kernels
+// of the *current* device context can be resident together — the device
+// arbiter (Context.Acquire) guarantees cross-context exclusion, so the
+// scheduler only ever sees one context's kernels.
+type smScheduler struct {
+	env  *sim.Env
+	dev  *Device
+	arch fermi.Arch
+
+	sms     []*smState
+	window  int            // kernels currently admitted
+	pending []*launchState // waiting for a window slot, FIFO
+	active  []*launchState // admitted kernels, FIFO dispatch priority
+	nextSM  int            // round-robin cursor
+}
+
+// launchState tracks one in-flight kernel.
+type launchState struct {
+	ctx         *Context
+	k           *cuda.Kernel
+	occ         fermi.Occupancy
+	blockWork   float64 // lane-cycles per block
+	regsPerBlk  int
+	shmemPerBlk int
+
+	blocksLeft int // not yet dispatched
+	blocksDone int
+	total      int
+
+	start       sim.Time
+	memFloorEnd sim.Time
+	done        *sim.Event
+}
+
+// smState is one streaming multiprocessor.
+type smState struct {
+	idx        int
+	usedWarps  int
+	usedRegs   int
+	usedShmem  int
+	usedBlocks int
+	groups     []*smGroup
+	lastUpdate sim.Time
+	timerGen   uint64
+}
+
+// smGroup is a set of identical blocks of one kernel that started together
+// on one SM; they drain at the same rate and complete together.
+type smGroup struct {
+	ls      *launchState
+	blocks  int
+	warps   int // total warps held by the group
+	regs    int
+	shmem   int
+	remWork float64 // remaining lane-cycles per block
+}
+
+func newSMScheduler(env *sim.Env, dev *Device) *smScheduler {
+	s := &smScheduler{env: env, dev: dev, arch: dev.arch}
+	s.sms = make([]*smState, dev.arch.SMs)
+	for i := range s.sms {
+		s.sms[i] = &smState{idx: i}
+	}
+	return s
+}
+
+// launch registers a kernel for execution and returns its completion
+// event. The caller has already paid the launch overhead.
+func (s *smScheduler) launch(ctx *Context, k *cuda.Kernel) *sim.Event {
+	occ, err := s.arch.Occupancy(k.Resources())
+	if err != nil {
+		// Validate is called before launch; reaching here is a bug.
+		panic(fmt.Sprintf("gpusim: launch of invalid kernel %q: %v", k.Name, err))
+	}
+	warpsPerBlock := occ.WarpsPerBlock
+	regsPerWarp := 0
+	if k.RegsPerThread > 0 {
+		regsPerWarp = ((k.RegsPerThread*s.arch.WarpSize + s.arch.RegAllocUnit - 1) /
+			s.arch.RegAllocUnit) * s.arch.RegAllocUnit
+	}
+	shm := k.SharedMemPerBlock
+	if shm > 0 && s.arch.SharedAllocUnit > 1 {
+		shm = (shm + s.arch.SharedAllocUnit - 1) / s.arch.SharedAllocUnit * s.arch.SharedAllocUnit
+	}
+	ls := &launchState{
+		ctx:         ctx,
+		k:           k,
+		occ:         occ,
+		blockWork:   float64(k.Block.Count()) * k.CyclesPerThread,
+		regsPerBlk:  regsPerWarp * warpsPerBlock,
+		shmemPerBlk: shm,
+		blocksLeft:  k.Blocks(),
+		total:       k.Blocks(),
+		start:       s.env.Now(),
+		done:        s.env.NewEvent(),
+	}
+	if mem := k.TotalMemBytes(); mem > 0 && s.arch.MemBandwidth > 0 {
+		ls.memFloorEnd = ls.start.Add(sim.Duration(mem / s.arch.MemBandwidth * 1e9))
+	}
+	if s.window < s.arch.MaxConcurrentKernels {
+		s.admit(ls)
+	} else {
+		s.pending = append(s.pending, ls)
+	}
+	s.reschedule()
+	return ls.done
+}
+
+func (s *smScheduler) admit(ls *launchState) {
+	s.window++
+	s.active = append(s.active, ls)
+}
+
+// advanceAll drains every SM's groups up to the current instant.
+func (s *smScheduler) advanceAll() {
+	now := s.env.Now()
+	for _, sm := range s.sms {
+		dt := now.Sub(sm.lastUpdate).Seconds()
+		sm.lastUpdate = now
+		if dt <= 0 || len(sm.groups) == 0 {
+			continue
+		}
+		denom := s.denom(sm)
+		for _, g := range sm.groups {
+			g.remWork -= s.perBlockRate(g, denom) * dt
+			if g.remWork < 0 {
+				g.remWork = 0
+			}
+		}
+	}
+}
+
+// denom is the warp-sharing denominator: resident warps, floored at the
+// latency-hiding threshold (an under-occupied SM cannot use all issue
+// slots).
+func (s *smScheduler) denom(sm *smState) float64 {
+	d := float64(sm.usedWarps)
+	if lh := float64(s.arch.LatencyHidingWarps); d < lh {
+		d = lh
+	}
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// perBlockRate returns the lane-cycles/second each block of group g drains
+// at, given the SM sharing denominator.
+func (s *smScheduler) perBlockRate(g *smGroup, denom float64) float64 {
+	throughput := float64(s.arch.CoresPerSM) * s.arch.ClockHz // lane-cycles/s
+	warpsPerBlock := float64(g.warps) / float64(g.blocks)
+	return throughput * warpsPerBlock / denom
+}
+
+// reschedule is called after any state change: it collects finished
+// groups, dispatches new blocks, and re-arms each SM's next-completion
+// timer. It must run with SMs already advanced to now (callers go through
+// onEvent or the launch path, which advance first).
+func (s *smScheduler) reschedule() {
+	s.advanceAll()
+	s.collectFinished()
+	s.dispatch()
+	s.armTimers()
+}
+
+// collectFinished removes drained groups, credits their kernels, fires
+// completion events and opens window slots.
+func (s *smScheduler) collectFinished() {
+	for _, sm := range s.sms {
+		kept := sm.groups[:0]
+		for _, g := range sm.groups {
+			// Half a lane-cycle of residual work (sub-nanosecond) counts
+			// as done; it absorbs float rounding in the rate integration.
+			if g.remWork > 0.5 && g.ls.blockWork > 0 {
+				kept = append(kept, g)
+				continue
+			}
+			sm.usedWarps -= g.warps
+			sm.usedRegs -= g.regs
+			sm.usedShmem -= g.shmem
+			sm.usedBlocks -= g.blocks
+			g.ls.blocksDone += g.blocks
+			if g.ls.blocksDone == g.ls.total {
+				s.finish(g.ls)
+			}
+		}
+		sm.groups = kept
+	}
+}
+
+// finish completes a kernel: runs its functional body (in functional
+// mode), honors the memory-bandwidth floor, fires done, frees the window
+// slot and admits the next pending kernel.
+func (s *smScheduler) finish(ls *launchState) {
+	s.window--
+	for i, a := range s.active {
+		if a == ls {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	if len(s.pending) > 0 {
+		next := s.pending[0]
+		s.pending = s.pending[1:]
+		s.admit(next)
+	}
+	s.dev.KernelsRun++
+	fire := func() {
+		if s.dev.functional && ls.k.Func != nil {
+			if err := ls.k.RunFunctional(s.dev); err != nil {
+				panic(err)
+			}
+		}
+		s.dev.emit("sm", fmt.Sprintf("ctx%d kernel %s", ls.ctx.id, ls.k.Name), ls.start, s.env.Now())
+		ls.done.Fire(nil)
+	}
+	if s.env.Now() < ls.memFloorEnd {
+		s.env.At(ls.memFloorEnd, fire)
+	} else {
+		fire()
+	}
+}
+
+// dispatch places undispatched blocks onto SMs: kernels in FIFO order,
+// SMs round-robin, one block at a time, merging same-instant placements
+// of one kernel on one SM into a single group.
+func (s *smScheduler) dispatch() {
+	type key struct {
+		sm *smState
+		ls *launchState
+	}
+	fresh := make(map[key]*smGroup)
+	for {
+		// Zero-work kernels complete without occupying hardware. finish
+		// mutates s.active (and may admit pending kernels), so restart the
+		// scan after each one.
+		for again := true; again; {
+			again = false
+			for _, ls := range s.active {
+				if ls.blocksLeft > 0 && ls.blockWork <= 0 {
+					ls.blocksDone += ls.blocksLeft
+					ls.blocksLeft = 0
+					s.finish(ls)
+					again = true
+					break
+				}
+			}
+		}
+		placed := false
+		for _, ls := range s.active {
+			if ls.blocksLeft == 0 || ls.blockWork <= 0 {
+				continue
+			}
+			for try := 0; try < len(s.sms); try++ {
+				sm := s.sms[s.nextSM]
+				s.nextSM = (s.nextSM + 1) % len(s.sms)
+				if !s.fits(sm, ls) {
+					continue
+				}
+				g := fresh[key{sm, ls}]
+				if g == nil {
+					g = &smGroup{ls: ls, remWork: ls.blockWork}
+					fresh[key{sm, ls}] = g
+					sm.groups = append(sm.groups, g)
+				}
+				g.blocks++
+				g.warps += ls.occ.WarpsPerBlock
+				g.regs += ls.regsPerBlk
+				g.shmem += ls.shmemPerBlk
+				sm.usedWarps += ls.occ.WarpsPerBlock
+				sm.usedRegs += ls.regsPerBlk
+				sm.usedShmem += ls.shmemPerBlk
+				sm.usedBlocks++
+				ls.blocksLeft--
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return
+		}
+	}
+}
+
+// fits reports whether one more block of ls fits on sm.
+func (s *smScheduler) fits(sm *smState, ls *launchState) bool {
+	if sm.usedBlocks+1 > s.arch.MaxBlocksPerSM {
+		return false
+	}
+	if sm.usedWarps+ls.occ.WarpsPerBlock > s.arch.MaxWarpsPerSM {
+		return false
+	}
+	if sm.usedRegs+ls.regsPerBlk > s.arch.RegsPerSM {
+		return false
+	}
+	if sm.usedShmem+ls.shmemPerBlk > s.arch.SharedMemPerSM {
+		return false
+	}
+	// Per-kernel occupancy limit on this SM.
+	mine := 0
+	for _, g := range sm.groups {
+		if g.ls == ls {
+			mine += g.blocks
+		}
+	}
+	return mine+1 <= ls.occ.BlocksPerSM
+}
+
+// armTimers schedules each SM's next group completion.
+func (s *smScheduler) armTimers() {
+	for _, sm := range s.sms {
+		sm.timerGen++
+		if len(sm.groups) == 0 {
+			continue
+		}
+		denom := s.denom(sm)
+		next := math.Inf(1)
+		for _, g := range sm.groups {
+			rate := s.perBlockRate(g, denom)
+			if rate <= 0 {
+				continue
+			}
+			if t := g.remWork / rate; t < next {
+				next = t
+			}
+		}
+		if math.IsInf(next, 1) {
+			continue
+		}
+		gen := sm.timerGen
+		smRef := sm
+		s.env.After(sim.Duration(next*1e9)+1, func() {
+			if smRef.timerGen != gen {
+				return
+			}
+			s.reschedule()
+		})
+	}
+}
+
+// Utilization returns the fraction of SM block slots currently occupied,
+// for tests and reporting.
+func (s *smScheduler) Utilization() float64 {
+	used, total := 0, 0
+	for _, sm := range s.sms {
+		used += sm.usedBlocks
+		total += s.arch.MaxBlocksPerSM
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}

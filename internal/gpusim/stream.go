@@ -1,0 +1,161 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/sim"
+)
+
+// Stream is a CUDA stream: a FIFO of asynchronous device operations.
+// Operations within a stream execute in order; operations in different
+// streams of the same context may overlap (copy/compute overlap and
+// concurrent kernels), which is exactly the mechanism the paper's GVM uses
+// to overlap work from different SPMD processes.
+//
+// A dedicated runner process drains the FIFO; the issuing process returns
+// immediately from the *Async calls.
+type Stream struct {
+	ctx  *Context
+	id   int
+	ops  *sim.Store[streamOp]
+	idle *sim.Event // re-created whenever the stream becomes busy
+	busy int        // queued + in-flight operations
+}
+
+type streamOp struct {
+	run  func(p *sim.Proc)
+	done *sim.Event // optional per-op completion event
+}
+
+// NewStream creates a stream in this context and starts its runner.
+func (c *Context) NewStream() *Stream {
+	c.mustLive()
+	c.dev.nextStreamID++
+	s := &Stream{
+		ctx:  c,
+		id:   c.dev.nextStreamID,
+		ops:  sim.NewStore[streamOp](c.dev.env, 0),
+		idle: c.dev.env.NewEvent(),
+	}
+	s.idle.Fire(nil) // empty stream is idle
+	c.dev.env.Go(fmt.Sprintf("stream-%d", s.id), s.runner)
+	return s
+}
+
+// ID returns the stream's process-unique id.
+func (s *Stream) ID() int { return s.id }
+
+// Context returns the owning context.
+func (s *Stream) Context() *Context { return s.ctx }
+
+func (s *Stream) runner(p *sim.Proc) {
+	p.Daemonize() // an idle runner waiting for work is not a deadlock
+	for {
+		op := s.ops.Get(p)
+		if op.run == nil { // shutdown sentinel
+			return
+		}
+		op.run(p)
+		if op.done != nil {
+			op.done.Fire(nil)
+		}
+		s.busy--
+		if s.busy == 0 {
+			s.idle.Fire(nil)
+		}
+	}
+}
+
+// Close shuts the runner down after all queued work completes.
+func (s *Stream) Close() {
+	s.ops.TryPut(streamOp{})
+}
+
+func (s *Stream) enqueue(run func(p *sim.Proc)) *sim.Event {
+	env := s.ctx.dev.env
+	done := env.NewEvent()
+	if s.busy == 0 {
+		s.idle = env.NewEvent()
+	}
+	s.busy++
+	s.ops.TryPut(streamOp{run: run, done: done}) // unbounded store: never fails
+	return done
+}
+
+// MemcpyH2DAsync enqueues a host-to-device copy of n bytes and returns
+// its completion event.
+func (s *Stream) MemcpyH2DAsync(dst cuda.DevPtr, src *HostBuffer, n int64) *sim.Event {
+	return s.enqueue(func(p *sim.Proc) { s.ctx.memcpyH2D(p, dst, src, 0, n) })
+}
+
+// MemcpyD2HAsync enqueues a device-to-host copy of n bytes.
+func (s *Stream) MemcpyD2HAsync(dst *HostBuffer, src cuda.DevPtr, n int64) *sim.Event {
+	return s.enqueue(func(p *sim.Proc) { s.ctx.memcpyD2H(p, dst, 0, src, n) })
+}
+
+// LaunchAsync enqueues a kernel launch. Invalid kernels surface when the
+// operation executes (the runner panics), so callers should Validate
+// kernels up front — the GVM does this when a client registers work.
+func (s *Stream) LaunchAsync(k *cuda.Kernel) *sim.Event {
+	return s.enqueue(func(p *sim.Proc) {
+		done, err := s.ctx.LaunchAsync(p, k)
+		if err != nil {
+			panic(fmt.Sprintf("gpusim: stream %d: %v", s.id, err))
+		}
+		p.Wait(done)
+	})
+}
+
+// Busy reports the number of queued plus in-flight operations.
+func (s *Stream) Busy() int { return s.busy }
+
+// Query reports whether the stream has drained (cudaStreamQuery).
+func (s *Stream) Query() bool { return s.busy == 0 }
+
+// Synchronize blocks the calling process until the stream drains.
+func (s *Stream) Synchronize(p *sim.Proc) {
+	for s.busy > 0 {
+		p.Wait(s.idle)
+	}
+}
+
+// GPUEvent is a CUDA-event-style marker recorded into a stream: it
+// completes when every operation enqueued before it has executed, and it
+// remembers the virtual instant at which that happened — the device-side
+// timing primitive (cudaEventRecord / cudaEventElapsedTime).
+type GPUEvent struct {
+	done *sim.Event
+	at   sim.Time
+}
+
+// RecordEvent enqueues a marker at the stream's current tail.
+func (s *Stream) RecordEvent() *GPUEvent {
+	ev := &GPUEvent{done: s.ctx.dev.env.NewEvent()}
+	s.enqueue(func(p *sim.Proc) {
+		ev.at = p.Now()
+		ev.done.Fire(nil)
+	})
+	return ev
+}
+
+// Query reports whether the marker has executed (cudaEventQuery).
+func (e *GPUEvent) Query() bool { return e.done.Fired() }
+
+// Synchronize blocks the process until the marker executes.
+func (e *GPUEvent) Synchronize(p *sim.Proc) { p.Wait(e.done) }
+
+// Time returns the virtual instant the marker executed; it panics when
+// the event has not completed (like reading an unrecorded cudaEvent).
+func (e *GPUEvent) Time() sim.Time {
+	if !e.done.Fired() {
+		panic("gpusim: Time on an incomplete GPUEvent")
+	}
+	return e.at
+}
+
+// Elapsed returns the device time between two completed events
+// (cudaEventElapsedTime); negative if b executed before e.
+func (e *GPUEvent) Elapsed(b *GPUEvent) sim.Duration {
+	return b.Time().Sub(e.Time())
+}

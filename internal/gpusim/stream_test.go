@@ -1,0 +1,257 @@
+package gpusim
+
+import (
+	"testing"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/sim"
+)
+
+func TestStreamInOrderExecution(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	arch := dev.Arch()
+	var n int64 = 4 << 20
+	var total sim.Duration
+	env.Go("main", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		c.Acquire(p)
+		defer c.Release()
+		s := c.NewStream()
+		d := c.MustMalloc(n)
+		h := dev.AllocHost(n, true)
+		k := &cuda.Kernel{Name: "k", Grid: cuda.Dim(arch.SMs), Block: cuda.Dim(1024), CyclesPerThread: 1e5}
+		start := p.Now()
+		s.MemcpyH2DAsync(d, h, n)
+		s.LaunchAsync(k)
+		s.MemcpyD2HAsync(h, d, n)
+		if s.Query() {
+			t.Error("stream reports idle with queued work")
+		}
+		s.Synchronize(p)
+		total = p.Now().Sub(start)
+		if !s.Query() {
+			t.Error("stream reports busy after Synchronize")
+		}
+	})
+	run(t, env)
+	// In-stream operations serialize: total >= sum of the parts.
+	kt := sim.Duration(expectSingleKernelTime(dev.Arch(), &cuda.Kernel{
+		Grid: cuda.Dim(arch.SMs), Block: cuda.Dim(1024), CyclesPerThread: 1e5}) * 1e9)
+	wantMin := arch.TransferTime(n, true, true) + kt + arch.TransferTime(n, false, true)
+	if total < wantMin {
+		t.Fatalf("stream pipeline took %v, less than serialized parts %v", total, wantMin)
+	}
+	if total > wantMin+sim.Millisecond {
+		t.Fatalf("stream pipeline took %v, way more than parts %v", total, wantMin)
+	}
+}
+
+func TestTwoStreamsOverlapCopyAndCompute(t *testing.T) {
+	// Stream A computes while stream B transfers: with copy/compute
+	// overlap, the makespan is close to max(copy, compute), not the sum.
+	env, dev := newTestDevice(t, false)
+	arch := dev.Arch()
+	// A kernel lasting ~10 ms and a transfer lasting ~7 ms.
+	k := &cuda.Kernel{Name: "k", Grid: cuda.Dim(arch.SMs), Block: cuda.Dim(1024),
+		CyclesPerThread: 10e-3 * 32 * 1.15e9 / 1024}
+	var n int64 = 20 << 20
+	var makespan sim.Duration
+	env.Go("main", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		c.Acquire(p)
+		defer c.Release()
+		sa, sb := c.NewStream(), c.NewStream()
+		d := c.MustMalloc(n)
+		h := dev.AllocHost(n, true)
+		start := p.Now()
+		sa.LaunchAsync(k)
+		sb.MemcpyH2DAsync(d, h, n)
+		sa.Synchronize(p)
+		sb.Synchronize(p)
+		makespan = p.Now().Sub(start)
+	})
+	run(t, env)
+	copyT := arch.TransferTime(n, true, true)
+	if makespan > copyT+11*sim.Millisecond && makespan > 11*sim.Millisecond {
+		t.Fatalf("makespan %v suggests no copy/compute overlap", makespan)
+	}
+	if makespan < 9*sim.Millisecond {
+		t.Fatalf("makespan %v shorter than the kernel alone", makespan)
+	}
+	// Must be near max(kernel, copy) = ~10ms, not the ~13.7ms sum.
+	if makespan > 11*sim.Millisecond {
+		t.Fatalf("makespan %v, want ~10ms (overlapped)", makespan)
+	}
+}
+
+func TestNoOverlapOnPreFermi(t *testing.T) {
+	// Same scenario on a GT200-class device (no ConcurrentCopyExec):
+	// the copy and the kernel serialize.
+	env := sim.NewEnv()
+	arch := fermi.TeslaC1060()
+	dev := MustNew(env, Config{Arch: arch})
+	kernelSec := 10e-3
+	k := &cuda.Kernel{Name: "k", Grid: cuda.Dim(arch.SMs), Block: cuda.Dim(512),
+		CyclesPerThread: kernelSec * float64(arch.CoresPerSM) * arch.ClockHz / 512}
+	var n int64 = 20 << 20
+	var makespan sim.Duration
+	env.Go("main", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		c.Acquire(p)
+		defer c.Release()
+		sa, sb := c.NewStream(), c.NewStream()
+		d := c.MustMalloc(n)
+		h := dev.AllocHost(n, true)
+		start := p.Now()
+		sa.LaunchAsync(k)
+		sb.MemcpyH2DAsync(d, h, n)
+		sa.Synchronize(p)
+		sb.Synchronize(p)
+		makespan = p.Now().Sub(start)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	copyT := arch.TransferTime(n, true, true)
+	wantMin := copyT + sim.Duration(0.9*kernelSec*1e9)
+	if makespan < wantMin {
+		t.Fatalf("makespan %v < %v: copy and compute overlapped on pre-Fermi", makespan, wantMin)
+	}
+}
+
+func TestStreamsFromManyProcessesConcurrentKernels(t *testing.T) {
+	// Eight processes, one stream each under a single context (the GVM
+	// arrangement): small kernels from all streams overlap almost fully.
+	env, dev := newTestDevice(t, false)
+	arch := dev.Arch()
+	mk := func() *cuda.Kernel {
+		return &cuda.Kernel{Name: "ep", Grid: cuda.Dim(4), Block: cuda.Dim(128),
+			CyclesPerThread: 1e7}
+	}
+	aloneK := mk()
+	alone := sim.Duration(expectSingleKernelTime(arch, aloneK) * 1e9)
+	var makespan sim.Duration
+	env.Go("main", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		c.Acquire(p)
+		defer c.Release()
+		start := p.Now()
+		done := env.NewEvent()
+		left := 8
+		for i := 0; i < 8; i++ {
+			s := c.NewStream()
+			ev := s.LaunchAsync(mk())
+			ev.OnFire(func(any) {
+				left--
+				if left == 0 {
+					done.Fire(nil)
+				}
+			})
+		}
+		p.Wait(done)
+		makespan = p.Now().Sub(start)
+	})
+	run(t, env)
+	// 8 x 4 blocks of 4 warps spread over 14 SMs: 3 blocks/SM = 12 warps,
+	// still under the latency-hiding floor -> full concurrency.
+	if d := float64(makespan-alone) / float64(alone); d > 0.02 {
+		t.Fatalf("8 concurrent EP-like kernels: %v vs %v alone (+%.1f%%), want overlap",
+			makespan, alone, 100*d)
+	}
+}
+
+func TestStreamClose(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	env.Go("main", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		s := c.NewStream()
+		s.Close()
+	})
+	run(t, env) // deadlock-free: the runner exits on the sentinel
+}
+
+func TestGPUEventsTimeStreamSections(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	arch := dev.Arch()
+	var n int64 = 4 << 20
+	env.Go("main", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		c.Acquire(p)
+		defer c.Release()
+		s := c.NewStream()
+		d := c.MustMalloc(n)
+		h := dev.AllocHost(n, true)
+		start := s.RecordEvent()
+		s.MemcpyH2DAsync(d, h, n)
+		afterCopy := s.RecordEvent()
+		k := &cuda.Kernel{Name: "k", Grid: cuda.Dim(arch.SMs), Block: cuda.Dim(1024), CyclesPerThread: 1e5}
+		s.LaunchAsync(k)
+		end := s.RecordEvent()
+		if start.Query() && s.Busy() > 0 {
+			// The first marker may already have run (it was at the head),
+			// but the later ones cannot have.
+			if end.Query() {
+				t.Error("tail event complete while stream busy")
+			}
+		}
+		s.Synchronize(p)
+		if !start.Query() || !afterCopy.Query() || !end.Query() {
+			t.Error("events incomplete after Synchronize")
+		}
+		copyT := start.Elapsed(afterCopy)
+		if want := arch.TransferTime(n, true, true); copyT != want {
+			t.Errorf("event-timed copy = %v, want %v", copyT, want)
+		}
+		if kernelT := afterCopy.Elapsed(end); kernelT <= 0 {
+			t.Errorf("kernel section = %v", kernelT)
+		}
+		if start.Elapsed(end) != start.Elapsed(afterCopy)+afterCopy.Elapsed(end) {
+			t.Error("event sections do not add up")
+		}
+	})
+	run(t, env)
+}
+
+func TestGPUEventTimeBeforeCompletionPanics(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	env.Go("main", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		c.Acquire(p)
+		defer c.Release()
+		s := c.NewStream()
+		d := c.MustMalloc(1 << 20)
+		h := dev.AllocHost(1<<20, false)
+		s.MemcpyH2DAsync(d, h, 1<<20)
+		ev := s.RecordEvent()
+		defer func() {
+			if recover() == nil {
+				t.Error("Time on incomplete event did not panic")
+			}
+			s.Synchronize(p)
+		}()
+		_ = ev.Time()
+	})
+	run(t, env)
+}
+
+func TestGPUEventSynchronize(t *testing.T) {
+	env, dev := newTestDevice(t, false)
+	arch := dev.Arch()
+	var n int64 = 4 << 20
+	env.Go("main", func(p *sim.Proc) {
+		c := dev.CreateContext(p)
+		c.Acquire(p)
+		defer c.Release()
+		s := c.NewStream()
+		d := c.MustMalloc(n)
+		h := dev.AllocHost(n, false)
+		s.MemcpyH2DAsync(d, h, n)
+		ev := s.RecordEvent()
+		ev.Synchronize(p)
+		if got, want := sim.Duration(p.Now()), arch.TransferTime(n, true, false); got < want {
+			t.Errorf("Synchronize returned at %v, before the copy finished (%v)", got, want)
+		}
+	})
+	run(t, env)
+}

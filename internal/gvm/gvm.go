@@ -1,0 +1,640 @@
+// Package gvm implements the paper's contribution: the GPU Virtualization
+// Manager, a run-time layer that owns the only GPU context and exposes a
+// Virtual GPU (VGPU) to every SPMD process in the node.
+//
+// Structure (paper Figure 7): the base layer is the manager process, one
+// POSIX-style shared-memory segment per client (data plane), and
+// request/response message queues (control plane). Clients drive the
+// six-verb protocol of Figure 8 — REQ, SND, STR, STP, RCV, RLS — through
+// the API layer in package vgpu.
+//
+// The manager pre-initializes the device and its single context, so
+// clients never pay Tinit; it gives each client a dedicated CUDA stream
+// and pinned staging buffers; and it barriers STR requests from all
+// parties before flushing every stream at once, so Fermi's concurrent
+// kernel execution and copy/compute overlap apply *across* processes.
+package gvm
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/gpusim"
+	"gpuvirt/internal/msgq"
+	"gpuvirt/internal/shm"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/task"
+	"gpuvirt/internal/trace"
+)
+
+// Verb is a protocol request type (paper Figure 8).
+type Verb int
+
+// The six protocol verbs.
+const (
+	REQ Verb = iota // request VGPU resources
+	SND             // input data is in shared memory; stage it
+	STR             // start execution (barriered across parties)
+	STP             // query execution status
+	RCV             // copy results back to shared memory
+	RLS             // release resources
+)
+
+var verbNames = [...]string{"REQ", "SND", "STR", "STP", "RCV", "RLS", "SUS", "RES"}
+
+func (v Verb) String() string {
+	if v < 0 || int(v) >= len(verbNames) {
+		return fmt.Sprintf("Verb(%d)", int(v))
+	}
+	return verbNames[v]
+}
+
+// Status is a protocol response code.
+type Status int
+
+// Response codes: ACK (done), WAIT (execution still in flight), ERR.
+const (
+	ACK Status = iota
+	WAIT
+	ERR
+)
+
+func (s Status) String() string {
+	switch s {
+	case ACK:
+		return "ACK"
+	case WAIT:
+		return "WAIT"
+	default:
+		return "ERR"
+	}
+}
+
+// Request is a control-plane message from a client to the manager.
+type Request struct {
+	Session int
+	Verb    Verb
+	Spec    *task.Spec            // REQ only
+	Reply   *msgq.Queue[Response] // REQ only; later requests use the session's queue
+}
+
+// Response is a control-plane message from the manager to a client.
+type Response struct {
+	Status  Status
+	Session int
+	Err     string
+}
+
+// Config configures a manager.
+type Config struct {
+	Device *gpusim.Device
+	// ExtraDevices extends the manager to a multi-GPU node: sessions are
+	// placed on the device with the fewest live sessions, each device
+	// carrying its own manager-held context. An extension beyond the
+	// paper's single-GPU node ("our approach can be applied to any HPC
+	// system with GPU resources", Section VII).
+	ExtraDevices []*gpusim.Device
+	// Parties is the STR barrier width: the number of SPMD processes
+	// whose STR requests are synchronized before all streams flush
+	// together. 1 disables barrier batching.
+	Parties int
+	// HostCopyBW is host memcpy bandwidth (bytes/s) for client<->shm and
+	// shm<->pinned staging copies. Default 24 GB/s (dual-socket X5560
+	// aggregate memcpy, matching the paper's node).
+	HostCopyBW float64
+	// MsgLatency is the one-way control-message latency. Default 20 us.
+	MsgLatency sim.Duration
+	// ResourceSetup is the manager-side cost of REQ handling (stream,
+	// buffer and kernel preparation). Default 300 us.
+	ResourceSetup sim.Duration
+	// BlockingSTP makes the manager defer the STP response until the
+	// stream completes instead of answering WAIT (an ablation of the
+	// paper's poll-based handshake).
+	BlockingSTP bool
+	// PinnedStaging uses pinned host staging buffers (the paper's
+	// design). Disabling it is an ablation: pageable staging transfers
+	// more slowly and, on real hardware, would forbid async overlap.
+	PinnedStaging bool
+	// QueueCap bounds the request and response queues (0 = unbounded).
+	QueueCap int
+	// MaxSessionBytes caps the aggregate shared-memory (and staging)
+	// footprint of live sessions; REQ beyond the cap is rejected. The
+	// paper: "the shared memory size is user-customizable to ensure the
+	// total size does not exceed the GPU memory size". 0 defaults to the
+	// device's memory size.
+	MaxSessionBytes int64
+	// BarrierTimeout bounds how long buffered STR requests wait for the
+	// remaining parties. When it expires the manager flushes the partial
+	// batch, so a crashed SPMD rank cannot wedge the node. 0 disables
+	// the timeout (strict barrier, the paper's behaviour).
+	BarrierTimeout sim.Duration
+	// FlushPolicy orders the sessions within a barrier batch when their
+	// streams flush (extension; the paper flushes in STR arrival order).
+	FlushPolicy FlushPolicy
+	Tracer      *trace.Tracer
+}
+
+// FlushPolicy orders sessions within a barrier batch.
+type FlushPolicy int
+
+const (
+	// FlushFIFO flushes in STR arrival order (the paper's behaviour).
+	FlushFIFO FlushPolicy = iota
+	// FlushSJF flushes the session with the smallest estimated cost
+	// first: under heterogeneous tasks the engine-queue ordering then
+	// minimizes mean turnaround, classic shortest-job-first.
+	FlushSJF
+	// FlushLJF flushes the largest estimated cost first (the
+	// anti-policy, for the ablation's upper bound).
+	FlushLJF
+)
+
+func (f FlushPolicy) String() string {
+	switch f {
+	case FlushFIFO:
+		return "fifo"
+	case FlushSJF:
+		return "sjf"
+	case FlushLJF:
+		return "ljf"
+	default:
+		return fmt.Sprintf("FlushPolicy(%d)", int(f))
+	}
+}
+
+// estimateCost scores a session's cycle for flush ordering: transfer
+// time at pageable bandwidth plus modeled compute time at device peak.
+func (m *Manager) estimateCost(s *session) float64 {
+	arch := m.devs[s.devIdx].Arch()
+	sec := arch.TransferTime(s.spec.InBytes, true, true).Seconds() +
+		arch.TransferTime(s.spec.OutBytes, false, true).Seconds()
+	peak := float64(arch.TotalCores()) * arch.ClockHz
+	for _, k := range s.kernels {
+		sec += k.TotalWorkCycles() / peak
+	}
+	return sec
+}
+
+func (c Config) withDefaults() Config {
+	if c.HostCopyBW == 0 {
+		c.HostCopyBW = 24e9
+	}
+	if c.MsgLatency == 0 {
+		c.MsgLatency = 20 * sim.Microsecond
+	}
+	if c.ResourceSetup == 0 {
+		c.ResourceSetup = 300 * sim.Microsecond
+	}
+	if c.Parties == 0 {
+		c.Parties = 1
+	}
+	return c
+}
+
+// Manager is the GPU Virtualization Manager run-time process.
+type Manager struct {
+	env  *sim.Env
+	cfg  Config
+	devs []*gpusim.Device
+	ctxs []*gpusim.Context
+
+	req      *msgq.Queue[Request]
+	ready    *sim.Event
+	sessions map[int]*session
+	nextID   int
+
+	strPending []*session // sessions buffered at the STR barrier
+	strGen     uint64     // invalidates stale barrier-timeout timers
+	shmInUse   int64      // aggregate session footprint against the quota
+
+	// Stats for tests and reporting.
+	Requests        int
+	SessionsOpened  int
+	SessionsClosed  int
+	Flushes         int
+	BarrierTimeouts int
+	Suspensions     int
+	Resumes         int
+}
+
+// session is the manager-side state of one VGPU (one client process).
+type session struct {
+	id      int
+	spec    *task.Spec
+	reply   *msgq.Queue[Response]
+	seg     shm.Segment
+	devIn   cuda.DevPtr
+	devOut  cuda.DevPtr
+	scratch []cuda.DevPtr
+	pinIn   *gpusim.HostBuffer
+	pinOut  *gpusim.HostBuffer
+	stream  *gpusim.Stream
+	kernels []*cuda.Kernel
+
+	running    bool
+	done       bool
+	stpWaiting bool      // a blocking STP response is owed
+	footprint  int64     // bytes counted against the manager's quota
+	devIdx     int       // which managed device hosts the session
+	susp       *snapshot // non-nil while suspended (extension verbs SUS/RES)
+}
+
+// New creates a manager bound to a device. Call Start to bring it up.
+func New(env *sim.Env, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	if cfg.Device == nil {
+		panic("gvm: Config.Device is required")
+	}
+	if !cfg.PinnedStaging && cfg.Device.Arch().ConcurrentCopyExec {
+		// Pageable staging is allowed (ablation) but flagged in traces.
+		cfg.trace("gvm", "pageable staging (ablation)", env.Now(), env.Now())
+	}
+	return &Manager{
+		env:      env,
+		cfg:      cfg,
+		devs:     append([]*gpusim.Device{cfg.Device}, cfg.ExtraDevices...),
+		req:      msgq.New[Request](env, cfg.QueueCap, cfg.MsgLatency),
+		ready:    env.NewEvent(),
+		sessions: make(map[int]*session),
+	}
+}
+
+func (c Config) trace(lane, label string, start, end sim.Time) {
+	if c.Tracer != nil {
+		c.Tracer.Add(lane, label, start, end)
+	}
+}
+
+// Env returns the manager's simulation environment.
+func (m *Manager) Env() *sim.Env { return m.env }
+
+// Device returns the first managed device.
+func (m *Manager) Device() *gpusim.Device { return m.devs[0] }
+
+// Devices returns all managed devices.
+func (m *Manager) Devices() []*gpusim.Device { return m.devs }
+
+// Ready fires once the manager has initialized the device, created its
+// single GPU context, and begun serving requests. Clients connecting
+// earlier simply queue.
+func (m *Manager) Ready() *sim.Event { return m.ready }
+
+// RequestQueue returns the manager's request queue; clients send REQ here.
+func (m *Manager) RequestQueue() *msgq.Queue[Request] { return m.req }
+
+// MsgLatency returns the configured control-message hop latency.
+func (m *Manager) MsgLatency() sim.Duration { return m.cfg.MsgLatency }
+
+// HostCopyTime returns the virtual time for a host memcpy of n bytes.
+func (m *Manager) HostCopyTime(n int64) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(n) / m.cfg.HostCopyBW * 1e9)
+}
+
+// Start spawns the manager process: device + context initialization (the
+// only Tinit in the system, which clients never pay), then the request
+// service loop.
+func (m *Manager) Start() {
+	m.env.Go("gvm", func(p *sim.Proc) {
+		start := p.Now()
+		for _, dev := range m.devs {
+			ctx := dev.CreateContext(p)
+			// The manager holds each device for its whole lifetime: all
+			// work flows through one context per device, so no context
+			// switches ever occur (paper Section IV.B.2).
+			ctx.Acquire(p)
+			m.ctxs = append(m.ctxs, ctx)
+		}
+		m.cfg.trace("gvm", "init", start, p.Now())
+		m.ready.Fire(nil)
+		p.Daemonize()
+		for {
+			req := m.req.Recv(p)
+			m.Requests++
+			m.handle(p, req)
+		}
+	})
+}
+
+// handle services one request on the manager's clock.
+func (m *Manager) handle(p *sim.Proc, r Request) {
+	if r.Verb == REQ {
+		m.handleREQ(p, r)
+		return
+	}
+	s, ok := m.sessions[r.Session]
+	if !ok {
+		// No reply queue is reachable; drop. (Client bugs surface as
+		// timeouts in their own tests.)
+		return
+	}
+	if s.susp != nil && (r.Verb == SND || r.Verb == STR || r.Verb == RCV) {
+		s.reply.Send(p, Response{Status: ERR, Session: s.id,
+			Err: fmt.Sprintf("gvm: %v on suspended session %d", r.Verb, s.id)})
+		return
+	}
+	switch r.Verb {
+	case SND:
+		m.handleSND(p, s)
+	case STR:
+		m.handleSTR(p, s)
+	case STP:
+		m.handleSTP(p, s)
+	case RCV:
+		m.handleRCV(p, s)
+	case RLS:
+		m.handleRLS(p, s)
+	case SUS:
+		m.handleSUS(p, s)
+	case RES:
+		m.handleRES(p, s)
+	default:
+		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: fmt.Sprintf("gvm: unknown verb %v", r.Verb)})
+	}
+}
+
+// placeSession picks the managed device with the fewest live sessions
+// (multi-GPU extension; trivially device 0 on a single-GPU node).
+func (m *Manager) placeSession() int {
+	counts := make([]int, len(m.devs))
+	for _, s := range m.sessions {
+		counts[s.devIdx]++
+	}
+	best := 0
+	for i, c := range counts {
+		if c < counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// handleREQ provisions a VGPU: shared-memory segment, device buffers,
+// pinned staging, a dedicated stream, and the prepared kernel sequence.
+func (m *Manager) handleREQ(p *sim.Proc, r Request) {
+	start := p.Now()
+	if r.Spec == nil || r.Reply == nil {
+		if r.Reply != nil {
+			r.Reply.Send(p, Response{Status: ERR, Err: "gvm: REQ needs Spec and Reply"})
+		}
+		return
+	}
+	fail := func(s *session, err error) {
+		m.teardown(s)
+		r.Reply.Send(p, Response{Status: ERR, Err: err.Error()})
+	}
+	p.Sleep(m.cfg.ResourceSetup)
+	footprint := r.Spec.InBytes + r.Spec.OutBytes
+	quota := m.cfg.MaxSessionBytes
+	if quota == 0 {
+		for _, dev := range m.devs {
+			quota += dev.Arch().MemBytes
+		}
+	}
+	if m.shmInUse+footprint > quota {
+		r.Reply.Send(p, Response{Status: ERR, Err: fmt.Sprintf(
+			"gvm: session quota exceeded: %d bytes live + %d requested > %d", m.shmInUse, footprint, quota)})
+		return
+	}
+	m.nextID++
+	s := &session{id: m.nextID, spec: r.Spec, reply: r.Reply, devIdx: m.placeSession()}
+	ctx := m.ctxs[s.devIdx]
+	dev := m.devs[s.devIdx]
+	s.seg = shm.NewMemory(footprint, dev.Functional())
+	m.shmInUse += footprint
+	s.footprint = footprint
+
+	var err error
+	if r.Spec.InBytes > 0 {
+		if s.devIn, err = ctx.Malloc(r.Spec.InBytes); err != nil {
+			fail(s, err)
+			return
+		}
+	}
+	if r.Spec.OutBytes > 0 {
+		if s.devOut, err = ctx.Malloc(r.Spec.OutBytes); err != nil {
+			fail(s, err)
+			return
+		}
+	}
+	if r.Spec.InBytes > 0 {
+		s.pinIn = dev.AllocHost(r.Spec.InBytes, m.cfg.PinnedStaging)
+	}
+	if r.Spec.OutBytes > 0 {
+		s.pinOut = dev.AllocHost(r.Spec.OutBytes, m.cfg.PinnedStaging)
+	}
+	if r.Spec.Build != nil {
+		b := &task.Buffers{In: s.devIn, Out: s.devOut, Alloc: ctx, Scratch: &s.scratch}
+		if s.kernels, err = r.Spec.Build(b); err != nil {
+			fail(s, err)
+			return
+		}
+		for _, k := range s.kernels {
+			if err := k.Validate(dev.Arch()); err != nil {
+				fail(s, err)
+				return
+			}
+		}
+	}
+	s.stream = ctx.NewStream()
+	m.sessions[s.id] = s
+	m.SessionsOpened++
+	m.cfg.trace("gvm", fmt.Sprintf("REQ s%d (%s)", s.id, r.Spec.Name), start, p.Now())
+	r.Reply.Send(p, Response{Status: ACK, Session: s.id})
+}
+
+// handleSND stages the client's input from its shared-memory segment
+// into the pinned host buffer (paper Figure 8: "Copies Data from Virtual
+// Shared Memory to Host Pinned Memory").
+func (m *Manager) handleSND(p *sim.Proc, s *session) {
+	start := p.Now()
+	n := s.spec.InBytes
+	p.Sleep(m.HostCopyTime(n))
+	if m.devs[s.devIdx].Functional() && s.pinIn != nil {
+		if err := s.seg.ReadAt(s.pinIn.Data(), 0); err != nil {
+			s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: err.Error()})
+			return
+		}
+	}
+	m.cfg.trace("gvm", fmt.Sprintf("SND s%d %dB", s.id, n), start, p.Now())
+	s.reply.Send(p, Response{Status: ACK, Session: s.id})
+}
+
+// handleSTR buffers the request at the barrier; when all parties have
+// arrived, every buffered session's stream is flushed simultaneously —
+// async H2D from pinned memory, the kernel sequence, async D2H — and all
+// STRs are acknowledged (paper Figure 8's "Barrier to Synchronize STR
+// from All Processes" followed by "Starts Executing All CUDA streams").
+func (m *Manager) handleSTR(p *sim.Proc, s *session) {
+	if s.running {
+		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: "gvm: STR while already running"})
+		return
+	}
+	s.running = true
+	s.done = false
+	m.strPending = append(m.strPending, s)
+	if len(m.strPending) < m.cfg.Parties {
+		if m.cfg.BarrierTimeout > 0 && len(m.strPending) == 1 {
+			// Arm a timeout for this barrier generation: if the other
+			// parties never arrive, flush the partial batch.
+			gen := m.strGen
+			m.env.After(m.cfg.BarrierTimeout, func() {
+				if m.strGen != gen || len(m.strPending) == 0 {
+					return
+				}
+				m.env.Go("gvm-barrier-timeout", func(p *sim.Proc) {
+					m.flushBatch(p, true)
+				})
+			})
+		}
+		return // barrier: wait for the remaining parties
+	}
+	m.flushBatch(p, false)
+}
+
+// flushBatch flushes all sessions buffered at the barrier and ACKs their
+// STRs. timedOut marks a partial flush forced by BarrierTimeout.
+func (m *Manager) flushBatch(p *sim.Proc, timedOut bool) {
+	batch := m.strPending
+	m.strPending = nil
+	m.strGen++
+	if len(batch) == 0 {
+		return
+	}
+	m.Flushes++
+	if timedOut {
+		m.BarrierTimeouts++
+	}
+	switch m.cfg.FlushPolicy {
+	case FlushSJF:
+		sort.SliceStable(batch, func(i, j int) bool {
+			return m.estimateCost(batch[i]) < m.estimateCost(batch[j])
+		})
+	case FlushLJF:
+		sort.SliceStable(batch, func(i, j int) bool {
+			return m.estimateCost(batch[i]) > m.estimateCost(batch[j])
+		})
+	}
+	start := p.Now()
+	for _, bs := range batch {
+		m.flush(bs)
+	}
+	m.cfg.trace("gvm", fmt.Sprintf("STR flush x%d", len(batch)), start, p.Now())
+	for _, bs := range batch {
+		bs.reply.Send(p, Response{Status: ACK, Session: bs.id})
+	}
+}
+
+// flush enqueues one session's full GPU cycle on its stream.
+func (m *Manager) flush(s *session) {
+	var last *sim.Event
+	if s.spec.InBytes > 0 {
+		last = s.stream.MemcpyH2DAsync(s.devIn, s.pinIn, s.spec.InBytes)
+	}
+	for _, k := range s.kernels {
+		last = s.stream.LaunchAsync(k)
+	}
+	if s.spec.OutBytes > 0 {
+		last = s.stream.MemcpyD2HAsync(s.pinOut, s.devOut, s.spec.OutBytes)
+	}
+	finish := func(any) {
+		s.running = false
+		s.done = true
+		if s.stpWaiting {
+			s.stpWaiting = false
+			// Reply from a transient process so the response hop happens
+			// in virtual time even though the manager loop may be busy.
+			m.env.Go("gvm-stp-reply", func(p *sim.Proc) {
+				s.reply.Send(p, Response{Status: ACK, Session: s.id})
+			})
+		}
+	}
+	if last == nil {
+		finish(nil)
+		return
+	}
+	last.OnFire(finish)
+}
+
+// handleSTP answers a status query: ACK when the stream has drained,
+// WAIT otherwise (or a deferred ACK with BlockingSTP).
+func (m *Manager) handleSTP(p *sim.Proc, s *session) {
+	switch {
+	case s.done:
+		s.reply.Send(p, Response{Status: ACK, Session: s.id})
+	case m.cfg.BlockingSTP:
+		s.stpWaiting = true
+	default:
+		s.reply.Send(p, Response{Status: WAIT, Session: s.id})
+	}
+}
+
+// handleRCV copies results from pinned staging into the client's
+// shared-memory segment (at offset InBytes).
+func (m *Manager) handleRCV(p *sim.Proc, s *session) {
+	if !s.done {
+		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: "gvm: RCV before completion"})
+		return
+	}
+	start := p.Now()
+	n := s.spec.OutBytes
+	p.Sleep(m.HostCopyTime(n))
+	if m.devs[s.devIdx].Functional() && s.pinOut != nil {
+		if err := s.seg.WriteAt(s.pinOut.Data(), s.spec.InBytes); err != nil {
+			s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: err.Error()})
+			return
+		}
+	}
+	m.cfg.trace("gvm", fmt.Sprintf("RCV s%d %dB", s.id, n), start, p.Now())
+	s.reply.Send(p, Response{Status: ACK, Session: s.id})
+}
+
+// handleRLS tears the session down.
+func (m *Manager) handleRLS(p *sim.Proc, s *session) {
+	m.teardown(s)
+	delete(m.sessions, s.id)
+	m.SessionsClosed++
+	s.reply.Send(p, Response{Status: ACK, Session: s.id})
+}
+
+// teardown frees a session's device memory and stream.
+func (m *Manager) teardown(s *session) {
+	ctx := m.ctxs[s.devIdx]
+	if s.devIn != 0 {
+		_ = ctx.Free(s.devIn)
+		s.devIn = 0
+	}
+	if s.devOut != 0 {
+		_ = ctx.Free(s.devOut)
+		s.devOut = 0
+	}
+	for _, ptr := range s.scratch {
+		_ = ctx.Free(ptr)
+	}
+	s.scratch = nil
+	if s.stream != nil {
+		s.stream.Close()
+		s.stream = nil
+	}
+	if s.seg != nil {
+		_ = s.seg.Close()
+		s.seg = nil
+	}
+	m.shmInUse -= s.footprint
+	s.footprint = 0
+}
+
+// Segment returns a session's shared-memory segment; the client-side API
+// uses it as the data plane. It returns nil for unknown sessions.
+func (m *Manager) Segment(session int) shm.Segment {
+	if s, ok := m.sessions[session]; ok {
+		return s.seg
+	}
+	return nil
+}
+
+// OpenSessions returns the number of live sessions.
+func (m *Manager) OpenSessions() int { return len(m.sessions) }

@@ -1,0 +1,177 @@
+package gvm
+
+import (
+	"testing"
+
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/gpusim"
+	"gpuvirt/internal/msgq"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/task"
+)
+
+func newManager(t *testing.T, mut func(*Config)) (*sim.Env, *Manager) {
+	t.Helper()
+	env := sim.NewEnv()
+	dev := gpusim.MustNew(env, gpusim.Config{Arch: fermi.TeslaC2070()})
+	cfg := Config{Device: dev}
+	if mut != nil {
+		mut(&cfg)
+	}
+	m := New(env, cfg)
+	m.Start()
+	return env, m
+}
+
+func TestVerbAndStatusStrings(t *testing.T) {
+	if REQ.String() != "REQ" || RLS.String() != "RLS" {
+		t.Fatal("verb names wrong")
+	}
+	if Verb(99).String() == "" {
+		t.Fatal("out-of-range verb has empty name")
+	}
+	if ACK.String() != "ACK" || WAIT.String() != "WAIT" || ERR.String() != "ERR" {
+		t.Fatal("status names wrong")
+	}
+}
+
+func TestNewRequiresDevice(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a nil device")
+		}
+	}()
+	New(sim.NewEnv(), Config{})
+}
+
+func TestManagerInitializationPaysTinitOnce(t *testing.T) {
+	env, m := newManager(t, nil)
+	var readyAt sim.Time = -1
+	m.Ready().OnFire(func(any) { readyAt = env.Now() })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	arch := m.Device().Arch()
+	want := sim.Time(arch.DeviceInitCost + arch.ContextCreateCost)
+	if readyAt != want {
+		t.Fatalf("manager ready at %v, want %v (one context only)", readyAt, want)
+	}
+}
+
+func TestREQWithoutSpecErrors(t *testing.T) {
+	env, m := newManager(t, nil)
+	var got Response
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(m.Ready())
+		reply := msgq.New[Response](env, 0, 0)
+		m.RequestQueue().Send(p, Request{Verb: REQ, Reply: reply})
+		got = reply.Recv(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != ERR {
+		t.Fatalf("status = %v, want ERR", got.Status)
+	}
+}
+
+func TestUnknownSessionDropped(t *testing.T) {
+	env, m := newManager(t, nil)
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(m.Ready())
+		// SND against a session that does not exist: silently dropped
+		// (the sender would time out in a real system; in the simulation
+		// it just gets no reply).
+		m.RequestQueue().Send(p, Request{Session: 12345, Verb: SND})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 1 {
+		t.Fatalf("Requests = %d", m.Requests)
+	}
+}
+
+func TestUnknownVerbErrors(t *testing.T) {
+	env, m := newManager(t, nil)
+	var got Response
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(m.Ready())
+		reply := msgq.New[Response](env, 0, 0)
+		m.RequestQueue().Send(p, Request{Verb: REQ, Spec: &task.Spec{Name: "t", InBytes: 8, OutBytes: 8}, Reply: reply})
+		r := reply.Recv(p)
+		if r.Status != ACK {
+			t.Error("REQ failed")
+			return
+		}
+		m.RequestQueue().Send(p, Request{Session: r.Session, Verb: Verb(42)})
+		got = reply.Recv(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != ERR {
+		t.Fatalf("status = %v, want ERR for unknown verb", got.Status)
+	}
+}
+
+func TestHostCopyTime(t *testing.T) {
+	env, m := newManager(t, func(c *Config) { c.HostCopyBW = 1e9 })
+	_ = env
+	if got := m.HostCopyTime(1e9); got != sim.Second {
+		t.Fatalf("HostCopyTime(1GB @ 1GB/s) = %v, want 1s", got)
+	}
+	if m.HostCopyTime(0) != 0 || m.HostCopyTime(-5) != 0 {
+		t.Fatal("non-positive sizes should cost nothing")
+	}
+}
+
+func TestSessionAccounting(t *testing.T) {
+	env, m := newManager(t, nil)
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(m.Ready())
+		reply := msgq.New[Response](env, 0, 0)
+		m.RequestQueue().Send(p, Request{Verb: REQ, Spec: &task.Spec{Name: "t", InBytes: 64, OutBytes: 64}, Reply: reply})
+		r := reply.Recv(p)
+		if r.Status != ACK {
+			t.Error("REQ failed")
+			return
+		}
+		if m.OpenSessions() != 1 {
+			t.Errorf("OpenSessions = %d", m.OpenSessions())
+		}
+		if m.Segment(r.Session) == nil {
+			t.Error("Segment returned nil for a live session")
+		}
+		if m.Segment(999) != nil {
+			t.Error("Segment returned something for a bogus session")
+		}
+		m.RequestQueue().Send(p, Request{Session: r.Session, Verb: RLS})
+		if rr := reply.Recv(p); rr.Status != ACK {
+			t.Errorf("RLS: %v", rr.Status)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.SessionsOpened != 1 || m.SessionsClosed != 1 || m.OpenSessions() != 0 {
+		t.Fatalf("accounting: opened=%d closed=%d live=%d",
+			m.SessionsOpened, m.SessionsClosed, m.OpenSessions())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.HostCopyBW != 24e9 {
+		t.Fatalf("HostCopyBW default = %v", c.HostCopyBW)
+	}
+	if c.MsgLatency != 20*sim.Microsecond {
+		t.Fatalf("MsgLatency default = %v", c.MsgLatency)
+	}
+	if c.Parties != 1 {
+		t.Fatalf("Parties default = %d", c.Parties)
+	}
+	if c.ResourceSetup != 300*sim.Microsecond {
+		t.Fatalf("ResourceSetup default = %v", c.ResourceSetup)
+	}
+}

@@ -1,0 +1,218 @@
+package gvm
+
+import (
+	"fmt"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/task"
+)
+
+// Suspend/resume extends the six-verb protocol with the facility the
+// paper's related work [9] (vCUDA) provides: the manager records a
+// session's complete GPU state — every device buffer's contents — in
+// host memory, releases the device resources, and can later restore the
+// session transparently. Suspended sessions keep their identity and
+// shared-memory segment; only the GPU footprint is evacuated, so other
+// sessions (or other tenants) can use the device memory meanwhile.
+
+// The two extension verbs.
+const (
+	SUS Verb = iota + RLS + 1 // suspend: evacuate GPU state to the host
+	RES                       // resume: restore GPU state
+)
+
+// snapshot is a suspended session's saved device state.
+type snapshot struct {
+	in, out  []byte
+	inSize   int64
+	outSize  int64
+	scratch  [][]byte
+	scrSizes []int64
+	total    int64
+}
+
+// handleSUS evacuates the session's device buffers into a host-side
+// snapshot and frees its device memory. The evacuation is a D2H transfer
+// of the session's whole footprint on the session's device.
+func (m *Manager) handleSUS(p *sim.Proc, s *session) {
+	if s.running {
+		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: "gvm: SUS while running"})
+		return
+	}
+	if s.susp != nil {
+		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: "gvm: already suspended"})
+		return
+	}
+	ctx := m.ctxs[s.devIdx]
+	dev := m.devs[s.devIdx]
+	start := p.Now()
+	snap := &snapshot{}
+	save := func(ptr cuda.DevPtr) ([]byte, int64) {
+		if ptr == 0 {
+			return nil, 0
+		}
+		size, ok := ctx.SizeOf(ptr)
+		if !ok {
+			return nil, 0
+		}
+		staging := dev.AllocHost(size, true)
+		ctx.MemcpyD2H(p, staging, ptr, size)
+		snap.total += size
+		var data []byte
+		if dev.Functional() {
+			data = append([]byte(nil), staging.Data()...)
+		}
+		_ = ctx.Free(ptr)
+		return data, size
+	}
+	snap.in, snap.inSize = save(s.devIn)
+	snap.out, snap.outSize = save(s.devOut)
+	for _, ptr := range s.scratch {
+		data, size := save(ptr)
+		snap.scratch = append(snap.scratch, data)
+		snap.scrSizes = append(snap.scrSizes, size)
+	}
+	s.devIn, s.devOut, s.scratch = 0, 0, nil
+	s.kernels = nil // pointers are stale; rebuilt on resume
+	s.susp = snap
+	m.Suspensions++
+	m.cfg.trace("gvm", fmt.Sprintf("SUS s%d %dB", s.id, snap.total), start, p.Now())
+	s.reply.Send(p, Response{Status: ACK, Session: s.id})
+}
+
+// handleRES reallocates the session's device buffers, restores their
+// contents and rebuilds the kernel sequence against the new addresses.
+func (m *Manager) handleRES(p *sim.Proc, s *session) {
+	if s.susp == nil {
+		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: "gvm: RES without SUS"})
+		return
+	}
+	ctx := m.ctxs[s.devIdx]
+	dev := m.devs[s.devIdx]
+	snap := s.susp
+	start := p.Now()
+	fail := func(err error) {
+		// Restore failed (e.g. device memory now exhausted): the session
+		// stays suspended so the client can retry later.
+		m.freeSessionBuffers(s)
+		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: err.Error()})
+	}
+	restore := func(data []byte, size int64) (cuda.DevPtr, error) {
+		if size == 0 {
+			return 0, nil
+		}
+		ptr, err := ctx.Malloc(size)
+		if err != nil {
+			return 0, err
+		}
+		staging := dev.AllocHost(size, true)
+		if dev.Functional() && data != nil {
+			copy(staging.Data(), data)
+		}
+		ctx.MemcpyH2D(p, ptr, staging, size)
+		return ptr, nil
+	}
+	var err error
+	if s.devIn, err = restore(snap.in, snap.inSize); err != nil {
+		fail(err)
+		return
+	}
+	if s.devOut, err = restore(snap.out, snap.outSize); err != nil {
+		fail(err)
+		return
+	}
+	for i, data := range snap.scratch {
+		ptr, err := restore(data, snap.scrSizes[i])
+		if err != nil {
+			fail(err)
+			return
+		}
+		s.scratch = append(s.scratch, ptr)
+	}
+	// Rebuild the kernel sequence against the restored addresses. The
+	// builder may allocate fresh scratch; to keep the restored contents
+	// authoritative, rebuilding uses the restored scratch pointers via a
+	// replaying allocator.
+	if s.spec.Build != nil {
+		replay := &replayScratch{ptrs: s.scratch}
+		b := &bufReplay{in: s.devIn, out: s.devOut, ctx: ctx, replay: replay}
+		ks, err := b.build(s)
+		if err != nil {
+			fail(err)
+			return
+		}
+		s.kernels = ks
+	}
+	s.susp = nil
+	m.Resumes++
+	m.cfg.trace("gvm", fmt.Sprintf("RES s%d %dB", s.id, snap.total), start, p.Now())
+	s.reply.Send(p, Response{Status: ACK, Session: s.id})
+}
+
+// freeSessionBuffers releases whatever device buffers a partially
+// restored session holds, keeping its snapshot intact.
+func (m *Manager) freeSessionBuffers(s *session) {
+	ctx := m.ctxs[s.devIdx]
+	if s.devIn != 0 {
+		_ = ctx.Free(s.devIn)
+		s.devIn = 0
+	}
+	if s.devOut != 0 {
+		_ = ctx.Free(s.devOut)
+		s.devOut = 0
+	}
+	for _, ptr := range s.scratch {
+		_ = ctx.Free(ptr)
+	}
+	s.scratch = nil
+}
+
+// replayScratch hands back the restored scratch allocations in the order
+// the original builder requested them, so the rebuilt kernels address
+// the restored data.
+type replayScratch struct {
+	ptrs []cuda.DevPtr
+	next int
+}
+
+type bufReplay struct {
+	in, out cuda.DevPtr
+	ctx     allocator
+	replay  *replayScratch
+}
+
+type allocator interface {
+	Malloc(n int64) (cuda.DevPtr, error)
+	Free(p cuda.DevPtr) error
+}
+
+func (b *bufReplay) Malloc(n int64) (cuda.DevPtr, error) {
+	if b.replay.next < len(b.replay.ptrs) {
+		p := b.replay.ptrs[b.replay.next]
+		b.replay.next++
+		return p, nil
+	}
+	// The builder asked for more scratch than the original run: allocate
+	// fresh memory (it carries no restored state).
+	return b.ctx.Malloc(n)
+}
+
+func (b *bufReplay) Free(p cuda.DevPtr) error { return b.ctx.Free(p) }
+
+func (b *bufReplay) build(s *session) ([]*cuda.Kernel, error) {
+	var extra []cuda.DevPtr
+	bufs := &task.Buffers{In: b.in, Out: b.out, Alloc: b, Scratch: &extra}
+	ks, err := s.spec.Build(bufs)
+	if err != nil {
+		for _, p := range extra {
+			_ = b.ctx.Free(p)
+		}
+		return nil, err
+	}
+	// Track any extra scratch beyond the replayed set. Replayed pointers
+	// were appended too (the builder goes through NewScratch for all of
+	// them), so rebuild the session scratch list from the builder's view.
+	s.scratch = extra
+	return ks, nil
+}

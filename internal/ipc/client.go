@@ -1,0 +1,178 @@
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gpuvirt/internal/shm"
+	"gpuvirt/internal/workloads"
+)
+
+// Client is a real-process connection to a gvmd daemon.
+type Client struct {
+	mu     sync.Mutex
+	conn   *Conn
+	shmDir string
+}
+
+// Dial connects to the daemon at the given Unix socket path. shmDir must
+// match the daemon's data-plane directory ("" = /dev/shm).
+func Dial(socket, shmDir string) (*Client, error) {
+	nc, err := net.Dial("unix", socket)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: dial %s: %w", socket, err)
+	}
+	return &Client{conn: NewConn(nc), shmDir: shmDir}, nil
+}
+
+// Close drops the connection; the daemon releases any sessions left open.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.conn.WriteRequest(req); err != nil {
+		return Response{}, err
+	}
+	resp, err := c.conn.ReadResponse()
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.Status == "ERR" {
+		return resp, fmt.Errorf("ipc: %s: %s", req.Verb, resp.Err)
+	}
+	return resp, nil
+}
+
+// Session is one VGPU session over the wire: the client-side handle of
+// the paper's API layer for real processes.
+type Session struct {
+	c        *Client
+	id       int
+	seg      shm.Segment
+	inBytes  int64
+	outBytes int64
+	// VirtualMS is the simulated-GPU clock at the last response.
+	VirtualMS float64
+}
+
+// Request opens a VGPU session for the given workload reference.
+func (c *Client) Request(ref workloads.Ref, rank int) (*Session, error) {
+	resp, err := c.roundTrip(Request{Verb: "REQ", Ref: &ref, Rank: rank})
+	if err != nil {
+		return nil, err
+	}
+	seg, err := shm.OpenFile(c.shmDir, resp.Segment)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: attach data plane: %w", err)
+	}
+	return &Session{
+		c:        c,
+		id:       resp.Session,
+		seg:      seg,
+		inBytes:  resp.InBytes,
+		outBytes: resp.OutBytes,
+	}, nil
+}
+
+// ID returns the daemon-assigned session id.
+func (s *Session) ID() int { return s.id }
+
+// InBytes returns the input staging size.
+func (s *Session) InBytes() int64 { return s.inBytes }
+
+// OutBytes returns the output staging size.
+func (s *Session) OutBytes() int64 { return s.outBytes }
+
+func (s *Session) verb(verb string) error {
+	resp, err := s.c.roundTrip(Request{Verb: verb, Session: s.id})
+	if err != nil {
+		return err
+	}
+	s.VirtualMS = resp.VirtualMS
+	return nil
+}
+
+// SendInput writes the input into the shared segment and issues SND.
+// data may be nil against a timing-only daemon.
+func (s *Session) SendInput(data []byte) error {
+	if data != nil {
+		if int64(len(data)) != s.inBytes {
+			return fmt.Errorf("ipc: input is %d bytes, session stages %d", len(data), s.inBytes)
+		}
+		if err := s.seg.WriteAt(data, 0); err != nil {
+			return err
+		}
+	}
+	return s.verb("SND")
+}
+
+// Start issues STR; it returns once the daemon's barrier has flushed all
+// parties' streams.
+func (s *Session) Start() error { return s.verb("STR") }
+
+// Wait issues STP until completion. Because the daemon drains virtual
+// time after each flush, a single STP normally suffices; WAIT responses
+// back off in real time.
+func (s *Session) Wait() error {
+	delay := time.Millisecond
+	for {
+		resp, err := s.c.roundTrip(Request{Verb: "STP", Session: s.id})
+		if err != nil {
+			return err
+		}
+		s.VirtualMS = resp.VirtualMS
+		switch resp.Status {
+		case "ACK":
+			return nil
+		case "WAIT":
+			time.Sleep(delay)
+			if delay < 50*time.Millisecond {
+				delay *= 2
+			}
+		default:
+			return errors.New("ipc: unexpected STP status " + resp.Status)
+		}
+	}
+}
+
+// Receive issues RCV and reads the results from the shared segment.
+func (s *Session) Receive(buf []byte) error {
+	if err := s.verb("RCV"); err != nil {
+		return err
+	}
+	if buf != nil {
+		if int64(len(buf)) != s.outBytes {
+			return fmt.Errorf("ipc: output buffer is %d bytes, session stages %d", len(buf), s.outBytes)
+		}
+		return s.seg.ReadAt(buf, s.inBytes)
+	}
+	return nil
+}
+
+// Release issues RLS and detaches the data plane.
+func (s *Session) Release() error {
+	err := s.verb("RLS")
+	if cerr := s.seg.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// RunCycle performs one full cycle: send, start, wait, receive.
+func (s *Session) RunCycle(in, out []byte) error {
+	if err := s.SendInput(in); err != nil {
+		return err
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	if err := s.Wait(); err != nil {
+		return err
+	}
+	return s.Receive(out)
+}

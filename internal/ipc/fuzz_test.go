@@ -1,0 +1,69 @@
+package ipc
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// fuzzPipeConn adapts an in-memory pipe to exercise the frame codecs.
+func fuzzPipeConn(t testing.TB) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	_ = a.SetDeadline(time.Now().Add(2 * time.Second))
+	_ = b.SetDeadline(time.Now().Add(2 * time.Second))
+	ca, cb := NewConn(a), NewConn(b)
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	return ca, cb
+}
+
+// FuzzReadRequest feeds arbitrary bytes to the request decoder: it must
+// either produce a request or an error, never panic, and must reject
+// frames that are not valid JSON objects.
+func FuzzReadRequest(f *testing.F) {
+	f.Add([]byte(`{"verb":"REQ","session":1}` + "\n"))
+	f.Add([]byte(`{"verb":"SND","session":-9}` + "\n"))
+	f.Add([]byte(`{}` + "\n"))
+	f.Add([]byte(`garbage` + "\n"))
+	f.Add([]byte(`{"verb":` + "\n"))
+	f.Add([]byte("\n"))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		if !bytes.ContainsRune(frame, '\n') {
+			frame = append(frame, '\n')
+		}
+		a, b := fuzzPipeConn(t)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = a.ReadRequest() // must not panic
+		}()
+		if _, err := b.c.Write(frame); err != nil {
+			return
+		}
+		<-done
+	})
+}
+
+// FuzzResponseRoundTrip: any response written must decode back equal.
+func FuzzResponseRoundTrip(f *testing.F) {
+	f.Add("ACK", 1, "", "seg-1", int64(10), int64(20), 1.5)
+	f.Add("ERR", 0, "boom", "", int64(0), int64(0), 0.0)
+	f.Fuzz(func(t *testing.T, status string, session int, errStr, seg string, in, out int64, vms float64) {
+		want := Response{
+			Status: status, Session: session, Err: errStr,
+			Segment: seg, InBytes: in, OutBytes: out, VirtualMS: vms,
+		}
+		a, b := fuzzPipeConn(t)
+		go func() { _ = a.WriteResponse(want) }()
+		got, err := b.ReadResponse()
+		if err != nil {
+			// JSON cannot represent some float64 values (NaN/Inf) — the
+			// encoder errors rather than corrupting the stream.
+			return
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	})
+}

@@ -1,0 +1,356 @@
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/gpusim"
+	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/shm"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/vgpu"
+	"gpuvirt/internal/workloads"
+)
+
+// ServerConfig configures a daemon.
+type ServerConfig struct {
+	Socket     string     // Unix socket path
+	Arch       fermi.Arch // zero value: Tesla C2070
+	Parties    int        // STR barrier width (default 1)
+	Functional bool       // carry real data end to end
+	ShmDir     string     // data-plane directory ("" = /dev/shm)
+	// GPUs is the number of simulated devices the manager owns
+	// (default 1; the multi-GPU extension).
+	GPUs int
+	// BarrierTimeout flushes a partial STR batch after this much virtual
+	// time, so a crashed client cannot wedge the daemon (0 = strict).
+	// Caveat: the daemon drains virtual time eagerly after every request,
+	// so virtual time races far ahead of wall time and an armed timeout
+	// fires during the next drain — with a timeout set, barrier batching
+	// effectively degrades to per-request flushing. Use it as a liveness
+	// guard, not as a grace period.
+	BarrierTimeout sim.Duration
+	Logger         *log.Logger
+}
+
+// Server is the gvmd daemon: it owns one simulated GPU plus one GVM and
+// serves the six-verb protocol to real OS processes. All simulation work
+// runs on a single owner goroutine; socket handlers submit closures to it
+// and wait, so the deterministic single-threaded discipline of the
+// simulator is preserved under concurrent clients.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	work chan workItem
+
+	// Owner-goroutine state.
+	env      *sim.Env
+	dev      *gpusim.Device
+	mgr      *gvm.Manager
+	sessions map[int]*serverSession
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type workItem struct {
+	fn   func(p *sim.Proc)
+	done chan struct{}
+}
+
+type serverSession struct {
+	id      int
+	v       *vgpu.VGPU
+	seg     shm.Segment
+	w       workloads.Workload
+	in      []byte
+	out     []byte
+	inN     int64
+	outN    int64
+	segNm   string
+	started bool
+}
+
+// NewServer creates and starts a daemon listening on cfg.Socket.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Arch.SMs == 0 {
+		cfg.Arch = fermi.TeslaC2070()
+	}
+	if cfg.Parties == 0 {
+		cfg.Parties = 1
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	ln, err := net.Listen("unix", cfg.Socket)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: listen: %w", err)
+	}
+	if cfg.GPUs == 0 {
+		cfg.GPUs = 1
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		work:     make(chan workItem),
+		env:      sim.NewEnv(),
+		sessions: make(map[int]*serverSession),
+	}
+	devs := make([]*gpusim.Device, cfg.GPUs)
+	for i := range devs {
+		devs[i], err = gpusim.New(s.env, gpusim.Config{Arch: cfg.Arch, Functional: cfg.Functional})
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	s.dev = devs[0]
+	s.mgr = gvm.New(s.env, gvm.Config{
+		Device:         devs[0],
+		ExtraDevices:   devs[1:],
+		Parties:        cfg.Parties,
+		BarrierTimeout: cfg.BarrierTimeout,
+	})
+	s.mgr.Start()
+	if err := s.env.Run(); err != nil { // bring the manager up
+		ln.Close()
+		return nil, err
+	}
+	s.wg.Add(2)
+	go s.owner()
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the socket path.
+func (s *Server) Addr() string { return s.cfg.Socket }
+
+// Close shuts the daemon down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	close(s.work)
+	s.wg.Wait()
+	return err
+}
+
+// owner executes submitted closures on simulation processes, one batch
+// at a time, preserving the simulator's single-threaded discipline.
+func (s *Server) owner() {
+	defer s.wg.Done()
+	for item := range s.work {
+		it := item
+		s.env.Go("ipc-request", func(p *sim.Proc) {
+			p.Daemonize() // may park at the STR barrier until peers arrive
+			it.fn(p)
+			close(it.done)
+		})
+		if err := s.env.Run(); err != nil {
+			s.cfg.Logger.Printf("gvmd: simulation error: %v", err)
+		}
+	}
+}
+
+// submit runs fn on a simulation process and waits for it. It returns
+// false if the server is closed.
+func (s *Server) submit(fn func(p *sim.Proc)) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	item := workItem{fn: fn, done: make(chan struct{})}
+	s.mu.Unlock()
+	// A panic here means the work channel closed under us; treat as shutdown.
+	defer func() { recover() }()
+	s.work <- item
+	<-item.done
+	return true
+}
+
+func (s *Server) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		// Connection handlers are not tracked by wg: a handler may be
+		// parked at the STR barrier waiting for peers, and Close must
+		// not wait for it.
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	conn := NewConn(nc)
+	defer conn.Close()
+	var owned []int // sessions opened by this connection
+	defer func() {
+		// Release sessions the client abandoned.
+		for _, id := range owned {
+			id := id
+			s.submit(func(p *sim.Proc) { s.release(p, id) })
+		}
+	}()
+	for {
+		req, err := conn.ReadRequest()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.cfg.Logger.Printf("gvmd: read: %v", err)
+			}
+			return
+		}
+		var resp Response
+		ok := s.submit(func(p *sim.Proc) {
+			resp = s.handle(p, req, &owned)
+			resp.VirtualMS = p.Now().Milliseconds()
+		})
+		if !ok {
+			return
+		}
+		if err := conn.WriteResponse(resp); err != nil {
+			return
+		}
+	}
+}
+
+func errResp(err error) Response { return Response{Status: "ERR", Err: err.Error()} }
+
+// handle services one request on a simulation process.
+func (s *Server) handle(p *sim.Proc, req Request, owned *[]int) Response {
+	switch req.Verb {
+	case "REQ":
+		return s.handleREQ(p, req, owned)
+	case "SND", "STR", "STP", "RCV", "RLS":
+		sess, ok := s.sessions[req.Session]
+		if !ok {
+			return errResp(fmt.Errorf("ipc: unknown session %d", req.Session))
+		}
+		return s.handleVerb(p, req.Verb, sess, owned)
+	default:
+		return errResp(fmt.Errorf("ipc: unknown verb %q", req.Verb))
+	}
+}
+
+func (s *Server) handleREQ(p *sim.Proc, req Request, owned *[]int) Response {
+	if req.Ref == nil {
+		return errResp(errors.New("ipc: REQ needs a workload reference"))
+	}
+	w, err := workloads.FromRef(*req.Ref)
+	if err != nil {
+		return errResp(err)
+	}
+	spec := w.Spec(req.Rank)
+	v, err := vgpu.Connect(p, s.mgr, spec)
+	if err != nil {
+		return errResp(err)
+	}
+	sess := &serverSession{
+		id:   v.Session(),
+		v:    v,
+		w:    w,
+		inN:  spec.InBytes,
+		outN: spec.OutBytes,
+	}
+	sess.segNm = fmt.Sprintf("gvmd-seg-%d", sess.id)
+	sess.seg, err = shm.NewFile(s.cfg.ShmDir, sess.segNm, maxI64(spec.InBytes+spec.OutBytes, 1))
+	if err != nil {
+		_ = v.Release(p)
+		return errResp(err)
+	}
+	if s.cfg.Functional {
+		if spec.InBytes > 0 {
+			sess.in = make([]byte, spec.InBytes)
+		}
+		if spec.OutBytes > 0 {
+			sess.out = make([]byte, spec.OutBytes)
+		}
+	}
+	s.sessions[sess.id] = sess
+	*owned = append(*owned, sess.id)
+	return Response{
+		Status:   "ACK",
+		Session:  sess.id,
+		Segment:  sess.segNm,
+		InBytes:  spec.InBytes,
+		OutBytes: spec.OutBytes,
+	}
+}
+
+func (s *Server) handleVerb(p *sim.Proc, verb string, sess *serverSession, owned *[]int) Response {
+	switch verb {
+	case "SND":
+		if sess.in != nil {
+			if err := sess.seg.ReadAt(sess.in, 0); err != nil {
+				return errResp(err)
+			}
+		}
+		if err := sess.v.SendInput(p, sess.in); err != nil {
+			return errResp(err)
+		}
+	case "STR":
+		if err := sess.v.Start(p); err != nil {
+			return errResp(err)
+		}
+		sess.started = true
+	case "STP":
+		// The owner drains the calendar after every flush, so by the
+		// time an STP arrives execution has finished in virtual time.
+		if !sess.started {
+			return errResp(errors.New("ipc: STP before STR"))
+		}
+		if err := sess.v.Wait(p); err != nil {
+			return errResp(err)
+		}
+		sess.started = false
+	case "RCV":
+		if err := sess.v.ReceiveOutput(p, sess.out); err != nil {
+			return errResp(err)
+		}
+		if sess.out != nil {
+			if err := sess.seg.WriteAt(sess.out, sess.inN); err != nil {
+				return errResp(err)
+			}
+		}
+	case "RLS":
+		s.release(p, sess.id)
+		for i, id := range *owned {
+			if id == sess.id {
+				*owned = append((*owned)[:i], (*owned)[i+1:]...)
+				break
+			}
+		}
+	}
+	return Response{Status: "ACK", Session: sess.id}
+}
+
+func (s *Server) release(p *sim.Proc, id int) {
+	sess, ok := s.sessions[id]
+	if !ok {
+		return
+	}
+	delete(s.sessions, id)
+	_ = sess.v.Release(p)
+	_ = sess.seg.Close()
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+// Package ipc carries the virtualization protocol between real OS
+// processes: a newline-delimited JSON wire format over Unix-domain
+// sockets for the control plane, and file-backed shared-memory segments
+// (package shm) for the data plane. It is the daemon-mode counterpart of
+// the in-simulation message queues: gvmd serves SPMD client processes on
+// one node exactly as the paper's GVM does, with GPU timing provided by
+// the simulator.
+package ipc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"gpuvirt/internal/workloads"
+)
+
+// Request is a wire-encoded protocol request.
+type Request struct {
+	Verb    string         `json:"verb"` // REQ SND STR STP RCV RLS
+	Session int            `json:"session,omitempty"`
+	Ref     *workloads.Ref `json:"workload,omitempty"` // REQ only
+	Rank    int            `json:"rank,omitempty"`     // REQ only
+}
+
+// Response is a wire-encoded protocol response.
+type Response struct {
+	Status  string `json:"status"` // ACK WAIT ERR
+	Session int    `json:"session,omitempty"`
+	Err     string `json:"err,omitempty"`
+	// REQ extras: where the data plane lives and how big it is.
+	Segment  string `json:"segment,omitempty"`
+	InBytes  int64  `json:"in_bytes,omitempty"`
+	OutBytes int64  `json:"out_bytes,omitempty"`
+	// VirtualMS is the simulated GPU clock at response time, so clients
+	// can report device-side timings.
+	VirtualMS float64 `json:"virtual_ms"`
+}
+
+// Conn frames requests and responses over a stream connection.
+type Conn struct {
+	c   net.Conn
+	r   *bufio.Reader
+	enc *json.Encoder
+}
+
+// NewConn wraps a connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReader(c), enc: json.NewEncoder(c)}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// WriteRequest sends one request frame.
+func (c *Conn) WriteRequest(req Request) error { return c.enc.Encode(req) }
+
+// WriteResponse sends one response frame.
+func (c *Conn) WriteResponse(resp Response) error { return c.enc.Encode(resp) }
+
+// ReadRequest receives one request frame.
+func (c *Conn) ReadRequest() (Request, error) {
+	var req Request
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return req, err
+	}
+	if err := json.Unmarshal(line, &req); err != nil {
+		return req, fmt.Errorf("ipc: bad request frame: %w", err)
+	}
+	return req, nil
+}
+
+// ReadResponse receives one response frame.
+func (c *Conn) ReadResponse() (Response, error) {
+	var resp Response
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return resp, err
+	}
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return resp, fmt.Errorf("ipc: bad response frame: %w", err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,290 @@
+package kernels
+
+import (
+	"math"
+
+	"gpuvirt/internal/cuda"
+)
+
+// NAS FT solves a 3-D diffusion PDE spectrally: one forward 3-D FFT of
+// the initial state, then per iteration an evolution (frequency-space
+// multiply), an inverse 3-D FFT and a checksum. The GPU version launches
+// one kernel per 1-D FFT pass (x, y, z), plus evolve, copy and checksum
+// kernels — the heaviest kernel pipeline in the suite.
+//
+// Data layout: complex values as interleaved (re, im) float64 pairs in a
+// row-major nx x ny x nz grid. Grid edges must be powers of two
+// (radix-2 Stockham-style in-place transforms with bit reversal).
+//
+// FT extends the paper's evaluation set with another member of the NPB
+// family its reference [19] covers; class S is 64x64x64 with 6
+// iterations.
+
+// FT class parameters.
+const (
+	FTClassSEdge      = 64
+	FTClassSIters     = 6
+	FTThreadsPerBlock = 64
+	ftAlpha           = 1e-6
+)
+
+// ftLine transforms one complex line of length n with stride `stride`
+// starting at base (indices into the interleaved float64 array are
+// 2*(base + i*stride)). sign is -1 for forward, +1 for inverse (NAS
+// convention); no normalization is applied here.
+func ftLine(v []float64, base, stride, n, sign int) {
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			a, b := 2*(base+i*stride), 2*(base+j*stride)
+			v[a], v[b] = v[b], v[a]
+			v[a+1], v[b+1] = v[b+1], v[a+1]
+		}
+		m := n >> 1
+		for ; m >= 1 && j&m != 0; m >>= 1 {
+			j ^= m
+		}
+		j |= m
+	}
+	// Iterative radix-2 butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := float64(sign) * 2 * math.Pi / float64(size)
+		wr0, wi0 := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += size {
+			wr, wi := 1.0, 0.0
+			for k := 0; k < half; k++ {
+				a := 2 * (base + (start+k)*stride)
+				b := 2 * (base + (start+k+half)*stride)
+				tr := v[b]*wr - v[b+1]*wi
+				ti := v[b]*wi + v[b+1]*wr
+				v[b] = v[a] - tr
+				v[b+1] = v[a+1] - ti
+				v[a] += tr
+				v[a+1] += ti
+				wr, wi = wr*wr0-wi*wi0, wr*wi0+wi*wr0
+			}
+		}
+	}
+}
+
+// ftDims returns the line count, base-index and stride functions for a
+// pass along dim (0=x, 1=y, 2=z) of an nx x ny x nz grid with index
+// ((z*ny)+y)*nx + x.
+func ftDims(nx, ny, nz, dim int) (lines, length int, baseOf func(line int) int, stride int) {
+	switch dim {
+	case 0:
+		return ny * nz, nx, func(l int) int { return l * nx }, 1
+	case 1:
+		return nx * nz, ny, func(l int) int {
+			z, x := l/nx, l%nx
+			return z*ny*nx + x
+		}, nx
+	default:
+		return nx * ny, nz, func(l int) int { return l }, nx * ny
+	}
+}
+
+// FTBuffers is the device layout of the FT benchmark.
+type FTBuffers struct {
+	NX, NY, NZ int
+	GridBlocks int
+	Freq       cuda.DevPtr // frequency-space state u~ (2*N float64)
+	Work       cuda.DevPtr // scratch for the inverse transforms
+	Checksums  cuda.DevPtr // 2 float64 per iteration
+}
+
+// Points returns the grid point count.
+func (b FTBuffers) Points() int { return b.NX * b.NY * b.NZ }
+
+// NewFTPass builds one 1-D FFT pass over every line of dimension dim.
+// sign: -1 forward, +1 inverse.
+func NewFTPass(b FTBuffers, buf cuda.DevPtr, dim, sign int) *cuda.Kernel {
+	lines, length, _, _ := ftDims(b.NX, b.NY, b.NZ, dim)
+	logN := math.Log2(float64(length))
+	return &cuda.Kernel{
+		Name:              "ft-pass",
+		Grid:              cuda.Dim(b.GridBlocks),
+		Block:             cuda.Dim(FTThreadsPerBlock),
+		RegsPerThread:     30,
+		CyclesPerThread:   float64(lines*length) * logN * 8 / float64(b.GridBlocks*FTThreadsPerBlock),
+		MemBytesPerThread: float64(lines*length) * 32 / float64(b.GridBlocks*FTThreadsPerBlock),
+		Args:              []any{b, buf, dim, sign},
+		Func: func(bc *cuda.BlockCtx) {
+			b := bc.Arg(0).(FTBuffers)
+			buf := bc.Ptr(1)
+			dim, sign := bc.Int(2), bc.Int(3)
+			lines, length, baseOf, stride := ftDims(b.NX, b.NY, b.NZ, dim)
+			v := cuda.Float64s(bc.Mem, buf, 2*b.Points())
+			blocks := bc.GridDim.Count()
+			blk := bc.BlockIdx.Flat(bc.GridDim)
+			lo, hi := blk*lines/blocks, (blk+1)*lines/blocks
+			for l := lo; l < hi; l++ {
+				ftLine(v, baseOf(l), stride, length, sign)
+			}
+		},
+	}
+}
+
+// NewFTEvolve advances the frequency-space state by one time step:
+// u~ *= exp(-4 alpha pi^2 |k|^2), with wavenumbers folded about the
+// Nyquist frequency as in NAS FT.
+func NewFTEvolve(b FTBuffers) *cuda.Kernel {
+	return &cuda.Kernel{
+		Name:            "ft-evolve",
+		Grid:            cuda.Dim(b.GridBlocks),
+		Block:           cuda.Dim(FTThreadsPerBlock),
+		RegsPerThread:   22,
+		CyclesPerThread: float64(b.Points()) * 14 / float64(b.GridBlocks*FTThreadsPerBlock),
+		Args:            []any{b},
+		Func: func(bc *cuda.BlockCtx) {
+			b := bc.Arg(0).(FTBuffers)
+			v := cuda.Float64s(bc.Mem, b.Freq, 2*b.Points())
+			blocks := bc.GridDim.Count()
+			blk := bc.BlockIdx.Flat(bc.GridDim)
+			n := b.Points()
+			lo, hi := blk*n/blocks, (blk+1)*n/blocks
+			for i := lo; i < hi; i++ {
+				x := i % b.NX
+				y := (i / b.NX) % b.NY
+				z := i / (b.NX * b.NY)
+				f := ftEvolveFactor(x, y, z, b.NX, b.NY, b.NZ)
+				v[2*i] *= f
+				v[2*i+1] *= f
+			}
+		},
+	}
+}
+
+func ftFold(k, n int) int {
+	if k > n/2 {
+		return k - n
+	}
+	return k
+}
+
+func ftEvolveFactor(x, y, z, nx, ny, nz int) float64 {
+	kx := float64(ftFold(x, nx))
+	ky := float64(ftFold(y, ny))
+	kz := float64(ftFold(z, nz))
+	return math.Exp(-4 * ftAlpha * math.Pi * math.Pi * (kx*kx + ky*ky + kz*kz))
+}
+
+// NewFTCopy copies the frequency state into the work buffer before the
+// inverse transform (the state must survive for the next iteration).
+func NewFTCopy(b FTBuffers) *cuda.Kernel {
+	return &cuda.Kernel{
+		Name:              "ft-copy",
+		Grid:              cuda.Dim(b.GridBlocks),
+		Block:             cuda.Dim(FTThreadsPerBlock),
+		RegsPerThread:     10,
+		CyclesPerThread:   float64(b.Points()) * 2 / float64(b.GridBlocks*FTThreadsPerBlock),
+		MemBytesPerThread: float64(b.Points()) * 32 / float64(b.GridBlocks*FTThreadsPerBlock),
+		Args:              []any{b},
+		Func: func(bc *cuda.BlockCtx) {
+			b := bc.Arg(0).(FTBuffers)
+			src := cuda.Float64s(bc.Mem, b.Freq, 2*b.Points())
+			dst := cuda.Float64s(bc.Mem, b.Work, 2*b.Points())
+			blocks := bc.GridDim.Count()
+			blk := bc.BlockIdx.Flat(bc.GridDim)
+			n := 2 * b.Points()
+			lo, hi := blk*n/blocks, (blk+1)*n/blocks
+			copy(dst[lo:hi], src[lo:hi])
+		},
+	}
+}
+
+// NewFTChecksum computes the NAS checksum of the (inverse-transformed,
+// unnormalized) work buffer for iteration it: the sum of 1024 strided
+// elements, scaled by 1/N for the missing inverse normalization.
+func NewFTChecksum(b FTBuffers, it int) *cuda.Kernel {
+	return &cuda.Kernel{
+		Name:            "ft-checksum",
+		Grid:            cuda.Dim(1),
+		Block:           cuda.Dim(32),
+		RegsPerThread:   12,
+		CyclesPerThread: 1024 * 10 / 32,
+		Args:            []any{b, it},
+		Func: func(bc *cuda.BlockCtx) {
+			b := bc.Arg(0).(FTBuffers)
+			it := bc.Int(1)
+			v := cuda.Float64s(bc.Mem, b.Work, 2*b.Points())
+			sums := cuda.Float64s(bc.Mem, b.Checksums, 2*(it+1))
+			n := b.Points()
+			scale := 1.0 / float64(n)
+			var re, im float64
+			for j := 1; j <= 1024; j++ {
+				q := (j * 5) % n // NAS-style strided sampling
+				re += v[2*q] * scale
+				im += v[2*q+1] * scale
+			}
+			sums[2*it] = re
+			sums[2*it+1] = im
+		},
+	}
+}
+
+// BuildFTBenchmark returns the full kernel sequence: forward 3-D FFT of
+// the input (already resident in Freq), then per iteration evolve, copy,
+// inverse 3-D FFT and checksum.
+func BuildFTBenchmark(b FTBuffers, iterations int) []*cuda.Kernel {
+	var ks []*cuda.Kernel
+	for dim := 0; dim < 3; dim++ {
+		ks = append(ks, NewFTPass(b, b.Freq, dim, -1))
+	}
+	for it := 0; it < iterations; it++ {
+		ks = append(ks, NewFTEvolve(b), NewFTCopy(b))
+		for dim := 0; dim < 3; dim++ {
+			ks = append(ks, NewFTPass(b, b.Work, dim, +1))
+		}
+		ks = append(ks, NewFTChecksum(b, it))
+	}
+	return ks
+}
+
+// FTHostReference runs the same pipeline on the host and returns the
+// per-iteration checksums (2 float64 each). The input is consumed.
+func FTHostReference(data []float64, nx, ny, nz, iterations int) []float64 {
+	n := nx * ny * nz
+	fft3 := func(v []float64, sign int) {
+		for dim := 0; dim < 3; dim++ {
+			lines, length, baseOf, stride := ftDims(nx, ny, nz, dim)
+			for l := 0; l < lines; l++ {
+				ftLine(v, baseOf(l), stride, length, sign)
+			}
+		}
+	}
+	fft3(data, -1)
+	sums := make([]float64, 0, 2*iterations)
+	work := make([]float64, 2*n)
+	for it := 0; it < iterations; it++ {
+		for i := 0; i < n; i++ {
+			x := i % nx
+			y := (i / nx) % ny
+			z := i / (nx * ny)
+			f := ftEvolveFactor(x, y, z, nx, ny, nz)
+			data[2*i] *= f
+			data[2*i+1] *= f
+		}
+		copy(work, data)
+		fft3(work, +1)
+		var re, im float64
+		scale := 1.0 / float64(n)
+		for j := 1; j <= 1024; j++ {
+			q := (j * 5) % n
+			re += work[2*q] * scale
+			im += work[2*q+1] * scale
+		}
+		sums = append(sums, re, im)
+	}
+	return sums
+}
+
+// FTMakeInput fills the interleaved complex input with the EP LCG
+// uniforms (the NAS initial condition is pseudo-random in (0,1)).
+func FTMakeInput(data []float64, seed uint64) {
+	r := newEPRand(seed)
+	for i := range data {
+		data[i] = r.next()
+	}
+}

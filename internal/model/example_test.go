@@ -1,0 +1,30 @@
+package model_test
+
+import (
+	"fmt"
+
+	"gpuvirt/internal/model"
+	"gpuvirt/internal/sim"
+)
+
+// Evaluate the paper's analytical model on the EP profile of Table II:
+// equation (5) yields the paper's published theoretical speedup of 8.341
+// at 8 processes.
+func Example() {
+	p := model.Params{
+		Name:       "EP",
+		Ntask:      8,
+		Tinit:      1513555 * sim.Microsecond,
+		TctxSwitch: 220599 * sim.Microsecond,
+		TdataIn:    0,
+		Tcomp:      8951346 * sim.Microsecond,
+		TdataOut:   55 * sim.Nanosecond,
+	}
+	fmt.Printf("Ttotal_no_vt = %.1f ms\n", p.TotalNoVirt().Seconds()*1e3)
+	fmt.Printf("Ttotal_vt    = %.1f ms\n", p.TotalVirt().Seconds()*1e3)
+	fmt.Printf("speedup      = %.3f\n", p.Speedup())
+	// Output:
+	// Ttotal_no_vt = 74668.5 ms
+	// Ttotal_vt    = 8951.3 ms
+	// speedup      = 8.342
+}

@@ -1,0 +1,56 @@
+// Package msgq implements POSIX-message-queue-like bounded FIFO queues in
+// virtual time: the GVM's control plane (paper Section V). Every send and
+// receive pays a configurable per-hop latency, which is part of the
+// virtualization overhead the paper measures in Figure 10.
+package msgq
+
+import "gpuvirt/internal/sim"
+
+// Queue is a bounded FIFO of messages of type T with per-hop latency.
+type Queue[T any] struct {
+	env     *sim.Env
+	store   *sim.Store[T]
+	latency sim.Duration
+	sent    int
+	recv    int
+}
+
+// New returns a queue holding up to capacity messages (0 = unbounded),
+// with the given one-way hop latency applied on every Send and every
+// Recv.
+func New[T any](env *sim.Env, capacity int, latency sim.Duration) *Queue[T] {
+	return &Queue[T]{env: env, store: sim.NewStore[T](env, capacity), latency: latency}
+}
+
+// Send enqueues msg, blocking the process while the queue is full; the
+// hop latency is paid on the sender's clock (marshalling + mq_send).
+func (q *Queue[T]) Send(p *sim.Proc, msg T) {
+	p.Sleep(q.latency)
+	q.store.Put(p, msg)
+	q.sent++
+}
+
+// Recv dequeues the oldest message, blocking while the queue is empty;
+// the hop latency is paid on the receiver's clock.
+func (q *Queue[T]) Recv(p *sim.Proc) T {
+	msg := q.store.Get(p)
+	p.Sleep(q.latency)
+	q.recv++
+	return msg
+}
+
+// TryRecv dequeues without blocking (no latency is charged on a miss).
+func (q *Queue[T]) TryRecv(p *sim.Proc) (T, bool) {
+	msg, ok := q.store.TryGet()
+	if ok {
+		p.Sleep(q.latency)
+		q.recv++
+	}
+	return msg, ok
+}
+
+// Len returns the number of queued messages.
+func (q *Queue[T]) Len() int { return q.store.Len() }
+
+// Stats returns the cumulative send and receive counts.
+func (q *Queue[T]) Stats() (sent, received int) { return q.sent, q.recv }

@@ -1,0 +1,118 @@
+package msgq
+
+import (
+	"testing"
+
+	"gpuvirt/internal/sim"
+)
+
+func TestSendRecvLatency(t *testing.T) {
+	env := sim.NewEnv()
+	q := New[string](env, 0, 50*sim.Microsecond)
+	var recvAt sim.Time
+	var got string
+	env.Go("producer", func(p *sim.Proc) {
+		q.Send(p, "msg") // pays one hop on the sender
+	})
+	env.Go("consumer", func(p *sim.Proc) {
+		got = q.Recv(p) // pays one hop on the receiver
+		recvAt = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "msg" {
+		t.Fatalf("got %q", got)
+	}
+	if recvAt != sim.Time(100*sim.Microsecond) {
+		t.Fatalf("received at %v, want 100us (two hops)", recvAt)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	env := sim.NewEnv()
+	q := New[int](env, 0, sim.Microsecond)
+	var got []int
+	env.Go("producer", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			q.Send(p, i)
+		}
+	})
+	env.Go("consumer", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			got = append(got, q.Recv(p))
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestBoundedQueueBlocksSender(t *testing.T) {
+	env := sim.NewEnv()
+	q := New[int](env, 2, 0)
+	var thirdSent sim.Time
+	env.Go("producer", func(p *sim.Proc) {
+		q.Send(p, 1)
+		q.Send(p, 2)
+		q.Send(p, 3) // blocks until the consumer drains one
+		thirdSent = p.Now()
+	})
+	env.Go("consumer", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Millisecond)
+		_ = q.Recv(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if thirdSent != sim.Time(5*sim.Millisecond) {
+		t.Fatalf("third send completed at %v, want 5ms", thirdSent)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	env := sim.NewEnv()
+	q := New[int](env, 0, sim.Microsecond)
+	env.Go("p", func(p *sim.Proc) {
+		if _, ok := q.TryRecv(p); ok {
+			t.Error("TryRecv on empty queue succeeded")
+		}
+		before := p.Now()
+		if p.Now() != before {
+			t.Error("TryRecv miss charged latency")
+		}
+		q.Send(p, 42)
+		v, ok := q.TryRecv(p)
+		if !ok || v != 42 {
+			t.Errorf("TryRecv = %d,%v", v, ok)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	env := sim.NewEnv()
+	q := New[int](env, 0, 0)
+	env.Go("p", func(p *sim.Proc) {
+		q.Send(p, 1)
+		q.Send(p, 2)
+		_ = q.Recv(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sent, recv := q.Stats()
+	if sent != 2 || recv != 1 {
+		t.Fatalf("Stats = %d,%d", sent, recv)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}

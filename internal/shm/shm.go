@@ -1,0 +1,162 @@
+// Package shm provides the virtual shared-memory segments the GVM uses as
+// its data plane: one segment per client process, written by the client
+// and staged into pinned host memory by the manager (paper Section V).
+//
+// Segments come in two flavors: in-memory segments for the simulator
+// (optionally timing-only, carrying no bytes), and file-backed segments
+// under /dev/shm for the real multi-process daemon, which is what POSIX
+// shared memory is on Linux.
+package shm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Segment is a fixed-size shared memory region.
+type Segment interface {
+	// Size returns the segment's capacity in bytes.
+	Size() int64
+	// WriteAt copies p into the segment at off. In timing-only segments
+	// it validates bounds and discards the data.
+	WriteAt(p []byte, off int64) error
+	// ReadAt fills p from the segment at off.
+	ReadAt(p []byte, off int64) error
+	// Bytes returns the backing slice, or nil for timing-only and
+	// file-backed segments.
+	Bytes() []byte
+	// Close releases the segment.
+	Close() error
+}
+
+// NewMemory returns an in-memory segment of n bytes. If functional is
+// false the segment is timing-only: bounds are enforced but no memory is
+// reserved and no bytes move.
+func NewMemory(n int64, functional bool) Segment {
+	s := &memSegment{size: n}
+	if functional {
+		s.data = make([]byte, n)
+	}
+	return s
+}
+
+type memSegment struct {
+	size int64
+	data []byte
+}
+
+func (s *memSegment) Size() int64 { return s.size }
+
+func (s *memSegment) check(n int, off int64) error {
+	if off < 0 || off+int64(n) > s.size {
+		return fmt.Errorf("shm: access [%d, %d) outside segment of %d bytes", off, off+int64(n), s.size)
+	}
+	return nil
+}
+
+func (s *memSegment) WriteAt(p []byte, off int64) error {
+	if err := s.check(len(p), off); err != nil {
+		return err
+	}
+	if s.data != nil {
+		copy(s.data[off:], p)
+	}
+	return nil
+}
+
+func (s *memSegment) ReadAt(p []byte, off int64) error {
+	if err := s.check(len(p), off); err != nil {
+		return err
+	}
+	if s.data != nil {
+		copy(p, s.data[off:])
+	}
+	return nil
+}
+
+func (s *memSegment) Bytes() []byte { return s.data }
+func (s *memSegment) Close() error  { s.data = nil; return nil }
+
+// DefaultDir returns the directory for file-backed segments: /dev/shm if
+// present (Linux POSIX shared memory), else the system temp directory.
+func DefaultDir() string {
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		return "/dev/shm"
+	}
+	return os.TempDir()
+}
+
+// NewFile creates (or truncates) a file-backed segment named name in dir
+// ("" = DefaultDir), sized to n bytes. This is the real-IPC data plane
+// used by the gvmd daemon; separate OS processes open the same name.
+func NewFile(dir, name string, n int64) (Segment, error) {
+	if dir == "" {
+		dir = DefaultDir()
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("shm: create %s: %w", path, err)
+	}
+	if err := f.Truncate(n); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("shm: size %s: %w", path, err)
+	}
+	return &fileSegment{f: f, size: n, path: path, owner: true}, nil
+}
+
+// OpenFile attaches to an existing file-backed segment.
+func OpenFile(dir, name string) (Segment, error) {
+	if dir == "" {
+		dir = DefaultDir()
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("shm: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileSegment{f: f, size: st.Size(), path: path}, nil
+}
+
+type fileSegment struct {
+	f     *os.File
+	size  int64
+	path  string
+	owner bool
+}
+
+func (s *fileSegment) Size() int64 { return s.size }
+
+func (s *fileSegment) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > s.size {
+		return fmt.Errorf("shm: access outside segment %s", s.path)
+	}
+	_, err := s.f.WriteAt(p, off)
+	return err
+}
+
+func (s *fileSegment) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > s.size {
+		return fmt.Errorf("shm: access outside segment %s", s.path)
+	}
+	_, err := s.f.ReadAt(p, off)
+	return err
+}
+
+func (s *fileSegment) Bytes() []byte { return nil }
+
+func (s *fileSegment) Close() error {
+	err := s.f.Close()
+	if s.owner {
+		if rmErr := os.Remove(s.path); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}

@@ -1,0 +1,171 @@
+package shm
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemorySegmentRoundTrip(t *testing.T) {
+	s := NewMemory(64, true)
+	defer s.Close()
+	if s.Size() != 64 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	data := []byte("hello shared memory")
+	if err := s.WriteAt(data, 8); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.ReadAt(got, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+	if s.Bytes() == nil {
+		t.Fatal("functional segment has no backing")
+	}
+}
+
+func TestMemorySegmentBounds(t *testing.T) {
+	s := NewMemory(16, true)
+	defer s.Close()
+	cases := []struct {
+		n   int
+		off int64
+	}{
+		{4, -1}, // negative offset
+		{4, 13}, // crosses the end
+		{17, 0}, // larger than the segment
+		{1, 16}, // just past the end
+	}
+	for _, c := range cases {
+		if err := s.WriteAt(make([]byte, c.n), c.off); err == nil {
+			t.Errorf("WriteAt(%d bytes at %d) succeeded", c.n, c.off)
+		}
+		if err := s.ReadAt(make([]byte, c.n), c.off); err == nil {
+			t.Errorf("ReadAt(%d bytes at %d) succeeded", c.n, c.off)
+		}
+	}
+}
+
+func TestTimingOnlySegment(t *testing.T) {
+	s := NewMemory(32, false)
+	defer s.Close()
+	if s.Bytes() != nil {
+		t.Fatal("timing-only segment has backing memory")
+	}
+	// Bounds are still enforced; data is discarded.
+	if err := s.WriteAt(make([]byte, 8), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteAt(make([]byte, 8), 30); err == nil {
+		t.Fatal("out-of-bounds write accepted on timing-only segment")
+	}
+	if err := s.ReadAt(make([]byte, 8), 24); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir, "seg-test", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{1, 2, 3, 4, 5}
+	if err := s.WriteAt(data, 40); err != nil {
+		t.Fatal(err)
+	}
+	// Another attachment (a second "process") sees the same bytes.
+	o, err := OpenFile(dir, "seg-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := o.ReadAt(got, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("cross-attachment read %v, want %v", got, data)
+	}
+	if o.Size() != 128 {
+		t.Fatalf("attached size = %d", o.Size())
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Owner close removes the file.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "seg-test")); !os.IsNotExist(err) {
+		t.Fatal("owner Close did not remove the segment file")
+	}
+}
+
+func TestFileSegmentBounds(t *testing.T) {
+	s, err := NewFile(t.TempDir(), "b", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WriteAt(make([]byte, 8), 12); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	if err := s.ReadAt(make([]byte, 8), -1); err == nil {
+		t.Fatal("negative-offset read accepted")
+	}
+	if s.Bytes() != nil {
+		t.Fatal("file segment must not expose a backing slice")
+	}
+}
+
+func TestOpenMissingSegment(t *testing.T) {
+	if _, err := OpenFile(t.TempDir(), "nope"); err == nil {
+		t.Fatal("OpenFile of a missing segment succeeded")
+	}
+}
+
+func TestDefaultDirExists(t *testing.T) {
+	st, err := os.Stat(DefaultDir())
+	if err != nil || !st.IsDir() {
+		t.Fatalf("DefaultDir %q unusable: %v", DefaultDir(), err)
+	}
+}
+
+// Property: any sequence of in-bounds writes followed by reads returns
+// exactly what was written last to each byte.
+func TestQuickMemorySegmentConsistency(t *testing.T) {
+	f := func(ops []struct {
+		Off  uint16
+		Data []byte
+	}) bool {
+		const size = 4096
+		s := NewMemory(size, true)
+		defer s.Close()
+		shadow := make([]byte, size)
+		for _, op := range ops {
+			off := int64(op.Off % size)
+			data := op.Data
+			if int64(len(data))+off > size {
+				data = data[:size-off]
+			}
+			if err := s.WriteAt(data, off); err != nil {
+				return false
+			}
+			copy(shadow[off:], data)
+		}
+		got := make([]byte, size)
+		if err := s.ReadAt(got, 0); err != nil {
+			return false
+		}
+		return bytes.Equal(got, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,315 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// The engine drives a virtual clock. Work is expressed either as timer
+// callbacks (At/After) or as processes: ordinary functions running on their
+// own goroutines that may block on virtual time (Sleep), on events (Wait),
+// on resources, stores and barriers. At any instant exactly one goroutine —
+// the scheduler or a single resumed process — executes, so simulations are
+// fully deterministic and need no locking of simulation state.
+//
+// Ties in the event calendar are broken by schedule order (FIFO), which
+// keeps multi-process interleavings stable across runs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is re-exported from package time for convenience; virtual
+// durations use the same unit (nanoseconds) as wall-clock durations.
+type Duration = time.Duration
+
+// Common durations, re-exported so callers need not import time.
+const (
+	Nanosecond  Duration = time.Nanosecond
+	Microsecond Duration = time.Microsecond
+	Millisecond Duration = time.Millisecond
+	Second      Duration = time.Second
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Milliseconds returns t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
+
+// String formats the instant as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// item is a calendar entry: at time at (seq breaking ties), run fn.
+type item struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type calendar []*item
+
+func (c calendar) Len() int { return len(c) }
+func (c calendar) Less(i, j int) bool {
+	if c[i].at != c[j].at {
+		return c[i].at < c[j].at
+	}
+	return c[i].seq < c[j].seq
+}
+func (c calendar) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c *calendar) Push(x any)   { *c = append(*c, x.(*item)) }
+func (c *calendar) Pop() any {
+	old := *c
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*c = old[:n-1]
+	return it
+}
+
+// Env is a simulation environment: a virtual clock plus an event calendar.
+// The zero value is not usable; construct with NewEnv.
+type Env struct {
+	now     Time
+	cal     calendar
+	seq     uint64
+	parked  chan struct{} // a resumed process signals here when it blocks or exits
+	blocked int           // processes alive but waiting on something other than time
+	procs   int           // processes alive
+	running bool
+}
+
+// NewEnv returns an empty simulation environment at time zero.
+func NewEnv() *Env {
+	return &Env{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// schedule enters fn into the calendar at instant at.
+func (e *Env) schedule(at Time, fn func()) *item {
+	if at < e.now {
+		at = e.now
+	}
+	it := &item{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.cal, it)
+	return it
+}
+
+// At schedules fn to run at the given virtual instant (or now, if the
+// instant is in the past). fn runs on the scheduler goroutine.
+func (e *Env) At(at Time, fn func()) { e.schedule(at, fn) }
+
+// After schedules fn to run d from now.
+func (e *Env) After(d Duration, fn func()) { e.schedule(e.now.Add(d), fn) }
+
+// Proc is a simulation process: user code running on its own goroutine,
+// resumed by the scheduler one at a time.
+type Proc struct {
+	env    *Env
+	name   string
+	wake   chan struct{}
+	daemon bool
+}
+
+// Daemonize marks the process as a daemon: a daemon blocked on a condition
+// does not count toward deadlock detection, so service loops (e.g. queue
+// consumers) may outlive the simulation without erroring Run.
+func (p *Proc) Daemonize() { p.daemon = true }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go spawns a new process running fn, starting at the current instant
+// (after already-scheduled events at this instant).
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, wake: make(chan struct{})}
+	e.procs++
+	go func() {
+		<-p.wake // wait for first resume
+		fn(p)
+		e.procs--
+		e.parked <- struct{}{} // yield control back for good
+	}()
+	e.schedule(e.now, func() { e.handoff(p) })
+	return p
+}
+
+// handoff transfers control to p and blocks the scheduler until p either
+// parks (blocks on virtual time / an event) or exits.
+func (e *Env) handoff(p *Proc) {
+	p.wake <- struct{}{}
+	<-e.parked
+}
+
+// park suspends the calling process, returning control to the scheduler,
+// until something resumes it via a calendar entry calling handoff.
+func (p *Proc) park() {
+	p.env.parked <- struct{}{}
+	<-p.wake
+}
+
+// Sleep suspends the process for virtual duration d (non-negative).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.WaitUntil(p.env.now.Add(d))
+}
+
+// WaitUntil suspends the process until virtual instant t.
+func (p *Proc) WaitUntil(t Time) {
+	e := p.env
+	e.schedule(t, func() { e.handoff(p) })
+	p.park()
+}
+
+// Yield reschedules the process after all events already pending at the
+// current instant.
+func (p *Proc) Yield() { p.WaitUntil(p.env.now) }
+
+// block marks the process as blocked on a non-time condition and parks.
+// resume must eventually be arranged by the condition's owner.
+func (p *Proc) block() {
+	if p.daemon {
+		p.park()
+		return
+	}
+	p.env.blocked++
+	p.park()
+	p.env.blocked--
+}
+
+// unblock schedules p to resume at the current instant.
+func (e *Env) unblock(p *Proc) {
+	e.schedule(e.now, func() { e.handoff(p) })
+}
+
+// Run executes calendar entries in time order until the calendar is empty.
+// It returns an error if processes remain blocked on conditions that can
+// never fire (deadlock).
+func (e *Env) Run() error { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes calendar entries in time order until the calendar is
+// empty or the next entry is later than horizon. The clock never advances
+// past horizon.
+func (e *Env) RunUntil(horizon Time) error {
+	if e.running {
+		return fmt.Errorf("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.cal) > 0 {
+		it := e.cal[0]
+		if it.at > horizon {
+			e.now = horizon
+			return nil
+		}
+		heap.Pop(&e.cal)
+		e.now = it.at
+		it.fn()
+	}
+	if e.blocked > 0 {
+		return fmt.Errorf("sim: deadlock: %d process(es) blocked with empty calendar at %v", e.blocked, e.now)
+	}
+	return nil
+}
+
+// Event is a one-shot condition processes can wait on. Once fired it stays
+// fired; waiters arriving later proceed immediately. An optional value can
+// be attached at fire time.
+type Event struct {
+	env     *Env
+	fired   bool
+	val     any
+	waiters []*Proc
+	cbs     []func(any)
+}
+
+// NewEvent returns a fresh unfired event.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Value returns the value the event fired with (nil before firing).
+func (ev *Event) Value() any { return ev.val }
+
+// Fire fires the event with value v, waking all waiters at the current
+// instant in FIFO order. Firing an already-fired event is a no-op.
+func (ev *Event) Fire(v any) {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	ev.val = v
+	for _, p := range ev.waiters {
+		ev.env.unblock(p)
+	}
+	ev.waiters = nil
+	for _, cb := range ev.cbs {
+		cb(v)
+	}
+	ev.cbs = nil
+}
+
+// OnFire registers a callback run (on the scheduler goroutine) when the
+// event fires; if already fired the callback runs immediately.
+func (ev *Event) OnFire(cb func(v any)) {
+	if ev.fired {
+		cb(ev.val)
+		return
+	}
+	ev.cbs = append(ev.cbs, cb)
+}
+
+// Wait suspends the process until the event fires and returns the event's
+// value. Returns immediately if already fired.
+func (p *Proc) Wait(ev *Event) any {
+	if ev.fired {
+		return ev.val
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.block()
+	return ev.val
+}
+
+// WaitAll suspends the process until every given event has fired.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, ev := range evs {
+		p.Wait(ev)
+	}
+}
+
+// WaitAny suspends the process until at least one of the events has fired,
+// and returns the index of the earliest-fired event among them.
+func (p *Proc) WaitAny(evs ...*Event) int {
+	for i, ev := range evs {
+		if ev.fired {
+			return i
+		}
+	}
+	done := p.env.NewEvent()
+	for i, ev := range evs {
+		i := i
+		ev.OnFire(func(any) { done.Fire(i) })
+	}
+	return p.Wait(done).(int)
+}

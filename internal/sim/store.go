@@ -1,0 +1,97 @@
+package sim
+
+// Store is a bounded FIFO queue of items of type T with blocking Put and
+// Get, analogous to a POSIX message queue or a buffered channel living in
+// virtual time. Capacity 0 means unbounded.
+type Store[T any] struct {
+	env     *Env
+	cap     int
+	items   []T
+	getters []*storeGetter[T]
+	putters []*storePutter[T]
+}
+
+type storeGetter[T any] struct{ ev *Event }
+
+type storePutter[T any] struct {
+	v  T
+	ev *Event
+}
+
+// NewStore returns a FIFO store with the given capacity (0 = unbounded).
+func NewStore[T any](e *Env, capacity int) *Store[T] {
+	if capacity < 0 {
+		panic("sim: negative store capacity")
+	}
+	return &Store[T]{env: e, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (s *Store[T]) Len() int { return len(s.items) }
+
+// Cap returns the capacity (0 = unbounded).
+func (s *Store[T]) Cap() int { return s.cap }
+
+// Put enqueues v, blocking the process while the store is full.
+func (s *Store[T]) Put(p *Proc, v T) {
+	if s.cap == 0 || len(s.items) < s.cap || len(s.getters) > 0 {
+		s.deliver(v)
+		return
+	}
+	w := &storePutter[T]{v: v, ev: s.env.NewEvent()}
+	s.putters = append(s.putters, w)
+	p.Wait(w.ev)
+}
+
+// TryPut enqueues v without blocking, reporting success.
+func (s *Store[T]) TryPut(v T) bool {
+	if s.cap != 0 && len(s.items) >= s.cap && len(s.getters) == 0 {
+		return false
+	}
+	s.deliver(v)
+	return true
+}
+
+func (s *Store[T]) deliver(v T) {
+	if len(s.getters) > 0 {
+		g := s.getters[0]
+		s.getters = s.getters[1:]
+		g.ev.Fire(v)
+		return
+	}
+	s.items = append(s.items, v)
+}
+
+// Get dequeues the oldest item, blocking the process while the store is
+// empty.
+func (s *Store[T]) Get(p *Proc) T {
+	if len(s.items) > 0 {
+		return s.pop()
+	}
+	g := &storeGetter[T]{ev: s.env.NewEvent()}
+	s.getters = append(s.getters, g)
+	return p.Wait(g.ev).(T)
+}
+
+// TryGet dequeues without blocking; ok reports whether an item was present.
+func (s *Store[T]) TryGet() (v T, ok bool) {
+	if len(s.items) == 0 {
+		return v, false
+	}
+	return s.pop(), true
+}
+
+func (s *Store[T]) pop() T {
+	v := s.items[0]
+	var zero T
+	s.items[0] = zero
+	s.items = s.items[1:]
+	// A slot opened; admit the oldest blocked putter, if any.
+	if len(s.putters) > 0 && (s.cap == 0 || len(s.items) < s.cap) {
+		w := s.putters[0]
+		s.putters = s.putters[1:]
+		s.items = append(s.items, w.v)
+		w.ev.Fire(nil)
+	}
+	return v
+}

@@ -1,0 +1,58 @@
+package task
+
+import (
+	"errors"
+	"testing"
+
+	"gpuvirt/internal/cuda"
+)
+
+type recordingAlloc struct {
+	next   cuda.DevPtr
+	freed  []cuda.DevPtr
+	failAt int
+	calls  int
+}
+
+func (a *recordingAlloc) Malloc(n int64) (cuda.DevPtr, error) {
+	a.calls++
+	if a.failAt > 0 && a.calls >= a.failAt {
+		return 0, errors.New("oom")
+	}
+	a.next += 4096
+	return a.next, nil
+}
+
+func (a *recordingAlloc) Free(p cuda.DevPtr) error {
+	a.freed = append(a.freed, p)
+	return nil
+}
+
+func TestNewScratchTracksAllocations(t *testing.T) {
+	al := &recordingAlloc{}
+	var scratch []cuda.DevPtr
+	b := &Buffers{Alloc: al, Scratch: &scratch}
+	p1, err := b.NewScratch(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := b.NewScratch(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scratch) != 2 || scratch[0] != p1 || scratch[1] != p2 {
+		t.Fatalf("scratch = %v", scratch)
+	}
+}
+
+func TestNewScratchPropagatesOOM(t *testing.T) {
+	al := &recordingAlloc{failAt: 1}
+	var scratch []cuda.DevPtr
+	b := &Buffers{Alloc: al, Scratch: &scratch}
+	if _, err := b.NewScratch(100); err == nil {
+		t.Fatal("NewScratch swallowed the allocation failure")
+	}
+	if len(scratch) != 0 {
+		t.Fatal("failed allocation was tracked")
+	}
+}

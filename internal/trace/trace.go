@@ -1,0 +1,163 @@
+// Package trace records execution spans from the simulator (DMA engines,
+// SM scheduler, driver, GVM protocol phases) and renders them as an ASCII
+// Gantt chart, mirroring the timeline figures (3-6) of the paper.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpuvirt/internal/sim"
+)
+
+// Span is one labeled interval on a named lane.
+type Span struct {
+	Lane  string
+	Label string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the span's extent.
+func (s Span) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// Tracer collects spans. The zero value is ready to use.
+type Tracer struct {
+	spans []Span
+}
+
+// New returns an empty tracer.
+func New() *Tracer { return &Tracer{} }
+
+// Add records a span. Inverted intervals are normalized.
+func (t *Tracer) Add(lane, label string, start, end sim.Time) {
+	if end < start {
+		start, end = end, start
+	}
+	t.spans = append(t.spans, Span{Lane: lane, Label: label, Start: start, End: end})
+}
+
+// Spans returns all recorded spans in insertion order.
+func (t *Tracer) Spans() []Span { return t.spans }
+
+// Lanes returns the distinct lane names, sorted.
+func (t *Tracer) Lanes() []string {
+	seen := make(map[string]bool)
+	var lanes []string
+	for _, s := range t.spans {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			lanes = append(lanes, s.Lane)
+		}
+	}
+	sort.Strings(lanes)
+	return lanes
+}
+
+// LaneSpans returns the spans of one lane in start order.
+func (t *Tracer) LaneSpans(lane string) []Span {
+	var out []Span
+	for _, s := range t.spans {
+		if s.Lane == lane {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Busy returns the total non-overlapping busy time of a lane.
+func (t *Tracer) Busy(lane string) sim.Duration {
+	spans := t.LaneSpans(lane)
+	var busy sim.Duration
+	var cur Span
+	have := false
+	for _, s := range spans {
+		if !have {
+			cur, have = s, true
+			continue
+		}
+		if s.Start <= cur.End {
+			if s.End > cur.End {
+				cur.End = s.End
+			}
+			continue
+		}
+		busy += cur.Duration()
+		cur = s
+	}
+	if have {
+		busy += cur.Duration()
+	}
+	return busy
+}
+
+// Gantt renders all lanes as an ASCII chart of the given width.
+func (t *Tracer) Gantt(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if len(t.spans) == 0 {
+		return "(no spans)\n"
+	}
+	var min, max sim.Time
+	min = t.spans[0].Start
+	max = t.spans[0].End
+	for _, s := range t.spans {
+		if s.Start < min {
+			min = s.Start
+		}
+		if s.End > max {
+			max = s.End
+		}
+	}
+	total := max.Sub(min)
+	if total <= 0 {
+		total = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %.3f ms .. %.3f ms (%.3f ms)\n",
+		min.Milliseconds(), max.Milliseconds(), sim.Time(total).Milliseconds())
+	lanes := t.Lanes()
+	nameW := 0
+	for _, l := range lanes {
+		if len(l) > nameW {
+			nameW = len(l)
+		}
+	}
+	for _, lane := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range t.LaneSpans(lane) {
+			lo := int(float64(s.Start.Sub(min)) / float64(total) * float64(width-1))
+			hi := int(float64(s.End.Sub(min)) / float64(total) * float64(width-1))
+			mark := markFor(s.Label)
+			for i := lo; i <= hi && i < width; i++ {
+				row[i] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, lane, string(row))
+	}
+	return b.String()
+}
+
+// markFor picks a stable single-character mark from a label.
+func markFor(label string) byte {
+	switch {
+	case strings.Contains(label, "H2D"):
+		return '>'
+	case strings.Contains(label, "D2H"):
+		return '<'
+	case strings.Contains(label, "switch"):
+		return 'x'
+	case strings.Contains(label, "create"):
+		return 'c'
+	case strings.Contains(label, "kernel"):
+		return '#'
+	default:
+		return '='
+	}
+}

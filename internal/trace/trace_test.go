@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gpuvirt/internal/sim"
+)
+
+func ms(n int) sim.Time { return sim.Time(sim.Duration(n) * sim.Millisecond) }
+
+func TestAddAndSpans(t *testing.T) {
+	tr := New()
+	tr.Add("h2d", "ctx1 H2D 100B", ms(0), ms(10))
+	tr.Add("sm", "ctx1 kernel k", ms(10), ms(30))
+	if len(tr.Spans()) != 2 {
+		t.Fatalf("%d spans", len(tr.Spans()))
+	}
+	if tr.Spans()[0].Duration() != 10*sim.Millisecond {
+		t.Fatalf("duration = %v", tr.Spans()[0].Duration())
+	}
+}
+
+func TestInvertedSpanNormalized(t *testing.T) {
+	tr := New()
+	tr.Add("x", "back", ms(20), ms(5))
+	s := tr.Spans()[0]
+	if s.Start != ms(5) || s.End != ms(20) {
+		t.Fatalf("span = %+v", s)
+	}
+}
+
+func TestLanesSorted(t *testing.T) {
+	tr := New()
+	tr.Add("z", "", ms(0), ms(1))
+	tr.Add("a", "", ms(0), ms(1))
+	tr.Add("z", "", ms(1), ms(2))
+	lanes := tr.Lanes()
+	if len(lanes) != 2 || lanes[0] != "a" || lanes[1] != "z" {
+		t.Fatalf("lanes = %v", lanes)
+	}
+}
+
+func TestLaneSpansOrdered(t *testing.T) {
+	tr := New()
+	tr.Add("l", "b", ms(10), ms(20))
+	tr.Add("l", "a", ms(0), ms(5))
+	spans := tr.LaneSpans("l")
+	if len(spans) != 2 || spans[0].Label != "a" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestBusyMergesOverlaps(t *testing.T) {
+	tr := New()
+	tr.Add("l", "", ms(0), ms(10))
+	tr.Add("l", "", ms(5), ms(15))  // overlaps: merged
+	tr.Add("l", "", ms(20), ms(25)) // disjoint
+	if got := tr.Busy("l"); got != 20*sim.Millisecond {
+		t.Fatalf("Busy = %v, want 20ms", got)
+	}
+	if tr.Busy("missing") != 0 {
+		t.Fatal("Busy of missing lane != 0")
+	}
+}
+
+func TestGanttRenders(t *testing.T) {
+	tr := New()
+	tr.Add("h2d", "ctx1 H2D", ms(0), ms(50))
+	tr.Add("sm", "ctx1 kernel k", ms(50), ms(100))
+	tr.Add("d2h", "ctx1 D2H", ms(100), ms(120))
+	out := tr.Gantt(60)
+	if !strings.Contains(out, "h2d") || !strings.Contains(out, "sm") || !strings.Contains(out, "d2h") {
+		t.Fatalf("Gantt missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, ">") || !strings.Contains(out, "#") || !strings.Contains(out, "<") {
+		t.Fatalf("Gantt missing marks:\n%s", out)
+	}
+	if !strings.Contains(out, "120.000 ms") {
+		t.Fatalf("Gantt missing time range:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if out := New().Gantt(40); !strings.Contains(out, "no spans") {
+		t.Fatalf("empty Gantt = %q", out)
+	}
+}
+
+func TestGanttClampsWidth(t *testing.T) {
+	tr := New()
+	tr.Add("l", "", ms(0), ms(1))
+	out := tr.Gantt(1) // clamped to a sane minimum
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}

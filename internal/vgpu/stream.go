@@ -1,0 +1,89 @@
+package vgpu
+
+import (
+	"fmt"
+
+	"gpuvirt/internal/sim"
+)
+
+// CommandStream is an S_GPU-style command queue on top of a VGPU (the
+// paper's related work [13], which it calls complementary to the GVM):
+// the process inserts GPU commands — input transfers, execution, result
+// retrievals — in the required sequence into the stream object, then
+// executes them all with one call, irrespective of how many physical
+// GPUs back the VGPUs.
+//
+// Commands are recorded without touching the device; Execute replays
+// them in order through the six-verb protocol. A stream can be executed
+// repeatedly (e.g. once per SPMD iteration).
+type CommandStream struct {
+	v    *VGPU
+	cmds []command
+}
+
+type command struct {
+	kind string // "send", "run", "recv"
+	data []byte
+	buf  []byte
+}
+
+// NewCommandStream returns an empty command stream over v.
+func (v *VGPU) NewCommandStream() *CommandStream {
+	return &CommandStream{v: v}
+}
+
+// Len returns the number of recorded commands.
+func (s *CommandStream) Len() int { return len(s.cmds) }
+
+// EnqueueSend records an input transfer (SND). data may be nil in
+// timing-only mode.
+func (s *CommandStream) EnqueueSend(data []byte) *CommandStream {
+	s.cmds = append(s.cmds, command{kind: "send", data: data})
+	return s
+}
+
+// EnqueueRun records a kernel execution (STR through the barrier, then
+// STP until completion).
+func (s *CommandStream) EnqueueRun() *CommandStream {
+	s.cmds = append(s.cmds, command{kind: "run"})
+	return s
+}
+
+// EnqueueRecv records a result retrieval (RCV) into buf (nil in
+// timing-only mode).
+func (s *CommandStream) EnqueueRecv(buf []byte) *CommandStream {
+	s.cmds = append(s.cmds, command{kind: "recv", buf: buf})
+	return s
+}
+
+// EnqueueCycle records a full send/run/recv cycle.
+func (s *CommandStream) EnqueueCycle(in, out []byte) *CommandStream {
+	return s.EnqueueSend(in).EnqueueRun().EnqueueRecv(out)
+}
+
+// Execute replays the recorded commands in order on process p. It stops
+// at the first failing command.
+func (s *CommandStream) Execute(p *sim.Proc) error {
+	for i, c := range s.cmds {
+		var err error
+		switch c.kind {
+		case "send":
+			err = s.v.SendInput(p, c.data)
+		case "run":
+			if err = s.v.Start(p); err == nil {
+				err = s.v.Wait(p)
+			}
+		case "recv":
+			err = s.v.ReceiveOutput(p, c.buf)
+		default:
+			err = fmt.Errorf("vgpu: unknown command %q", c.kind)
+		}
+		if err != nil {
+			return fmt.Errorf("vgpu: command %d (%s): %w", i, c.kind, err)
+		}
+	}
+	return nil
+}
+
+// Reset clears the recorded commands, keeping the VGPU attached.
+func (s *CommandStream) Reset() { s.cmds = s.cmds[:0] }

@@ -1,0 +1,832 @@
+package vgpu
+
+import (
+	"fmt"
+	"testing"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/gpusim"
+	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/kernels"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/task"
+	"gpuvirt/internal/workloads"
+)
+
+func newRig(t *testing.T, functional bool, parties int, mut func(*gvm.Config)) (*sim.Env, *gpusim.Device, *gvm.Manager) {
+	t.Helper()
+	env := sim.NewEnv()
+	arch := fermi.TeslaC2070()
+	if functional {
+		arch.MemBytes = 256 << 20
+	}
+	dev := gpusim.MustNew(env, gpusim.Config{Arch: arch, Functional: functional})
+	cfg := gvm.Config{Device: dev, Parties: parties}
+	if mut != nil {
+		mut(&cfg)
+	}
+	mgr := gvm.New(env, cfg)
+	mgr.Start()
+	return env, dev, mgr
+}
+
+// vecSpec builds a vector-add task spec over n float32 elements.
+func vecSpec(n int) *task.Spec {
+	return &task.Spec{
+		Name:     "vecadd",
+		InBytes:  int64(2 * n * 4),
+		OutBytes: int64(n * 4),
+		Build: func(b *task.Buffers) ([]*cuda.Kernel, error) {
+			// Input layout: a then b contiguous in the In buffer.
+			a := b.In
+			bb := b.In + cuda.DevPtr(n*4)
+			return []*cuda.Kernel{kernels.NewVecAdd(a, bb, b.Out, n)}, nil
+		},
+	}
+}
+
+func TestFullProtocolFunctional(t *testing.T) {
+	const n = 2048
+	env, _, mgr := newRig(t, true, 1, nil)
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v, err := Connect(p, mgr, vecSpec(n))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		in := make([]float32, 2*n)
+		for i := 0; i < n; i++ {
+			in[i] = float32(i)
+			in[n+i] = float32(3 * i)
+		}
+		out := make([]byte, n*4)
+		if err := v.RunCycle(p, cuda.HostFloat32Bytes(in), out); err != nil {
+			t.Error(err)
+			return
+		}
+		got := cuda.Float32s(memBytes(out), 0, n)
+		for i := 0; i < n; i++ {
+			if got[i] != 4*float32(i) {
+				t.Errorf("out[%d] = %g, want %g", i, got[i], 4*float32(i))
+				return
+			}
+		}
+		if err := v.Release(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.OpenSessions() != 0 {
+		t.Fatalf("%d sessions leaked", mgr.OpenSessions())
+	}
+}
+
+// memBytes adapts a raw byte slice to cuda.Memory for typed views.
+type sliceMem []byte
+
+func (s sliceMem) Bytes(p cuda.DevPtr, n int64) []byte { return s[p : int64(p)+n] }
+
+func memBytes(b []byte) cuda.Memory { return sliceMem(b) }
+
+func TestEightClientsBarrierAndConcurrency(t *testing.T) {
+	const n = 1 << 16
+	env, dev, mgr := newRig(t, false, 8, nil)
+	var ends []sim.Time
+	for i := 0; i < 8; i++ {
+		env.Go(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
+			p.Wait(mgr.Ready())
+			v, err := Connect(p, mgr, vecSpec(n))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := v.RunCycle(p, nil, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			ends = append(ends, p.Now())
+			if err := v.Release(p); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) != 8 {
+		t.Fatalf("%d clients finished", len(ends))
+	}
+	if mgr.Flushes != 1 {
+		t.Fatalf("Flushes = %d, want 1 (single barrier batch)", mgr.Flushes)
+	}
+	if dev.ContextSwitches != 0 {
+		t.Fatalf("ContextSwitches = %d, want 0 under virtualization", dev.ContextSwitches)
+	}
+	if dev.KernelsRun != 8 {
+		t.Fatalf("KernelsRun = %d, want 8", dev.KernelsRun)
+	}
+}
+
+func TestBarrierActuallyBlocksEarlyClients(t *testing.T) {
+	// With Parties=2 a lone STR must not flush; the first client's Start
+	// completes only after the second client arrives much later.
+	const n = 1 << 12
+	env, _, mgr := newRig(t, false, 2, nil)
+	var firstStartDone sim.Time
+	env.Go("early", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v, err := Connect(p, mgr, vecSpec(n))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.SendInput(p, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Start(p); err != nil {
+			t.Error(err)
+			return
+		}
+		firstStartDone = p.Now()
+		if err := v.Wait(p); err != nil {
+			t.Error(err)
+		}
+	})
+	var lateArrive sim.Time
+	env.Go("late", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		p.Sleep(500 * sim.Millisecond)
+		v, err := Connect(p, mgr, vecSpec(n))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.SendInput(p, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		lateArrive = p.Now()
+		if err := v.Start(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Wait(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firstStartDone < lateArrive {
+		t.Fatalf("early client's STR acknowledged at %v, before the late party arrived at %v",
+			firstStartDone, lateArrive)
+	}
+}
+
+func TestBlockingSTPNoPolling(t *testing.T) {
+	const n = 1 << 20
+	run := func(blocking bool) int {
+		env, _, mgr := newRig(t, false, 1, func(c *gvm.Config) { c.BlockingSTP = blocking })
+		polls := 0
+		env.Go("client", func(p *sim.Proc) {
+			p.Wait(mgr.Ready())
+			v, err := Connect(p, mgr, vecSpec(n))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := v.RunCycle(p, nil, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			polls = v.Polls
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return polls
+	}
+	if p := run(true); p != 1 {
+		t.Fatalf("blocking STP polls = %d, want 1", p)
+	}
+	if p := run(false); p < 2 {
+		t.Fatalf("polling STP polls = %d, want >= 2 (WAIT then ACK)", p)
+	}
+}
+
+func TestREQRejectsInvalidKernel(t *testing.T) {
+	env, _, mgr := newRig(t, false, 1, nil)
+	spec := &task.Spec{
+		Name: "bad", InBytes: 16, OutBytes: 16,
+		Build: func(b *task.Buffers) ([]*cuda.Kernel, error) {
+			return []*cuda.Kernel{{Name: "bad", Grid: cuda.Dim(1), Block: cuda.Dim(4096)}}, nil
+		},
+	}
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		if _, err := Connect(p, mgr, spec); err == nil {
+			t.Error("Connect accepted an invalid kernel")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.OpenSessions() != 0 {
+		t.Fatal("failed REQ leaked a session")
+	}
+}
+
+func TestREQRejectsOOM(t *testing.T) {
+	env, _, mgr := newRig(t, false, 1, nil)
+	spec := &task.Spec{Name: "huge", InBytes: 64 << 30, OutBytes: 16}
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		if _, err := Connect(p, mgr, spec); err == nil {
+			t.Error("Connect accepted a 64 GiB allocation on a 6 GiB card")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCVBeforeCompletionErrors(t *testing.T) {
+	env, _, mgr := newRig(t, false, 1, nil)
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v, err := Connect(p, mgr, vecSpec(1<<12))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// RCV without SND/STR: the manager must reject it.
+		if err := v.ReceiveOutput(p, nil); err == nil {
+			t.Error("RCV before completion succeeded")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleSTRErrors(t *testing.T) {
+	env, _, mgr := newRig(t, false, 1, nil)
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v, err := Connect(p, mgr, vecSpec(1<<22))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.SendInput(p, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Start(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// Second STR while the first still runs.
+		if err := v.Start(p); err == nil {
+			t.Error("second STR while running succeeded")
+		}
+		if err := v.Wait(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputSizeValidation(t *testing.T) {
+	env, _, mgr := newRig(t, true, 1, nil)
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v, err := Connect(p, mgr, vecSpec(1024))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.SendInput(p, make([]byte, 7)); err == nil {
+			t.Error("SendInput accepted wrong-size data")
+		}
+		if err := v.ReceiveOutput(p, make([]byte, 7)); err == nil {
+			t.Error("ReceiveOutput accepted wrong-size buffer")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectNilSpec(t *testing.T) {
+	env, _, mgr := newRig(t, false, 1, nil)
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		if _, err := Connect(p, mgr, nil); err == nil {
+			t.Error("Connect accepted nil spec")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScratchBuffersFreedOnRelease(t *testing.T) {
+	env, dev, mgr := newRig(t, false, 1, nil)
+	spec := &task.Spec{
+		Name: "scratchy", InBytes: 1024, OutBytes: 1024,
+		Build: func(b *task.Buffers) ([]*cuda.Kernel, error) {
+			for i := 0; i < 4; i++ {
+				if _, err := b.NewScratch(1 << 20); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		},
+	}
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v, err := Connect(p, mgr, spec)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if dev.MemInUse() == 0 {
+			t.Error("no device memory in use after REQ")
+		}
+		if err := v.RunCycle(p, nil, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Release(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.MemInUse() != 0 {
+		t.Fatalf("%d bytes of device memory leaked after RLS", dev.MemInUse())
+	}
+}
+
+func TestPollPolicyClamping(t *testing.T) {
+	v := &VGPU{}
+	v.SetPollPolicy(PollPolicy{Initial: -1, Max: -5, Factor: 0})
+	if v.poll.Factor < 1 || v.poll.Initial <= 0 || v.poll.Max < v.poll.Initial {
+		t.Fatalf("poll policy not clamped: %+v", v.poll)
+	}
+}
+
+func TestSessionQuotaRejectsOverCommit(t *testing.T) {
+	env, _, mgr := newRig(t, false, 1, func(c *gvm.Config) { c.MaxSessionBytes = 1 << 20 })
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		// First session fits the 1 MiB quota.
+		small := &task.Spec{Name: "small", InBytes: 512 << 10, OutBytes: 128 << 10}
+		v, err := Connect(p, mgr, small)
+		if err != nil {
+			t.Errorf("first session rejected: %v", err)
+			return
+		}
+		// Second would exceed the aggregate quota.
+		if _, err := Connect(p, mgr, small); err == nil {
+			t.Error("quota-exceeding session accepted")
+		}
+		// Releasing the first frees quota for a third.
+		if err := v.Release(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := Connect(p, mgr, small); err != nil {
+			t.Errorf("session after quota release rejected: %v", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierTimeoutFlushesPartialBatch(t *testing.T) {
+	// Parties=3 but only two clients ever arrive: with BarrierTimeout the
+	// manager flushes the partial batch instead of wedging the node.
+	env, _, mgr := newRig(t, false, 3, func(c *gvm.Config) {
+		c.BarrierTimeout = 250 * sim.Millisecond
+	})
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		env.Go(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
+			p.Wait(mgr.Ready())
+			v, err := Connect(p, mgr, vecSpec(1<<16))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := v.RunCycle(p, nil, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			done = append(done, p.Now())
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("%d clients completed, want 2 (timeout flush)", len(done))
+	}
+	if mgr.BarrierTimeouts != 1 {
+		t.Fatalf("BarrierTimeouts = %d, want 1", mgr.BarrierTimeouts)
+	}
+}
+
+func TestBarrierTimeoutNotFiredWhenAllArrive(t *testing.T) {
+	env, _, mgr := newRig(t, false, 2, func(c *gvm.Config) {
+		c.BarrierTimeout = 10 * sim.Second
+	})
+	for i := 0; i < 2; i++ {
+		env.Go("client", func(p *sim.Proc) {
+			p.Wait(mgr.Ready())
+			v, err := Connect(p, mgr, vecSpec(1<<16))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := v.RunCycle(p, nil, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.BarrierTimeouts != 0 {
+		t.Fatalf("BarrierTimeouts = %d, want 0", mgr.BarrierTimeouts)
+	}
+	if mgr.Flushes != 1 {
+		t.Fatalf("Flushes = %d, want 1", mgr.Flushes)
+	}
+}
+
+func TestMultiGPUSpreadsSessions(t *testing.T) {
+	env := sim.NewEnv()
+	arch := fermi.TeslaC2070()
+	dev0 := gpusim.MustNew(env, gpusim.Config{Arch: arch})
+	dev1 := gpusim.MustNew(env, gpusim.Config{Arch: arch})
+	mgr := gvm.New(env, gvm.Config{Device: dev0, ExtraDevices: []*gpusim.Device{dev1}, Parties: 4})
+	mgr.Start()
+	for i := 0; i < 4; i++ {
+		env.Go(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
+			p.Wait(mgr.Ready())
+			v, err := Connect(p, mgr, vecSpec(1<<20))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := v.RunCycle(p, nil, nil); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Least-loaded placement: two sessions per device, two kernels each.
+	if dev0.KernelsRun != 2 || dev1.KernelsRun != 2 {
+		t.Fatalf("kernels split %d/%d, want 2/2", dev0.KernelsRun, dev1.KernelsRun)
+	}
+	if len(mgr.Devices()) != 2 {
+		t.Fatalf("Devices() = %d", len(mgr.Devices()))
+	}
+}
+
+func TestMultiGPUHalvesSaturatedTurnaround(t *testing.T) {
+	// A device-filling workload on 8 clients: two GPUs should roughly
+	// halve the compute portion of the makespan.
+	bigSpec := func() *task.Spec {
+		const n = 1 << 20
+		return &task.Spec{
+			Name:    "filler",
+			InBytes: 8, OutBytes: 8,
+			Build: func(b *task.Buffers) ([]*cuda.Kernel, error) {
+				return []*cuda.Kernel{{
+					Name: "fill", Grid: cuda.Dim(14), Block: cuda.Dim(1024),
+					CyclesPerThread: 1e6,
+				}}, nil
+			},
+		}
+	}
+	run := func(extra []*gpusim.Device, env *sim.Env, dev0 *gpusim.Device) sim.Duration {
+		mgr := gvm.New(env, gvm.Config{Device: dev0, ExtraDevices: extra, Parties: 8})
+		mgr.Start()
+		var makespan sim.Duration
+		for i := 0; i < 8; i++ {
+			env.Go("c", func(p *sim.Proc) {
+				p.Wait(mgr.Ready())
+				t0 := p.Now()
+				v, err := Connect(p, mgr, bigSpec())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := v.RunCycle(p, nil, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				if d := p.Now().Sub(t0); d > makespan {
+					makespan = d
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return makespan
+	}
+	env1 := sim.NewEnv()
+	one := run(nil, env1, gpusim.MustNew(env1, gpusim.Config{Arch: fermi.TeslaC2070()}))
+	env2 := sim.NewEnv()
+	d0 := gpusim.MustNew(env2, gpusim.Config{Arch: fermi.TeslaC2070()})
+	d1 := gpusim.MustNew(env2, gpusim.Config{Arch: fermi.TeslaC2070()})
+	two := run([]*gpusim.Device{d1}, env2, d0)
+	ratio := float64(one) / float64(two)
+	if ratio < 1.6 {
+		t.Fatalf("2-GPU speedup = %.2f, want ~2 for a saturating workload", ratio)
+	}
+}
+
+func TestSuspendResumePreservesState(t *testing.T) {
+	// Send input, suspend, resume, run: results must be computed from
+	// the restored input. The device footprint drops to zero while
+	// suspended.
+	const n = 1024
+	env, dev, mgr := newRig(t, true, 1, nil)
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v, err := Connect(p, mgr, vecSpec(n))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		in := make([]float32, 2*n)
+		for i := 0; i < n; i++ {
+			in[i] = float32(i)
+			in[n+i] = 7
+		}
+		if err := v.SendInput(p, cuda.HostFloat32Bytes(in)); err != nil {
+			t.Error(err)
+			return
+		}
+		// SendInput stages into pinned memory; run once so the data is
+		// resident on the device, then suspend.
+		if err := v.Start(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Wait(p); err != nil {
+			t.Error(err)
+			return
+		}
+		inUseBefore := dev.MemInUse()
+		if err := v.Suspend(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if dev.MemInUse() != 0 {
+			t.Errorf("device holds %d bytes while suspended (was %d)", dev.MemInUse(), inUseBefore)
+		}
+		// Operations on a suspended session fail cleanly.
+		if err := v.Start(p); err == nil {
+			t.Error("STR on suspended session succeeded")
+		}
+		if err := v.Resume(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// The restored output buffer still holds the pre-suspend result.
+		out := make([]byte, n*4)
+		if err := v.ReceiveOutput(p, out); err != nil {
+			t.Error(err)
+			return
+		}
+		res := cuda.Float32s(memBytes(out), 0, n)
+		for i := 0; i < n; i++ {
+			if res[i] != float32(i)+7 {
+				t.Errorf("out[%d] = %g, want %g", i, res[i], float32(i)+7)
+				return
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Suspensions != 1 || mgr.Resumes != 1 {
+		t.Fatalf("suspensions=%d resumes=%d", mgr.Suspensions, mgr.Resumes)
+	}
+}
+
+func TestSuspendedSessionFreesRoomForOthers(t *testing.T) {
+	// Quota pressure: with a 1 MiB device, one session fills it; after
+	// SUS another session fits; after RLS of the second, RES succeeds.
+	env := sim.NewEnv()
+	arch := fermi.TeslaC2070()
+	arch.MemBytes = 2 << 20 // tiny card: one ~1.5MiB session at a time
+	dev := gpusim.MustNew(env, gpusim.Config{Arch: arch})
+	// Lift the shm quota so device memory is the binding constraint.
+	mgr := gvm.New(env, gvm.Config{Device: dev, MaxSessionBytes: 1 << 30})
+	mgr.Start()
+	spec := &task.Spec{Name: "big", InBytes: 1 << 20, OutBytes: 512 << 10}
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v1, err := Connect(p, mgr, spec)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Device is full: a second session's REQ fails on device OOM.
+		if _, err := Connect(p, mgr, spec); err == nil {
+			t.Error("second session fit on a full device")
+			return
+		}
+		if err := v1.Suspend(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// Now it fits.
+		v2, err := Connect(p, mgr, spec)
+		if err != nil {
+			t.Errorf("session after suspend rejected: %v", err)
+			return
+		}
+		// Resume fails while v2 occupies the device, and the session
+		// stays suspended.
+		if err := v1.Resume(p); err == nil {
+			t.Error("resume succeeded with the device full")
+			return
+		}
+		if err := v2.Release(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v1.Resume(p); err != nil {
+			t.Errorf("resume after release failed: %v", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuspendErrors(t *testing.T) {
+	env, _, mgr := newRig(t, false, 1, nil)
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v, err := Connect(p, mgr, vecSpec(1024))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Resume without suspend.
+		if err := v.Resume(p); err == nil {
+			t.Error("RES without SUS succeeded")
+		}
+		if err := v.Suspend(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// Double suspend.
+		if err := v.Suspend(p); err == nil {
+			t.Error("double SUS succeeded")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuspendResumeMGScratchState(t *testing.T) {
+	// MG carries most of its state in scratch buffers (the level
+	// hierarchy); a suspend/resume round trip mid-workload must still
+	// produce host-validated results.
+	w := workloads.MG(16, 3, 2)
+	env, _, mgr := newRig(t, true, 1, nil)
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		spec := w.Spec(0)
+		v, err := Connect(p, mgr, spec)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		in := make([]byte, spec.InBytes)
+		w.Fill(0, in)
+		if err := v.SendInput(p, in); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Suspend(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Resume(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Start(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Wait(p); err != nil {
+			t.Error(err)
+			return
+		}
+		out := make([]byte, spec.OutBytes)
+		if err := v.ReceiveOutput(p, out); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := w.Check(0, out); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushPolicySJFImprovesMeanTurnaround(t *testing.T) {
+	// Heterogeneous batch: 7 small tasks and 1 big one. When the big
+	// task's STR arrives first, FIFO puts its transfers at the head of
+	// the engine queue and every small task waits; SJF reorders the
+	// flush so the small tasks finish first, cutting mean turnaround.
+	run := func(policy gvm.FlushPolicy) (mean, max float64) {
+		env, _, mgr := newRig(t, false, 8, func(c *gvm.Config) { c.FlushPolicy = policy })
+		var times []float64
+		for i := 0; i < 8; i++ {
+			i := i
+			n := 1 << 16 // small: 512 KiB in
+			if i == 0 {
+				n = 1 << 24 // big: 128 MiB in
+			}
+			env.Go(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
+				p.Wait(mgr.Ready())
+				// Stagger arrivals so the big task reaches the barrier
+				// first (its SND staging takes ~6 ms; the small tasks
+				// start after 10 ms).
+				if i != 0 {
+					p.Sleep(10*sim.Millisecond + sim.Duration(i)*sim.Microsecond)
+				}
+				t0 := p.Now()
+				v, err := Connect(p, mgr, vecSpec(n))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := v.RunCycle(p, nil, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				times = append(times, p.Now().Sub(t0).Seconds())
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range times {
+			mean += v
+			if v > max {
+				max = v
+			}
+		}
+		return mean / float64(len(times)), max
+	}
+	fifoMean, fifoMax := run(gvm.FlushFIFO)
+	sjfMean, sjfMax := run(gvm.FlushSJF)
+	ljfMean, _ := run(gvm.FlushLJF)
+	if sjfMean >= fifoMean {
+		t.Fatalf("SJF mean %.4fs not better than FIFO %.4fs", sjfMean, fifoMean)
+	}
+	if sjfMean >= ljfMean {
+		t.Fatalf("SJF mean %.4fs not better than LJF %.4fs", sjfMean, ljfMean)
+	}
+	// Makespan is engine-bound and barely moves.
+	if sjfMax > fifoMax*1.05 {
+		t.Fatalf("SJF makespan %.4fs regressed vs FIFO %.4fs", sjfMax, fifoMax)
+	}
+}
+
+func TestFlushPolicyStrings(t *testing.T) {
+	if gvm.FlushFIFO.String() != "fifo" || gvm.FlushSJF.String() != "sjf" || gvm.FlushLJF.String() != "ljf" {
+		t.Fatal("policy names wrong")
+	}
+	if gvm.FlushPolicy(9).String() == "" {
+		t.Fatal("unknown policy empty")
+	}
+}

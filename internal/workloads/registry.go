@@ -1,0 +1,58 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpuvirt/internal/kernels"
+)
+
+// Ref names a workload plus its parameters in a wire-serializable form,
+// used by the real-IPC daemon where kernel-builder closures cannot cross
+// the process boundary.
+type Ref struct {
+	Name   string         `json:"name"`
+	Params map[string]int `json:"params,omitempty"`
+}
+
+// param reads a parameter with a default.
+func (r Ref) param(key string, def int) int {
+	if v, ok := r.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// FromRef instantiates a workload from its wire reference. Unknown names
+// are an error. Parameters default to the paper's instances.
+func FromRef(r Ref) (Workload, error) {
+	switch r.Name {
+	case "vecadd":
+		return VectorAdd(r.param("n", 50_000_000)), nil
+	case "ep":
+		return EP(r.param("m", 30), r.param("grid", 4)), nil
+	case "mm":
+		return MM(r.param("n", 2048)), nil
+	case "mg":
+		return MG(r.param("n", 32), r.param("levels", 4), r.param("nit", 4)), nil
+	case "blackscholes":
+		return BlackScholes(r.param("n", 1_000_000), r.param("nit", 512), r.param("grid", 480)), nil
+	case "cg":
+		return CG(r.param("na", 1400), r.param("nonzer", 7), r.param("nit", 15), r.param("grid", 8)), nil
+	case "is":
+		return IS(r.param("n", kernels.ISClassSKeys), r.param("buckets", kernels.ISClassSBuckets),
+			r.param("nit", 10), r.param("grid", 64)), nil
+	case "ft":
+		return FT(r.param("edge", kernels.FTClassSEdge), r.param("nit", kernels.FTClassSIters),
+			r.param("grid", 64)), nil
+	case "electrostatics":
+		return Electrostatics(r.param("atoms", 100_000), r.param("nit", 25), r.param("grid", 288),
+			r.param("gridx", 256), r.param("gridy", 144)), nil
+	default:
+		return Workload{}, fmt.Errorf("workloads: unknown workload %q", r.Name)
+	}
+}
+
+// Names lists the registry's workload names.
+func Names() []string {
+	return []string{"vecadd", "ep", "mm", "mg", "blackscholes", "cg", "electrostatics", "is", "ft"}
+}

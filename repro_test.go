@@ -1,0 +1,94 @@
+// The capstone test: one assertion per headline claim of the paper's
+// evaluation, against the live system. If this passes, the reproduction
+// stands. (Per-artifact detail lives in internal/experiments' tests.)
+package gpuvirt_test
+
+import (
+	"math"
+	"testing"
+
+	"gpuvirt/internal/experiments"
+)
+
+func TestPaperHeadlineResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline sweep skipped in -short mode")
+	}
+
+	// Table II: the profiled parameters reproduce the paper's published
+	// measurements.
+	profiles, err := experiments.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, ep := profiles[0], profiles[1]
+	approx := func(name string, gotMS, wantMS, tol float64) {
+		t.Helper()
+		if math.Abs(gotMS-wantMS)/wantMS > tol {
+			t.Errorf("%s = %.3f ms, paper reports %.3f ms", name, gotMS, wantMS)
+		}
+	}
+	approx("VectorAdd Tinit", va.Tinit.Seconds()*1e3, 1519.386, 0.01)
+	approx("VectorAdd Tdata_in", va.TdataIn.Seconds()*1e3, 135.874, 0.03)
+	approx("EP Tcomp", ep.Tcomp.Seconds()*1e3, 8951.346, 0.02)
+
+	// Table III: EP's theoretical speedup equals the paper's 8.341 and
+	// experiment lands within 20% below theory for both benchmarks.
+	speedups, err := experiments.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := speedups[1].Theoretical; math.Abs(got-8.341) > 0.05 {
+		t.Errorf("EP theoretical speedup = %.3f, paper reports 8.341", got)
+	}
+	for _, r := range speedups {
+		if r.Deviation < 0 || r.Deviation > 0.20 {
+			t.Errorf("%s deviation = %.1f%%, paper band is [0, 20]%%", r.Name, r.Deviation*100)
+		}
+	}
+
+	// Figure 9: EP's virtualized turnaround is flat across 1..8 procs.
+	micro, err := experiments.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epSeries := micro[1]
+	if epSeries.VirtMS[7] > epSeries.VirtMS[0]*1.01 {
+		t.Errorf("EP virt turnaround grew %.0f -> %.0f ms; the paper shows it flat",
+			epSeries.VirtMS[0], epSeries.VirtMS[7])
+	}
+
+	// Figure 10: virtualization overhead stays under the paper's ~25%.
+	overheads, err := experiments.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range overheads {
+		if p.OverheadPct > 25 {
+			t.Errorf("overhead at %d MB = %.1f%%, paper bound is ~25%%", p.DataMB, p.OverheadPct)
+		}
+	}
+
+	// Figure 16: application speedups span the paper's 1.4-4.1x band
+	// with MG and CG on top.
+	apps, err := experiments.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	byName := map[string]float64{}
+	for _, r := range apps {
+		lo = math.Min(lo, r.Experimental)
+		hi = math.Max(hi, r.Experimental)
+		byName[r.Name] = r.Experimental
+	}
+	if lo < 1.3 || hi > 4.5 {
+		t.Errorf("application speedups span [%.2f, %.2f]; the paper reports 1.4-4.1", lo, hi)
+	}
+	for _, other := range []string{"MM", "BlackScholes", "Electrostatics"} {
+		if byName["MG"] <= byName[other] || byName["CG"] <= byName[other] {
+			t.Errorf("MG/CG (%.2f/%.2f) must achieve the best gains (vs %s %.2f), as the paper reports",
+				byName["MG"], byName["CG"], other, byName[other])
+		}
+	}
+}
