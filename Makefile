@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all ci vet build test race bench-short bench-json
+
+all: ci
+
+# Tier-1 gate (README "CI gate"): everything a change must keep green.
+ci: vet build test race bench-short
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick smoke of the data-plane hot-path benchmarks (executor, IPC
+# framing, shm copies, simulator calendar) — catches perf regressions
+# that break, not ones that merely slow down.
+bench-short:
+	$(GO) test -run '^$$' -bench 'FunctionalExec|IPCFrame|ShmCopy|Calendar' -benchtime 100ms -benchmem ./...
+
+# Regenerate the machine-readable hot-path numbers.
+bench-json:
+	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr1.json

@@ -8,14 +8,20 @@
 package gpuvirt_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"runtime"
 	"testing"
 
+	"gpuvirt/internal/cuda"
 	"gpuvirt/internal/experiments"
 	"gpuvirt/internal/fermi"
 	"gpuvirt/internal/gpusim"
 	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/ipc"
+	"gpuvirt/internal/kernels"
 	"gpuvirt/internal/model"
+	"gpuvirt/internal/shm"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/spmd"
 	"gpuvirt/internal/task"
@@ -405,3 +411,184 @@ func BenchmarkAblationFlushPolicy(b *testing.B) {
 	b.ReportMetric(sjf, "sjf-meanturn-ms")
 	b.ReportMetric(ljf, "ljf-meanturn-ms")
 }
+
+// --- Data-plane fast paths: parallel executor, IPC framing, shm ---
+
+// benchArena is flat functional device memory for running kernels outside
+// the simulator (the simulator's Device is not needed to execute a
+// kernel's Func).
+type benchArena struct {
+	data []byte
+	next int64
+}
+
+func (m *benchArena) Bytes(p cuda.DevPtr, n int64) []byte {
+	return m.data[p : int64(p)+n : int64(p)+n]
+}
+
+func (m *benchArena) alloc(n int64) cuda.DevPtr {
+	p := cuda.DevPtr(m.next)
+	m.next += (n + 255) &^ 255
+	return p
+}
+
+func newBenchArena(n int64) *benchArena {
+	return &benchArena{data: make([]byte, n), next: 256}
+}
+
+// benchFunctionalExec times one full kernel sequence per op, serially via
+// the reference RunFunctional and through a 4-worker Executor. On a
+// single-core host the parallel variant measures pool overhead, not
+// speedup; the cores metric records the distinction.
+func benchFunctionalExec(b *testing.B, build func(m *benchArena) []*cuda.Kernel) {
+	const workers = 4
+	b.Run("serial", func(b *testing.B) {
+		mem := newBenchArena(64 << 20)
+		ks := build(mem)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range ks {
+				if err := k.RunFunctional(mem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		mem := newBenchArena(64 << 20)
+		ks := build(mem)
+		ex := cuda.NewExecutor(workers)
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range ks {
+				if err := ex.Run(k, mem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkFunctionalExec_MM(b *testing.B) {
+	benchFunctionalExec(b, func(m *benchArena) []*cuda.Kernel {
+		const n = 256 // 16x16 tile blocks = 256 blocks
+		pa, pb, pc := m.alloc(n*n*4), m.alloc(n*n*4), m.alloc(n*n*4)
+		av := cuda.Float32s(m, pa, n*n)
+		bv := cuda.Float32s(m, pb, n*n)
+		for i := range av {
+			av[i] = float32(i%13) / 13
+			bv[i] = float32(i%11) / 11
+		}
+		return []*cuda.Kernel{kernels.NewMM(pa, pb, pc, n)}
+	})
+}
+
+func BenchmarkFunctionalExec_Electrostatics(b *testing.B) {
+	benchFunctionalExec(b, func(m *benchArena) []*cuda.Kernel {
+		const natoms = 2000
+		p := kernels.ESParams{GridX: 128, GridY: 64, Spacing: 0.5, Z: 1}
+		pa := m.alloc(natoms * 4 * 4)
+		po := m.alloc(int64(p.GridX*p.GridY) * 4)
+		atoms := cuda.Float32s(m, pa, natoms*4)
+		for i := range atoms {
+			atoms[i] = float32(i%29) * 0.3
+		}
+		return []*cuda.Kernel{kernels.NewElectrostatics(pa, po, natoms, 1, 32, p)}
+	})
+}
+
+func BenchmarkFunctionalExec_BlackScholes(b *testing.B) {
+	benchFunctionalExec(b, func(m *benchArena) []*cuda.Kernel {
+		const n = 100_000
+		ps, px, pt := m.alloc(n*4), m.alloc(n*4), m.alloc(n*4)
+		pc, pp := m.alloc(n*4), m.alloc(n*4)
+		s := cuda.Float32s(m, ps, n)
+		x := cuda.Float32s(m, px, n)
+		tt := cuda.Float32s(m, pt, n)
+		for i := range s {
+			s[i] = 5 + float32(i%100)
+			x[i] = 1 + float32(i%50)
+			tt[i] = 0.25 + float32(i%40)/4
+		}
+		return []*cuda.Kernel{kernels.NewBlackScholes(ps, px, pt, pc, pp, n, 4, 60, kernels.DefaultBSParams())}
+	})
+}
+
+// benchRequest is a representative control-plane message (the REQ verb
+// carries the largest payload of the six).
+func benchRequest() ipc.Request {
+	return ipc.Request{
+		Verb: "REQ",
+		Rank: 3,
+		Ref: &workloads.Ref{
+			Name:   "vecadd",
+			Params: map[string]int{"n": 50_000_000, "grid": 48829},
+		},
+	}
+}
+
+func BenchmarkIPCFrame_JSON(b *testing.B) {
+	req := benchRequest()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var got ipc.Request
+		if err := json.Unmarshal(buf, &got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIPCFrame_Binary(b *testing.B) {
+	req := benchRequest()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = ipc.EncodeRequestBinary(buf[:0], req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ipc.DecodeRequestBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchShmCopy round-trips 1 MiB through a file-backed segment — the
+// daemon's per-request SND/RCV data-plane traffic.
+func benchShmCopy(b *testing.B, unmap bool) {
+	const n = 1 << 20
+	s, err := shm.NewFile(b.TempDir(), "bench-seg", n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if unmap {
+		shm.Unmap(s)
+	} else if s.Bytes() == nil {
+		b.Skip("mmap unavailable on this platform")
+	}
+	src := make([]byte, n)
+	dst := make([]byte, n)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(2 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.WriteAt(src, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.ReadAt(dst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShmCopy_File(b *testing.B) { benchShmCopy(b, true) }
+func BenchmarkShmCopy_Mmap(b *testing.B) { benchShmCopy(b, false) }

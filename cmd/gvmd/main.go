@@ -31,6 +31,8 @@ func main() {
 	archName := flag.String("arch", "c2070", "gpu architecture: c2070|c2050|gtx480|c1060")
 	gpus := flag.Int("gpus", 1, "number of simulated GPUs the manager owns")
 	barrierTimeout := flag.Duration("barrier-timeout", 0, "flush partial STR batches after this long (0 = strict barrier)")
+	execWorkers := flag.Int("exec-workers", 0, "functional kernel execution worker pool (0 = GOMAXPROCS, 1 = serial)")
+	jsonWire := flag.Bool("json-wire", false, "speak newline-delimited JSON on the control socket (debugging; clients must use DialJSON)")
 	flag.Parse()
 
 	arch, err := archByName(*archName)
@@ -45,6 +47,8 @@ func main() {
 		Functional:     *functional,
 		ShmDir:         *shmDir,
 		GPUs:           *gpus,
+		ExecWorkers:    *execWorkers,
+		JSONWire:       *jsonWire,
 		BarrierTimeout: *barrierTimeout,
 		Logger:         log.New(os.Stderr, "gvmd: ", log.LstdFlags),
 	})

@@ -56,10 +56,11 @@ func parent() {
 	socket := filepath.Join(dir, "gvmd.sock")
 
 	srv, err := ipc.NewServer(ipc.ServerConfig{
-		Socket:     socket,
-		Parties:    workers, // barrier: all workers' streams flush together
-		Functional: true,
-		ShmDir:     dir,
+		Socket:      socket,
+		Parties:     workers, // barrier: all workers' streams flush together
+		Functional:  true,
+		ShmDir:      dir,
+		ExecWorkers: 0, // kernel-execution pool: one worker per core
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -31,7 +31,10 @@ const (
 
 func main() {
 	env := sim.NewEnv()
-	dev, err := gpusim.New(env, gpusim.Config{Arch: fermi.TeslaC2070(), Functional: true})
+	// ExecWorkers sizes the pool that runs functional kernel bodies:
+	// 0 = one worker per core, 1 = the serial reference path. Results are
+	// bit-identical either way (DESIGN.md §3, SerialOnly contract).
+	dev, err := gpusim.New(env, gpusim.Config{Arch: fermi.TeslaC2070(), Functional: true, ExecWorkers: 0})
 	if err != nil {
 		log.Fatal(err)
 	}

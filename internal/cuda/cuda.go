@@ -8,6 +8,14 @@
 // invoked once per thread block and loops over the block's threads itself.
 // This preserves the CUDA decomposition (indexing by blockIdx/threadIdx)
 // while staying efficient in Go.
+//
+// Functional execution comes in two flavors. Kernel.RunFunctional is the
+// serial reference: every block in deterministic grid order on the
+// calling goroutine. Executor fans a launch's blocks out across a bounded
+// worker pool in contiguous chunks; for kernels whose blocks write
+// disjoint memory (the common CUDA discipline) the result is bit-identical
+// to the serial path, and kernels that need sequential block order declare
+// Kernel.SerialOnly to opt out. See Executor for the full contract.
 package cuda
 
 import (
@@ -137,6 +145,14 @@ type Kernel struct {
 	// for timing-only workloads.
 	Func BlockFunc
 	Args []any
+
+	// SerialOnly marks a functional body whose blocks do NOT write
+	// disjoint memory — cross-block reductions, scans, or anything that
+	// relies on the serial host loop's block order. Executor always runs
+	// such kernels through the serial reference path. Kernels leaving
+	// this false promise block-disjoint writes and may be executed by any
+	// number of workers with bit-identical results.
+	SerialOnly bool
 }
 
 // Threads returns the total number of threads in the launch.
@@ -197,19 +213,6 @@ func (k *Kernel) RunFunctional(mem Memory) error {
 	if k.Func == nil {
 		return fmt.Errorf("cuda: kernel %q has no functional body", k.Name)
 	}
-	g := k.Grid.Norm()
-	for z := 0; z < g.Z; z++ {
-		for y := 0; y < g.Y; y++ {
-			for x := 0; x < g.X; x++ {
-				k.Func(&BlockCtx{
-					BlockIdx: Dim3{X: x, Y: y, Z: z},
-					GridDim:  g,
-					BlockDim: k.Block.Norm(),
-					Mem:      mem,
-					Args:     k.Args,
-				})
-			}
-		}
-	}
+	k.runBlockRange(mem, 0, k.Blocks())
 	return nil
 }

@@ -53,6 +53,12 @@ type Config struct {
 	Functional bool          // allocate backing memory and run kernel bodies
 	Mode       ComputeMode   // context admission policy (default: shared)
 	Tracer     *trace.Tracer // optional execution tracer
+	// ExecWorkers sizes the worker pool that runs functional kernel
+	// bodies: 0 = GOMAXPROCS (parallel across blocks, bit-identical for
+	// the block-disjoint kernels in this repo), 1 = strictly serial,
+	// n > 1 = fixed pool. Virtual timing is unaffected either way; the
+	// knob only changes host CPU usage while a launch's body executes.
+	ExecWorkers int
 }
 
 // Device is one simulated GPU attached to a simulation environment.
@@ -61,6 +67,7 @@ type Device struct {
 	arch       fermi.Arch
 	functional bool
 	tracer     *trace.Tracer
+	exec       *cuda.Executor // runs functional kernel bodies
 
 	// Functional-mode backing memory, one slice per live allocation,
 	// sorted by device address. Memory use is proportional to what is
@@ -107,6 +114,7 @@ func New(env *sim.Env, cfg Config) (*Device, error) {
 		functional: cfg.Functional,
 		mode:       cfg.Mode,
 		tracer:     cfg.Tracer,
+		exec:       cuda.NewExecutor(cfg.ExecWorkers),
 		alloc:      NewAllocator(cfg.Arch.MemBytes, 256),
 		driver:     env.NewResource(1),
 	}

@@ -227,7 +227,10 @@ func (s *smScheduler) finish(ls *launchState) {
 	s.dev.KernelsRun++
 	fire := func() {
 		if s.dev.functional && ls.k.Func != nil {
-			if err := ls.k.RunFunctional(s.dev); err != nil {
+			// Device.Bytes only reads the allocation table, so concurrent
+			// block bodies may resolve pointers safely while they write
+			// their disjoint output ranges.
+			if err := s.dev.exec.Run(ls.k, s.dev); err != nil {
 				panic(err)
 			}
 		}

@@ -18,14 +18,25 @@ type Client struct {
 	shmDir string
 }
 
-// Dial connects to the daemon at the given Unix socket path. shmDir must
-// match the daemon's data-plane directory ("" = /dev/shm).
+// Dial connects to the daemon at the given Unix socket path using the
+// binary wire codec. shmDir must match the daemon's data-plane directory
+// ("" = /dev/shm).
 func Dial(socket, shmDir string) (*Client, error) {
+	return dial(socket, shmDir, NewConn)
+}
+
+// DialJSON connects using the JSON debugging codec; the daemon must be
+// running with JSONWire set.
+func DialJSON(socket, shmDir string) (*Client, error) {
+	return dial(socket, shmDir, NewConnJSON)
+}
+
+func dial(socket, shmDir string, wrap func(net.Conn) *Conn) (*Client, error) {
 	nc, err := net.Dial("unix", socket)
 	if err != nil {
 		return nil, fmt.Errorf("ipc: dial %s: %w", socket, err)
 	}
-	return &Client{conn: NewConn(nc), shmDir: shmDir}, nil
+	return &Client{conn: wrap(nc), shmDir: shmDir}, nil
 }
 
 // Close drops the connection; the daemon releases any sessions left open.

@@ -1,0 +1,264 @@
+package ipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuvirt/internal/workloads"
+)
+
+// Binary wire format. Each frame is a fixed header followed by a varint
+// payload:
+//
+//	[0]    magic 0xB1
+//	[1]    kind: 'Q' request, 'S' response
+//	[2:6]  payload length, uint32 little-endian (<= MaxFrame)
+//
+// Request payload:  verb, session, rank, ref-present byte, then (if
+// present) ref name + param count + sorted key/value pairs.
+// Response payload: status, session, err, segment, inBytes, outBytes,
+// virtualMS (float64 bits, 8 bytes little-endian).
+// Strings are uvarint length + bytes; integers are zigzag varints.
+//
+// The header magic doubles as a mode detector: a JSON peer's first byte is
+// '{', a binary peer's is 0xB1, so either side can report a clean
+// mode-mismatch error instead of decoding garbage.
+const (
+	frameMagic   = 0xB1
+	kindRequest  = 'Q'
+	kindResponse = 'S'
+	headerLen    = 6
+
+	// MaxFrame bounds one frame's payload. Control-plane messages are
+	// tiny (data rides in shm segments), so anything near this limit is a
+	// corrupt or hostile stream.
+	MaxFrame = 1 << 20
+)
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// EncodeRequestBinary appends a complete binary request frame to dst and
+// returns the extended slice, so callers can reuse one buffer across
+// frames.
+func EncodeRequestBinary(dst []byte, req Request) ([]byte, error) {
+	dst = append(dst, frameMagic, kindRequest, 0, 0, 0, 0)
+	start := len(dst)
+	dst = appendString(dst, req.Verb)
+	dst = binary.AppendVarint(dst, int64(req.Session))
+	dst = binary.AppendVarint(dst, int64(req.Rank))
+	if req.Ref == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = appendString(dst, req.Ref.Name)
+		keys := make([]string, 0, len(req.Ref.Params))
+		for k := range req.Ref.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		dst = binary.AppendUvarint(dst, uint64(len(keys)))
+		for _, k := range keys {
+			dst = appendString(dst, k)
+			dst = binary.AppendVarint(dst, int64(req.Ref.Params[k]))
+		}
+	}
+	return finishFrame(dst, start)
+}
+
+// EncodeResponseBinary appends a complete binary response frame to dst.
+func EncodeResponseBinary(dst []byte, resp Response) ([]byte, error) {
+	dst = append(dst, frameMagic, kindResponse, 0, 0, 0, 0)
+	start := len(dst)
+	dst = appendString(dst, resp.Status)
+	dst = binary.AppendVarint(dst, int64(resp.Session))
+	dst = appendString(dst, resp.Err)
+	dst = appendString(dst, resp.Segment)
+	dst = binary.AppendVarint(dst, resp.InBytes)
+	dst = binary.AppendVarint(dst, resp.OutBytes)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(resp.VirtualMS))
+	return finishFrame(dst, start)
+}
+
+func finishFrame(dst []byte, start int) ([]byte, error) {
+	n := len(dst) - start
+	if n > MaxFrame {
+		return nil, fmt.Errorf("ipc: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	}
+	binary.LittleEndian.PutUint32(dst[start-4:start], uint32(n))
+	return dst, nil
+}
+
+// DecodeRequestBinary parses one complete binary request frame.
+func DecodeRequestBinary(frame []byte) (Request, error) {
+	payload, err := framePayload(frame, kindRequest)
+	if err != nil {
+		return Request{}, err
+	}
+	return decodeRequestPayload(payload)
+}
+
+// DecodeResponseBinary parses one complete binary response frame.
+func DecodeResponseBinary(frame []byte) (Response, error) {
+	payload, err := framePayload(frame, kindResponse)
+	if err != nil {
+		return Response{}, err
+	}
+	return decodeResponsePayload(payload)
+}
+
+// framePayload validates a whole-frame buffer's header and returns its
+// payload bytes.
+func framePayload(frame []byte, kind byte) ([]byte, error) {
+	if len(frame) < headerLen {
+		return nil, fmt.Errorf("ipc: truncated frame header (%d bytes)", len(frame))
+	}
+	if frame[0] != frameMagic {
+		return nil, fmt.Errorf("ipc: bad frame magic 0x%02x", frame[0])
+	}
+	if frame[1] != kind {
+		return nil, fmt.Errorf("ipc: unexpected frame kind %q (want %q)", frame[1], kind)
+	}
+	n := binary.LittleEndian.Uint32(frame[2:6])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("ipc: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if uint32(len(frame)-headerLen) != n {
+		return nil, fmt.Errorf("ipc: frame length mismatch: header says %d, have %d payload bytes", n, len(frame)-headerLen)
+	}
+	return frame[headerLen:], nil
+}
+
+// frameReader is a cursor over one frame's payload; the first decode error
+// sticks and subsequent reads return zero values.
+type frameReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *frameReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ipc: corrupt frame: "+format, args...)
+	}
+}
+
+func (r *frameReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *frameReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *frameReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("string of %d bytes overruns payload at offset %d", n, r.off)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *frameReader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("payload overrun at offset %d", r.off)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *frameReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b)-r.off < 8 {
+		r.fail("float64 overruns payload at offset %d", r.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *frameReader) finish() error {
+	if r.err == nil && r.off != len(r.b) {
+		r.fail("%d trailing bytes", len(r.b)-r.off)
+	}
+	return r.err
+}
+
+func decodeRequestPayload(payload []byte) (Request, error) {
+	r := frameReader{b: payload}
+	var req Request
+	req.Verb = r.str()
+	req.Session = int(r.varint())
+	req.Rank = int(r.varint())
+	if r.byteVal() != 0 {
+		ref := &workloads.Ref{Name: r.str()}
+		if n := r.uvarint(); n > 0 {
+			if n > uint64(len(payload)) { // each pair takes >= 2 bytes
+				r.fail("param count %d overruns payload", n)
+			} else {
+				ref.Params = make(map[string]int, n)
+				for i := uint64(0); i < n && r.err == nil; i++ {
+					k := r.str()
+					ref.Params[k] = int(r.varint())
+				}
+			}
+		}
+		req.Ref = ref
+	}
+	if err := r.finish(); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+func decodeResponsePayload(payload []byte) (Response, error) {
+	r := frameReader{b: payload}
+	var resp Response
+	resp.Status = r.str()
+	resp.Session = int(r.varint())
+	resp.Err = r.str()
+	resp.Segment = r.str()
+	resp.InBytes = r.varint()
+	resp.OutBytes = r.varint()
+	resp.VirtualMS = r.f64()
+	if err := r.finish(); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}

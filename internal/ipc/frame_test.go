@@ -1,0 +1,98 @@
+package ipc
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Verb: "REQ", Ref: refp("mm", map[string]int{"n": 2048, "nit": 3}), Rank: 7},
+		{Verb: "REQ", Ref: refp("blackscholes", nil)},
+		{Verb: "SND", Session: 42},
+		{Verb: "STP", Session: -1},
+		{},
+	}
+	a, b := fuzzPipeConn(t, NewConn)
+	for _, want := range reqs {
+		want := want
+		go func() {
+			if err := a.WriteRequest(want); err != nil {
+				t.Errorf("write %+v: %v", want, err)
+			}
+		}()
+		got, err := b.ReadRequest()
+		if err != nil {
+			t.Fatalf("read %+v: %v", want, err)
+		}
+		if !requestsEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestBinaryOversizedFrameRejected(t *testing.T) {
+	// Write side: an encoder-produced payload over MaxFrame must error out
+	// before anything hits the wire.
+	huge := Request{Verb: strings.Repeat("x", MaxFrame+1)}
+	if _, err := EncodeRequestBinary(nil, huge); err == nil {
+		t.Fatal("want encode error for payload exceeding MaxFrame")
+	}
+	// Read side: a crafted header claiming an oversized payload must be
+	// rejected from the length alone, without attempting the read.
+	a, b := fuzzPipeConn(t, NewConn)
+	hdr := []byte{frameMagic, kindRequest, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(hdr[2:], MaxFrame+1)
+	go b.c.Write(hdr)
+	_, err := a.ReadRequest()
+	if err == nil || !strings.Contains(err.Error(), "exceeds MaxFrame") {
+		t.Fatalf("oversized frame: got %v, want MaxFrame rejection", err)
+	}
+}
+
+func TestBinaryTruncatedFrame(t *testing.T) {
+	frame, err := EncodeRequestBinary(nil, Request{Verb: "REQ", Ref: refp("mm", map[string]int{"n": 64})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, headerLen - 1, headerLen, len(frame) - 1} {
+		a, b := fuzzPipeConn(t, NewConn)
+		go func() {
+			b.c.Write(frame[:cut])
+			b.c.Close() // EOF mid-frame
+		}()
+		_, err := a.ReadRequest()
+		if err == nil || !strings.Contains(err.Error(), "truncated frame") {
+			t.Fatalf("cut at %d: got %v, want truncated-frame error", cut, err)
+		}
+	}
+}
+
+func TestBinaryWrongKindRejected(t *testing.T) {
+	frame, err := EncodeResponseBinary(nil, Response{Status: "ACK"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fuzzPipeConn(t, NewConn)
+	go b.c.Write(frame)
+	if _, err := a.ReadRequest(); err == nil || !strings.Contains(err.Error(), "frame kind") {
+		t.Fatalf("response frame read as request: got %v, want kind error", err)
+	}
+}
+
+func TestModeMismatchDetected(t *testing.T) {
+	// A JSON peer talking to a binary reader: re-wrap the pipe's far end
+	// with the other codec.
+	a, b := fuzzPipeConn(t, NewConn)
+	go NewConnJSON(b.c).WriteRequest(Request{Verb: "REQ"})
+	if _, err := a.ReadRequest(); err == nil || !strings.Contains(err.Error(), "mode mismatch") {
+		t.Fatalf("binary reader vs JSON writer: got %v, want mode-mismatch error", err)
+	}
+	// A binary peer talking to a JSON reader.
+	c, d := fuzzPipeConn(t, NewConnJSON)
+	go NewConn(d.c).WriteResponse(Response{Status: "ACK"})
+	if _, err := c.ReadResponse(); err == nil || !strings.Contains(err.Error(), "mode mismatch") {
+		t.Fatalf("JSON reader vs binary writer: got %v, want mode-mismatch error", err)
+	}
+}

@@ -2,25 +2,27 @@ package ipc
 
 import (
 	"bytes"
+	"math"
 	"net"
 	"testing"
 	"time"
+
+	"gpuvirt/internal/workloads"
 )
 
-// fuzzPipeConn adapts an in-memory pipe to exercise the frame codecs.
-func fuzzPipeConn(t testing.TB) (*Conn, *Conn) {
+// fuzzPipeConn adapts an in-memory pipe to exercise a frame codec.
+func fuzzPipeConn(t testing.TB, wrap func(net.Conn) *Conn) (*Conn, *Conn) {
 	t.Helper()
 	a, b := net.Pipe()
 	_ = a.SetDeadline(time.Now().Add(2 * time.Second))
 	_ = b.SetDeadline(time.Now().Add(2 * time.Second))
-	ca, cb := NewConn(a), NewConn(b)
+	ca, cb := wrap(a), wrap(b)
 	t.Cleanup(func() { ca.Close(); cb.Close() })
 	return ca, cb
 }
 
-// FuzzReadRequest feeds arbitrary bytes to the request decoder: it must
-// either produce a request or an error, never panic, and must reject
-// frames that are not valid JSON objects.
+// FuzzReadRequest feeds arbitrary bytes to the JSON request decoder: it
+// must either produce a request or an error, never panic.
 func FuzzReadRequest(f *testing.F) {
 	f.Add([]byte(`{"verb":"REQ","session":1}` + "\n"))
 	f.Add([]byte(`{"verb":"SND","session":-9}` + "\n"))
@@ -32,7 +34,7 @@ func FuzzReadRequest(f *testing.F) {
 		if !bytes.ContainsRune(frame, '\n') {
 			frame = append(frame, '\n')
 		}
-		a, b := fuzzPipeConn(t)
+		a, b := fuzzPipeConn(t, NewConnJSON)
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
@@ -45,25 +47,103 @@ func FuzzReadRequest(f *testing.F) {
 	})
 }
 
-// FuzzResponseRoundTrip: any response written must decode back equal.
+// FuzzDecodeRequestBinary feeds arbitrary bytes to the binary request
+// decoder: decode must never panic, and every frame the encoder produces
+// must decode back equal.
+func FuzzDecodeRequestBinary(f *testing.F) {
+	seed, _ := EncodeRequestBinary(nil, Request{Verb: "REQ", Session: 3, Rank: 1})
+	f.Add(seed)
+	withRef, _ := EncodeRequestBinary(nil, Request{Verb: "REQ", Ref: refp("mm", map[string]int{"n": 2048})})
+	f.Add(withRef)
+	f.Add([]byte{frameMagic, kindRequest, 0, 0, 0, 0})
+	f.Add([]byte{frameMagic, kindRequest, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		req, err := DecodeRequestBinary(frame) // must not panic
+		if err != nil {
+			return
+		}
+		// Anything that decoded cleanly must re-encode and decode stably.
+		enc, err := EncodeRequestBinary(nil, req)
+		if err != nil {
+			t.Fatalf("re-encode of decoded request failed: %v", err)
+		}
+		again, err := DecodeRequestBinary(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !requestsEqual(req, again) {
+			t.Fatalf("unstable round trip: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzResponseRoundTrip: any response written must decode back equal, in
+// both codecs.
 func FuzzResponseRoundTrip(f *testing.F) {
 	f.Add("ACK", 1, "", "seg-1", int64(10), int64(20), 1.5)
 	f.Add("ERR", 0, "boom", "", int64(0), int64(0), 0.0)
+	f.Add("ACK", -3, "", "", int64(-1), int64(1<<40), math.Inf(1))
 	f.Fuzz(func(t *testing.T, status string, session int, errStr, seg string, in, out int64, vms float64) {
 		want := Response{
 			Status: status, Session: session, Err: errStr,
 			Segment: seg, InBytes: in, OutBytes: out, VirtualMS: vms,
 		}
-		a, b := fuzzPipeConn(t)
+		// Binary: loss-free for every float64, including NaN/Inf.
+		frame, err := EncodeResponseBinary(nil, want)
+		if err != nil {
+			t.Fatalf("binary encode: %v", err)
+		}
+		got, err := DecodeResponseBinary(frame)
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		if !responsesEqual(got, want) {
+			t.Fatalf("binary round trip: got %+v, want %+v", got, want)
+		}
+		// JSON debugging mode over a pipe.
+		a, b := fuzzPipeConn(t, NewConnJSON)
 		go func() { _ = a.WriteResponse(want) }()
-		got, err := b.ReadResponse()
+		jgot, err := b.ReadResponse()
 		if err != nil {
 			// JSON cannot represent some float64 values (NaN/Inf) — the
 			// encoder errors rather than corrupting the stream.
 			return
 		}
-		if got != want {
-			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		if !responsesEqual(jgot, want) {
+			t.Fatalf("JSON round trip: got %+v, want %+v", jgot, want)
 		}
 	})
+}
+
+func refp(name string, params map[string]int) *workloads.Ref {
+	return &workloads.Ref{Name: name, Params: params}
+}
+
+func requestsEqual(a, b Request) bool {
+	if a.Verb != b.Verb || a.Session != b.Session || a.Rank != b.Rank {
+		return false
+	}
+	if (a.Ref == nil) != (b.Ref == nil) {
+		return false
+	}
+	if a.Ref == nil {
+		return true
+	}
+	if a.Ref.Name != b.Ref.Name || len(a.Ref.Params) != len(b.Ref.Params) {
+		return false
+	}
+	for k, v := range a.Ref.Params {
+		if b.Ref.Params[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func responsesEqual(a, b Response) bool {
+	return a.Status == b.Status && a.Session == b.Session && a.Err == b.Err &&
+		a.Segment == b.Segment && a.InBytes == b.InBytes && a.OutBytes == b.OutBytes &&
+		math.Float64bits(a.VirtualMS) == math.Float64bits(b.VirtualMS)
 }

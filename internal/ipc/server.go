@@ -24,9 +24,16 @@ type ServerConfig struct {
 	Parties    int        // STR barrier width (default 1)
 	Functional bool       // carry real data end to end
 	ShmDir     string     // data-plane directory ("" = /dev/shm)
+	// ExecWorkers sizes the functional kernel-execution worker pool
+	// (gpusim.Config.ExecWorkers): 0 = GOMAXPROCS, 1 = serial.
+	ExecWorkers int
 	// GPUs is the number of simulated devices the manager owns
 	// (default 1; the multi-GPU extension).
 	GPUs int
+	// JSONWire selects the newline-delimited JSON control-plane codec
+	// instead of the default binary frames — a debugging aid (frames are
+	// readable with socat); clients must dial with DialJSON.
+	JSONWire bool
 	// BarrierTimeout flushes a partial STR batch after this much virtual
 	// time, so a crashed client cannot wedge the daemon (0 = strict).
 	// Caveat: the daemon drains virtual time eagerly after every request,
@@ -48,6 +55,7 @@ type Server struct {
 	ln  net.Listener
 
 	work chan workItem
+	quit chan struct{}
 
 	// Owner-goroutine state.
 	env      *sim.Env
@@ -100,12 +108,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:      cfg,
 		ln:       ln,
 		work:     make(chan workItem),
+		quit:     make(chan struct{}),
 		env:      sim.NewEnv(),
 		sessions: make(map[int]*serverSession),
 	}
 	devs := make([]*gpusim.Device, cfg.GPUs)
 	for i := range devs {
-		devs[i], err = gpusim.New(s.env, gpusim.Config{Arch: cfg.Arch, Functional: cfg.Functional})
+		devs[i], err = gpusim.New(s.env, gpusim.Config{Arch: cfg.Arch, Functional: cfg.Functional, ExecWorkers: cfg.ExecWorkers})
 		if err != nil {
 			ln.Close()
 			return nil, err
@@ -142,7 +151,10 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	err := s.ln.Close()
-	close(s.work)
+	// Signal shutdown instead of closing the work channel: connection
+	// handlers (including deferred session cleanup) may still be trying
+	// to submit, and a send racing a close is a data race.
+	close(s.quit)
 	s.wg.Wait()
 	return err
 }
@@ -151,8 +163,13 @@ func (s *Server) Close() error {
 // at a time, preserving the simulator's single-threaded discipline.
 func (s *Server) owner() {
 	defer s.wg.Done()
-	for item := range s.work {
-		it := item
+	for {
+		var it workItem
+		select {
+		case <-s.quit:
+			return
+		case it = <-s.work:
+		}
 		s.env.Go("ipc-request", func(p *sim.Proc) {
 			p.Daemonize() // may park at the STR barrier until peers arrive
 			it.fn(p)
@@ -165,20 +182,20 @@ func (s *Server) owner() {
 }
 
 // submit runs fn on a simulation process and waits for it. It returns
-// false if the server is closed.
+// false if the server shut down before fn completed.
 func (s *Server) submit(fn func(p *sim.Proc)) bool {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	item := workItem{fn: fn, done: make(chan struct{})}
+	select {
+	case s.work <- item:
+	case <-s.quit:
 		return false
 	}
-	item := workItem{fn: fn, done: make(chan struct{})}
-	s.mu.Unlock()
-	// A panic here means the work channel closed under us; treat as shutdown.
-	defer func() { recover() }()
-	s.work <- item
-	<-item.done
-	return true
+	select {
+	case <-item.done:
+		return true
+	case <-s.quit:
+		return false
+	}
 }
 
 func (s *Server) accept() {
@@ -197,6 +214,9 @@ func (s *Server) accept() {
 
 func (s *Server) serveConn(nc net.Conn) {
 	conn := NewConn(nc)
+	if s.cfg.JSONWire {
+		conn = NewConnJSON(nc)
+	}
 	defer conn.Close()
 	var owned []int // sessions opened by this connection
 	defer func() {

@@ -1,6 +1,7 @@
 // Package ipc carries the virtualization protocol between real OS
-// processes: a newline-delimited JSON wire format over Unix-domain
-// sockets for the control plane, and file-backed shared-memory segments
+// processes: a length-prefixed binary wire format over Unix-domain
+// sockets for the control plane (with a newline-delimited JSON mode kept
+// as a debugging fallback), and file-backed shared-memory segments
 // (package shm) for the data plane. It is the daemon-mode counterpart of
 // the in-simulation message queues: gvmd serves SPMD client processes on
 // one node exactly as the paper's GVM does, with GPU timing provided by
@@ -9,8 +10,10 @@ package ipc
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 
 	"gpuvirt/internal/workloads"
@@ -38,49 +41,143 @@ type Response struct {
 	VirtualMS float64 `json:"virtual_ms"`
 }
 
-// Conn frames requests and responses over a stream connection.
+// Conn frames requests and responses over a stream connection. The
+// default codec is the length-prefixed binary format (frame.go), reusing
+// one encode and one decode buffer across frames; NewConnJSON selects the
+// human-readable JSON mode for debugging. Both read paths sniff the
+// peer's first byte and report a clean mode-mismatch error rather than
+// decoding the other codec's bytes as garbage.
 type Conn struct {
-	c   net.Conn
-	r   *bufio.Reader
-	enc *json.Encoder
+	c    net.Conn
+	r    *bufio.Reader
+	json bool
+	enc  *json.Encoder // JSON mode only
+	wbuf []byte        // binary mode: reused encode buffer
+	rbuf []byte        // binary mode: reused payload buffer
+	hdr  [headerLen]byte
 }
 
-// NewConn wraps a connection.
+// NewConn wraps a connection with the binary frame codec.
 func NewConn(c net.Conn) *Conn {
-	return &Conn{c: c, r: bufio.NewReader(c), enc: json.NewEncoder(c)}
+	return &Conn{c: c, r: bufio.NewReader(c)}
+}
+
+// NewConnJSON wraps a connection with the newline-delimited JSON codec,
+// the debugging fallback (readable with socat/nc). Both peers must agree
+// on the mode.
+func NewConnJSON(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReader(c), json: true, enc: json.NewEncoder(c)}
 }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
 
 // WriteRequest sends one request frame.
-func (c *Conn) WriteRequest(req Request) error { return c.enc.Encode(req) }
+func (c *Conn) WriteRequest(req Request) error {
+	if c.json {
+		return c.enc.Encode(req)
+	}
+	buf, err := EncodeRequestBinary(c.wbuf[:0], req)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf
+	_, err = c.c.Write(buf)
+	return err
+}
 
 // WriteResponse sends one response frame.
-func (c *Conn) WriteResponse(resp Response) error { return c.enc.Encode(resp) }
+func (c *Conn) WriteResponse(resp Response) error {
+	if c.json {
+		return c.enc.Encode(resp)
+	}
+	buf, err := EncodeResponseBinary(c.wbuf[:0], resp)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf
+	_, err = c.c.Write(buf)
+	return err
+}
 
 // ReadRequest receives one request frame.
 func (c *Conn) ReadRequest() (Request, error) {
-	var req Request
-	line, err := c.r.ReadBytes('\n')
+	if c.json {
+		var req Request
+		line, err := c.readJSONLine()
+		if err != nil {
+			return req, err
+		}
+		if err := json.Unmarshal(line, &req); err != nil {
+			return req, fmt.Errorf("ipc: bad request frame: %w", err)
+		}
+		return req, nil
+	}
+	payload, err := c.readFrame(kindRequest)
 	if err != nil {
-		return req, err
+		return Request{}, err
 	}
-	if err := json.Unmarshal(line, &req); err != nil {
-		return req, fmt.Errorf("ipc: bad request frame: %w", err)
-	}
-	return req, nil
+	return decodeRequestPayload(payload)
 }
 
 // ReadResponse receives one response frame.
 func (c *Conn) ReadResponse() (Response, error) {
-	var resp Response
-	line, err := c.r.ReadBytes('\n')
+	if c.json {
+		var resp Response
+		line, err := c.readJSONLine()
+		if err != nil {
+			return resp, err
+		}
+		if err := json.Unmarshal(line, &resp); err != nil {
+			return resp, fmt.Errorf("ipc: bad response frame: %w", err)
+		}
+		return resp, nil
+	}
+	payload, err := c.readFrame(kindResponse)
 	if err != nil {
-		return resp, err
+		return Response{}, err
 	}
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return resp, fmt.Errorf("ipc: bad response frame: %w", err)
+	return decodeResponsePayload(payload)
+}
+
+// readJSONLine reads one newline-delimited JSON frame, detecting a binary
+// peer by its magic byte.
+func (c *Conn) readJSONLine() ([]byte, error) {
+	if b, err := c.r.Peek(1); err == nil && b[0] == frameMagic {
+		return nil, fmt.Errorf("ipc: mode mismatch: peer sent a binary frame on a JSON connection")
 	}
-	return resp, nil
+	return c.r.ReadBytes('\n')
+}
+
+// readFrame reads one binary frame of the given kind and returns its
+// payload in the connection's reused buffer (valid until the next read).
+func (c *Conn) readFrame(kind byte) ([]byte, error) {
+	b, err := c.r.Peek(1)
+	if err != nil {
+		return nil, err // clean EOF between frames passes through
+	}
+	if b[0] == '{' {
+		return nil, fmt.Errorf("ipc: mode mismatch: peer is speaking JSON on a binary connection")
+	}
+	if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
+		return nil, fmt.Errorf("ipc: truncated frame header: %w", err)
+	}
+	if c.hdr[0] != frameMagic {
+		return nil, fmt.Errorf("ipc: bad frame magic 0x%02x", c.hdr[0])
+	}
+	if c.hdr[1] != kind {
+		return nil, fmt.Errorf("ipc: unexpected frame kind %q (want %q)", c.hdr[1], kind)
+	}
+	n := binary.LittleEndian.Uint32(c.hdr[2:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("ipc: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	buf := c.rbuf[:n]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, fmt.Errorf("ipc: truncated frame: %w", err)
+	}
+	return buf, nil
 }

@@ -72,11 +72,17 @@ func MakeCGMatrix(n, nonzer int, shift float64, seed uint64) *CSR {
 	}
 	m := &CSR{N: n, RowPtr: make([]int32, n+1)}
 	for i := 0; i < n; i++ {
-		var sum float64
 		es := make([]entry, 0, len(rows[i])+1)
 		for c, v := range rows[i] {
 			es = append(es, entry{c, v})
-			sum += math.Abs(v)
+		}
+		sort.Slice(es, func(a, b int) bool { return es[a].col < es[b].col })
+		// Sum after sorting: accumulating during the map range would make
+		// the diagonal depend on map iteration order (float addition is
+		// not associative), breaking the promised bit-determinism.
+		var sum float64
+		for _, e := range es {
+			sum += math.Abs(e.val)
 		}
 		es = append(es, entry{int32(i), shift + sum + 1})
 		sort.Slice(es, func(a, b int) bool { return es[a].col < es[b].col })
@@ -262,6 +268,7 @@ func newCGReduce(name string, b CGBuffers, fn func(scalars, partial []float64)) 
 		Block:           cuda.Dim(32),
 		RegsPerThread:   10,
 		CyclesPerThread: float64(b.GridBlocks) * 4,
+		SerialOnly:      true, // cross-block reduction over the per-block partials
 		Args:            []any{b},
 		Func: func(bc *cuda.BlockCtx) {
 			b := bc.Arg(0).(CGBuffers)
@@ -438,6 +445,7 @@ func NewCGOuterReduce(b CGBuffers, shift float64) *cuda.Kernel {
 		Block:           cuda.Dim(32),
 		RegsPerThread:   10,
 		CyclesPerThread: float64(b.GridBlocks) * 6,
+		SerialOnly:      true, // cross-block reduction over the per-block partials
 		Args:            []any{b, shift},
 		Func: func(bc *cuda.BlockCtx) {
 			b := bc.Arg(0).(CGBuffers)

@@ -204,6 +204,7 @@ func NewFTChecksum(b FTBuffers, it int) *cuda.Kernel {
 		Block:           cuda.Dim(32),
 		RegsPerThread:   12,
 		CyclesPerThread: 1024 * 10 / 32,
+		SerialOnly:      true, // cross-block reduction into one checksum slot
 		Args:            []any{b, it},
 		Func: func(bc *cuda.BlockCtx) {
 			b := bc.Arg(0).(FTBuffers)

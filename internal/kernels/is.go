@@ -114,6 +114,7 @@ func NewISScan(b ISBuffers) *cuda.Kernel {
 		Block:           cuda.Dim(ISThreadsPerBlock),
 		RegsPerThread:   12,
 		CyclesPerThread: float64(b.Buckets*b.GridBlocks) / ISThreadsPerBlock * 6,
+		SerialOnly:      true, // scans every block's histogram in one pass
 		Args:            []any{b},
 		Func: func(bc *cuda.BlockCtx) {
 			b := bc.Arg(0).(ISBuffers)

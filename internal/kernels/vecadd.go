@@ -5,6 +5,17 @@
 // functional body — it really computes its result, validated against host
 // references in the tests — and a calibrated cost model for the timing
 // engine.
+//
+// Write-disjointness audit (cuda.Executor contract): every kernel here
+// either writes a strip, tile or slab owned exclusively by one block
+// (vecadd, mm, blackscholes, electrostatics, ep, the CG vector steps and
+// per-block partial dots, is-histogram, is-scatter, the FT passes and the
+// MG stencils — which write an array they do not read within the same
+// launch) and is safe under parallel block execution, or performs a
+// cross-block reduction on a single-block grid and is tagged SerialOnly
+// (cg reduce steps, cg-outer-reduce, is-scan, ft-checksum). The
+// determinism test in exec_determinism_test.go holds every functional
+// kernel to bit-identical serial/parallel results.
 package kernels
 
 import "gpuvirt/internal/cuda"

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package shm
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile is unavailable on this platform; file segments use positioned
+// file I/O throughout.
+func mapFile(f *os.File, n int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func unmapFile(b []byte) error { return nil }

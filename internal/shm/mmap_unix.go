@@ -1,0 +1,19 @@
+//go:build unix
+
+package shm
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps n bytes of f shared read-write. A zero-length mapping is
+// invalid on most unixes, so empty segments stay on the file-I/O path.
+func mapFile(f *os.File, n int64) ([]byte, error) {
+	if n <= 0 || int64(int(n)) != n {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(n), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

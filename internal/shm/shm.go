@@ -23,8 +23,11 @@ type Segment interface {
 	WriteAt(p []byte, off int64) error
 	// ReadAt fills p from the segment at off.
 	ReadAt(p []byte, off int64) error
-	// Bytes returns the backing slice, or nil for timing-only and
-	// file-backed segments.
+	// Bytes returns the backing slice: the in-memory buffer for
+	// functional memory segments, the mmap'd region for file-backed
+	// segments on platforms that support it. It returns nil for
+	// timing-only segments and when the mapping is unavailable, in which
+	// case callers must go through ReadAt/WriteAt.
 	Bytes() []byte
 	// Close releases the segment.
 	Close() error
@@ -103,7 +106,9 @@ func NewFile(dir, name string, n int64) (Segment, error) {
 		f.Close()
 		return nil, fmt.Errorf("shm: size %s: %w", path, err)
 	}
-	return &fileSegment{f: f, size: n, path: path, owner: true}, nil
+	s := &fileSegment{f: f, size: n, path: path, owner: true}
+	s.mapped, _ = mapFile(f, n) // fast path only; pread/pwrite fallback stays
+	return s, nil
 }
 
 // OpenFile attaches to an existing file-backed segment.
@@ -121,14 +126,23 @@ func OpenFile(dir, name string) (Segment, error) {
 		f.Close()
 		return nil, err
 	}
-	return &fileSegment{f: f, size: st.Size(), path: path}, nil
+	s := &fileSegment{f: f, size: st.Size(), path: path}
+	s.mapped, _ = mapFile(f, s.size)
+	return s, nil
 }
 
+// fileSegment is a file under /dev/shm, mmap'd into the process when the
+// platform allows it. With the mapping in place, ReadAt/WriteAt are plain
+// memcpy and Bytes exposes the shared region directly, so daemon-mode
+// SND/RCV stop paying one pread/pwrite syscall per transfer; without it
+// (mmap failure or non-unix build) every access falls back to positioned
+// file I/O, which is always correct.
 type fileSegment struct {
-	f     *os.File
-	size  int64
-	path  string
-	owner bool
+	f      *os.File
+	size   int64
+	path   string
+	owner  bool
+	mapped []byte
 }
 
 func (s *fileSegment) Size() int64 { return s.size }
@@ -136,6 +150,10 @@ func (s *fileSegment) Size() int64 { return s.size }
 func (s *fileSegment) WriteAt(p []byte, off int64) error {
 	if off < 0 || off+int64(len(p)) > s.size {
 		return fmt.Errorf("shm: access outside segment %s", s.path)
+	}
+	if s.mapped != nil {
+		copy(s.mapped[off:], p)
+		return nil
 	}
 	_, err := s.f.WriteAt(p, off)
 	return err
@@ -145,14 +163,36 @@ func (s *fileSegment) ReadAt(p []byte, off int64) error {
 	if off < 0 || off+int64(len(p)) > s.size {
 		return fmt.Errorf("shm: access outside segment %s", s.path)
 	}
+	if s.mapped != nil {
+		copy(p, s.mapped[off:])
+		return nil
+	}
 	_, err := s.f.ReadAt(p, off)
 	return err
 }
 
-func (s *fileSegment) Bytes() []byte { return nil }
+func (s *fileSegment) Bytes() []byte { return s.mapped }
+
+// Unmap drops a file-backed segment's mapping, forcing every later access
+// through positioned file I/O. A no-op for other segment kinds. This
+// exists so benchmarks can measure the pread/pwrite fallback against the
+// mapped fast path on the same platform.
+func Unmap(s Segment) {
+	if fs, ok := s.(*fileSegment); ok && fs.mapped != nil {
+		_ = unmapFile(fs.mapped)
+		fs.mapped = nil
+	}
+}
 
 func (s *fileSegment) Close() error {
-	err := s.f.Close()
+	var err error
+	if s.mapped != nil {
+		err = unmapFile(s.mapped)
+		s.mapped = nil
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
 	if s.owner {
 		if rmErr := os.Remove(s.path); err == nil {
 			err = rmErr

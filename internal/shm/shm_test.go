@@ -119,8 +119,60 @@ func TestFileSegmentBounds(t *testing.T) {
 	if err := s.ReadAt(make([]byte, 8), -1); err == nil {
 		t.Fatal("negative-offset read accepted")
 	}
-	if s.Bytes() != nil {
-		t.Fatal("file segment must not expose a backing slice")
+	if b := s.Bytes(); b != nil && int64(len(b)) != s.Size() {
+		t.Fatalf("mapped slice is %d bytes, segment is %d", len(b), s.Size())
+	}
+}
+
+// TestFileSegmentMmapVisibility checks that the mmap fast path and the
+// file itself stay coherent: bytes written through Bytes() are visible to
+// a second attachment and vice versa.
+func TestFileSegmentMmapVisibility(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir, "seg-mmap", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Bytes() == nil {
+		t.Skip("mmap unavailable on this platform; file-I/O fallback covered elsewhere")
+	}
+	o, err := OpenFile(dir, "seg-mmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	// Direct slice write on one attachment, ReadAt on the other.
+	copy(s.Bytes()[10:], "shared")
+	got := make([]byte, 6)
+	if err := o.ReadAt(got, 10); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "shared" {
+		t.Fatalf("cross-attachment read %q, want %q", got, "shared")
+	}
+	// WriteAt on one attachment, direct slice read on the other.
+	if err := o.WriteAt([]byte("reply"), 32); err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Bytes()[32:37]) != "reply" {
+		t.Fatalf("mapped view reads %q, want %q", s.Bytes()[32:37], "reply")
+	}
+}
+
+// TestFileSegmentEmpty: zero-length segments cannot be mapped and must
+// still behave (bounds errors, nil-safe Bytes).
+func TestFileSegmentEmpty(t *testing.T) {
+	s, err := NewFile(t.TempDir(), "seg-empty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WriteAt([]byte{1}, 0); err == nil {
+		t.Fatal("write into empty segment accepted")
+	}
+	if err := s.ReadAt(nil, 0); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -49,43 +48,82 @@ func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
 // String formats the instant as a duration since simulation start.
 func (t Time) String() string { return Duration(t).String() }
 
-// item is a calendar entry: at time at (seq breaking ties), run fn.
+// item is a calendar entry: at time at (seq breaking ties), run fn. Items
+// are stored by value in the heap slice, so scheduling a future event costs
+// no per-event allocation once the slice's capacity has warmed up.
 type item struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-type calendar []*item
-
-func (c calendar) Len() int { return len(c) }
-func (c calendar) Less(i, j int) bool {
-	if c[i].at != c[j].at {
-		return c[i].at < c[j].at
+func (it item) less(o item) bool {
+	if it.at != o.at {
+		return it.at < o.at
 	}
-	return c[i].seq < c[j].seq
-}
-func (c calendar) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
-func (c *calendar) Push(x any)   { *c = append(*c, x.(*item)) }
-func (c *calendar) Pop() any {
-	old := *c
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*c = old[:n-1]
-	return it
+	return it.seq < o.seq
 }
 
 // Env is a simulation environment: a virtual clock plus an event calendar.
 // The zero value is not usable; construct with NewEnv.
+//
+// The calendar is split in two: a value-based binary heap for future
+// instants, and a flat FIFO (nowQ) for events scheduled at the current
+// instant. Same-instant scheduling — process resume, unblock, Go, event
+// fan-out — dominates the engine's hot path, and the FIFO turns each such
+// event into one slice append against pooled capacity instead of a heap
+// push. Ordering is preserved: heap entries due at the current instant were
+// scheduled before the clock reached it, so they always precede nowQ
+// entries, and nowQ itself is FIFO by construction.
 type Env struct {
 	now     Time
-	cal     calendar
+	cal     []item // future events, min-heap on (at, seq)
+	nowQ    []func()
+	nowHead int
 	seq     uint64
 	parked  chan struct{} // a resumed process signals here when it blocks or exits
 	blocked int           // processes alive but waiting on something other than time
 	procs   int           // processes alive
 	running bool
+}
+
+// pushCal inserts a future entry into the heap (sift-up).
+func (e *Env) pushCal(it item) {
+	e.cal = append(e.cal, it)
+	i := len(e.cal) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.cal[i].less(e.cal[parent]) {
+			break
+		}
+		e.cal[i], e.cal[parent] = e.cal[parent], e.cal[i]
+		i = parent
+	}
+}
+
+// popCal removes the minimum heap entry (sift-down), clearing the vacated
+// slot so the closure can be collected.
+func (e *Env) popCal() {
+	n := len(e.cal) - 1
+	e.cal[0] = e.cal[n]
+	e.cal[n] = item{}
+	e.cal = e.cal[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && e.cal[r].less(e.cal[l]) {
+			m = r
+		}
+		if !e.cal[m].less(e.cal[i]) {
+			break
+		}
+		e.cal[i], e.cal[m] = e.cal[m], e.cal[i]
+		i = m
+	}
 }
 
 // NewEnv returns an empty simulation environment at time zero.
@@ -96,15 +134,15 @@ func NewEnv() *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
-// schedule enters fn into the calendar at instant at.
-func (e *Env) schedule(at Time, fn func()) *item {
-	if at < e.now {
-		at = e.now
+// schedule enters fn into the calendar at instant at. Instants at or before
+// the current time take the same-instant FIFO fast path.
+func (e *Env) schedule(at Time, fn func()) {
+	if at <= e.now {
+		e.nowQ = append(e.nowQ, fn)
+		return
 	}
-	it := &item{at: at, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.cal, it)
-	return it
+	e.pushCal(item{at: at, seq: e.seq, fn: fn})
 }
 
 // At schedules fn to run at the given virtual instant (or now, if the
@@ -216,15 +254,34 @@ func (e *Env) RunUntil(horizon Time) error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.cal) > 0 {
-		it := e.cal[0]
-		if it.at > horizon {
+	for {
+		// Heap entries due now were scheduled before the clock reached this
+		// instant, so they precede everything queued in nowQ.
+		for len(e.cal) > 0 && e.cal[0].at <= e.now {
+			fn := e.cal[0].fn
+			e.popCal()
+			fn()
+		}
+		// Drain the same-instant FIFO with a cursor: callbacks may append
+		// more same-instant work, which runs in this same pass in FIFO
+		// order. Slots are cleared as they run so closures don't linger.
+		for e.nowHead < len(e.nowQ) {
+			fn := e.nowQ[e.nowHead]
+			e.nowQ[e.nowHead] = nil
+			e.nowHead++
+			fn()
+		}
+		e.nowQ = e.nowQ[:0]
+		e.nowHead = 0
+		if len(e.cal) == 0 {
+			break
+		}
+		if next := e.cal[0].at; next > horizon {
 			e.now = horizon
 			return nil
+		} else {
+			e.now = next
 		}
-		heap.Pop(&e.cal)
-		e.now = it.at
-		it.fn()
 	}
 	if e.blocked > 0 {
 		return fmt.Errorf("sim: deadlock: %d process(es) blocked with empty calendar at %v", e.blocked, e.now)
@@ -265,7 +322,9 @@ func (ev *Event) Fire(v any) {
 	}
 	ev.waiters = nil
 	for _, cb := range ev.cbs {
-		cb(v)
+		if cb != nil { // detached (e.g. a WaitAny loser)
+			cb(v)
+		}
 	}
 	ev.cbs = nil
 }
@@ -299,7 +358,10 @@ func (p *Proc) WaitAll(evs ...*Event) {
 }
 
 // WaitAny suspends the process until at least one of the events has fired,
-// and returns the index of the earliest-fired event among them.
+// and returns the index of the earliest-fired event among them. Once the
+// winner fires, the callbacks registered on the losing events are detached,
+// so long-lived events do not accumulate dead closures from repeated
+// WaitAny calls.
 func (p *Proc) WaitAny(evs ...*Event) int {
 	for i, ev := range evs {
 		if ev.fired {
@@ -307,9 +369,17 @@ func (p *Proc) WaitAny(evs ...*Event) int {
 		}
 	}
 	done := p.env.NewEvent()
+	ids := make([]int, len(evs))
 	for i, ev := range evs {
 		i := i
-		ev.OnFire(func(any) { done.Fire(i) })
+		ids[i] = len(ev.cbs)
+		ev.cbs = append(ev.cbs, func(any) { done.Fire(i) })
 	}
-	return p.Wait(done).(int)
+	idx := p.Wait(done).(int)
+	for i, ev := range evs {
+		if i != idx && !ev.fired && ids[i] < len(ev.cbs) {
+			ev.cbs[ids[i]] = nil
+		}
+	}
+	return idx
 }

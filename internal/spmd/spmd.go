@@ -25,6 +25,9 @@ type Config struct {
 	N          int // number of SPMD processes (<= CPU cores per node)
 	Cycles     int // GPU execution cycles per process (default 1)
 	Functional bool
+	// ExecWorkers sizes the functional-execution worker pool
+	// (gpusim.Config.ExecWorkers): 0 = GOMAXPROCS, 1 = serial.
+	ExecWorkers int
 
 	// SpecFor returns process i's task description. All processes run
 	// the same program under SPMD; the spec may still differ per rank
@@ -88,7 +91,7 @@ func RunDirect(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	env := sim.NewEnv()
-	dev, err := gpusim.New(env, gpusim.Config{Arch: cfg.Arch, Functional: cfg.Functional, Tracer: cfg.Tracer})
+	dev, err := gpusim.New(env, gpusim.Config{Arch: cfg.Arch, Functional: cfg.Functional, ExecWorkers: cfg.ExecWorkers, Tracer: cfg.Tracer})
 	if err != nil {
 		return Result{}, err
 	}
@@ -148,7 +151,7 @@ func RunVirt(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	env := sim.NewEnv()
-	dev, err := gpusim.New(env, gpusim.Config{Arch: cfg.Arch, Functional: cfg.Functional, Tracer: cfg.Tracer})
+	dev, err := gpusim.New(env, gpusim.Config{Arch: cfg.Arch, Functional: cfg.Functional, ExecWorkers: cfg.ExecWorkers, Tracer: cfg.Tracer})
 	if err != nil {
 		return Result{}, err
 	}
@@ -254,7 +257,7 @@ func Profile(cfg Config) (model.Params, error) {
 		return model.Params{}, err
 	}
 	env := sim.NewEnv()
-	dev, err := gpusim.New(env, gpusim.Config{Arch: cfg.Arch, Functional: cfg.Functional})
+	dev, err := gpusim.New(env, gpusim.Config{Arch: cfg.Arch, Functional: cfg.Functional, ExecWorkers: cfg.ExecWorkers})
 	if err != nil {
 		return model.Params{}, err
 	}
