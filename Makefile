@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: all ci vet build test race bench-short bench-json
+.PHONY: all ci fmt vet build test race bench-short bench-json smoke
 
 all: ci
 
 # Tier-1 gate (README "CI gate"): everything a change must keep green.
-ci: vet build test race bench-short
+ci: fmt vet build test race bench-short
+
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -28,3 +33,8 @@ bench-short:
 # Regenerate the machine-readable hot-path numbers.
 bench-json:
 	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr1.json
+
+# End-to-end daemon smoke: gvmd on a TCP loopback port, a two-process
+# multiprocess round against it, non-empty turnaround output.
+smoke:
+	./scripts/smoke.sh

@@ -18,13 +18,13 @@ import (
 	"gpuvirt/internal/fermi"
 	"gpuvirt/internal/gpusim"
 	"gpuvirt/internal/gvm"
-	"gpuvirt/internal/ipc"
 	"gpuvirt/internal/kernels"
 	"gpuvirt/internal/model"
 	"gpuvirt/internal/shm"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/spmd"
 	"gpuvirt/internal/task"
+	"gpuvirt/internal/transport"
 	"gpuvirt/internal/workloads"
 )
 
@@ -517,8 +517,8 @@ func BenchmarkFunctionalExec_BlackScholes(b *testing.B) {
 
 // benchRequest is a representative control-plane message (the REQ verb
 // carries the largest payload of the six).
-func benchRequest() ipc.Request {
-	return ipc.Request{
+func benchRequest() transport.Request {
+	return transport.Request{
 		Verb: "REQ",
 		Rank: 3,
 		Ref: &workloads.Ref{
@@ -536,7 +536,7 @@ func BenchmarkIPCFrame_JSON(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		var got ipc.Request
+		var got transport.Request
 		if err := json.Unmarshal(buf, &got); err != nil {
 			b.Fatal(err)
 		}
@@ -549,11 +549,11 @@ func BenchmarkIPCFrame_Binary(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var err error
-		buf, err = ipc.EncodeRequestBinary(buf[:0], req)
+		buf, err = transport.EncodeRequestBinary(buf[:0], req)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ipc.DecodeRequestBinary(buf); err != nil {
+		if _, err := transport.DecodeRequestBinary(buf); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,14 +1,19 @@
 // Command gvmd runs the GPU Virtualization Manager as a real daemon: it
 // owns a simulated Fermi GPU and serves the paper's six-verb protocol
-// (REQ/SND/STR/STP/RCV/RLS) to separate OS processes over a Unix-domain
-// socket, with file-backed shared-memory segments under /dev/shm as the
-// data plane — the daemon-mode equivalent of the in-simulation GVM.
+// (REQ/SND/STR/STP/RCV/RLS) to separate OS processes over any mix of
+// transports. Unix-domain sockets pair with file-backed shared-memory
+// segments under /dev/shm as the data plane; TCP listeners default to
+// carrying payloads inline over the wire, which is what makes remote
+// (rCUDA-style) VGPU access work across machines.
 //
 // Usage:
 //
-//	gvmd -socket /tmp/gvmd.sock -parties 4 -functional
+//	gvmd -listen unix:///tmp/gvmd.sock -parties 4 -functional
+//	gvmd -listen tcp://:7070
+//	gvmd -listen unix:///tmp/gvmd.sock -listen tcp://:7070
 //
-// Clients connect with internal/ipc.Dial (see examples/multiprocess).
+// Clients connect with internal/ipc.Dial using the same address syntax
+// (see examples/multiprocess and examples/cluster -real).
 package main
 
 import (
@@ -17,14 +22,29 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"gpuvirt/internal/fermi"
 	"gpuvirt/internal/ipc"
+	"gpuvirt/internal/shm"
+	"gpuvirt/internal/transport"
 )
 
+// listenFlags collects repeated -listen values.
+type listenFlags []string
+
+func (l *listenFlags) String() string { return strings.Join(*l, ",") }
+func (l *listenFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
 func main() {
-	socket := flag.String("socket", "/tmp/gvmd.sock", "unix socket path")
+	var listen listenFlags
+	flag.Var(&listen, "listen", "transport address to serve: unix:///path, tcp://host:port (repeatable; default unix:///tmp/gvmd.sock)")
+	socket := flag.String("socket", "", "legacy alias for -listen unix://<path>")
+	addrFile := flag.String("addr-file", "", "write the bound addresses to this file, one per line (useful with tcp://...:0)")
 	parties := flag.Int("parties", 1, "STR barrier width (number of SPMD processes)")
 	functional := flag.Bool("functional", true, "carry real data and compute real results")
 	shmDir := flag.String("shm", "", "shared-memory directory (default /dev/shm)")
@@ -39,9 +59,28 @@ func main() {
 	if err != nil {
 		log.Fatalf("gvmd: %v", err)
 	}
-	os.Remove(*socket) // stale socket from a previous run
+	if *socket != "" {
+		listen = append(listenFlags{"unix://" + *socket}, listen...)
+	}
+	if len(listen) == 0 {
+		listen = listenFlags{"unix:///tmp/gvmd.sock"}
+	}
+
+	// Clean up after a daemon that died without its signal handler: stale
+	// unix sockets block the new bind, stale segments leak /dev/shm.
+	for _, addr := range listen {
+		if scheme, target := transport.SplitAddr(addr); scheme == "unix" {
+			os.Remove(target)
+		}
+	}
+	if n, err := shm.RemoveStale(*shmDir, "gvmd-seg-"); err != nil {
+		log.Printf("gvmd: stale segment cleanup: %v", err)
+	} else if n > 0 {
+		log.Printf("gvmd: removed %d stale shm segment(s)", n)
+	}
+
 	srv, err := ipc.NewServer(ipc.ServerConfig{
-		Socket:         *socket,
+		Listen:         listen,
 		Arch:           arch,
 		Parties:        *parties,
 		Functional:     *functional,
@@ -55,17 +94,48 @@ func main() {
 	if err != nil {
 		log.Fatalf("gvmd: %v", err)
 	}
+	addrs := srv.Addrs()
 	log.Printf("gvmd: serving %dx %s on %s (parties=%d functional=%v)",
-		*gpus, arch.Name, *socket, *parties, *functional)
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Printf("gvmd: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Printf("gvmd: close: %v", err)
+		*gpus, arch.Name, strings.Join(addrs, ", "), *parties, *functional)
+	if *addrFile != "" {
+		// Written only after every listener is bound, so a waiter that
+		// sees the file can connect immediately.
+		if err := os.WriteFile(*addrFile, []byte(strings.Join(addrs, "\n")+"\n"), 0o644); err != nil {
+			srv.Close()
+			log.Fatalf("gvmd: write %s: %v", *addrFile, err)
+		}
 	}
-	os.Remove(*socket)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("gvmd: %v: shutting down", got)
+	done := make(chan struct{})
+	go func() {
+		// Close releases every live session, so file-backed shm segments
+		// are removed and unix listeners unlink their socket files.
+		if err := srv.Close(); err != nil {
+			log.Printf("gvmd: close: %v", err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case got = <-sig:
+		log.Printf("gvmd: %v: forcing exit", got)
+	}
+	// Belt and braces: sockets are normally unlinked by listener close and
+	// segments by session teardown, but a forced exit must not leave
+	// residue for the next run to trip over.
+	for _, addr := range listen {
+		if scheme, target := transport.SplitAddr(addr); scheme == "unix" {
+			os.Remove(target)
+		}
+	}
+	if *addrFile != "" {
+		os.Remove(*addrFile)
+	}
+	shm.RemoveStale(*shmDir, "gvmd-seg-")
 }
 
 func archByName(name string) (fermi.Arch, error) {

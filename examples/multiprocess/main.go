@@ -1,12 +1,19 @@
 // Multiprocess: real OS processes sharing the GPU through the gvmd
-// daemon, over Unix-domain sockets and /dev/shm segments.
+// daemon.
 //
-// The parent process starts an in-process daemon with an STR barrier
-// spanning all workers, then spawns itself N times with -role=worker.
-// Each worker process dials the daemon, opens a VGPU session for a
-// vector-add task, runs one full protocol cycle with real data and
-// verifies the results. This is the paper's deployment shape: one GVM
-// run-time per node, one SPMD process per core.
+// By default the parent process starts an in-process daemon on a
+// Unix-domain socket (with /dev/shm segments as the data plane) and an
+// STR barrier spanning all workers, then spawns itself N times with
+// -role=worker. Each worker process dials the daemon, opens a VGPU
+// session for a vector-add task, runs one full protocol cycle with real
+// data and verifies the results. This is the paper's deployment shape:
+// one GVM run-time per node, one SPMD process per core.
+//
+// With -connect the parent skips the in-process daemon and points the
+// workers at an already-running gvmd instead — any transport the daemon
+// listens on works, e.g. -connect tcp://127.0.0.1:7070 for remote-style
+// access with payloads inline on the wire (start that daemon with
+// -parties matching -workers).
 //
 // Run with: go run ./examples/multiprocess
 package main
@@ -18,28 +25,29 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"time"
 
 	"gpuvirt/internal/cuda"
 	"gpuvirt/internal/ipc"
 	"gpuvirt/internal/workloads"
 )
 
-const (
-	workers = 4
-	n       = 1 << 16 // floats per worker
-)
+const n = 1 << 16 // floats per worker
 
 func main() {
 	role := flag.String("role", "parent", "internal: parent|worker")
-	socket := flag.String("socket", "", "internal: daemon socket path")
+	addr := flag.String("addr", "", "internal: daemon address for workers")
 	rank := flag.Int("rank", 0, "internal: worker rank")
+	workers := flag.Int("workers", 4, "number of SPMD worker processes")
+	connect := flag.String("connect", "", "dial an external gvmd at this address (unix:///path or tcp://host:port) instead of starting one in-process")
+	timeout := flag.Duration("timeout", 0, "per-request I/O timeout on client round trips (0 = none)")
 	flag.Parse()
 
 	switch *role {
 	case "parent":
-		parent()
+		parent(*workers, *connect, *timeout)
 	case "worker":
-		if err := worker(*socket, *rank); err != nil {
+		if err := worker(*addr, *rank, *timeout); err != nil {
 			log.Fatalf("worker %d: %v", *rank, err)
 		}
 	default:
@@ -47,26 +55,31 @@ func main() {
 	}
 }
 
-func parent() {
-	dir, err := os.MkdirTemp("", "gvmd-example")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer os.RemoveAll(dir)
-	socket := filepath.Join(dir, "gvmd.sock")
+func parent(workers int, connect string, timeout time.Duration) {
+	addr := connect
+	shmDir := os.Getenv("GVMD_SHM_DIR")
+	if connect == "" {
+		dir, err := os.MkdirTemp("", "gvmd-example")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		shmDir = dir
 
-	srv, err := ipc.NewServer(ipc.ServerConfig{
-		Socket:      socket,
-		Parties:     workers, // barrier: all workers' streams flush together
-		Functional:  true,
-		ShmDir:      dir,
-		ExecWorkers: 0, // kernel-execution pool: one worker per core
-	})
-	if err != nil {
-		log.Fatal(err)
+		srv, err := ipc.NewServer(ipc.ServerConfig{
+			Socket:      filepath.Join(dir, "gvmd.sock"),
+			Parties:     workers, // barrier: all workers' streams flush together
+			Functional:  true,
+			ShmDir:      dir,
+			ExecWorkers: 0, // kernel-execution pool: one worker per core
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		addr = srv.Addr()
 	}
-	defer srv.Close()
-	fmt.Printf("parent: daemon on %s, spawning %d worker processes\n", socket, workers)
+	fmt.Printf("parent: daemon on %s, spawning %d worker processes\n", addr, workers)
 
 	self, err := os.Executable()
 	if err != nil {
@@ -75,10 +88,11 @@ func parent() {
 	cmds := make([]*exec.Cmd, workers)
 	for i := range cmds {
 		cmds[i] = exec.Command(self,
-			"-role=worker", "-socket="+socket, fmt.Sprintf("-rank=%d", i))
+			"-role=worker", "-addr="+addr, fmt.Sprintf("-rank=%d", i),
+			fmt.Sprintf("-timeout=%s", timeout))
 		cmds[i].Stdout = os.Stdout
 		cmds[i].Stderr = os.Stderr
-		cmds[i].Env = append(os.Environ(), "GVMD_SHM_DIR="+dir)
+		cmds[i].Env = append(os.Environ(), "GVMD_SHM_DIR="+shmDir)
 		if err := cmds[i].Start(); err != nil {
 			log.Fatal(err)
 		}
@@ -96,13 +110,17 @@ func parent() {
 	fmt.Println("parent: all workers verified their results through the daemon")
 }
 
-func worker(socket string, rank int) error {
-	client, err := ipc.Dial(socket, os.Getenv("GVMD_SHM_DIR"))
+func worker(addr string, rank int, timeout time.Duration) error {
+	client, err := ipc.DialOptions(addr, ipc.Options{
+		ShmDir:  os.Getenv("GVMD_SHM_DIR"),
+		Timeout: timeout,
+	})
 	if err != nil {
 		return err
 	}
 	defer client.Close()
 
+	start := time.Now()
 	sess, err := client.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}, rank)
 	if err != nil {
 		return err
@@ -126,8 +144,8 @@ func worker(socket string, rank int) error {
 	if err := sess.Release(); err != nil {
 		return err
 	}
-	fmt.Printf("worker %d (pid %d): %d elements verified, device clock %.2f ms\n",
-		rank, os.Getpid(), n, virtMS)
+	fmt.Printf("worker %d (pid %d): %d elements verified over %s plane, turnaround %.1f ms wall, device clock %.2f ms\n",
+		rank, os.Getpid(), n, sess.Plane(), time.Since(start).Seconds()*1e3, virtMS)
 	return nil
 }
 

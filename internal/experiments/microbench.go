@@ -8,10 +8,10 @@ import (
 	"time"
 
 	"gpuvirt/internal/cuda"
-	"gpuvirt/internal/ipc"
 	"gpuvirt/internal/kernels"
 	"gpuvirt/internal/shm"
 	"gpuvirt/internal/sim"
+	"gpuvirt/internal/transport"
 	"gpuvirt/internal/workloads"
 )
 
@@ -148,7 +148,7 @@ func MicroBench() MicroBenchReport {
 		return kernels.NewBlackScholes(ps, px, pt, pc, pp, n, 4, 60, kernels.DefaultBSParams())
 	})...)
 
-	req := ipc.Request{
+	req := transport.Request{
 		Verb: "REQ",
 		Rank: 3,
 		Ref: &workloads.Ref{
@@ -163,7 +163,7 @@ func MicroBench() MicroBenchReport {
 			if err != nil {
 				b.Fatal(err)
 			}
-			var got ipc.Request
+			var got transport.Request
 			if err := json.Unmarshal(buf, &got); err != nil {
 				b.Fatal(err)
 			}
@@ -174,11 +174,11 @@ func MicroBench() MicroBenchReport {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			var err error
-			buf, err = ipc.EncodeRequestBinary(buf[:0], req)
+			buf, err = transport.EncodeRequestBinary(buf[:0], req)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := ipc.DecodeRequestBinary(buf); err != nil {
+			if _, err := transport.DecodeRequestBinary(buf); err != nil {
 				b.Fatal(err)
 			}
 		}

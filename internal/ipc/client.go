@@ -4,54 +4,107 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
-	"gpuvirt/internal/shm"
+	"gpuvirt/internal/transport"
 	"gpuvirt/internal/workloads"
 )
 
-// Client is a real-process connection to a gvmd daemon.
-type Client struct {
-	mu     sync.Mutex
-	conn   *Conn
-	shmDir string
+// Options configures a client connection.
+type Options struct {
+	// JSONWire dials with the newline-delimited JSON debugging codec;
+	// the daemon must run with -json-wire.
+	JSONWire bool
+	// ShmDir is the daemon's shm data-plane directory ("" = /dev/shm).
+	// Only the shm plane uses it.
+	ShmDir string
+	// Plane forces a data plane (transport.PlaneShm or
+	// transport.PlaneInline); "" takes the transport's default — shm for
+	// unix/inproc, inline for tcp.
+	Plane string
+	// Timeout bounds each request round trip's socket I/O (SetDeadline
+	// around write+read), so a hung or SIGSTOP'd daemon surfaces as an
+	// error instead of blocking the client forever. 0 (the default)
+	// disables the deadline. A timed-out connection may hold a partial
+	// frame and must be closed, not reused.
+	Timeout time.Duration
 }
 
-// Dial connects to the daemon at the given Unix socket path using the
-// binary wire codec. shmDir must match the daemon's data-plane directory
-// ("" = /dev/shm).
-func Dial(socket, shmDir string) (*Client, error) {
-	return dial(socket, shmDir, NewConn)
+// Client is a real-process connection to a gvmd daemon. It is the thin
+// transport binding of the one vgpu-style client API: verbs travel as
+// frames, payloads through the session's data plane, and all protocol
+// state lives server-side in the shared dispatcher.
+type Client struct {
+	mu      sync.Mutex
+	conn    *transport.Conn
+	nc      net.Conn
+	shmDir  string
+	plane   string
+	timeout time.Duration
+}
+
+// Dial connects to a daemon address — "unix:///path" (or a bare socket
+// path), "tcp://host:port", "inproc://name" — using the binary wire
+// codec. shmDir must match the daemon's data-plane directory ("" =
+// /dev/shm) when the shm plane is in play.
+func Dial(addr, shmDir string) (*Client, error) {
+	return DialOptions(addr, Options{ShmDir: shmDir})
 }
 
 // DialJSON connects using the JSON debugging codec; the daemon must be
 // running with JSONWire set.
-func DialJSON(socket, shmDir string) (*Client, error) {
-	return dial(socket, shmDir, NewConnJSON)
+func DialJSON(addr, shmDir string) (*Client, error) {
+	return DialOptions(addr, Options{ShmDir: shmDir, JSONWire: true})
 }
 
-func dial(socket, shmDir string, wrap func(net.Conn) *Conn) (*Client, error) {
-	nc, err := net.Dial("unix", socket)
+// DialOptions connects to a daemon address with explicit options.
+func DialOptions(addr string, o Options) (*Client, error) {
+	nc, tr, err := transport.DialAddr(addr)
 	if err != nil {
-		return nil, fmt.Errorf("ipc: dial %s: %w", socket, err)
+		return nil, fmt.Errorf("ipc: dial %s: %w", addr, err)
 	}
-	return &Client{conn: wrap(nc), shmDir: shmDir}, nil
+	if err := transport.WritePreamble(nc, o.JSONWire); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("ipc: dial %s: %w", addr, err)
+	}
+	conn := transport.NewConn(nc)
+	if o.JSONWire {
+		conn = transport.NewConnJSON(nc)
+	}
+	plane := o.Plane
+	if plane == "" {
+		plane = tr.DefaultPlane()
+	}
+	return &Client{conn: conn, nc: nc, shmDir: o.ShmDir, plane: plane, timeout: o.Timeout}, nil
 }
 
 // Close drops the connection; the daemon releases any sessions left open.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetRequestTimeout sets the per-round-trip I/O deadline for subsequent
+// requests (0 disables it).
+func (c *Client) SetRequestTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
 // roundTrip sends one request and reads its response.
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
 	if err := c.conn.WriteRequest(req); err != nil {
-		return Response{}, err
+		return Response{}, c.wrapTimeout(req.Verb, err)
 	}
 	resp, err := c.conn.ReadResponse()
 	if err != nil {
-		return Response{}, err
+		return Response{}, c.wrapTimeout(req.Verb, err)
 	}
 	if resp.Status == "ERR" {
 		return resp, fmt.Errorf("ipc: %s: %s", req.Verb, resp.Err)
@@ -59,12 +112,20 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	return resp, nil
 }
 
+func (c *Client) wrapTimeout(verb string, err error) error {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return fmt.Errorf("ipc: %s: no response within %v (daemon hung or stopped?): %w", verb, c.timeout, err)
+	}
+	return err
+}
+
 // Session is one VGPU session over the wire: the client-side handle of
-// the paper's API layer for real processes.
+// the paper's API layer for real processes. Its method set mirrors
+// vgpu.VGPU; payload movement is delegated to the session's data plane.
 type Session struct {
 	c        *Client
 	id       int
-	seg      shm.Segment
+	plane    transport.DataPlane
 	inBytes  int64
 	outBytes int64
 	// VirtualMS is the simulated-GPU clock at the last response.
@@ -73,18 +134,18 @@ type Session struct {
 
 // Request opens a VGPU session for the given workload reference.
 func (c *Client) Request(ref workloads.Ref, rank int) (*Session, error) {
-	resp, err := c.roundTrip(Request{Verb: "REQ", Ref: &ref, Rank: rank})
+	resp, err := c.roundTrip(Request{Verb: "REQ", Ref: &ref, Rank: rank, Plane: c.plane})
 	if err != nil {
 		return nil, err
 	}
-	seg, err := shm.OpenFile(c.shmDir, resp.Segment)
+	plane, err := transport.OpenPlane(c.shmDir, resp)
 	if err != nil {
-		return nil, fmt.Errorf("ipc: attach data plane: %w", err)
+		return nil, err
 	}
 	return &Session{
 		c:        c,
 		id:       resp.Session,
-		seg:      seg,
+		plane:    plane,
 		inBytes:  resp.InBytes,
 		outBytes: resp.OutBytes,
 	}, nil
@@ -99,6 +160,9 @@ func (s *Session) InBytes() int64 { return s.inBytes }
 // OutBytes returns the output staging size.
 func (s *Session) OutBytes() int64 { return s.outBytes }
 
+// Plane returns the data plane kind the session negotiated.
+func (s *Session) Plane() string { return s.plane.Kind() }
+
 func (s *Session) verb(verb string) error {
 	resp, err := s.c.roundTrip(Request{Verb: verb, Session: s.id})
 	if err != nil {
@@ -108,18 +172,24 @@ func (s *Session) verb(verb string) error {
 	return nil
 }
 
-// SendInput writes the input into the shared segment and issues SND.
+// SendInput stages the input through the data plane and issues SND.
 // data may be nil against a timing-only daemon.
 func (s *Session) SendInput(data []byte) error {
+	if data != nil && int64(len(data)) != s.inBytes {
+		return fmt.Errorf("ipc: input is %d bytes, session stages %d", len(data), s.inBytes)
+	}
+	req := Request{Verb: "SND", Session: s.id}
 	if data != nil {
-		if int64(len(data)) != s.inBytes {
-			return fmt.Errorf("ipc: input is %d bytes, session stages %d", len(data), s.inBytes)
-		}
-		if err := s.seg.WriteAt(data, 0); err != nil {
+		if err := s.plane.StageIn(data, &req); err != nil {
 			return err
 		}
 	}
-	return s.verb("SND")
+	resp, err := s.c.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	s.VirtualMS = resp.VirtualMS
+	return nil
 }
 
 // Start issues STR; it returns once the daemon's barrier has flushed all
@@ -151,24 +221,23 @@ func (s *Session) Wait() error {
 	}
 }
 
-// Receive issues RCV and reads the results from the shared segment.
+// Receive issues RCV and collects the results through the data plane.
 func (s *Session) Receive(buf []byte) error {
-	if err := s.verb("RCV"); err != nil {
+	if buf != nil && int64(len(buf)) != s.outBytes {
+		return fmt.Errorf("ipc: output buffer is %d bytes, session stages %d", len(buf), s.outBytes)
+	}
+	resp, err := s.c.roundTrip(Request{Verb: "RCV", Session: s.id})
+	if err != nil {
 		return err
 	}
-	if buf != nil {
-		if int64(len(buf)) != s.outBytes {
-			return fmt.Errorf("ipc: output buffer is %d bytes, session stages %d", len(buf), s.outBytes)
-		}
-		return s.seg.ReadAt(buf, s.inBytes)
-	}
-	return nil
+	s.VirtualMS = resp.VirtualMS
+	return s.plane.CollectOut(buf, &resp)
 }
 
 // Release issues RLS and detaches the data plane.
 func (s *Session) Release() error {
 	err := s.verb("RLS")
-	if cerr := s.seg.Close(); err == nil {
+	if cerr := s.plane.Close(); err == nil {
 		err = cerr
 	}
 	return err

@@ -1,0 +1,314 @@
+package ipc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/transport"
+	"gpuvirt/internal/workloads"
+)
+
+// startServerOn starts a daemon on an explicit listener set.
+func startServerOn(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	if cfg.ShmDir == "" {
+		cfg.ShmDir = t.TempDir()
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// vecaddCycle runs one functional vecadd cycle and returns the output
+// bytes the daemon produced.
+func vecaddCycle(t *testing.T, c *Client, n, rank int) []byte {
+	t.Helper()
+	sess, err := c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}, rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float32, 2*n)
+	for i := 0; i < n; i++ {
+		in[i] = float32(i)
+		in[n+i] = 0.5
+	}
+	out := make([]byte, n*4)
+	if err := sess.RunCycle(cuda.HostFloat32Bytes(in), out); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTransportPlaneMatrix drives the same functional workload through
+// every transport with every data plane: one daemon, six ways in, one
+// right answer.
+func TestTransportPlaneMatrix(t *testing.T) {
+	s := startServerOn(t, ServerConfig{
+		Listen: []string{
+			"unix://" + tempSocket(t),
+			"tcp://127.0.0.1:0",
+			"inproc://matrix",
+		},
+		Functional: true,
+	})
+	addrs := s.Addrs()
+	const n = 1024
+	for i, addr := range addrs {
+		for _, plane := range []string{transport.PlaneShm, transport.PlaneInline} {
+			addr, plane := addr, plane
+			t.Run(fmt.Sprintf("%s/%s", []string{"unix", "tcp", "inproc"}[i], plane), func(t *testing.T) {
+				c, err := DialOptions(addr, Options{ShmDir: s.cfg.ShmDir, Plane: plane})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				sess, err := c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := sess.Plane(); got != plane {
+					t.Fatalf("negotiated plane %q, want %q", got, plane)
+				}
+				if err := sess.Release(); err != nil {
+					t.Fatal(err)
+				}
+				out := vecaddCycle(t, c, n, 0)
+				res := cuda.Float32s(byteMem(out), 0, n)
+				for j := 0; j < n; j++ {
+					if res[j] != float32(j)+0.5 {
+						t.Fatalf("out[%d] = %g", j, res[j])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTCPInlineMatchesUnixShm is the acceptance check for the data-plane
+// split: a TCP client on the inline plane must receive byte-identical
+// RCV results to a unix-socket client on the shm plane for the same
+// workload.
+func TestTCPInlineMatchesUnixShm(t *testing.T) {
+	s := startServerOn(t, ServerConfig{
+		Listen:     []string{"unix://" + tempSocket(t), "tcp://127.0.0.1:0"},
+		Functional: true,
+	})
+	unixAddr, tcpAddr := s.Addrs()[0], s.Addrs()[1]
+
+	const n = 2048
+	cu, err := Dial(unixAddr, s.cfg.ShmDir) // unix defaults to shm
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cu.Close()
+	ct, err := Dial(tcpAddr, s.cfg.ShmDir) // tcp defaults to inline
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+
+	outShm := vecaddCycle(t, cu, n, 0)
+	outInline := vecaddCycle(t, ct, n, 0)
+	if string(outShm) != string(outInline) {
+		t.Fatal("tcp/inline output differs from unix/shm output for the same workload")
+	}
+}
+
+// TestCodecMismatchRejected covers both directions of the preamble
+// handshake: the daemon names the wire it speaks instead of failing with
+// frame garbage.
+func TestCodecMismatchRejected(t *testing.T) {
+	t.Run("json-client-binary-daemon", func(t *testing.T) {
+		s := startServerOn(t, ServerConfig{Socket: tempSocket(t)})
+		c, err := DialJSON(s.Addr(), s.cfg.ShmDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		_, err = c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 64}}, 0)
+		if err == nil || !strings.Contains(err.Error(), "codec mismatch") {
+			t.Fatalf("got %v, want codec mismatch error", err)
+		}
+		if !strings.Contains(err.Error(), "binary wire") {
+			t.Fatalf("error does not name the daemon's codec: %v", err)
+		}
+	})
+	t.Run("binary-client-json-daemon", func(t *testing.T) {
+		s := startServerOn(t, ServerConfig{Socket: tempSocket(t), JSONWire: true})
+		c, err := Dial(s.Addr(), s.cfg.ShmDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		_, err = c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 64}}, 0)
+		if err == nil || !strings.Contains(err.Error(), "codec mismatch") {
+			t.Fatalf("got %v, want codec mismatch error", err)
+		}
+		if !strings.Contains(err.Error(), "JSON wire") {
+			t.Fatalf("error does not name the daemon's codec: %v", err)
+		}
+	})
+}
+
+// TestDisconnectMidSessionFreesResources kills a client between SND and
+// STR — the worst spot, with the input staged and a barrier pending —
+// and checks the daemon releases the session, frees its device memory,
+// and (with a barrier timeout) lets the surviving party complete.
+func TestDisconnectMidSessionFreesResources(t *testing.T) {
+	for _, scheme := range []string{"unix", "tcp"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			addr := "tcp://127.0.0.1:0"
+			if scheme == "unix" {
+				addr = "unix://" + tempSocket(t)
+			}
+			s := startServerOn(t, ServerConfig{
+				Listen:         []string{addr},
+				Parties:        2,
+				Functional:     true,
+				BarrierTimeout: 100 * sim.Millisecond,
+			})
+
+			victim, err := DialOptions(s.Addr(), Options{ShmDir: s.cfg.ShmDir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs, err := victim.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 1024}}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vs.SendInput(make([]byte, vs.InBytes())); err != nil {
+				t.Fatal(err)
+			}
+			var memAfterREQ int64 = -1
+			if !s.submitProbe(func() { memAfterREQ = s.mgr.Device().MemInUse() }) {
+				t.Fatal("server closed early")
+			}
+			if memAfterREQ <= 0 {
+				t.Fatalf("expected device memory in use after REQ, got %d", memAfterREQ)
+			}
+			victim.Close() // dies between SND and STR
+
+			// The survivor runs a full cycle; the barrier timeout flushes
+			// its STR without the dead peer.
+			survivor, err := Dial(s.Addr(), s.cfg.ShmDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer survivor.Close()
+			done := make(chan error, 1)
+			go func() {
+				sess, err := survivor.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 512}}, 1)
+				if err != nil {
+					done <- err
+					return
+				}
+				if err := sess.RunCycle(make([]byte, sess.InBytes()), make([]byte, sess.OutBytes())); err != nil {
+					done <- err
+					return
+				}
+				done <- sess.Release()
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("survivor: %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("survivor wedged behind the dead client's barrier slot")
+			}
+
+			// Disconnect cleanup is asynchronous: poll until the victim's
+			// session is gone and its device memory is back.
+			for deadline := 400; deadline > 0; deadline-- {
+				open, mem := -1, int64(-1)
+				if !s.submitProbe(func() {
+					open = s.mgr.OpenSessions()
+					mem = s.mgr.Device().MemInUse()
+				}) {
+					t.Fatal("server closed early")
+				}
+				if open == 0 && mem == 0 {
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			t.Fatal("dead client's session or device memory never reclaimed")
+		})
+	}
+}
+
+// TestRequestTimeout points a client at a listener that accepts and
+// reads but never answers: with a request timeout set the round trip
+// fails with a deadline error instead of blocking forever.
+func TestRequestTimeout(t *testing.T) {
+	ln, err := transport.ListenAddr("tcp://127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // a daemon that went out to lunch
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4096)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := DialOptions(ln.Addr(), Options{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 64}}, 0)
+	if err == nil {
+		t.Fatal("request against a mute daemon succeeded")
+	}
+	if !strings.Contains(err.Error(), "no response within") {
+		t.Fatalf("got %v, want request-timeout error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, deadline not applied", elapsed)
+	}
+	c.Close() // unblocks the mute server's read loop
+	wg.Wait()
+}
+
+// TestInprocTransport exercises the in-process transport end to end:
+// same daemon, no socket files involved.
+func TestInprocTransport(t *testing.T) {
+	s := startServerOn(t, ServerConfig{Listen: []string{"inproc://daemon-test"}, Functional: true})
+	c, err := Dial(s.Addr(), s.cfg.ShmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 256
+	out := vecaddCycle(t, c, n, 0)
+	res := cuda.Float32s(byteMem(out), 0, n)
+	for i := 0; i < n; i++ {
+		if res[i] != float32(i)+0.5 {
+			t.Fatalf("out[%d] = %g", i, res[i])
+		}
+	}
+}

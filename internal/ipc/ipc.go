@@ -1,0 +1,22 @@
+// Package ipc binds the virtualization protocol to real OS processes:
+// a thin client (Dial/Session) and the gvmd server glue, both riding the
+// pluggable connection layer in internal/transport. The wire codec
+// (length-prefixed binary frames, with a newline-delimited JSON
+// debugging mode), the transports (unix, tcp, inproc) and the data
+// planes (file-backed shared memory, inline-over-the-wire) all live in
+// internal/transport; the verb state machine lives once, in
+// transport.Dispatcher delegating to gvm.Manager. This package only
+// wires listeners and connections to that machinery — the daemon-mode
+// counterpart of the in-simulation vgpu API.
+package ipc
+
+import "gpuvirt/internal/transport"
+
+// Wire types are defined by the transport layer; aliased here so client
+// code reads naturally.
+type (
+	// Request is a wire-encoded protocol request.
+	Request = transport.Request
+	// Response is a wire-encoded protocol response.
+	Response = transport.Response
+)

@@ -11,19 +11,24 @@ import (
 	"gpuvirt/internal/fermi"
 	"gpuvirt/internal/gpusim"
 	"gpuvirt/internal/gvm"
-	"gpuvirt/internal/shm"
 	"gpuvirt/internal/sim"
-	"gpuvirt/internal/vgpu"
-	"gpuvirt/internal/workloads"
+	"gpuvirt/internal/transport"
 )
 
 // ServerConfig configures a daemon.
 type ServerConfig struct {
-	Socket     string     // Unix socket path
+	// Socket is the legacy single-unix-socket form; it is equivalent to
+	// prepending "unix://<Socket>" to Listen.
+	Socket string
+	// Listen is the set of transport addresses to serve:
+	// "unix:///tmp/gvmd.sock", "tcp://:7070", "inproc://name". A daemon
+	// may listen on several at once; sessions from every transport share
+	// the one manager (and its STR barrier).
+	Listen     []string
 	Arch       fermi.Arch // zero value: Tesla C2070
 	Parties    int        // STR barrier width (default 1)
 	Functional bool       // carry real data end to end
-	ShmDir     string     // data-plane directory ("" = /dev/shm)
+	ShmDir     string     // shm data-plane directory ("" = /dev/shm)
 	// ExecWorkers sizes the functional kernel-execution worker pool
 	// (gpusim.Config.ExecWorkers): 0 = GOMAXPROCS, 1 = serial.
 	ExecWorkers int
@@ -32,7 +37,9 @@ type ServerConfig struct {
 	GPUs int
 	// JSONWire selects the newline-delimited JSON control-plane codec
 	// instead of the default binary frames — a debugging aid (frames are
-	// readable with socat); clients must dial with DialJSON.
+	// readable with socat); clients must dial with DialJSON. Clients
+	// announce their codec in a one-byte preamble, so a mismatch is
+	// rejected with a clear error instead of a frame-decode failure.
 	JSONWire bool
 	// BarrierTimeout flushes a partial STR batch after this much virtual
 	// time, so a crashed client cannot wedge the daemon (0 = strict).
@@ -46,22 +53,24 @@ type ServerConfig struct {
 }
 
 // Server is the gvmd daemon: it owns one simulated GPU plus one GVM and
-// serves the six-verb protocol to real OS processes. All simulation work
-// runs on a single owner goroutine; socket handlers submit closures to it
-// and wait, so the deterministic single-threaded discipline of the
-// simulator is preserved under concurrent clients.
+// serves the six-verb protocol to real OS processes over any set of
+// transports (unix, tcp, inproc). All verb handling lives in the shared
+// transport.Dispatcher; all simulation work runs on a single owner
+// goroutine — connection handlers submit closures to it and wait, so the
+// deterministic single-threaded discipline of the simulator is preserved
+// under concurrent clients.
 type Server struct {
 	cfg ServerConfig
-	ln  net.Listener
+	lns []transport.Listener
 
 	work chan workItem
 	quit chan struct{}
 
 	// Owner-goroutine state.
-	env      *sim.Env
-	dev      *gpusim.Device
-	mgr      *gvm.Manager
-	sessions map[int]*serverSession
+	env  *sim.Env
+	dev  *gpusim.Device
+	mgr  *gvm.Manager
+	disp *transport.Dispatcher
 
 	mu     sync.Mutex
 	closed bool
@@ -73,20 +82,8 @@ type workItem struct {
 	done chan struct{}
 }
 
-type serverSession struct {
-	id      int
-	v       *vgpu.VGPU
-	seg     shm.Segment
-	w       workloads.Workload
-	in      []byte
-	out     []byte
-	inN     int64
-	outN    int64
-	segNm   string
-	started bool
-}
-
-// NewServer creates and starts a daemon listening on cfg.Socket.
+// NewServer creates and starts a daemon listening on every address in
+// cfg.Listen (plus cfg.Socket, if set).
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Arch.SMs == 0 {
 		cfg.Arch = fermi.TeslaC2070()
@@ -97,26 +94,43 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(io.Discard, "", 0)
 	}
-	ln, err := net.Listen("unix", cfg.Socket)
-	if err != nil {
-		return nil, fmt.Errorf("ipc: listen: %w", err)
+	addrs := cfg.Listen
+	if cfg.Socket != "" {
+		addrs = append([]string{"unix://" + cfg.Socket}, addrs...)
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("ipc: no listen address (set Socket or Listen)")
+	}
+	var lns []transport.Listener
+	closeAll := func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}
+	for _, addr := range addrs {
+		ln, err := transport.ListenAddr(addr)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("ipc: listen %s: %w", addr, err)
+		}
+		lns = append(lns, ln)
 	}
 	if cfg.GPUs == 0 {
 		cfg.GPUs = 1
 	}
 	s := &Server{
-		cfg:      cfg,
-		ln:       ln,
-		work:     make(chan workItem),
-		quit:     make(chan struct{}),
-		env:      sim.NewEnv(),
-		sessions: make(map[int]*serverSession),
+		cfg:  cfg,
+		lns:  lns,
+		work: make(chan workItem),
+		quit: make(chan struct{}),
+		env:  sim.NewEnv(),
 	}
 	devs := make([]*gpusim.Device, cfg.GPUs)
+	var err error
 	for i := range devs {
 		devs[i], err = gpusim.New(s.env, gpusim.Config{Arch: cfg.Arch, Functional: cfg.Functional, ExecWorkers: cfg.ExecWorkers})
 		if err != nil {
-			ln.Close()
+			closeAll()
 			return nil, err
 		}
 	}
@@ -129,19 +143,39 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	})
 	s.mgr.Start()
 	if err := s.env.Run(); err != nil { // bring the manager up
-		ln.Close()
+		closeAll()
 		return nil, err
 	}
-	s.wg.Add(2)
+	s.disp = transport.NewDispatcher(transport.DispatcherConfig{
+		Mgr:        s.mgr,
+		Functional: cfg.Functional,
+		ShmDir:     cfg.ShmDir,
+	})
+	s.wg.Add(1 + len(lns))
 	go s.owner()
-	go s.accept()
+	for _, ln := range lns {
+		go s.accept(ln)
+	}
 	return s, nil
 }
 
-// Addr returns the socket path.
-func (s *Server) Addr() string { return s.cfg.Socket }
+// Addr returns the first listener's address in URL form (Dial accepts
+// it directly).
+func (s *Server) Addr() string { return s.lns[0].Addr() }
 
-// Close shuts the daemon down.
+// Addrs returns every bound listener address in URL form, in the order
+// configured — useful with tcp://...:0, where the OS picks the port.
+func (s *Server) Addrs() []string {
+	addrs := make([]string, len(s.lns))
+	for i, ln := range s.lns {
+		addrs[i] = ln.Addr()
+	}
+	return addrs
+}
+
+// Close shuts the daemon down, releasing every live session so device
+// memory and file-backed shm segments are reclaimed (unix listeners
+// unlink their socket files as they close).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -150,7 +184,15 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	err := s.ln.Close()
+	var err error
+	for _, ln := range s.lns {
+		if cerr := ln.Close(); err == nil {
+			err = cerr
+		}
+	}
+	// Tear down sessions abandoned by still-connected clients before the
+	// owner stops, so their segments and device memory are freed.
+	s.submit(func(p *sim.Proc) { s.disp.ReleaseAll(p) })
 	// Signal shutdown instead of closing the work channel: connection
 	// handlers (including deferred session cleanup) may still be trying
 	// to submit, and a send racing a close is a data race.
@@ -198,33 +240,57 @@ func (s *Server) submit(fn func(p *sim.Proc)) bool {
 	}
 }
 
-func (s *Server) accept() {
+func (s *Server) accept(ln transport.Listener) {
 	defer s.wg.Done()
+	tr, err := transport.Lookup(ln.Scheme())
+	if err != nil {
+		s.cfg.Logger.Printf("gvmd: %v", err)
+		return
+	}
+	defaultPlane := tr.DefaultPlane()
 	for {
-		conn, err := s.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
 		// Connection handlers are not tracked by wg: a handler may be
 		// parked at the STR barrier waiting for peers, and Close must
 		// not wait for it.
-		go s.serveConn(conn)
+		go s.serveConn(conn, defaultPlane)
 	}
 }
 
-func (s *Server) serveConn(nc net.Conn) {
-	conn := NewConn(nc)
+func (s *Server) serveConn(nc net.Conn, defaultPlane string) {
+	clientJSON, err := transport.ReadPreamble(nc)
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.cfg.Logger.Printf("gvmd: preamble: %v", err)
+		}
+		nc.Close()
+		return
+	}
+	if clientJSON != s.cfg.JSONWire {
+		// Reject in the CLIENT's codec so the mismatch surfaces as a
+		// clean error on its next read, not as frame garbage.
+		msg := "ipc: codec mismatch: daemon speaks the binary wire (dial without DialJSON)"
+		reply := transport.NewConnJSON(nc)
+		if s.cfg.JSONWire {
+			msg = "ipc: codec mismatch: daemon speaks JSON wire (dial with DialJSON)"
+			reply = transport.NewConn(nc)
+		}
+		_ = reply.WriteResponse(transport.Response{Status: "ERR", Err: msg})
+		nc.Close()
+		return
+	}
+	conn := transport.NewConn(nc)
 	if s.cfg.JSONWire {
-		conn = NewConnJSON(nc)
+		conn = transport.NewConnJSON(nc)
 	}
 	defer conn.Close()
-	var owned []int // sessions opened by this connection
+	cs := &transport.ConnState{DefaultPlane: defaultPlane}
 	defer func() {
 		// Release sessions the client abandoned.
-		for _, id := range owned {
-			id := id
-			s.submit(func(p *sim.Proc) { s.release(p, id) })
-		}
+		s.submit(func(p *sim.Proc) { s.disp.HangUp(p, cs) })
 	}()
 	for {
 		req, err := conn.ReadRequest()
@@ -236,7 +302,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		}
 		var resp Response
 		ok := s.submit(func(p *sim.Proc) {
-			resp = s.handle(p, req, &owned)
+			resp = s.disp.Handle(p, req, cs)
 			resp.VirtualMS = p.Now().Milliseconds()
 		})
 		if !ok {
@@ -246,131 +312,4 @@ func (s *Server) serveConn(nc net.Conn) {
 			return
 		}
 	}
-}
-
-func errResp(err error) Response { return Response{Status: "ERR", Err: err.Error()} }
-
-// handle services one request on a simulation process.
-func (s *Server) handle(p *sim.Proc, req Request, owned *[]int) Response {
-	switch req.Verb {
-	case "REQ":
-		return s.handleREQ(p, req, owned)
-	case "SND", "STR", "STP", "RCV", "RLS":
-		sess, ok := s.sessions[req.Session]
-		if !ok {
-			return errResp(fmt.Errorf("ipc: unknown session %d", req.Session))
-		}
-		return s.handleVerb(p, req.Verb, sess, owned)
-	default:
-		return errResp(fmt.Errorf("ipc: unknown verb %q", req.Verb))
-	}
-}
-
-func (s *Server) handleREQ(p *sim.Proc, req Request, owned *[]int) Response {
-	if req.Ref == nil {
-		return errResp(errors.New("ipc: REQ needs a workload reference"))
-	}
-	w, err := workloads.FromRef(*req.Ref)
-	if err != nil {
-		return errResp(err)
-	}
-	spec := w.Spec(req.Rank)
-	v, err := vgpu.Connect(p, s.mgr, spec)
-	if err != nil {
-		return errResp(err)
-	}
-	sess := &serverSession{
-		id:   v.Session(),
-		v:    v,
-		w:    w,
-		inN:  spec.InBytes,
-		outN: spec.OutBytes,
-	}
-	sess.segNm = fmt.Sprintf("gvmd-seg-%d", sess.id)
-	sess.seg, err = shm.NewFile(s.cfg.ShmDir, sess.segNm, maxI64(spec.InBytes+spec.OutBytes, 1))
-	if err != nil {
-		_ = v.Release(p)
-		return errResp(err)
-	}
-	if s.cfg.Functional {
-		if spec.InBytes > 0 {
-			sess.in = make([]byte, spec.InBytes)
-		}
-		if spec.OutBytes > 0 {
-			sess.out = make([]byte, spec.OutBytes)
-		}
-	}
-	s.sessions[sess.id] = sess
-	*owned = append(*owned, sess.id)
-	return Response{
-		Status:   "ACK",
-		Session:  sess.id,
-		Segment:  sess.segNm,
-		InBytes:  spec.InBytes,
-		OutBytes: spec.OutBytes,
-	}
-}
-
-func (s *Server) handleVerb(p *sim.Proc, verb string, sess *serverSession, owned *[]int) Response {
-	switch verb {
-	case "SND":
-		if sess.in != nil {
-			if err := sess.seg.ReadAt(sess.in, 0); err != nil {
-				return errResp(err)
-			}
-		}
-		if err := sess.v.SendInput(p, sess.in); err != nil {
-			return errResp(err)
-		}
-	case "STR":
-		if err := sess.v.Start(p); err != nil {
-			return errResp(err)
-		}
-		sess.started = true
-	case "STP":
-		// The owner drains the calendar after every flush, so by the
-		// time an STP arrives execution has finished in virtual time.
-		if !sess.started {
-			return errResp(errors.New("ipc: STP before STR"))
-		}
-		if err := sess.v.Wait(p); err != nil {
-			return errResp(err)
-		}
-		sess.started = false
-	case "RCV":
-		if err := sess.v.ReceiveOutput(p, sess.out); err != nil {
-			return errResp(err)
-		}
-		if sess.out != nil {
-			if err := sess.seg.WriteAt(sess.out, sess.inN); err != nil {
-				return errResp(err)
-			}
-		}
-	case "RLS":
-		s.release(p, sess.id)
-		for i, id := range *owned {
-			if id == sess.id {
-				*owned = append((*owned)[:i], (*owned)[i+1:]...)
-				break
-			}
-		}
-	}
-	return Response{Status: "ACK", Session: sess.id}
-}
-
-func (s *Server) release(p *sim.Proc, id int) {
-	sess, ok := s.sessions[id]
-	if !ok {
-		return
-	}
-	delete(s.sessions, id)
-	_ = sess.v.Release(p)
-	_ = sess.seg.Close()
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // Segment is a fixed-size shared memory region.
@@ -129,6 +130,38 @@ func OpenFile(dir, name string) (Segment, error) {
 	s := &fileSegment{f: f, size: st.Size(), path: path}
 	s.mapped, _ = mapFile(f, s.size)
 	return s, nil
+}
+
+// RemoveStale deletes file-backed segments left in dir ("" = DefaultDir)
+// by a previous daemon that died without cleaning up. Only plain files
+// whose names start with prefix are touched. It returns how many were
+// removed; the error reflects the first failure, after attempting all.
+func RemoveStale(dir, prefix string) (int, error) {
+	if prefix == "" {
+		return 0, fmt.Errorf("shm: RemoveStale needs a non-empty prefix")
+	}
+	if dir == "" {
+		dir = DefaultDir()
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("shm: scan %s: %w", dir, err)
+	}
+	removed := 0
+	var firstErr error
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		if rmErr := os.Remove(filepath.Join(dir, e.Name())); rmErr != nil {
+			if firstErr == nil {
+				firstErr = rmErr
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, firstErr
 }
 
 // fileSegment is a file under /dev/shm, mmap'd into the process when the

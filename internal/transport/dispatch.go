@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/vgpu"
+	"gpuvirt/internal/workloads"
+)
+
+// DispatcherConfig configures the server-side verb dispatcher.
+type DispatcherConfig struct {
+	// Mgr is the GPU Virtualization Manager every verb ultimately lands
+	// on.
+	Mgr *gvm.Manager
+	// Functional carries real payload bytes end to end; otherwise
+	// sessions are timing-only and the data planes stay idle.
+	Functional bool
+	// ShmDir is where shm-plane segments live ("" = /dev/shm).
+	ShmDir string
+	// SegPrefix names shm-plane segment files (default "gvmd-seg").
+	SegPrefix string
+}
+
+// Dispatcher is the one server-side implementation of the
+// REQ/SND/STR/STP/RCV/RLS protocol for real clients. Every transport —
+// in-process, unix socket, tcp — decodes frames into Requests and hands
+// them here; the dispatcher drives the same vgpu client API the
+// simulation uses, so gvm.Manager remains the single verb state machine.
+//
+// The dispatcher is not safe for concurrent use: servers call it from
+// their single simulation-owner goroutine, preserving the simulator's
+// deterministic single-threaded discipline.
+type Dispatcher struct {
+	cfg      DispatcherConfig
+	sessions map[int]*hostSession
+}
+
+// hostSession is the daemon-side state of one client session: the vgpu
+// handle doing the protocol work, plus staging buffers and the data
+// plane moving payloads to and from the client process.
+type hostSession struct {
+	id      int
+	v       *vgpu.VGPU
+	plane   HostPlane
+	in      []byte
+	out     []byte
+	started bool
+}
+
+// ConnState is the dispatcher's per-connection state: which sessions the
+// connection opened (released if it drops) and the data plane a REQ gets
+// when the client does not ask for one.
+type ConnState struct {
+	// DefaultPlane is set by the server from the accepting transport:
+	// PlaneShm for co-located transports, PlaneInline for tcp.
+	DefaultPlane string
+	owned        []int
+}
+
+// NewDispatcher creates a dispatcher serving cfg.Mgr.
+func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
+	if cfg.SegPrefix == "" {
+		cfg.SegPrefix = "gvmd-seg"
+	}
+	return &Dispatcher{cfg: cfg, sessions: make(map[int]*hostSession)}
+}
+
+func errResp(err error) Response { return Response{Status: "ERR", Err: err.Error()} }
+
+// Handle services one request on a simulation process.
+func (d *Dispatcher) Handle(p *sim.Proc, req Request, cs *ConnState) Response {
+	switch req.Verb {
+	case "REQ":
+		return d.handleREQ(p, req, cs)
+	case "SND", "STR", "STP", "RCV", "RLS":
+		s, ok := d.sessions[req.Session]
+		if !ok {
+			return errResp(fmt.Errorf("transport: unknown session %d", req.Session))
+		}
+		return d.handleVerb(p, req, s, cs)
+	default:
+		return errResp(fmt.Errorf("transport: unknown verb %q", req.Verb))
+	}
+}
+
+func (d *Dispatcher) handleREQ(p *sim.Proc, req Request, cs *ConnState) Response {
+	if req.Ref == nil {
+		return errResp(errors.New("transport: REQ needs a workload reference"))
+	}
+	w, err := workloads.FromRef(*req.Ref)
+	if err != nil {
+		return errResp(err)
+	}
+	spec := w.Spec(req.Rank)
+	kind := req.Plane
+	if kind == "" {
+		kind = cs.DefaultPlane
+	}
+	if kind == "" {
+		kind = PlaneShm
+	}
+	v, err := vgpu.Connect(p, d.cfg.Mgr, spec)
+	if err != nil {
+		return errResp(err)
+	}
+	s := &hostSession{id: v.Session(), v: v}
+	name := fmt.Sprintf("%s-%d", d.cfg.SegPrefix, s.id)
+	s.plane, err = NewHostPlane(kind, d.cfg.ShmDir, name, spec.InBytes, spec.OutBytes)
+	if err != nil {
+		_ = v.Release(p)
+		return errResp(err)
+	}
+	if d.cfg.Functional {
+		if spec.InBytes > 0 {
+			s.in = make([]byte, spec.InBytes)
+		}
+		if spec.OutBytes > 0 {
+			s.out = make([]byte, spec.OutBytes)
+		}
+	}
+	d.sessions[s.id] = s
+	cs.owned = append(cs.owned, s.id)
+	return Response{
+		Status:   "ACK",
+		Session:  s.id,
+		Plane:    s.plane.Kind(),
+		Segment:  s.plane.Segment(),
+		InBytes:  spec.InBytes,
+		OutBytes: spec.OutBytes,
+	}
+}
+
+func (d *Dispatcher) handleVerb(p *sim.Proc, req Request, s *hostSession, cs *ConnState) Response {
+	resp := Response{Status: "ACK", Session: s.id}
+	switch req.Verb {
+	case "SND":
+		if s.in != nil {
+			if err := s.plane.CopyIn(&req, s.in); err != nil {
+				return errResp(err)
+			}
+		}
+		if err := s.v.SendInput(p, s.in); err != nil {
+			return errResp(err)
+		}
+	case "STR":
+		if err := s.v.Start(p); err != nil {
+			return errResp(err)
+		}
+		s.started = true
+	case "STP":
+		// The owner drains the calendar after every flush, so by the
+		// time an STP arrives execution has finished in virtual time.
+		if !s.started {
+			return errResp(errors.New("transport: STP before STR"))
+		}
+		if err := s.v.Wait(p); err != nil {
+			return errResp(err)
+		}
+		s.started = false
+	case "RCV":
+		if err := s.v.ReceiveOutput(p, s.out); err != nil {
+			return errResp(err)
+		}
+		if s.out != nil {
+			if err := s.plane.CopyOut(s.out, &resp); err != nil {
+				return errResp(err)
+			}
+		}
+	case "RLS":
+		d.release(p, s.id)
+		for i, id := range cs.owned {
+			if id == s.id {
+				cs.owned = append(cs.owned[:i], cs.owned[i+1:]...)
+				break
+			}
+		}
+	}
+	return resp
+}
+
+// HangUp releases every session a disconnected client left open.
+func (d *Dispatcher) HangUp(p *sim.Proc, cs *ConnState) {
+	for _, id := range cs.owned {
+		d.release(p, id)
+	}
+	cs.owned = nil
+}
+
+// ReleaseAll tears down every live session; servers call it at shutdown
+// so device memory and file-backed segments are reclaimed.
+func (d *Dispatcher) ReleaseAll(p *sim.Proc) {
+	ids := make([]int, 0, len(d.sessions))
+	for id := range d.sessions {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		d.release(p, id)
+	}
+}
+
+// OpenSessions returns the number of live dispatcher sessions.
+func (d *Dispatcher) OpenSessions() int { return len(d.sessions) }
+
+func (d *Dispatcher) release(p *sim.Proc, id int) {
+	s, ok := d.sessions[id]
+	if !ok {
+		return
+	}
+	delete(d.sessions, id)
+	_ = s.v.Release(p)
+	_ = s.plane.Close()
+}

@@ -1,4 +1,4 @@
-package ipc
+package transport
 
 import (
 	"encoding/binary"
@@ -17,10 +17,14 @@ import (
 //	[2:6]  payload length, uint32 little-endian (<= MaxFrame)
 //
 // Request payload:  verb, session, rank, ref-present byte, then (if
-// present) ref name + param count + sorted key/value pairs.
-// Response payload: status, session, err, segment, inBytes, outBytes,
-// virtualMS (float64 bits, 8 bytes little-endian).
-// Strings are uvarint length + bytes; integers are zigzag varints.
+// present) ref name + param count + sorted key/value pairs, then the
+// data-plane name and the optional inline payload.
+// Response payload: status, session, err, plane, segment, inBytes,
+// outBytes, virtualMS (float64 bits, 8 bytes little-endian), optional
+// inline payload.
+// Strings are uvarint length + bytes; integers are zigzag varints; byte
+// payloads are a presence byte then uvarint length + bytes (nil and
+// empty slices round-trip distinctly).
 //
 // The header magic doubles as a mode detector: a JSON peer's first byte is
 // '{', a binary peer's is 0xB1, so either side can report a clean
@@ -32,14 +36,26 @@ const (
 	headerLen    = 6
 
 	// MaxFrame bounds one frame's payload. Control-plane messages are
-	// tiny (data rides in shm segments), so anything near this limit is a
-	// corrupt or hostile stream.
-	MaxFrame = 1 << 20
+	// tiny, but the inline data plane rides SND/RCV payloads inside the
+	// frame, so the bound is sized for payloads (64 MiB); sessions moving
+	// more per cycle should use the shm data plane.
+	MaxFrame = 1 << 26
 )
 
 func appendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
+}
+
+// appendBytes encodes an optional byte payload: presence byte, then
+// length + bytes when present.
+func appendBytes(b []byte, p []byte) []byte {
+	if p == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
 }
 
 // EncodeRequestBinary appends a complete binary request frame to dst and
@@ -67,6 +83,8 @@ func EncodeRequestBinary(dst []byte, req Request) ([]byte, error) {
 			dst = binary.AppendVarint(dst, int64(req.Ref.Params[k]))
 		}
 	}
+	dst = appendString(dst, req.Plane)
+	dst = appendBytes(dst, req.Data)
 	return finishFrame(dst, start)
 }
 
@@ -77,17 +95,19 @@ func EncodeResponseBinary(dst []byte, resp Response) ([]byte, error) {
 	dst = appendString(dst, resp.Status)
 	dst = binary.AppendVarint(dst, int64(resp.Session))
 	dst = appendString(dst, resp.Err)
+	dst = appendString(dst, resp.Plane)
 	dst = appendString(dst, resp.Segment)
 	dst = binary.AppendVarint(dst, resp.InBytes)
 	dst = binary.AppendVarint(dst, resp.OutBytes)
 	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(resp.VirtualMS))
+	dst = appendBytes(dst, resp.Data)
 	return finishFrame(dst, start)
 }
 
 func finishFrame(dst []byte, start int) ([]byte, error) {
 	n := len(dst) - start
 	if n > MaxFrame {
-		return nil, fmt.Errorf("ipc: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
+		return nil, fmt.Errorf("transport: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
 	}
 	binary.LittleEndian.PutUint32(dst[start-4:start], uint32(n))
 	return dst, nil
@@ -115,20 +135,20 @@ func DecodeResponseBinary(frame []byte) (Response, error) {
 // payload bytes.
 func framePayload(frame []byte, kind byte) ([]byte, error) {
 	if len(frame) < headerLen {
-		return nil, fmt.Errorf("ipc: truncated frame header (%d bytes)", len(frame))
+		return nil, fmt.Errorf("transport: truncated frame header (%d bytes)", len(frame))
 	}
 	if frame[0] != frameMagic {
-		return nil, fmt.Errorf("ipc: bad frame magic 0x%02x", frame[0])
+		return nil, fmt.Errorf("transport: bad frame magic 0x%02x", frame[0])
 	}
 	if frame[1] != kind {
-		return nil, fmt.Errorf("ipc: unexpected frame kind %q (want %q)", frame[1], kind)
+		return nil, fmt.Errorf("transport: unexpected frame kind %q (want %q)", frame[1], kind)
 	}
 	n := binary.LittleEndian.Uint32(frame[2:6])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("ipc: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
+		return nil, fmt.Errorf("transport: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
 	}
 	if uint32(len(frame)-headerLen) != n {
-		return nil, fmt.Errorf("ipc: frame length mismatch: header says %d, have %d payload bytes", n, len(frame)-headerLen)
+		return nil, fmt.Errorf("transport: frame length mismatch: header says %d, have %d payload bytes", n, len(frame)-headerLen)
 	}
 	return frame[headerLen:], nil
 }
@@ -143,7 +163,7 @@ type frameReader struct {
 
 func (r *frameReader) fail(format string, args ...any) {
 	if r.err == nil {
-		r.err = fmt.Errorf("ipc: corrupt frame: "+format, args...)
+		r.err = fmt.Errorf("transport: corrupt frame: "+format, args...)
 	}
 }
 
@@ -200,6 +220,26 @@ func (r *frameReader) byteVal() byte {
 	return v
 }
 
+// bytesVal decodes an optional byte payload, copying it out of the
+// (reused) frame buffer.
+func (r *frameReader) bytesVal() []byte {
+	if r.byteVal() == 0 {
+		return nil
+	}
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("byte payload of %d overruns frame at offset %d", n, r.off)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	r.off += int(n)
+	return out
+}
+
 func (r *frameReader) f64() float64 {
 	if r.err != nil {
 		return 0
@@ -241,6 +281,8 @@ func decodeRequestPayload(payload []byte) (Request, error) {
 		}
 		req.Ref = ref
 	}
+	req.Plane = r.str()
+	req.Data = r.bytesVal()
 	if err := r.finish(); err != nil {
 		return Request{}, err
 	}
@@ -253,10 +295,12 @@ func decodeResponsePayload(payload []byte) (Response, error) {
 	resp.Status = r.str()
 	resp.Session = int(r.varint())
 	resp.Err = r.str()
+	resp.Plane = r.str()
 	resp.Segment = r.str()
 	resp.InBytes = r.varint()
 	resp.OutBytes = r.varint()
 	resp.VirtualMS = r.f64()
+	resp.Data = r.bytesVal()
 	if err := r.finish(); err != nil {
 		return Response{}, err
 	}

@@ -1,4 +1,4 @@
-package ipc
+package transport
 
 import (
 	"encoding/binary"
@@ -9,8 +9,10 @@ import (
 func TestBinaryRequestRoundTrip(t *testing.T) {
 	reqs := []Request{
 		{Verb: "REQ", Ref: refp("mm", map[string]int{"n": 2048, "nit": 3}), Rank: 7},
-		{Verb: "REQ", Ref: refp("blackscholes", nil)},
+		{Verb: "REQ", Ref: refp("blackscholes", nil), Plane: PlaneInline},
 		{Verb: "SND", Session: 42},
+		{Verb: "SND", Session: 7, Data: []byte{1, 2, 3, 0xff}},
+		{Verb: "SND", Session: 8, Data: []byte{}}, // empty != nil on the wire
 		{Verb: "STP", Session: -1},
 		{},
 	}

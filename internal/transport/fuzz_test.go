@@ -1,4 +1,4 @@
-package ipc
+package transport
 
 import (
 	"bytes"
@@ -82,13 +82,14 @@ func FuzzDecodeRequestBinary(f *testing.F) {
 // FuzzResponseRoundTrip: any response written must decode back equal, in
 // both codecs.
 func FuzzResponseRoundTrip(f *testing.F) {
-	f.Add("ACK", 1, "", "seg-1", int64(10), int64(20), 1.5)
-	f.Add("ERR", 0, "boom", "", int64(0), int64(0), 0.0)
-	f.Add("ACK", -3, "", "", int64(-1), int64(1<<40), math.Inf(1))
-	f.Fuzz(func(t *testing.T, status string, session int, errStr, seg string, in, out int64, vms float64) {
+	f.Add("ACK", 1, "", "shm", "seg-1", int64(10), int64(20), 1.5, []byte(nil))
+	f.Add("ERR", 0, "boom", "", "", int64(0), int64(0), 0.0, []byte{})
+	f.Add("ACK", -3, "", "inline", "", int64(-1), int64(1<<40), math.Inf(1), []byte{0xB1, '{', 0})
+	f.Fuzz(func(t *testing.T, status string, session int, errStr, plane, seg string, in, out int64, vms float64, data []byte) {
 		want := Response{
 			Status: status, Session: session, Err: errStr,
-			Segment: seg, InBytes: in, OutBytes: out, VirtualMS: vms,
+			Plane: plane, Segment: seg, InBytes: in, OutBytes: out, VirtualMS: vms,
+			Data: data,
 		}
 		// Binary: loss-free for every float64, including NaN/Inf.
 		frame, err := EncodeResponseBinary(nil, want)
@@ -111,8 +112,17 @@ func FuzzResponseRoundTrip(f *testing.F) {
 			// encoder errors rather than corrupting the stream.
 			return
 		}
-		if !responsesEqual(jgot, want) {
-			t.Fatalf("JSON round trip: got %+v, want %+v", jgot, want)
+		// The JSON debug codec flattens empty payloads to nil (omitempty),
+		// so only the bytes are compared, not nil-ness.
+		jwant := want
+		if len(jwant.Data) == 0 {
+			jwant.Data = nil
+		}
+		if len(jgot.Data) == 0 {
+			jgot.Data = nil
+		}
+		if !responsesEqual(jgot, jwant) {
+			t.Fatalf("JSON round trip: got %+v, want %+v", jgot, jwant)
 		}
 	})
 }
@@ -122,7 +132,10 @@ func refp(name string, params map[string]int) *workloads.Ref {
 }
 
 func requestsEqual(a, b Request) bool {
-	if a.Verb != b.Verb || a.Session != b.Session || a.Rank != b.Rank {
+	if a.Verb != b.Verb || a.Session != b.Session || a.Rank != b.Rank || a.Plane != b.Plane {
+		return false
+	}
+	if !bytesEqualStrict(a.Data, b.Data) {
 		return false
 	}
 	if (a.Ref == nil) != (b.Ref == nil) {
@@ -144,6 +157,17 @@ func requestsEqual(a, b Request) bool {
 
 func responsesEqual(a, b Response) bool {
 	return a.Status == b.Status && a.Session == b.Session && a.Err == b.Err &&
-		a.Segment == b.Segment && a.InBytes == b.InBytes && a.OutBytes == b.OutBytes &&
-		math.Float64bits(a.VirtualMS) == math.Float64bits(b.VirtualMS)
+		a.Plane == b.Plane && a.Segment == b.Segment &&
+		a.InBytes == b.InBytes && a.OutBytes == b.OutBytes &&
+		math.Float64bits(a.VirtualMS) == math.Float64bits(b.VirtualMS) &&
+		bytesEqualStrict(a.Data, b.Data)
+}
+
+// bytesEqualStrict distinguishes nil from empty: the wire encodes the
+// difference, so round trips must preserve it.
+func bytesEqualStrict(a, b []byte) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return bytes.Equal(a, b)
 }

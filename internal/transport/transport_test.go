@@ -1,0 +1,231 @@
+package transport
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gpuvirt/internal/shm"
+)
+
+func TestSplitAddr(t *testing.T) {
+	cases := []struct {
+		addr, scheme, target string
+	}{
+		{"unix:///tmp/gvmd.sock", "unix", "/tmp/gvmd.sock"},
+		{"tcp://127.0.0.1:7070", "tcp", "127.0.0.1:7070"},
+		{"tcp://:0", "tcp", ":0"},
+		{"inproc://name", "inproc", "name"},
+		{"/tmp/gvmd.sock", "unix", "/tmp/gvmd.sock"}, // bare path = unix
+		{"bogus://x", "bogus", "x"},
+	}
+	for _, c := range cases {
+		scheme, target := SplitAddr(c.addr)
+		if scheme != c.scheme || target != c.target {
+			t.Errorf("SplitAddr(%q) = %q, %q; want %q, %q", c.addr, scheme, target, c.scheme, c.target)
+		}
+	}
+}
+
+func TestDialUnknownScheme(t *testing.T) {
+	if _, _, err := DialAddr("bogus://x"); err == nil {
+		t.Fatal("dial on an unregistered scheme succeeded")
+	}
+	if _, err := ListenAddr("bogus://x"); err == nil {
+		t.Fatal("listen on an unregistered scheme succeeded")
+	}
+}
+
+func TestDefaultPlanes(t *testing.T) {
+	for scheme, want := range map[string]string{
+		"unix":   PlaneShm,
+		"inproc": PlaneShm,
+		"tcp":    PlaneInline,
+	} {
+		tr, err := Lookup(scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if got := tr.DefaultPlane(); got != want {
+			t.Errorf("%s default plane = %q, want %q", scheme, got, want)
+		}
+	}
+}
+
+func TestInprocLifecycle(t *testing.T) {
+	ln, err := ListenAddr("inproc://lifecycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln.Addr() != "inproc://lifecycle" {
+		t.Fatalf("Addr = %q", ln.Addr())
+	}
+	// Double-listen on the same name is rejected.
+	if _, err := ListenAddr("inproc://lifecycle"); err == nil {
+		t.Fatal("second listener on the same inproc name accepted")
+	}
+	// Dial/accept hand over a usable duplex pipe.
+	type res struct {
+		n   int
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			got <- res{0, err}
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		n, err := conn.Read(buf)
+		got <- res{n, err}
+	}()
+	nc, _, err := DialAddr(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	r := <-got
+	if r.err != nil || r.n != 5 {
+		t.Fatalf("server read %d bytes, err %v", r.n, r.err)
+	}
+	nc.Close()
+	// After Close the name is free again, dialing it fails, and Accept
+	// unblocks with an error.
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ln.Accept(); err == nil {
+		t.Fatal("Accept on a closed inproc listener succeeded")
+	}
+	if _, _, err := DialAddr("inproc://lifecycle"); err == nil {
+		t.Fatal("dial on a closed inproc name succeeded")
+	}
+	ln2, err := ListenAddr("inproc://lifecycle")
+	if err != nil {
+		t.Fatalf("name not released by Close: %v", err)
+	}
+	ln2.Close()
+	if err := ln2.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestInprocDialUnknownName(t *testing.T) {
+	if _, _, err := DialAddr("inproc://nobody-home"); err == nil {
+		t.Fatal("dial on an unregistered inproc name succeeded")
+	}
+}
+
+func TestInprocConnSupportsDeadlines(t *testing.T) {
+	ln, err := ListenAddr("inproc://deadline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			defer conn.Close()
+			time.Sleep(time.Second) // never answers in time
+		}
+	}()
+	nc, _, err := DialAddr(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := nc.SetDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read past deadline succeeded")
+	}
+}
+
+// TestPlaneRoundTrips drives each client plane against its host plane
+// directly, without a daemon in between.
+func TestPlaneRoundTrips(t *testing.T) {
+	in := []byte{1, 2, 3, 4}
+	out := []byte{9, 8, 7}
+	for _, kind := range []string{PlaneShm, PlaneInline} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			dir := t.TempDir()
+			host, err := NewHostPlane(kind, dir, "seg-test", int64(len(in)), int64(len(out)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer host.Close()
+			if host.Kind() != kind {
+				t.Fatalf("host plane kind = %q", host.Kind())
+			}
+			resp := Response{Plane: kind, Segment: host.Segment(), InBytes: int64(len(in)), OutBytes: int64(len(out))}
+			client, err := OpenPlane(dir, resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+
+			// Client stages input; host copies it in.
+			req := Request{Verb: "SND"}
+			if err := client.StageIn(in, &req); err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]byte, len(in))
+			if err := host.CopyIn(&req, dst); err != nil {
+				t.Fatal(err)
+			}
+			if string(dst) != string(in) {
+				t.Fatalf("host read %v, want %v", dst, in)
+			}
+
+			// Host publishes output; client collects it.
+			var rcv Response
+			rcv.Plane = kind
+			if err := host.CopyOut(out, &rcv); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, len(out))
+			if err := client.CollectOut(buf, &rcv); err != nil {
+				t.Fatal(err)
+			}
+			if string(buf) != string(out) {
+				t.Fatalf("client read %v, want %v", buf, out)
+			}
+		})
+	}
+}
+
+func TestShmHostPlaneRemovesSegment(t *testing.T) {
+	dir := t.TempDir()
+	host, err := NewHostPlane(PlaneShm, dir, "seg-rm", 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "seg-rm")
+	seg, err := shm.OpenFile(dir, "seg-rm")
+	if err != nil {
+		t.Fatalf("segment file missing while plane open: %v", err)
+	}
+	seg.Close()
+	if err := host.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shm.OpenFile(dir, "seg-rm"); err == nil {
+		t.Fatalf("segment %s survived host plane Close", path)
+	}
+}
+
+func TestInlinePlaneSizeMismatch(t *testing.T) {
+	p := inlinePlane{}
+	buf := make([]byte, 4)
+	resp := Response{Data: []byte{1, 2}}
+	if err := p.CollectOut(buf, &resp); err == nil || !strings.Contains(err.Error(), "bytes") {
+		t.Fatalf("short inline payload accepted: %v", err)
+	}
+}

@@ -1,12 +1,4 @@
-// Package ipc carries the virtualization protocol between real OS
-// processes: a length-prefixed binary wire format over Unix-domain
-// sockets for the control plane (with a newline-delimited JSON mode kept
-// as a debugging fallback), and file-backed shared-memory segments
-// (package shm) for the data plane. It is the daemon-mode counterpart of
-// the in-simulation message queues: gvmd serves SPMD client processes on
-// one node exactly as the paper's GVM does, with GPU timing provided by
-// the simulator.
-package ipc
+package transport
 
 import (
 	"bufio"
@@ -15,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"gpuvirt/internal/workloads"
 )
@@ -25,6 +18,13 @@ type Request struct {
 	Session int            `json:"session,omitempty"`
 	Ref     *workloads.Ref `json:"workload,omitempty"` // REQ only
 	Rank    int            `json:"rank,omitempty"`     // REQ only
+	// Plane names the data plane the client wants for the session (REQ
+	// only): PlaneShm, PlaneInline, or "" to accept the transport's
+	// default.
+	Plane string `json:"plane,omitempty"`
+	// Data carries the SND payload on the inline data plane (nil on the
+	// shm plane, where the payload travels through the segment).
+	Data []byte `json:"data,omitempty"`
 }
 
 // Response is a wire-encoded protocol response.
@@ -32,13 +32,53 @@ type Response struct {
 	Status  string `json:"status"` // ACK WAIT ERR
 	Session int    `json:"session,omitempty"`
 	Err     string `json:"err,omitempty"`
-	// REQ extras: where the data plane lives and how big it is.
+	// REQ extras: the chosen data plane, and — on the shm plane — where
+	// the segment lives and how big the staging areas are.
+	Plane    string `json:"plane,omitempty"`
 	Segment  string `json:"segment,omitempty"`
 	InBytes  int64  `json:"in_bytes,omitempty"`
 	OutBytes int64  `json:"out_bytes,omitempty"`
+	// Data carries the RCV payload on the inline data plane.
+	Data []byte `json:"data,omitempty"`
 	// VirtualMS is the simulated GPU clock at response time, so clients
 	// can report device-side timings.
 	VirtualMS float64 `json:"virtual_ms"`
+}
+
+// Codec preamble: the first byte a client sends after connecting names
+// its control-plane codec, so a daemon speaking the other codec rejects
+// the connection with a clear "codec mismatch" error instead of a
+// confusing frame-decode failure.
+const (
+	PreambleBinary byte = 'B'
+	PreambleJSON   byte = 'J'
+)
+
+// WritePreamble sends the client's codec preamble byte.
+func WritePreamble(w io.Writer, jsonWire bool) error {
+	b := PreambleBinary
+	if jsonWire {
+		b = PreambleJSON
+	}
+	_, err := w.Write([]byte{b})
+	return err
+}
+
+// ReadPreamble consumes a client's codec preamble byte and reports which
+// codec it declared.
+func ReadPreamble(r io.Reader) (jsonWire bool, err error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return false, err
+	}
+	switch b[0] {
+	case PreambleBinary:
+		return false, nil
+	case PreambleJSON:
+		return true, nil
+	default:
+		return false, fmt.Errorf("transport: bad codec preamble 0x%02x (want 'B' or 'J')", b[0])
+	}
 }
 
 // Conn frames requests and responses over a stream connection. The
@@ -71,6 +111,14 @@ func NewConnJSON(c net.Conn) *Conn {
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
+
+// SetDeadline bounds both reads and writes on the underlying connection;
+// the zero time clears it. Clients use it to put an I/O timeout around
+// each round trip so a hung daemon cannot block them forever.
+func (c *Conn) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }
+
+// JSON reports whether the connection speaks the JSON debugging codec.
+func (c *Conn) JSON() bool { return c.json }
 
 // WriteRequest sends one request frame.
 func (c *Conn) WriteRequest(req Request) error {
@@ -109,7 +157,7 @@ func (c *Conn) ReadRequest() (Request, error) {
 			return req, err
 		}
 		if err := json.Unmarshal(line, &req); err != nil {
-			return req, fmt.Errorf("ipc: bad request frame: %w", err)
+			return req, fmt.Errorf("transport: bad request frame: %w", err)
 		}
 		return req, nil
 	}
@@ -129,7 +177,7 @@ func (c *Conn) ReadResponse() (Response, error) {
 			return resp, err
 		}
 		if err := json.Unmarshal(line, &resp); err != nil {
-			return resp, fmt.Errorf("ipc: bad response frame: %w", err)
+			return resp, fmt.Errorf("transport: bad response frame: %w", err)
 		}
 		return resp, nil
 	}
@@ -144,7 +192,7 @@ func (c *Conn) ReadResponse() (Response, error) {
 // peer by its magic byte.
 func (c *Conn) readJSONLine() ([]byte, error) {
 	if b, err := c.r.Peek(1); err == nil && b[0] == frameMagic {
-		return nil, fmt.Errorf("ipc: mode mismatch: peer sent a binary frame on a JSON connection")
+		return nil, fmt.Errorf("transport: mode mismatch: peer sent a binary frame on a JSON connection")
 	}
 	return c.r.ReadBytes('\n')
 }
@@ -157,27 +205,27 @@ func (c *Conn) readFrame(kind byte) ([]byte, error) {
 		return nil, err // clean EOF between frames passes through
 	}
 	if b[0] == '{' {
-		return nil, fmt.Errorf("ipc: mode mismatch: peer is speaking JSON on a binary connection")
+		return nil, fmt.Errorf("transport: mode mismatch: peer is speaking JSON on a binary connection")
 	}
 	if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
-		return nil, fmt.Errorf("ipc: truncated frame header: %w", err)
+		return nil, fmt.Errorf("transport: truncated frame header: %w", err)
 	}
 	if c.hdr[0] != frameMagic {
-		return nil, fmt.Errorf("ipc: bad frame magic 0x%02x", c.hdr[0])
+		return nil, fmt.Errorf("transport: bad frame magic 0x%02x", c.hdr[0])
 	}
 	if c.hdr[1] != kind {
-		return nil, fmt.Errorf("ipc: unexpected frame kind %q (want %q)", c.hdr[1], kind)
+		return nil, fmt.Errorf("transport: unexpected frame kind %q (want %q)", c.hdr[1], kind)
 	}
 	n := binary.LittleEndian.Uint32(c.hdr[2:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("ipc: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
+		return nil, fmt.Errorf("transport: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
 	}
 	if cap(c.rbuf) < int(n) {
 		c.rbuf = make([]byte, n)
 	}
 	buf := c.rbuf[:n]
 	if _, err := io.ReadFull(c.r, buf); err != nil {
-		return nil, fmt.Errorf("ipc: truncated frame: %w", err)
+		return nil, fmt.Errorf("transport: truncated frame: %w", err)
 	}
 	return buf, nil
 }

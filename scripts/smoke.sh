@@ -1,0 +1,66 @@
+#!/bin/sh
+# End-to-end smoke test: a gvmd daemon on a TCP loopback port, driven by
+# the multiprocess example as two real client processes. Passes only if
+# every worker verifies its results and reports a turnaround time.
+set -eu
+
+workdir=$(mktemp -d)
+bindir="$workdir/bin"
+addrfile="$workdir/gvmd.addr"
+logfile="$workdir/gvmd.log"
+gvmd_pid=""
+
+cleanup() {
+    if [ -n "$gvmd_pid" ] && kill -0 "$gvmd_pid" 2>/dev/null; then
+        kill "$gvmd_pid" 2>/dev/null || true
+        wait "$gvmd_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "smoke: building gvmd and the multiprocess example"
+${GO:-go} build -o "$bindir/gvmd" ./cmd/gvmd
+${GO:-go} build -o "$bindir/multiprocess" ./examples/multiprocess
+
+echo "smoke: starting gvmd on a TCP loopback port"
+"$bindir/gvmd" -listen tcp://127.0.0.1:0 -parties 2 -addr-file "$addrfile" \
+    >"$logfile" 2>&1 &
+gvmd_pid=$!
+
+# The daemon writes the addr file only once every listener is bound.
+tries=0
+while [ ! -s "$addrfile" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "smoke: gvmd never published its address" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    if ! kill -0 "$gvmd_pid" 2>/dev/null; then
+        echo "smoke: gvmd exited early" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(head -n1 "$addrfile")
+echo "smoke: gvmd is serving on $addr"
+
+out=$("$bindir/multiprocess" -workers 2 -connect "$addr")
+echo "$out"
+
+turnarounds=$(echo "$out" | grep -c "turnaround" || true)
+if [ "$turnarounds" -ne 2 ]; then
+    echo "smoke: expected 2 worker turnaround lines, got $turnarounds" >&2
+    exit 1
+fi
+
+kill "$gvmd_pid"
+wait "$gvmd_pid" 2>/dev/null || true
+gvmd_pid=""
+if [ -e "$addrfile" ]; then
+    echo "smoke: gvmd left its addr file behind on shutdown" >&2
+    exit 1
+fi
+echo "smoke: OK"
