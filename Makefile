@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci fmt vet build test race bench-short bench-json smoke
+.PHONY: all ci fmt vet build test race bench bench-short bench-json smoke
 
 all: ci
 
@@ -25,14 +25,22 @@ race:
 	$(GO) test -race ./...
 
 # Quick smoke of the data-plane hot-path benchmarks (executor, IPC
-# framing, shm copies, simulator calendar) — catches perf regressions
-# that break, not ones that merely slow down.
+# framing, wire round trip, daemon cycle throughput, shm copies,
+# simulator calendar) — catches perf regressions that break, not ones
+# that merely slow down.
 bench-short:
+	$(GO) test -run '^$$' -bench 'IPCPipeRoundTrip|DaemonThroughput' -benchtime 20x -benchmem ./internal/transport/ ./internal/ipc/
 	$(GO) test -run '^$$' -bench 'FunctionalExec|IPCFrame|ShmCopy|Calendar' -benchtime 100ms -benchmem ./...
 
-# Regenerate the machine-readable hot-path numbers.
-bench-json:
-	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr1.json
+# Full benchmark matrix: data-plane microbenchmarks plus daemon cycle
+# throughput at 1/2/4/8 clients over inproc/unix/tcp, pipelined vs
+# serial, written as the PR3 JSON artifact.
+bench:
+	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr3.json
+
+# Regenerate the machine-readable hot-path numbers (alias of bench; the
+# PR1 artifact is kept as a historical record).
+bench-json: bench
 
 # End-to-end daemon smoke: gvmd on a TCP loopback port, a two-process
 # multiprocess round against it, non-empty turnaround output.

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,7 +55,20 @@ func main() {
 	barrierTimeout := flag.Duration("barrier-timeout", 0, "flush partial STR batches after this long (0 = strict barrier)")
 	execWorkers := flag.Int("exec-workers", 0, "functional kernel execution worker pool (0 = GOMAXPROCS, 1 = serial)")
 	jsonWire := flag.Bool("json-wire", false, "speak newline-delimited JSON on the control socket (debugging; clients must use DialJSON)")
+	maxSessionBytes := flag.Int64("max-session-bytes", 0, "reject REQ whose staging footprint (InBytes+OutBytes) exceeds this many bytes (0 = no per-session limit)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/alloc profiles of the daemon hot path")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the /debug/pprof handlers via the
+			// net/http/pprof import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("gvmd: pprof: %v", err)
+			}
+		}()
+		log.Printf("gvmd: pprof on http://%s/debug/pprof/", *pprofAddr)
+	}
 
 	arch, err := archByName(*archName)
 	if err != nil {
@@ -80,16 +95,17 @@ func main() {
 	}
 
 	srv, err := ipc.NewServer(ipc.ServerConfig{
-		Listen:         listen,
-		Arch:           arch,
-		Parties:        *parties,
-		Functional:     *functional,
-		ShmDir:         *shmDir,
-		GPUs:           *gpus,
-		ExecWorkers:    *execWorkers,
-		JSONWire:       *jsonWire,
-		BarrierTimeout: *barrierTimeout,
-		Logger:         log.New(os.Stderr, "gvmd: ", log.LstdFlags),
+		Listen:          listen,
+		Arch:            arch,
+		Parties:         *parties,
+		Functional:      *functional,
+		ShmDir:          *shmDir,
+		GPUs:            *gpus,
+		ExecWorkers:     *execWorkers,
+		JSONWire:        *jsonWire,
+		MaxSessionBytes: *maxSessionBytes,
+		BarrierTimeout:  *barrierTimeout,
+		Logger:          log.New(os.Stderr, "gvmd: ", log.LstdFlags),
 	})
 	if err != nil {
 		log.Fatalf("gvmd: %v", err)

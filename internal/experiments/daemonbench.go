@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"gpuvirt/internal/ipc"
+	"gpuvirt/internal/workloads"
+)
+
+// This file is the daemon-throughput harness behind `gvmbench -benchjson`:
+// it measures full SND+STR+STP+RCV cycles per second against a live gvmd
+// server at 1/2/4/8 concurrent clients over every transport, pipelined
+// (one BAT round trip per cycle) versus serial (four round trips). The
+// numbers quantify the owner-goroutine critical-section work: with the
+// data plane staged off-owner and verbs batched, adding clients should
+// add throughput instead of queueing delay — caveated on multi-core
+// hosts only (see MicroBenchReport.Note on single-CPU containers).
+
+// daemonBenchN is the per-client payload size (vecadd n): 1024 floats in
+// each of two inputs, 4 KiB out — small enough that the control plane,
+// not memcpy, dominates.
+const daemonBenchN = 1024
+
+// DaemonBench measures daemon cycle throughput for every transport ×
+// client count × pipelining mode and returns one result per combination.
+// Cycle latency is reported as ns/op per *round* of one cycle on every
+// client; CyclesPerSec is the aggregate across clients.
+func DaemonBench() []MicroBenchResult {
+	var out []MicroBenchResult
+	for _, tr := range []string{"inproc", "unix", "tcp"} {
+		addr, cleanup, err := daemonBenchAddr(tr)
+		if err != nil {
+			out = append(out, MicroBenchResult{Name: "daemon-cycle-" + tr, NsPerOp: -1})
+			continue
+		}
+		shmDir := shmBenchDir()
+		srv, err := ipc.NewServer(ipc.ServerConfig{
+			Listen:     []string{addr},
+			Functional: true,
+			ShmDir:     shmDir,
+		})
+		if err != nil {
+			cleanup()
+			out = append(out, MicroBenchResult{Name: "daemon-cycle-" + tr, NsPerOp: -1})
+			continue
+		}
+		for _, clients := range []int{1, 2, 4, 8} {
+			for _, mode := range []string{"pipelined", "serial"} {
+				name := fmt.Sprintf("daemon-cycle-%s-c%d/%s", tr, clients, mode)
+				r, err := daemonBenchRun(srv.Addr(), shmDir, clients, mode == "serial")
+				if err != nil {
+					out = append(out, MicroBenchResult{Name: name, NsPerOp: -1})
+					continue
+				}
+				res := MicroBenchResult{
+					Name:        name,
+					NsPerOp:     float64(r.NsPerOp()),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
+				}
+				if r.NsPerOp() > 0 {
+					res.CyclesPerSec = float64(clients) * 1e9 / float64(r.NsPerOp())
+				}
+				out = append(out, res)
+			}
+		}
+		srv.Close()
+		cleanup()
+		if shmDir != "" {
+			os.RemoveAll(shmDir)
+		}
+	}
+	return out
+}
+
+func shmBenchDir() string {
+	dir, err := os.MkdirTemp("", "gvmbench-daemon")
+	if err != nil {
+		return ""
+	}
+	return dir
+}
+
+func daemonBenchAddr(tr string) (addr string, cleanup func(), err error) {
+	switch tr {
+	case "inproc":
+		return "inproc://gvmbench-daemon", func() {}, nil
+	case "tcp":
+		return "tcp://127.0.0.1:0", func() {}, nil
+	case "unix":
+		f, err := os.CreateTemp("", "gvmbench-*.sock")
+		if err != nil {
+			return "", nil, err
+		}
+		path := f.Name()
+		f.Close()
+		os.Remove(path)
+		return "unix://" + path, func() { os.Remove(path) }, nil
+	}
+	return "", nil, fmt.Errorf("unknown transport %q", tr)
+}
+
+// daemonBenchRun times rounds in which every client completes one full
+// cycle concurrently (sessions and connections persist across rounds, as
+// a long-running SPMD application's would).
+func daemonBenchRun(addr, shmDir string, clients int, serial bool) (testing.BenchmarkResult, error) {
+	var setupErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		cs := make([]*ipc.Client, clients)
+		sess := make([]*ipc.Session, clients)
+		ins := make([][]byte, clients)
+		outs := make([][]byte, clients)
+		defer func() {
+			for i := range cs {
+				if sess[i] != nil {
+					sess[i].Release()
+				}
+				if cs[i] != nil {
+					cs[i].Close()
+				}
+			}
+		}()
+		for i := range cs {
+			c, err := ipc.DialOptions(addr, ipc.Options{ShmDir: shmDir, NoPipeline: serial})
+			if err != nil {
+				setupErr = err
+				b.Skip(err)
+			}
+			cs[i] = c
+			s, err := c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": daemonBenchN}}, 0)
+			if err != nil {
+				setupErr = err
+				b.Skip(err)
+			}
+			sess[i] = s
+			ins[i] = make([]byte, s.InBytes())
+			outs[i] = make([]byte, s.OutBytes())
+			if err := s.RunCycle(ins[i], outs[i]); err != nil { // warm up
+				setupErr = err
+				b.Skip(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			var wg sync.WaitGroup
+			errs := make([]error, clients)
+			for i := 0; i < clients; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					errs[i] = sess[i].RunCycle(ins[i], outs[i])
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	return r, setupErr
+}

@@ -29,6 +29,9 @@ type MicroBenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// CyclesPerSec is set by the daemon-throughput results: aggregate
+	// full-cycle throughput across all concurrent clients.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
 }
 
 // MicroBenchReport is the JSON document `gvmbench -benchjson` writes.
@@ -108,7 +111,7 @@ func MicroBench() MicroBenchReport {
 		When:       time.Now().UTC().Format(time.RFC3339),
 	}
 	if runtime.NumCPU() < 2 {
-		rep.Note = "single-CPU host: parallel-executor variants measure pool overhead, not speedup"
+		rep.Note = "single-CPU host: parallel-executor variants measure pool overhead, not speedup; daemon-cycle client-count scaling is serialized on one core and understates multi-core throughput"
 	}
 
 	rep.Results = append(rep.Results, microExecPair("functional-exec-mm", func(m *microArena) *cuda.Kernel {
@@ -245,9 +248,11 @@ func MicroBench() MicroBenchReport {
 	return rep
 }
 
-// WriteMicroBenchJSON runs MicroBench and writes the report to path.
+// WriteMicroBenchJSON runs MicroBench plus the daemon-throughput matrix
+// (DaemonBench) and writes the combined report to path.
 func WriteMicroBenchJSON(path string) error {
 	rep := MicroBench()
+	rep.Results = append(rep.Results, DaemonBench()...)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

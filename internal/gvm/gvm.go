@@ -77,6 +77,13 @@ type Request struct {
 	Verb    Verb
 	Spec    *task.Spec            // REQ only
 	Reply   *msgq.Queue[Response] // REQ only; later requests use the session's queue
+	// Direct (REQ only) opens the session in direct-staging mode: the
+	// caller moves payload bytes straight into and out of the pinned
+	// staging buffers (Staging), so SND/RCV skip the shared-memory-segment
+	// copies while still charging the same virtual host-copy time. The
+	// daemon dispatcher uses this to keep O(bytes) work off the
+	// simulation-owner goroutine.
+	Direct bool
 }
 
 // Response is a control-plane message from the manager to a client.
@@ -234,6 +241,7 @@ type session struct {
 
 	running    bool
 	done       bool
+	direct     bool      // payloads bypass the segment (Request.Direct)
 	stpWaiting bool      // a blocking STP response is owed
 	footprint  int64     // bytes counted against the manager's quota
 	devIdx     int       // which managed device hosts the session
@@ -400,10 +408,12 @@ func (m *Manager) handleREQ(p *sim.Proc, r Request) {
 		return
 	}
 	m.nextID++
-	s := &session{id: m.nextID, spec: r.Spec, reply: r.Reply, devIdx: m.placeSession()}
+	s := &session{id: m.nextID, spec: r.Spec, reply: r.Reply, devIdx: m.placeSession(), direct: r.Direct}
 	ctx := m.ctxs[s.devIdx]
 	dev := m.devs[s.devIdx]
-	s.seg = shm.NewMemory(footprint, dev.Functional())
+	// Direct sessions never move bytes through the segment, so it stays
+	// timing-only regardless of the device mode.
+	s.seg = shm.NewMemory(footprint, dev.Functional() && !r.Direct)
 	m.shmInUse += footprint
 	s.footprint = footprint
 
@@ -453,7 +463,7 @@ func (m *Manager) handleSND(p *sim.Proc, s *session) {
 	start := p.Now()
 	n := s.spec.InBytes
 	p.Sleep(m.HostCopyTime(n))
-	if m.devs[s.devIdx].Functional() && s.pinIn != nil {
+	if !s.direct && m.devs[s.devIdx].Functional() && s.pinIn != nil {
 		if err := s.seg.ReadAt(s.pinIn.Data(), 0); err != nil {
 			s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: err.Error()})
 			return
@@ -582,7 +592,7 @@ func (m *Manager) handleRCV(p *sim.Proc, s *session) {
 	start := p.Now()
 	n := s.spec.OutBytes
 	p.Sleep(m.HostCopyTime(n))
-	if m.devs[s.devIdx].Functional() && s.pinOut != nil {
+	if !s.direct && m.devs[s.devIdx].Functional() && s.pinOut != nil {
 		if err := s.seg.WriteAt(s.pinOut.Data(), s.spec.InBytes); err != nil {
 			s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: err.Error()})
 			return
@@ -625,6 +635,26 @@ func (m *Manager) teardown(s *session) {
 	}
 	m.shmInUse -= s.footprint
 	s.footprint = 0
+}
+
+// Staging exposes a direct session's pinned staging buffers: in receives
+// SND payloads before the H2D flush, out holds RCV results after the D2H
+// flush. Slices are nil for unknown sessions, timing-only devices, or
+// zero-sized directions. The caller owns synchronization: it must not
+// touch in/out while the session's stream is flushing (between STR and a
+// completed STP), which the daemon's verb ordering guarantees.
+func (m *Manager) Staging(session int) (in, out []byte) {
+	s, ok := m.sessions[session]
+	if !ok {
+		return nil, nil
+	}
+	if s.pinIn != nil {
+		in = s.pinIn.Data()
+	}
+	if s.pinOut != nil {
+		out = s.pinOut.Data()
+	}
+	return in, out
 }
 
 // Segment returns a session's shared-memory segment; the client-side API

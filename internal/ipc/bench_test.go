@@ -1,0 +1,95 @@
+package ipc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gpuvirt/internal/workloads"
+)
+
+// BenchmarkDaemonThroughput measures full SND+STR+STP+RCV cycles against
+// a live daemon at several client counts, pipelined (one BAT round trip)
+// versus serial (four round trips), over every transport. One op is one
+// round: every client completes one cycle. The JSON artifact variant of
+// this matrix lives in internal/experiments (gvmbench -benchjson).
+func BenchmarkDaemonThroughput(b *testing.B) {
+	for _, tr := range []struct{ name, addr string }{
+		{"inproc", "inproc://bench-daemon"},
+		{"unix", "unix:///tmp/gvmd-bench.sock"},
+		{"tcp", "tcp://127.0.0.1:0"},
+	} {
+		b.Run(tr.name, func(b *testing.B) {
+			shmDir := b.TempDir()
+			s, err := NewServer(ServerConfig{
+				Listen:     []string{tr.addr},
+				Functional: true,
+				ShmDir:     shmDir,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			for _, clients := range []int{1, 8} {
+				for _, mode := range []string{"pipelined", "serial"} {
+					b.Run(fmt.Sprintf("c%d-%s", clients, mode), func(b *testing.B) {
+						benchCycles(b, s.Addr(), shmDir, clients, mode == "serial")
+					})
+				}
+			}
+		})
+	}
+}
+
+func benchCycles(b *testing.B, addr, shmDir string, clients int, serial bool) {
+	b.Helper()
+	cs := make([]*Client, clients)
+	sess := make([]*Session, clients)
+	ins := make([][]byte, clients)
+	outs := make([][]byte, clients)
+	defer func() {
+		for i := range cs {
+			if sess[i] != nil {
+				sess[i].Release()
+			}
+			if cs[i] != nil {
+				cs[i].Close()
+			}
+		}
+	}()
+	for i := range cs {
+		c, err := DialOptions(addr, Options{ShmDir: shmDir, NoPipeline: serial})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs[i] = c
+		sess[i], err = c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 1024}}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins[i] = make([]byte, sess[i].InBytes())
+		outs[i] = make([]byte, sess[i].OutBytes())
+		if err := sess[i].RunCycle(ins[i], outs[i]); err != nil { // warm up
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = sess[i].RunCycle(ins[i], outs[i])
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +31,11 @@ type Options struct {
 	// disables the deadline. A timed-out connection may hold a partial
 	// frame and must be closed, not reused.
 	Timeout time.Duration
+	// NoPipeline disables verb pipelining: RunCycle issues its four verbs
+	// as separate round trips instead of one BAT frame. Pipelining also
+	// turns itself off for the connection when the daemon rejects BAT as
+	// an unknown verb (a pre-pipelining daemon over the JSON wire).
+	NoPipeline bool
 }
 
 // Client is a real-process connection to a gvmd daemon. It is the thin
@@ -37,12 +43,14 @@ type Options struct {
 // frames, payloads through the session's data plane, and all protocol
 // state lives server-side in the shared dispatcher.
 type Client struct {
-	mu      sync.Mutex
-	conn    *transport.Conn
-	nc      net.Conn
-	shmDir  string
-	plane   string
-	timeout time.Duration
+	mu         sync.Mutex
+	conn       *transport.Conn
+	nc         net.Conn
+	shmDir     string
+	plane      string
+	timeout    time.Duration
+	noPipeline bool
+	trips      int64
 }
 
 // Dial connects to a daemon address — "unix:///path" (or a bare socket
@@ -77,7 +85,7 @@ func DialOptions(addr string, o Options) (*Client, error) {
 	if plane == "" {
 		plane = tr.DefaultPlane()
 	}
-	return &Client{conn: conn, nc: nc, shmDir: o.ShmDir, plane: plane, timeout: o.Timeout}, nil
+	return &Client{conn: conn, nc: nc, shmDir: o.ShmDir, plane: plane, timeout: o.Timeout, noPipeline: o.NoPipeline}, nil
 }
 
 // Close drops the connection; the daemon releases any sessions left open.
@@ -91,10 +99,19 @@ func (c *Client) SetRequestTimeout(d time.Duration) {
 	c.mu.Unlock()
 }
 
+// RoundTrips returns how many request round trips the client has made;
+// tests use it to assert that a pipelined cycle costs one frame exchange.
+func (c *Client) RoundTrips() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trips
+}
+
 // roundTrip sends one request and reads its response.
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.trips++
 	if c.timeout > 0 {
 		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
 		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
@@ -243,8 +260,72 @@ func (s *Session) Release() error {
 	return err
 }
 
-// RunCycle performs one full cycle: send, start, wait, receive.
+// Do sends a batch of verbs as one BAT frame — one daemon round trip —
+// and returns the per-verb responses in order. The daemon stops at the
+// first failing verb; later responses report themselves skipped. Each
+// session may run at most one cycle (SND<STR<STP<RCV<RLS, each at most
+// once, in order) per batch.
+func (c *Client) Do(reqs []Request) ([]Response, error) {
+	resp, err := c.roundTrip(Request{Verb: "BAT", Batch: reqs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Batch) != len(reqs) {
+		return nil, fmt.Errorf("ipc: BAT returned %d responses for %d requests", len(resp.Batch), len(reqs))
+	}
+	return resp.Batch, nil
+}
+
+// RunCycle performs one full cycle: send, start, wait, receive. By
+// default the four verbs travel pipelined in one BAT round trip; against
+// a daemon that predates pipelining (or with Options.NoPipeline) they
+// fall back to four serial round trips.
 func (s *Session) RunCycle(in, out []byte) error {
+	if in != nil && int64(len(in)) != s.inBytes {
+		return fmt.Errorf("ipc: input is %d bytes, session stages %d", len(in), s.inBytes)
+	}
+	if out != nil && int64(len(out)) != s.outBytes {
+		return fmt.Errorf("ipc: output buffer is %d bytes, session stages %d", len(out), s.outBytes)
+	}
+	s.c.mu.Lock()
+	pipelined := !s.c.noPipeline
+	s.c.mu.Unlock()
+	if !pipelined {
+		return s.runCycleSerial(in, out)
+	}
+
+	reqs := []Request{
+		{Verb: "SND", Session: s.id},
+		{Verb: "STR", Session: s.id},
+		{Verb: "STP", Session: s.id},
+		{Verb: "RCV", Session: s.id},
+	}
+	if in != nil {
+		if err := s.plane.StageIn(in, &reqs[0]); err != nil {
+			return err
+		}
+	}
+	resps, err := s.c.Do(reqs)
+	if err != nil {
+		if strings.Contains(err.Error(), "unknown verb") {
+			// Pre-pipelining daemon: remember and fall back to serial.
+			s.c.mu.Lock()
+			s.c.noPipeline = true
+			s.c.mu.Unlock()
+			return s.runCycleSerial(in, out)
+		}
+		return err
+	}
+	for i, r := range resps {
+		if r.Status != "ACK" {
+			return fmt.Errorf("ipc: %s (pipelined): %s", reqs[i].Verb, r.Err)
+		}
+	}
+	s.VirtualMS = resps[3].VirtualMS
+	return s.plane.CollectOut(out, &resps[3])
+}
+
+func (s *Session) runCycleSerial(in, out []byte) error {
 	if err := s.SendInput(in); err != nil {
 		return err
 	}

@@ -1,0 +1,315 @@
+package ipc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/transport"
+	"gpuvirt/internal/workloads"
+)
+
+// TestPipelinedCycleOneRoundTrip is the acceptance check for verb
+// pipelining: a full SND+STR+STP+RCV cycle must cost exactly one frame
+// exchange, while a NoPipeline client pays four.
+func TestPipelinedCycleOneRoundTrip(t *testing.T) {
+	s := startServer(t, 1, true)
+	const n = 512
+	in := make([]byte, 2*n*4)
+	out := make([]byte, n*4)
+
+	c, err := Dial(s.Addr(), s.cfg.ShmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.RoundTrips()
+	if err := sess.RunCycle(in, out); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RoundTrips() - before; got != 1 {
+		t.Fatalf("pipelined cycle cost %d round trips, want 1", got)
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	serial, err := DialOptions(s.Addr(), Options{ShmDir: s.cfg.ShmDir, NoPipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	ssess, err := serial.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = serial.RoundTrips()
+	if err := ssess.RunCycle(in, out); err != nil {
+		t.Fatal(err)
+	}
+	if got := serial.RoundTrips() - before; got < 4 {
+		t.Fatalf("serial cycle cost %d round trips, want >= 4", got)
+	}
+	if err := ssess.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxSessionBytes covers the -max-session-bytes satellite: a REQ
+// whose staging footprint exceeds the daemon limit is rejected with an
+// error that names the limit, and a REQ within the limit still works.
+func TestMaxSessionBytes(t *testing.T) {
+	s := startServerOn(t, ServerConfig{
+		Socket:          tempSocket(t),
+		Functional:      true,
+		MaxSessionBytes: 16 << 10,
+	})
+	c, err := Dial(s.Addr(), s.cfg.ShmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// n=4096 floats: in 2*4096*4 = 32 KiB alone busts the 16 KiB cap.
+	_, err = c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 4096}}, 0)
+	if err == nil {
+		t.Fatal("oversized REQ accepted despite MaxSessionBytes")
+	}
+	if !strings.Contains(err.Error(), "max-session-bytes") || !strings.Contains(err.Error(), "16384") {
+		t.Fatalf("rejection does not name the limit: %v", err)
+	}
+
+	// n=512: 2*512*4 + 512*4 = 6 KiB fits; the connection stays usable.
+	out := vecaddCycle(t, c, 512, 0)
+	res := cuda.Float32s(byteMem(out), 0, 512)
+	if res[100] != 100.5 {
+		t.Fatalf("post-rejection cycle wrong: out[100] = %g", res[100])
+	}
+}
+
+// TestBATMisuse pins the dispatcher's batch validation: malformed BAT
+// frames are rejected whole with a clear error, before any owner work.
+func TestBATMisuse(t *testing.T) {
+	s := startServer(t, 1, true)
+	c, err := Dial(s.Addr(), s.cfg.ShmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 64}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Release()
+	id := sess.ID()
+
+	cases := []struct {
+		name string
+		reqs []Request
+		want string
+	}{
+		{"empty", nil, "empty BAT"},
+		{"req-inside", []Request{{Verb: "REQ"}}, "not allowed in BAT"},
+		{"duplicate-verb", []Request{
+			{Verb: "SND", Session: id}, {Verb: "SND", Session: id},
+		}, "once each"},
+		{"out-of-order", []Request{
+			{Verb: "STR", Session: id}, {Verb: "SND", Session: id},
+		}, "order"},
+		{"unknown-session", []Request{{Verb: "SND", Session: 999}}, "unknown session"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.Do(tc.reqs)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+
+	// The session survives all that misuse and still runs a normal cycle.
+	if err := sess.RunCycle(make([]byte, sess.InBytes()), make([]byte, sess.OutBytes())); err != nil {
+		t.Fatalf("session unusable after rejected batches: %v", err)
+	}
+}
+
+// TestPipelinedStressRace hammers one inproc daemon with 8 concurrent
+// pipelined clients for 50 cycles each and checks every output is
+// byte-identical to a serial single-client run of the same input. Run
+// under -race this is the data-plane concurrency acceptance test: the
+// off-owner staging copies must never race the owner's simulation work.
+func TestPipelinedStressRace(t *testing.T) {
+	const (
+		clients = 8
+		iters   = 50
+		n       = 128
+	)
+	s := startServerOn(t, ServerConfig{Listen: []string{"inproc://stress"}, Functional: true})
+
+	input := func(rank int) []byte {
+		in := make([]float32, 2*n)
+		for i := 0; i < n; i++ {
+			in[i] = float32(rank*1000 + i)
+			in[n+i] = 0.25
+		}
+		return cuda.HostFloat32Bytes(in)
+	}
+
+	// Serial reference pass: one client, one cycle per distinct input.
+	ref := make([][]byte, clients)
+	serial, err := Dial(s.Addr(), s.cfg.ShmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < clients; r++ {
+		sess, err := serial.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, sess.OutBytes())
+		if err := sess.RunCycle(input(r), out); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Release(); err != nil {
+			t.Fatal(err)
+		}
+		ref[r] = out
+	}
+	serial.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for r := 0; r < clients; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), s.cfg.ShmDir)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			in := input(rank)
+			sess, err := c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			out := make([]byte, sess.OutBytes())
+			for i := 0; i < iters; i++ {
+				if err := sess.RunCycle(in, out); err != nil {
+					errs <- fmt.Errorf("client %d iter %d: %w", rank, i, err)
+					return
+				}
+				if string(out) != string(ref[rank]) {
+					errs <- fmt.Errorf("client %d iter %d: output differs from serial reference", rank, i)
+					return
+				}
+			}
+			errs <- sess.Release()
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDisconnectMidBAT kills a client that sent a pipelined cycle and
+// vanished before reading the response — with its STR parked at a
+// two-party barrier. The surviving party must complete (barrier timeout)
+// and the dead client's session and device memory must be reclaimed.
+func TestDisconnectMidBAT(t *testing.T) {
+	s := startServerOn(t, ServerConfig{
+		Socket:         tempSocket(t),
+		Parties:        2,
+		Functional:     true,
+		BarrierTimeout: 100 * sim.Millisecond,
+	})
+
+	// The victim speaks the raw wire so it can write one BAT frame and
+	// hang up without ever reading the response.
+	nc, _, err := transport.DialAddr(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.WritePreamble(nc, false); err != nil {
+		t.Fatal(err)
+	}
+	vc := transport.NewConn(nc)
+	const n = 1024
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}
+	if err := vc.WriteRequest(transport.Request{Verb: "REQ", Ref: &ref, Rank: 0, Plane: transport.PlaneInline}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := vc.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ACK" {
+		t.Fatalf("victim REQ: %s %s", resp.Status, resp.Err)
+	}
+	id := resp.Session
+	if err := vc.WriteRequest(transport.Request{Verb: "BAT", Batch: []transport.Request{
+		{Verb: "SND", Session: id, Data: make([]byte, resp.InBytes)},
+		{Verb: "STR", Session: id},
+		{Verb: "STP", Session: id},
+		{Verb: "RCV", Session: id},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	vc.Close() // gone before the barrier flushes or the response is written
+
+	survivor, err := Dial(s.Addr(), s.cfg.ShmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+	done := make(chan error, 1)
+	go func() {
+		sess, err := survivor.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 256}}, 1)
+		if err != nil {
+			done <- err
+			return
+		}
+		if err := sess.RunCycle(make([]byte, sess.InBytes()), make([]byte, sess.OutBytes())); err != nil {
+			done <- err
+			return
+		}
+		done <- sess.Release()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("survivor: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("survivor wedged behind the dead client's mid-BAT barrier slot")
+	}
+
+	for deadline := 400; deadline > 0; deadline-- {
+		open, mem := -1, int64(-1)
+		if !s.submitProbe(func() {
+			open = s.mgr.OpenSessions()
+			mem = s.mgr.Device().MemInUse()
+		}) {
+			t.Fatal("server closed early")
+		}
+		if open == 0 && mem == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("mid-BAT disconnect leaked the session or device memory")
+}

@@ -41,6 +41,10 @@ type ServerConfig struct {
 	// announce their codec in a one-byte preamble, so a mismatch is
 	// rejected with a clear error instead of a frame-decode failure.
 	JSONWire bool
+	// MaxSessionBytes caps one session's staging footprint
+	// (InBytes+OutBytes); REQ beyond the limit is rejected with a clear
+	// error. 0 = no per-session limit.
+	MaxSessionBytes int64
 	// BarrierTimeout flushes a partial STR batch after this much virtual
 	// time, so a crashed client cannot wedge the daemon (0 = strict).
 	// Caveat: the daemon drains virtual time eagerly after every request,
@@ -147,9 +151,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s.disp = transport.NewDispatcher(transport.DispatcherConfig{
-		Mgr:        s.mgr,
-		Functional: cfg.Functional,
-		ShmDir:     cfg.ShmDir,
+		Mgr:             s.mgr,
+		Functional:      cfg.Functional,
+		ShmDir:          cfg.ShmDir,
+		MaxSessionBytes: cfg.MaxSessionBytes,
 	})
 	s.wg.Add(1 + len(lns))
 	go s.owner()
@@ -300,11 +305,10 @@ func (s *Server) serveConn(nc net.Conn, defaultPlane string) {
 			}
 			return
 		}
-		var resp Response
-		ok := s.submit(func(p *sim.Proc) {
-			resp = s.disp.Handle(p, req, cs)
-			resp.VirtualMS = p.Now().Milliseconds()
-		})
+		// The dispatcher runs payload staging here on the connection
+		// goroutine and submits only each verb's owner-side phase, so the
+		// owner's critical section stays O(scheduling), not O(bytes).
+		resp, ok := s.disp.Serve(req, cs, s.submit)
 		if !ok {
 			return
 		}

@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"gpuvirt/internal/gvm"
 	"gpuvirt/internal/sim"
@@ -22,42 +23,107 @@ type DispatcherConfig struct {
 	ShmDir string
 	// SegPrefix names shm-plane segment files (default "gvmd-seg").
 	SegPrefix string
+	// MaxSessionBytes caps one session's staging footprint
+	// (InBytes+OutBytes): a REQ over the limit is rejected with a clear
+	// error instead of the daemon allocating up to MaxFrame per session on
+	// a client's say-so. 0 means no per-session limit (the manager's
+	// aggregate quota still applies).
+	MaxSessionBytes int64
 }
+
+// Submitter runs fn on the server's simulation-owner goroutine and waits
+// for it; it returns false if the server shut down before fn completed.
+type Submitter func(fn func(p *sim.Proc)) bool
 
 // Dispatcher is the one server-side implementation of the
 // REQ/SND/STR/STP/RCV/RLS protocol for real clients. Every transport —
 // in-process, unix socket, tcp — decodes frames into Requests and hands
-// them here; the dispatcher drives the same vgpu client API the
+// them to Serve; the dispatcher drives the same vgpu client API the
 // simulation uses, so gvm.Manager remains the single verb state machine.
 //
-// The dispatcher is not safe for concurrent use: servers call it from
-// their single simulation-owner goroutine, preserving the simulator's
-// deterministic single-threaded discipline.
+// Serve runs on connection goroutines and splits every verb into a
+// connection-side phase (payload staging: data-plane copies in and out of
+// the manager's pinned buffers) and a minimal owner-side phase submitted
+// to the simulation owner (state mutation and virtual time only). The
+// owner's critical section is therefore O(scheduling), not O(bytes):
+// concurrent clients overlap their memcpys on their own goroutines while
+// the owner only serializes the simulation. Sessions are opened in gvm's
+// direct-staging mode, so no byte ever moves on the owner goroutine.
 type Dispatcher struct {
-	cfg      DispatcherConfig
+	cfg DispatcherConfig
+
+	mu       sync.RWMutex // guards the session table
 	sessions map[int]*hostSession
 }
 
 // hostSession is the daemon-side state of one client session: the vgpu
-// handle doing the protocol work, plus staging buffers and the data
-// plane moving payloads to and from the client process.
+// handle doing the protocol work, the data plane moving payloads to and
+// from the client process, and the pinned staging the connection
+// goroutine copies into (SND) and out of (RCV) directly.
 type hostSession struct {
-	id      int
-	v       *vgpu.VGPU
-	plane   HostPlane
-	in      []byte
-	out     []byte
-	started bool
+	id    int
+	v     *vgpu.VGPU
+	owner *ConnState // the connection that opened the session
+
+	// mu guards the connection-side staging state (plane + buffers)
+	// against teardown: release marks the session closed under mu before
+	// closing the plane, and staging copies check closed under mu first.
+	// It is never held across a Submitter call.
+	mu       sync.Mutex
+	closed   bool
+	plane    HostPlane
+	stageIn  []byte // pinned SND staging (nil when timing-only or 0 bytes)
+	stageOut []byte // pinned RCV staging
+
+	started bool // owner-goroutine state: an STR has not been STP'd yet
+}
+
+// copyIn stages a SND payload from the data plane straight into the
+// session's pinned staging buffer. Connection-goroutine side.
+func (s *hostSession) copyIn(req *Request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("transport: session %d is closed", s.id)
+	}
+	if s.stageIn == nil {
+		return nil // timing-only: no bytes move
+	}
+	return s.plane.CopyIn(req, s.stageIn)
+}
+
+// copyOut publishes RCV results from pinned staging through the data
+// plane. Connection-goroutine side.
+func (s *hostSession) copyOut(resp *Response) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("transport: session %d is closed", s.id)
+	}
+	if s.stageOut == nil {
+		return nil
+	}
+	return s.plane.CopyOut(s.stageOut, resp)
 }
 
 // ConnState is the dispatcher's per-connection state: which sessions the
 // connection opened (released if it drops) and the data plane a REQ gets
-// when the client does not ask for one.
+// when the client does not ask for one. Only the owning connection may
+// address its sessions.
 type ConnState struct {
 	// DefaultPlane is set by the server from the accepting transport:
 	// PlaneShm for co-located transports, PlaneInline for tcp.
 	DefaultPlane string
 	owned        []int
+}
+
+func (cs *ConnState) dropOwned(id int) {
+	for i, o := range cs.owned {
+		if o == id {
+			cs.owned = append(cs.owned[:i], cs.owned[i+1:]...)
+			return
+		}
+	}
 }
 
 // NewDispatcher creates a dispatcher serving cfg.Mgr.
@@ -70,31 +136,56 @@ func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
 
 func errResp(err error) Response { return Response{Status: "ERR", Err: err.Error()} }
 
-// Handle services one request on a simulation process.
-func (d *Dispatcher) Handle(p *sim.Proc, req Request, cs *ConnState) Response {
+// batchVerbRank orders the verbs allowed inside a BAT frame. Each session
+// may run at most one cycle per batch (its verbs must appear in strictly
+// increasing rank), which is what makes the zero-copy RCV response safe:
+// nothing later in the batch can overwrite that session's staging.
+var batchVerbRank = map[string]int{"SND": 0, "STR": 1, "STP": 2, "RCV": 3, "RLS": 4}
+
+// Serve services one request from a connection goroutine, submitting only
+// the verb's owner-side phase to the simulation owner. It returns ok ==
+// false when the server shut down before the request completed (the
+// connection should close without replying).
+func (d *Dispatcher) Serve(req Request, cs *ConnState, submit Submitter) (resp Response, ok bool) {
 	switch req.Verb {
 	case "REQ":
-		return d.handleREQ(p, req, cs)
+		return d.serveREQ(req, cs, submit)
+	case "BAT":
+		return d.serveBAT(req, cs, submit)
 	case "SND", "STR", "STP", "RCV", "RLS":
-		s, ok := d.sessions[req.Session]
-		if !ok {
-			return errResp(fmt.Errorf("transport: unknown session %d", req.Session))
-		}
-		return d.handleVerb(p, req, s, cs)
+		return d.serveVerb(req, cs, submit)
 	default:
-		return errResp(fmt.Errorf("transport: unknown verb %q", req.Verb))
+		return errResp(fmt.Errorf("transport: unknown verb %q", req.Verb)), true
 	}
 }
 
-func (d *Dispatcher) handleREQ(p *sim.Proc, req Request, cs *ConnState) Response {
+func (d *Dispatcher) lookup(id int, cs *ConnState) (*hostSession, error) {
+	d.mu.RLock()
+	s := d.sessions[id]
+	d.mu.RUnlock()
+	if s == nil {
+		return nil, fmt.Errorf("transport: unknown session %d", id)
+	}
+	if s.owner != cs {
+		return nil, fmt.Errorf("transport: session %d belongs to another connection", id)
+	}
+	return s, nil
+}
+
+func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit Submitter) (Response, bool) {
 	if req.Ref == nil {
-		return errResp(errors.New("transport: REQ needs a workload reference"))
+		return errResp(errors.New("transport: REQ needs a workload reference")), true
 	}
 	w, err := workloads.FromRef(*req.Ref)
 	if err != nil {
-		return errResp(err)
+		return errResp(err), true
 	}
 	spec := w.Spec(req.Rank)
+	if max := d.cfg.MaxSessionBytes; max > 0 && spec.InBytes+spec.OutBytes > max {
+		return errResp(fmt.Errorf(
+			"transport: session staging %d bytes (in %d + out %d) exceeds the daemon's -max-session-bytes limit %d",
+			spec.InBytes+spec.OutBytes, spec.InBytes, spec.OutBytes, max)), true
+	}
 	kind := req.Plane
 	if kind == "" {
 		kind = cs.DefaultPlane
@@ -102,89 +193,258 @@ func (d *Dispatcher) handleREQ(p *sim.Proc, req Request, cs *ConnState) Response
 	if kind == "" {
 		kind = PlaneShm
 	}
-	v, err := vgpu.Connect(p, d.cfg.Mgr, spec)
-	if err != nil {
-		return errResp(err)
+	if kind != PlaneShm && kind != PlaneInline {
+		return errResp(fmt.Errorf("transport: unknown data plane %q (want %q or %q)", kind, PlaneShm, PlaneInline)), true
 	}
-	s := &hostSession{id: v.Session(), v: v}
+
+	// Owner phase: open the gvm session (direct staging — the dispatcher
+	// moves the bytes, the owner only accounts virtual time).
+	var (
+		v                 *vgpu.VGPU
+		stageIn, stageOut []byte
+		verr              error
+		vms               float64
+	)
+	if !submit(func(p *sim.Proc) {
+		v, verr = vgpu.ConnectDirect(p, d.cfg.Mgr, spec)
+		if verr == nil && d.cfg.Functional {
+			stageIn, stageOut = d.cfg.Mgr.Staging(v.Session())
+		}
+		vms = p.Now().Milliseconds()
+	}) {
+		return Response{}, false
+	}
+	if verr != nil {
+		r := errResp(verr)
+		r.VirtualMS = vms
+		return r, true
+	}
+
+	// Connection phase: create the data plane (shm file creation is real
+	// I/O and stays off the owner) and publish the session.
+	s := &hostSession{id: v.Session(), v: v, owner: cs, stageIn: stageIn, stageOut: stageOut}
 	name := fmt.Sprintf("%s-%d", d.cfg.SegPrefix, s.id)
 	s.plane, err = NewHostPlane(kind, d.cfg.ShmDir, name, spec.InBytes, spec.OutBytes)
 	if err != nil {
-		_ = v.Release(p)
-		return errResp(err)
+		submit(func(p *sim.Proc) { _ = v.Release(p) })
+		return errResp(err), true
 	}
-	if d.cfg.Functional {
-		if spec.InBytes > 0 {
-			s.in = make([]byte, spec.InBytes)
-		}
-		if spec.OutBytes > 0 {
-			s.out = make([]byte, spec.OutBytes)
-		}
-	}
+	d.mu.Lock()
 	d.sessions[s.id] = s
+	d.mu.Unlock()
 	cs.owned = append(cs.owned, s.id)
 	return Response{
-		Status:   "ACK",
-		Session:  s.id,
-		Plane:    s.plane.Kind(),
-		Segment:  s.plane.Segment(),
-		InBytes:  spec.InBytes,
-		OutBytes: spec.OutBytes,
-	}
+		Status:    "ACK",
+		Session:   s.id,
+		Plane:     s.plane.Kind(),
+		Segment:   s.plane.Segment(),
+		InBytes:   spec.InBytes,
+		OutBytes:  spec.OutBytes,
+		VirtualMS: vms,
+	}, true
 }
 
-func (d *Dispatcher) handleVerb(p *sim.Proc, req Request, s *hostSession, cs *ConnState) Response {
+func (d *Dispatcher) serveVerb(req Request, cs *ConnState, submit Submitter) (Response, bool) {
+	s, err := d.lookup(req.Session, cs)
+	if err != nil {
+		return errResp(err), true
+	}
+	if req.Verb == "SND" {
+		if err := s.copyIn(&req); err != nil {
+			return errResp(err), true
+		}
+	}
 	resp := Response{Status: "ACK", Session: s.id}
+	var verr error
+	if !submit(func(p *sim.Proc) {
+		verr = d.ownerVerb(p, s, req.Verb)
+		resp.VirtualMS = p.Now().Milliseconds()
+	}) {
+		return Response{}, false
+	}
+	if verr != nil {
+		r := errResp(verr)
+		r.VirtualMS = resp.VirtualMS
+		return r, true
+	}
 	switch req.Verb {
+	case "RCV":
+		if err := s.copyOut(&resp); err != nil {
+			return errResp(err), true
+		}
+	case "RLS":
+		cs.dropOwned(s.id)
+	}
+	return resp, true
+}
+
+// ownerVerb is the owner-side phase of one data verb: pure simulation
+// state and virtual time, no payload bytes. SND and RCV run the vgpu
+// calls with nil buffers — only the virtual host-copy sleeps remain,
+// because direct sessions skip gvm's segment copies too.
+func (d *Dispatcher) ownerVerb(p *sim.Proc, s *hostSession, verb string) error {
+	switch verb {
 	case "SND":
-		if s.in != nil {
-			if err := s.plane.CopyIn(&req, s.in); err != nil {
-				return errResp(err)
-			}
-		}
-		if err := s.v.SendInput(p, s.in); err != nil {
-			return errResp(err)
-		}
+		return s.v.SendInput(p, nil)
 	case "STR":
 		if err := s.v.Start(p); err != nil {
-			return errResp(err)
+			return err
 		}
 		s.started = true
+		return nil
 	case "STP":
 		// The owner drains the calendar after every flush, so by the
 		// time an STP arrives execution has finished in virtual time.
 		if !s.started {
-			return errResp(errors.New("transport: STP before STR"))
+			return errors.New("transport: STP before STR")
 		}
 		if err := s.v.Wait(p); err != nil {
-			return errResp(err)
+			return err
 		}
 		s.started = false
+		return nil
 	case "RCV":
-		if err := s.v.ReceiveOutput(p, s.out); err != nil {
-			return errResp(err)
-		}
-		if s.out != nil {
-			if err := s.plane.CopyOut(s.out, &resp); err != nil {
-				return errResp(err)
-			}
-		}
+		return s.v.ReceiveOutput(p, nil)
 	case "RLS":
-		d.release(p, s.id)
-		for i, id := range cs.owned {
-			if id == s.id {
-				cs.owned = append(cs.owned[:i], cs.owned[i+1:]...)
+		d.releaseOwner(p, s)
+		return nil
+	default:
+		return fmt.Errorf("transport: unknown verb %q", verb)
+	}
+}
+
+// serveBAT runs a pipelined verb batch: every sub-verb's connection phase
+// plus ONE owner round trip for all the owner phases, so a full SPMD
+// cycle (SND+STR+STP+RCV) costs a single submission instead of four.
+func (d *Dispatcher) serveBAT(req Request, cs *ConnState, submit Submitter) (Response, bool) {
+	if len(req.Batch) == 0 {
+		return errResp(errors.New("transport: empty BAT")), true
+	}
+	type step struct {
+		req  Request
+		s    *hostSession
+		resp Response
+		err  error
+		ran  bool
+	}
+	steps := make([]step, len(req.Batch))
+	lastRank := make(map[int]int, 2)
+	for i := range req.Batch {
+		sub := req.Batch[i]
+		rank, allowed := batchVerbRank[sub.Verb]
+		if !allowed {
+			return errResp(fmt.Errorf("transport: verb %q not allowed in BAT", sub.Verb)), true
+		}
+		if len(sub.Batch) > 0 {
+			return errResp(errors.New("transport: nested BAT")), true
+		}
+		s, err := d.lookup(sub.Session, cs)
+		if err != nil {
+			return errResp(err), true
+		}
+		if last, seen := lastRank[sub.Session]; seen && rank <= last {
+			return errResp(fmt.Errorf(
+				"transport: BAT verbs for session %d must appear once each, in SND<STR<STP<RCV<RLS order", sub.Session)), true
+		}
+		lastRank[sub.Session] = rank
+		steps[i] = step{req: sub, s: s}
+	}
+
+	// Connection phase: stage every SND payload into pinned memory.
+	limit := len(steps)
+	for i := range steps {
+		if steps[i].req.Verb == "SND" {
+			if err := steps[i].s.copyIn(&steps[i].req); err != nil {
+				steps[i].err = err
+				limit = i
 				break
 			}
 		}
 	}
-	return resp
+
+	// Owner phase: one submission for every staged step, stopping at the
+	// first failure.
+	var vms float64
+	if !submit(func(p *sim.Proc) {
+		for i := 0; i < limit; i++ {
+			st := &steps[i]
+			st.ran = true
+			st.err = d.ownerVerb(p, st.s, st.req.Verb)
+			st.resp.VirtualMS = p.Now().Milliseconds()
+			if st.err != nil {
+				break
+			}
+		}
+		vms = p.Now().Milliseconds()
+	}) {
+		return Response{}, false
+	}
+
+	// Connection phase: collect RCV results, finish RLS bookkeeping,
+	// assemble per-step responses.
+	out := Response{Status: "ACK", VirtualMS: vms, Batch: make([]Response, len(steps))}
+	for i := range steps {
+		st := &steps[i]
+		sub := &out.Batch[i]
+		sub.Session = st.req.Session
+		sub.VirtualMS = st.resp.VirtualMS
+		switch {
+		case st.err != nil:
+			sub.Status = "ERR"
+			sub.Err = st.err.Error()
+		case !st.ran:
+			sub.Status = "ERR"
+			sub.Err = "transport: skipped after earlier BAT failure"
+		default:
+			sub.Status = "ACK"
+			switch st.req.Verb {
+			case "RCV":
+				if err := st.s.copyOut(sub); err != nil {
+					sub.Status = "ERR"
+					sub.Err = err.Error()
+				}
+			case "RLS":
+				cs.dropOwned(st.req.Session)
+			}
+		}
+	}
+	return out, true
+}
+
+// releaseOwner tears one session down. Owner-goroutine side: unpublish
+// first so no new connection phase can find it, then mark it closed under
+// its mutex (waiting out any staging copy in flight) before releasing the
+// gvm session and the data plane.
+func (d *Dispatcher) releaseOwner(p *sim.Proc, s *hostSession) {
+	d.mu.Lock()
+	cur, live := d.sessions[s.id]
+	if live && cur == s {
+		delete(d.sessions, s.id)
+	}
+	d.mu.Unlock()
+	if !live || cur != s {
+		return // already released
+	}
+	s.mu.Lock()
+	s.closed = true
+	plane := s.plane
+	s.mu.Unlock()
+	_ = s.v.Release(p)
+	if plane != nil {
+		_ = plane.Close()
+	}
 }
 
 // HangUp releases every session a disconnected client left open.
+// Owner-goroutine side (servers submit it from the connection's cleanup).
 func (d *Dispatcher) HangUp(p *sim.Proc, cs *ConnState) {
 	for _, id := range cs.owned {
-		d.release(p, id)
+		d.mu.RLock()
+		s := d.sessions[id]
+		d.mu.RUnlock()
+		if s != nil && s.owner == cs {
+			d.releaseOwner(p, s)
+		}
 	}
 	cs.owned = nil
 }
@@ -192,24 +452,20 @@ func (d *Dispatcher) HangUp(p *sim.Proc, cs *ConnState) {
 // ReleaseAll tears down every live session; servers call it at shutdown
 // so device memory and file-backed segments are reclaimed.
 func (d *Dispatcher) ReleaseAll(p *sim.Proc) {
-	ids := make([]int, 0, len(d.sessions))
-	for id := range d.sessions {
-		ids = append(ids, id)
+	d.mu.RLock()
+	live := make([]*hostSession, 0, len(d.sessions))
+	for _, s := range d.sessions {
+		live = append(live, s)
 	}
-	for _, id := range ids {
-		d.release(p, id)
+	d.mu.RUnlock()
+	for _, s := range live {
+		d.releaseOwner(p, s)
 	}
 }
 
 // OpenSessions returns the number of live dispatcher sessions.
-func (d *Dispatcher) OpenSessions() int { return len(d.sessions) }
-
-func (d *Dispatcher) release(p *sim.Proc, id int) {
-	s, ok := d.sessions[id]
-	if !ok {
-		return
-	}
-	delete(d.sessions, id)
-	_ = s.v.Release(p)
-	_ = s.plane.Close()
+func (d *Dispatcher) OpenSessions() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.sessions)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"net"
 	"sort"
 
 	"gpuvirt/internal/workloads"
@@ -18,10 +19,14 @@ import (
 //
 // Request payload:  verb, session, rank, ref-present byte, then (if
 // present) ref name + param count + sorted key/value pairs, then the
-// data-plane name and the optional inline payload.
+// data-plane name and the optional inline payload. A BAT container
+// appends a sub-request count and each sub-request's fields (same
+// layout, no nesting); single-verb frames carry no batch section at all,
+// so they are byte-identical to the pre-batch format.
 // Response payload: status, session, err, plane, segment, inBytes,
 // outBytes, virtualMS (float64 bits, 8 bytes little-endian), optional
-// inline payload.
+// inline payload, then the optional sub-response section mirroring the
+// request's batch.
 // Strings are uvarint length + bytes; integers are zigzag varints; byte
 // payloads are a presence byte then uvarint length + bytes (nil and
 // empty slices round-trip distinctly).
@@ -40,80 +45,237 @@ const (
 	// frame, so the bound is sized for payloads (64 MiB); sessions moving
 	// more per cycle should use the shm data plane.
 	MaxFrame = 1 << 26
+
+	// inlineDataThreshold is the largest payload copied into the meta
+	// buffer instead of riding as its own writev segment: below it, one
+	// syscall beats avoiding one memcpy.
+	inlineDataThreshold = 4096
 )
 
-func appendString(b []byte, s string) []byte {
-	b = binary.AppendUvarint(b, uint64(len(s)))
-	return append(b, s...)
+// internTable holds every string constant the protocol puts on the wire;
+// decoding returns these canonical values instead of allocating, which is
+// what keeps the steady-state SND/RCV decode path at zero allocations.
+var internTable = [...]string{
+	"REQ", "SND", "STR", "STP", "RCV", "RLS", "BAT",
+	"ACK", "WAIT", "ERR",
+	PlaneShm, PlaneInline,
 }
 
-// appendBytes encodes an optional byte payload: presence byte, then
-// length + bytes when present.
-func appendBytes(b []byte, p []byte) []byte {
-	if p == nil {
-		return append(b, 0)
+func intern(b []byte) string {
+	for _, s := range &internTable {
+		if string(b) == s {
+			return s
+		}
 	}
-	b = append(b, 1)
-	b = binary.AppendUvarint(b, uint64(len(p)))
-	return append(b, p...)
+	return string(b)
 }
 
-// EncodeRequestBinary appends a complete binary request frame to dst and
-// returns the extended slice, so callers can reuse one buffer across
-// frames.
-func EncodeRequestBinary(dst []byte, req Request) ([]byte, error) {
-	dst = append(dst, frameMagic, kindRequest, 0, 0, 0, 0)
-	start := len(dst)
-	dst = appendString(dst, req.Verb)
-	dst = binary.AppendVarint(dst, int64(req.Session))
-	dst = binary.AppendVarint(dst, int64(req.Rank))
+// frameEncoder assembles one frame as an ordered list of segments: spans
+// of its meta buffer interleaved with external payload slices that are
+// never copied (they ride writev scatter-gather straight from the
+// caller's buffer). The encoder is reused across frames by Conn.
+type frameEncoder struct {
+	buf  []byte // header + every non-payload field
+	segs []frameSeg
+	mark int // start of the open buf span
+	// iovBuf is the persistent backing array for iov. WriteTo consumes iov
+	// in place (advances its header past the backing), so buffers() must
+	// rebuild from a header that still points at the array's base or every
+	// frame would reallocate it.
+	iovBuf [][]byte
+	iov    net.Buffers
+}
+
+type frameSeg struct {
+	off, end int    // span of frameEncoder.buf when ext is nil
+	ext      []byte // external payload, referenced not copied
+}
+
+func (e *frameEncoder) reset() {
+	e.buf = e.buf[:0]
+	e.segs = e.segs[:0]
+	e.mark = 0
+}
+
+// external closes the open meta span and appends p as its own segment.
+func (e *frameEncoder) external(p []byte) {
+	if len(e.buf) > e.mark {
+		e.segs = append(e.segs, frameSeg{off: e.mark, end: len(e.buf)})
+	}
+	e.segs = append(e.segs, frameSeg{ext: p})
+	e.mark = len(e.buf)
+}
+
+func (e *frameEncoder) str(s string) {
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *frameEncoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *frameEncoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *frameEncoder) byteVal(b byte)   { e.buf = append(e.buf, b) }
+
+// bytes encodes an optional payload: presence byte, then length + bytes.
+// Large payloads become external segments (zero copy).
+func (e *frameEncoder) bytes(p []byte) {
+	if p == nil {
+		e.byteVal(0)
+		return
+	}
+	e.byteVal(1)
+	e.uvarint(uint64(len(p)))
+	if len(p) == 0 {
+		return
+	}
+	if len(p) <= inlineDataThreshold {
+		e.buf = append(e.buf, p...)
+		return
+	}
+	e.external(p)
+}
+
+// finish validates the payload length and patches the frame header. It
+// must be called exactly once, after all fields are encoded.
+func (e *frameEncoder) finish() error {
+	n := len(e.buf) - headerLen
+	for _, s := range e.segs {
+		n += len(s.ext)
+	}
+	if n > MaxFrame {
+		return fmt.Errorf("transport: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	}
+	binary.LittleEndian.PutUint32(e.buf[headerLen-4:headerLen], uint32(n))
+	if len(e.buf) > e.mark {
+		e.segs = append(e.segs, frameSeg{off: e.mark, end: len(e.buf)})
+		e.mark = len(e.buf)
+	}
+	return nil
+}
+
+// buffers resolves the segment list against the (final) meta buffer into
+// a reusable net.Buffers for writev.
+func (e *frameEncoder) buffers() net.Buffers {
+	e.iovBuf = e.iovBuf[:0]
+	for _, s := range e.segs {
+		if s.ext != nil {
+			e.iovBuf = append(e.iovBuf, s.ext)
+		} else {
+			e.iovBuf = append(e.iovBuf, e.buf[s.off:s.end])
+		}
+	}
+	e.iov = net.Buffers(e.iovBuf)
+	return e.iov
+}
+
+// flatten appends the complete contiguous frame to dst.
+func (e *frameEncoder) flatten(dst []byte) []byte {
+	for _, s := range e.segs {
+		if s.ext != nil {
+			dst = append(dst, s.ext...)
+		} else {
+			dst = append(dst, e.buf[s.off:s.end]...)
+		}
+	}
+	return dst
+}
+
+func (e *frameEncoder) encodeRequest(req Request) error {
+	e.reset()
+	e.buf = append(e.buf, frameMagic, kindRequest, 0, 0, 0, 0)
+	if err := e.requestFields(req); err != nil {
+		return err
+	}
+	if len(req.Batch) > 0 {
+		e.uvarint(uint64(len(req.Batch)))
+		for i := range req.Batch {
+			if len(req.Batch[i].Batch) > 0 {
+				return fmt.Errorf("transport: nested batch in %s frame", req.Verb)
+			}
+			if err := e.requestFields(req.Batch[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return e.finish()
+}
+
+func (e *frameEncoder) requestFields(req Request) error {
+	e.str(req.Verb)
+	e.varint(int64(req.Session))
+	e.varint(int64(req.Rank))
 	if req.Ref == nil {
-		dst = append(dst, 0)
+		e.byteVal(0)
 	} else {
-		dst = append(dst, 1)
-		dst = appendString(dst, req.Ref.Name)
+		e.byteVal(1)
+		e.str(req.Ref.Name)
 		keys := make([]string, 0, len(req.Ref.Params))
 		for k := range req.Ref.Params {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		dst = binary.AppendUvarint(dst, uint64(len(keys)))
+		e.uvarint(uint64(len(keys)))
 		for _, k := range keys {
-			dst = appendString(dst, k)
-			dst = binary.AppendVarint(dst, int64(req.Ref.Params[k]))
+			e.str(k)
+			e.varint(int64(req.Ref.Params[k]))
 		}
 	}
-	dst = appendString(dst, req.Plane)
-	dst = appendBytes(dst, req.Data)
-	return finishFrame(dst, start)
+	e.str(req.Plane)
+	e.bytes(req.Data)
+	return nil
+}
+
+func (e *frameEncoder) encodeResponse(resp Response) error {
+	e.reset()
+	e.buf = append(e.buf, frameMagic, kindResponse, 0, 0, 0, 0)
+	e.responseFields(resp)
+	if len(resp.Batch) > 0 {
+		e.uvarint(uint64(len(resp.Batch)))
+		for i := range resp.Batch {
+			if len(resp.Batch[i].Batch) > 0 {
+				return fmt.Errorf("transport: nested batch in response frame")
+			}
+			e.responseFields(resp.Batch[i])
+		}
+	}
+	return e.finish()
+}
+
+func (e *frameEncoder) responseFields(resp Response) {
+	e.str(resp.Status)
+	e.varint(int64(resp.Session))
+	e.str(resp.Err)
+	e.str(resp.Plane)
+	e.str(resp.Segment)
+	e.varint(resp.InBytes)
+	e.varint(resp.OutBytes)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(resp.VirtualMS))
+	e.bytes(resp.Data)
+}
+
+// EncodeRequestBinary appends a complete binary request frame to dst and
+// returns the extended slice, so callers can reuse one buffer across
+// frames. Conn uses the scatter-gather path instead; this contiguous form
+// serves tests, fuzzing and offline tooling.
+func EncodeRequestBinary(dst []byte, req Request) ([]byte, error) {
+	var e frameEncoder
+	if err := e.encodeRequest(req); err != nil {
+		return nil, err
+	}
+	return e.flatten(dst), nil
 }
 
 // EncodeResponseBinary appends a complete binary response frame to dst.
 func EncodeResponseBinary(dst []byte, resp Response) ([]byte, error) {
-	dst = append(dst, frameMagic, kindResponse, 0, 0, 0, 0)
-	start := len(dst)
-	dst = appendString(dst, resp.Status)
-	dst = binary.AppendVarint(dst, int64(resp.Session))
-	dst = appendString(dst, resp.Err)
-	dst = appendString(dst, resp.Plane)
-	dst = appendString(dst, resp.Segment)
-	dst = binary.AppendVarint(dst, resp.InBytes)
-	dst = binary.AppendVarint(dst, resp.OutBytes)
-	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(resp.VirtualMS))
-	dst = appendBytes(dst, resp.Data)
-	return finishFrame(dst, start)
-}
-
-func finishFrame(dst []byte, start int) ([]byte, error) {
-	n := len(dst) - start
-	if n > MaxFrame {
-		return nil, fmt.Errorf("transport: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	var e frameEncoder
+	if err := e.encodeResponse(resp); err != nil {
+		return nil, err
 	}
-	binary.LittleEndian.PutUint32(dst[start-4:start], uint32(n))
-	return dst, nil
+	return e.flatten(dst), nil
 }
 
-// DecodeRequestBinary parses one complete binary request frame.
+// DecodeRequestBinary parses one complete binary request frame. The
+// returned request's Data (and sub-request Data) alias the frame buffer;
+// they are valid only as long as the caller keeps frame intact.
 func DecodeRequestBinary(frame []byte) (Request, error) {
 	payload, err := framePayload(frame, kindRequest)
 	if err != nil {
@@ -122,7 +284,8 @@ func DecodeRequestBinary(frame []byte) (Request, error) {
 	return decodeRequestPayload(payload)
 }
 
-// DecodeResponseBinary parses one complete binary response frame.
+// DecodeResponseBinary parses one complete binary response frame; the
+// same aliasing rule as DecodeRequestBinary applies.
 func DecodeResponseBinary(frame []byte) (Response, error) {
 	payload, err := framePayload(frame, kindResponse)
 	if err != nil {
@@ -193,6 +356,9 @@ func (r *frameReader) varint() int64 {
 	return v
 }
 
+// str decodes a string, returning the canonical interned value for
+// protocol constants (verbs, statuses, plane names) so hot-path decodes
+// allocate nothing.
 func (r *frameReader) str() string {
 	n := r.uvarint()
 	if r.err != nil {
@@ -202,7 +368,7 @@ func (r *frameReader) str() string {
 		r.fail("string of %d bytes overruns payload at offset %d", n, r.off)
 		return ""
 	}
-	s := string(r.b[r.off : r.off+int(n)])
+	s := intern(r.b[r.off : r.off+int(n)])
 	r.off += int(n)
 	return s
 }
@@ -220,8 +386,9 @@ func (r *frameReader) byteVal() byte {
 	return v
 }
 
-// bytesVal decodes an optional byte payload, copying it out of the
-// (reused) frame buffer.
+// bytesVal decodes an optional byte payload as a sub-slice ALIASING the
+// frame buffer — no copy. Callers that outlive the frame buffer (Conn
+// reuses it for the next frame) must copy before then.
 func (r *frameReader) bytesVal() []byte {
 	if r.byteVal() == 0 {
 		return nil
@@ -234,8 +401,7 @@ func (r *frameReader) bytesVal() []byte {
 		r.fail("byte payload of %d overruns frame at offset %d", n, r.off)
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, r.b[r.off:])
+	out := r.b[r.off : r.off+int(n) : r.off+int(n)]
 	r.off += int(n)
 	return out
 }
@@ -260,8 +426,7 @@ func (r *frameReader) finish() error {
 	return r.err
 }
 
-func decodeRequestPayload(payload []byte) (Request, error) {
-	r := frameReader{b: payload}
+func (r *frameReader) requestFields() Request {
 	var req Request
 	req.Verb = r.str()
 	req.Session = int(r.varint())
@@ -269,7 +434,7 @@ func decodeRequestPayload(payload []byte) (Request, error) {
 	if r.byteVal() != 0 {
 		ref := &workloads.Ref{Name: r.str()}
 		if n := r.uvarint(); n > 0 {
-			if n > uint64(len(payload)) { // each pair takes >= 2 bytes
+			if n > uint64(len(r.b)) { // each pair takes >= 2 bytes
 				r.fail("param count %d overruns payload", n)
 			} else {
 				ref.Params = make(map[string]int, n)
@@ -283,14 +448,30 @@ func decodeRequestPayload(payload []byte) (Request, error) {
 	}
 	req.Plane = r.str()
 	req.Data = r.bytesVal()
+	return req
+}
+
+func decodeRequestPayload(payload []byte) (Request, error) {
+	r := frameReader{b: payload}
+	req := r.requestFields()
+	if r.err == nil && r.off < len(r.b) {
+		n := r.uvarint()
+		if n > uint64(len(r.b)) { // each sub-request takes >= 6 bytes
+			r.fail("batch count %d overruns payload", n)
+		} else {
+			req.Batch = make([]Request, 0, n)
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				req.Batch = append(req.Batch, r.requestFields())
+			}
+		}
+	}
 	if err := r.finish(); err != nil {
 		return Request{}, err
 	}
 	return req, nil
 }
 
-func decodeResponsePayload(payload []byte) (Response, error) {
-	r := frameReader{b: payload}
+func (r *frameReader) responseFields() Response {
 	var resp Response
 	resp.Status = r.str()
 	resp.Session = int(r.varint())
@@ -301,6 +482,23 @@ func decodeResponsePayload(payload []byte) (Response, error) {
 	resp.OutBytes = r.varint()
 	resp.VirtualMS = r.f64()
 	resp.Data = r.bytesVal()
+	return resp
+}
+
+func decodeResponsePayload(payload []byte) (Response, error) {
+	r := frameReader{b: payload}
+	resp := r.responseFields()
+	if r.err == nil && r.off < len(r.b) {
+		n := r.uvarint()
+		if n > uint64(len(r.b)) {
+			r.fail("batch count %d overruns payload", n)
+		} else {
+			resp.Batch = make([]Response, 0, n)
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				resp.Batch = append(resp.Batch, r.responseFields())
+			}
+		}
+	}
 	if err := r.finish(); err != nil {
 		return Response{}, err
 	}

@@ -104,7 +104,9 @@ type HostPlane interface {
 	Segment() string
 	// CopyIn fills dst with the SND payload the client staged.
 	CopyIn(req *Request, dst []byte) error
-	// CopyOut publishes the RCV payload in src to the client.
+	// CopyOut publishes the RCV payload in src to the client. The inline
+	// plane aliases src into resp.Data without copying, so src must stay
+	// untouched until the response frame has been written.
 	CopyOut(src []byte, resp *Response) error
 	Close() error
 }
@@ -162,7 +164,9 @@ func (inlineHostPlane) CopyIn(req *Request, dst []byte) error {
 }
 
 func (inlineHostPlane) CopyOut(src []byte, resp *Response) error {
-	resp.Data = append([]byte(nil), src...)
+	// Zero-copy: the response frame is written (writev) before the
+	// session can start another cycle that would overwrite src.
+	resp.Data = src
 	return nil
 }
 

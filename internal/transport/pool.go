@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed frame-buffer pool. Read and staging buffers on the verb
+// hot path (one per frame, up to MaxFrame bytes for inline SND/RCV
+// payloads) are recycled here instead of being allocated per frame, so a
+// warm connection moving 64 MiB payloads does zero hot-path allocations
+// beyond the first pool miss per size class.
+//
+// Classes are powers of two from minBufClass to MaxFrame. A buffer
+// returned by getBuf always comes from the class that fits n, so putBuf
+// can recycle it by capacity without tracking provenance.
+
+const (
+	// minBufClass is the smallest pooled capacity (512 B); control-plane
+	// frames are smaller, but sub-512 B allocations are cheap enough that
+	// finer classes would only add pool traffic.
+	minBufClass = 9
+	maxBufClass = 26 // 1 << 26 == MaxFrame
+)
+
+var bufPools [maxBufClass - minBufClass + 1]sync.Pool
+
+// bufClass maps a size to its pool index, or -1 for sizes beyond MaxFrame
+// (never pooled).
+func bufClass(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if c < minBufClass {
+		return 0
+	}
+	if c > maxBufClass {
+		return -1
+	}
+	return c - minBufClass
+}
+
+// getBuf returns a buffer of length n from the pool (capacity is n's size
+// class). Sizes beyond MaxFrame fall back to a plain allocation.
+func getBuf(n int) []byte {
+	c := bufClass(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := bufPools[c].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	return make([]byte, n, 1<<(c+minBufClass))
+}
+
+// putBuf recycles a buffer obtained from getBuf. Buffers whose capacity
+// is not a pooled class (foreign or oversized) are dropped for the GC.
+// The caller must not retain any alias of b after the put.
+func putBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	c := bufClass(cap(b))
+	if c < 0 || cap(b) != 1<<(c+minBufClass) {
+		return
+	}
+	b = b[:cap(b)]
+	bufPools[c].Put(&b)
+}

@@ -25,6 +25,11 @@ type Request struct {
 	// Data carries the SND payload on the inline data plane (nil on the
 	// shm plane, where the payload travels through the segment).
 	Data []byte `json:"data,omitempty"`
+	// Batch carries the sub-requests of a BAT container frame, executed
+	// in order in one daemon round trip (verb pipelining). Sub-requests
+	// must not nest batches. Empty for ordinary single-verb frames, whose
+	// wire form is unchanged from the pre-batch protocol.
+	Batch []Request `json:"batch,omitempty"`
 }
 
 // Response is a wire-encoded protocol response.
@@ -43,6 +48,10 @@ type Response struct {
 	// VirtualMS is the simulated GPU clock at response time, so clients
 	// can report device-side timings.
 	VirtualMS float64 `json:"virtual_ms"`
+	// Batch carries the per-sub-request responses of a BAT frame, in the
+	// order the sub-requests were given; processing stops at the first
+	// failing sub-request.
+	Batch []Response `json:"batch,omitempty"`
 }
 
 // Codec preamble: the first byte a client sends after connecting names
@@ -92,10 +101,16 @@ type Conn struct {
 	r    *bufio.Reader
 	json bool
 	enc  *json.Encoder // JSON mode only
-	wbuf []byte        // binary mode: reused encode buffer
-	rbuf []byte        // binary mode: reused payload buffer
+	we   frameEncoder  // binary mode: reused scatter-gather encoder
+	rbuf []byte        // binary mode: reused pooled payload buffer
 	hdr  [headerLen]byte
 }
+
+// rbufHighWater caps the read buffer a connection retains between frames.
+// One giant inline frame would otherwise pin up to MaxFrame bytes for the
+// connection's lifetime; above the mark the buffer goes back to the pool
+// after use and the next small frame draws a small one.
+const rbufHighWater = 1 << 20
 
 // NewConn wraps a connection with the binary frame codec.
 func NewConn(c net.Conn) *Conn {
@@ -120,31 +135,45 @@ func (c *Conn) SetDeadline(t time.Time) error { return c.c.SetDeadline(t) }
 // JSON reports whether the connection speaks the JSON debugging codec.
 func (c *Conn) JSON() bool { return c.json }
 
-// WriteRequest sends one request frame.
+// WriteRequest sends one request frame. Payloads above the inline
+// threshold are not copied: they ride a writev (net.Buffers) straight
+// from req.Data, so the caller must not mutate it until the call returns.
 func (c *Conn) WriteRequest(req Request) error {
 	if c.json {
 		return c.enc.Encode(req)
 	}
-	buf, err := EncodeRequestBinary(c.wbuf[:0], req)
-	if err != nil {
+	if err := c.we.encodeRequest(req); err != nil {
 		return err
 	}
-	c.wbuf = buf
-	_, err = c.c.Write(buf)
-	return err
+	return c.writeFrame()
 }
 
-// WriteResponse sends one response frame.
+// WriteResponse sends one response frame; the same no-copy rule as
+// WriteRequest applies to resp.Data.
 func (c *Conn) WriteResponse(resp Response) error {
 	if c.json {
 		return c.enc.Encode(resp)
 	}
-	buf, err := EncodeResponseBinary(c.wbuf[:0], resp)
-	if err != nil {
+	if err := c.we.encodeResponse(resp); err != nil {
 		return err
 	}
-	c.wbuf = buf
-	_, err = c.c.Write(buf)
+	return c.writeFrame()
+}
+
+// writeFrame flushes the encoder's segment list. A single-segment frame
+// (everything inline) takes the plain Write path; multi-segment frames use
+// writev so large payloads are never copied into the encode buffer.
+func (c *Conn) writeFrame() error {
+	bufs := c.we.buffers()
+	if len(bufs) == 1 {
+		_, err := c.c.Write(bufs[0])
+		return err
+	}
+	// WriteTo consumes the slice (advances/nils entries); the encoder
+	// rebuilds it from its segment list on the next frame. Called on the
+	// encoder's own iov field (not a local) so the net.Buffers header does
+	// not escape to the heap on every frame.
+	_, err := c.we.iov.WriteTo(c.c)
 	return err
 }
 
@@ -220,8 +249,14 @@ func (c *Conn) readFrame(kind byte) ([]byte, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("transport: frame payload %d bytes exceeds MaxFrame %d", n, MaxFrame)
 	}
-	if cap(c.rbuf) < int(n) {
-		c.rbuf = make([]byte, n)
+	// Swap the retained buffer when it is too small, or when it is above
+	// the high-water mark and this frame no longer needs that much. Any
+	// payload aliases handed out by the previous read are dead by contract
+	// ("valid until the next read"), so returning the old buffer to the
+	// pool here is safe.
+	if cap(c.rbuf) < int(n) || (cap(c.rbuf) > rbufHighWater && int(n) <= rbufHighWater) {
+		putBuf(c.rbuf)
+		c.rbuf = getBuf(int(n))
 	}
 	buf := c.rbuf[:n]
 	if _, err := io.ReadFull(c.r, buf); err != nil {

@@ -46,6 +46,20 @@ type VGPU struct {
 // manager is up (clients arriving during manager initialization queue,
 // they do not fail).
 func Connect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec) (*VGPU, error) {
+	return connect(p, mgr, spec, false)
+}
+
+// ConnectDirect opens the session in direct-staging mode: payload bytes
+// bypass the shared-memory segment and move straight through the
+// manager's pinned staging buffers (gvm.Manager.Staging), while every
+// verb still charges its usual virtual host-copy time. The daemon
+// dispatcher uses it to keep payload memcpys off the simulation-owner
+// goroutine; use SendInput/ReceiveOutput with nil buffers.
+func ConnectDirect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec) (*VGPU, error) {
+	return connect(p, mgr, spec, true)
+}
+
+func connect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec, direct bool) (*VGPU, error) {
 	if spec == nil {
 		return nil, errors.New("vgpu: nil task spec")
 	}
@@ -55,7 +69,7 @@ func Connect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec) (*VGPU, error) {
 		resp: msgq.New[gvm.Response](mgr.Env(), 0, mgr.MsgLatency()),
 		poll: DefaultPollPolicy(),
 	}
-	mgr.RequestQueue().Send(p, gvm.Request{Verb: gvm.REQ, Spec: spec, Reply: v.resp})
+	mgr.RequestQueue().Send(p, gvm.Request{Verb: gvm.REQ, Spec: spec, Reply: v.resp, Direct: direct})
 	r := v.resp.Recv(p)
 	if r.Status != gvm.ACK {
 		return nil, fmt.Errorf("vgpu: REQ rejected: %s", r.Err)
