@@ -5,7 +5,7 @@ GO ?= go
 all: ci
 
 # Tier-1 gate (README "CI gate"): everything a change must keep green.
-ci: fmt vet build test race bench-short
+ci: fmt vet build test race bench-short smoke
 
 # Formatting gate: fails listing any file gofmt would rewrite.
 fmt:
@@ -34,15 +34,17 @@ bench-short:
 
 # Full benchmark matrix: data-plane microbenchmarks plus daemon cycle
 # throughput at 1/2/4/8 clients over inproc/unix/tcp, pipelined vs
-# serial, written as the PR3 JSON artifact.
+# serial, plus the daemon's metrics snapshot, written as the PR4 JSON
+# artifact.
 bench:
-	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr3.json
+	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr4.json
 
-# Regenerate the machine-readable hot-path numbers (alias of bench; the
-# PR1 artifact is kept as a historical record).
+# Regenerate the machine-readable hot-path numbers (alias of bench;
+# earlier PR artifacts are kept as historical records).
 bench-json: bench
 
 # End-to-end daemon smoke: gvmd on a TCP loopback port, a two-process
-# multiprocess round against it, non-empty turnaround output.
+# multiprocess round against it, non-empty turnaround output, and a
+# well-formed /metrics scrape with nonzero verb counters.
 smoke:
 	./scripts/smoke.sh

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -29,6 +31,7 @@ import (
 
 	"gpuvirt/internal/fermi"
 	"gpuvirt/internal/ipc"
+	"gpuvirt/internal/metrics"
 	"gpuvirt/internal/shm"
 	"gpuvirt/internal/transport"
 )
@@ -57,7 +60,19 @@ func main() {
 	jsonWire := flag.Bool("json-wire", false, "speak newline-delimited JSON on the control socket (debugging; clients must use DialJSON)")
 	maxSessionBytes := flag.Int64("max-session-bytes", 0, "reject REQ whose staging footprint (InBytes+OutBytes) exceeds this many bytes (0 = no per-session limit)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/alloc profiles of the daemon hot path")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus text metrics at http://<addr>/metrics (e.g. localhost:9090; also mounted on the -pprof mux)")
+	logLevel := flag.String("log-level", "", "structured verb logging to stderr: debug (one line per verb), info (one line per flush), warn, error; empty disables")
 	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	// The -pprof mux serves /metrics too, so one debug listener covers
+	// profiles and telemetry.
+	http.Handle("/metrics", metrics.Handler(reg))
+
+	logger, err := slogByLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("gvmd: %v", err)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -68,6 +83,22 @@ func main() {
 			}
 		}()
 		log.Printf("gvmd: pprof on http://%s/debug/pprof/", *pprofAddr)
+	}
+	var metricsURL string
+	if *metricsAddr != "" {
+		// Bind explicitly (rather than ListenAndServe) so ":0" resolves to
+		// a concrete port that can go into the addr file.
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("gvmd: metrics listen %s: %v", *metricsAddr, err)
+		}
+		metricsURL = fmt.Sprintf("http://%s/metrics", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, nil); err != nil {
+				log.Printf("gvmd: metrics: %v", err)
+			}
+		}()
+		log.Printf("gvmd: metrics on %s", metricsURL)
 	}
 
 	arch, err := archByName(*archName)
@@ -106,6 +137,8 @@ func main() {
 		MaxSessionBytes: *maxSessionBytes,
 		BarrierTimeout:  *barrierTimeout,
 		Logger:          log.New(os.Stderr, "gvmd: ", log.LstdFlags),
+		Metrics:         reg,
+		Slog:            logger,
 	})
 	if err != nil {
 		log.Fatalf("gvmd: %v", err)
@@ -115,8 +148,13 @@ func main() {
 		*gpus, arch.Name, strings.Join(addrs, ", "), *parties, *functional)
 	if *addrFile != "" {
 		// Written only after every listener is bound, so a waiter that
-		// sees the file can connect immediately.
-		if err := os.WriteFile(*addrFile, []byte(strings.Join(addrs, "\n")+"\n"), 0o644); err != nil {
+		// sees the file can connect immediately. The metrics URL rides
+		// along as an extra http:// line for scrapers to discover.
+		lines := append([]string{}, addrs...)
+		if metricsURL != "" {
+			lines = append(lines, metricsURL)
+		}
+		if err := os.WriteFile(*addrFile, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 			srv.Close()
 			log.Fatalf("gvmd: write %s: %v", *addrFile, err)
 		}
@@ -152,6 +190,26 @@ func main() {
 		os.Remove(*addrFile)
 	}
 	shm.RemoveStale(*shmDir, "gvmd-seg-")
+}
+
+func slogByLevel(level string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
 func archByName(name string) (fermi.Arch, error) {

@@ -92,7 +92,7 @@ func main() {
 	fmt.Printf("\ndevice: %d kernels, %d context switches (virtualization keeps it at zero)\n",
 		dev.KernelsRun, dev.ContextSwitches)
 	fmt.Printf("manager: %d sessions served, %d barrier flushes\n",
-		mgr.SessionsOpened, mgr.Flushes)
+		mgr.SessionsOpened(), mgr.Flushes())
 }
 
 type byteMem []byte

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"gpuvirt/internal/ipc"
+	"gpuvirt/internal/metrics"
 	"gpuvirt/internal/workloads"
 )
 
@@ -27,9 +28,13 @@ const daemonBenchN = 1024
 // DaemonBench measures daemon cycle throughput for every transport ×
 // client count × pipelining mode and returns one result per combination.
 // Cycle latency is reported as ns/op per *round* of one cycle on every
-// client; CyclesPerSec is the aggregate across clients.
-func DaemonBench() []MicroBenchResult {
+// client; CyclesPerSec is the aggregate across clients. The second
+// return value is the final transport's daemon metrics registry,
+// snapshotted just before that server shuts down, so the bench report
+// carries the same counters a live /metrics scrape would show.
+func DaemonBench() ([]MicroBenchResult, []metrics.Sample) {
 	var out []MicroBenchResult
+	var snap []metrics.Sample
 	for _, tr := range []string{"inproc", "unix", "tcp"} {
 		addr, cleanup, err := daemonBenchAddr(tr)
 		if err != nil {
@@ -67,13 +72,14 @@ func DaemonBench() []MicroBenchResult {
 				out = append(out, res)
 			}
 		}
+		snap = srv.Metrics().Snapshot()
 		srv.Close()
 		cleanup()
 		if shmDir != "" {
 			os.RemoveAll(shmDir)
 		}
 	}
-	return out
+	return out, snap
 }
 
 func shmBenchDir() string {

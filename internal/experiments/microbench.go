@@ -9,6 +9,7 @@ import (
 
 	"gpuvirt/internal/cuda"
 	"gpuvirt/internal/kernels"
+	"gpuvirt/internal/metrics"
 	"gpuvirt/internal/shm"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/transport"
@@ -43,6 +44,10 @@ type MicroBenchReport struct {
 	When       string             `json:"when"`
 	Note       string             `json:"note,omitempty"`
 	Results    []MicroBenchResult `json:"results"`
+	// DaemonMetrics is a metrics.Snapshot of the last daemon-throughput
+	// server's registry — the same series /metrics serves — taken after
+	// the full client matrix ran against it.
+	DaemonMetrics []metrics.Sample `json:"daemon_metrics,omitempty"`
 }
 
 type microArena struct {
@@ -249,10 +254,13 @@ func MicroBench() MicroBenchReport {
 }
 
 // WriteMicroBenchJSON runs MicroBench plus the daemon-throughput matrix
-// (DaemonBench) and writes the combined report to path.
+// (DaemonBench) and writes the combined report to path, embedding the
+// daemon's metrics snapshot alongside the timing results.
 func WriteMicroBenchJSON(path string) error {
 	rep := MicroBench()
-	rep.Results = append(rep.Results, DaemonBench()...)
+	daemon, snap := DaemonBench()
+	rep.Results = append(rep.Results, daemon...)
+	rep.DaemonMetrics = snap
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

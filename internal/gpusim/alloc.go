@@ -3,6 +3,7 @@ package gpusim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"gpuvirt/internal/cuda"
 )
@@ -16,7 +17,10 @@ type Allocator struct {
 	align int64
 	free  []span // sorted by offset, coalesced
 	used  map[cuda.DevPtr]int64
-	inUse int64
+	// inUse is atomic: all mutation happens on the owner goroutine, but
+	// InUse() feeds telemetry (Device.MemInUse, the gvm_mem_in_use_bytes
+	// gauge) read from scraper goroutines.
+	inUse atomic.Int64
 }
 
 type span struct{ off, size int64 }
@@ -42,7 +46,7 @@ func NewAllocator(total, align int64) *Allocator {
 func (a *Allocator) Total() int64 { return a.total }
 
 // InUse returns the number of bytes currently allocated (after rounding).
-func (a *Allocator) InUse() int64 { return a.inUse }
+func (a *Allocator) InUse() int64 { return a.inUse.Load() }
 
 // Allocations returns the number of live allocations.
 func (a *Allocator) Allocations() int { return len(a.used) }
@@ -65,11 +69,11 @@ func (a *Allocator) Alloc(n int64) (cuda.DevPtr, error) {
 			a.free[i] = span{off: s.off + size, size: s.size - size}
 		}
 		a.used[ptr] = size
-		a.inUse += size
+		a.inUse.Add(size)
 		return ptr, nil
 	}
 	return 0, fmt.Errorf("gpusim: out of device memory: need %d bytes, %d free (fragmented into %d spans)",
-		size, a.total-a.align-a.inUse, len(a.free))
+		size, a.total-a.align-a.inUse.Load(), len(a.free))
 }
 
 // Free releases the allocation at ptr. Freeing an unknown address is an
@@ -80,7 +84,7 @@ func (a *Allocator) Free(ptr cuda.DevPtr) error {
 		return fmt.Errorf("gpusim: free of unallocated device pointer %#x", uint64(ptr))
 	}
 	delete(a.used, ptr)
-	a.inUse -= size
+	a.inUse.Add(-size)
 	s := span{off: int64(ptr), size: size}
 	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off > s.off })
 	a.free = append(a.free, span{})
@@ -123,8 +127,8 @@ func (a *Allocator) checkInvariants() error {
 		}
 		freeTotal += s.size
 	}
-	if freeTotal+a.inUse != a.total-a.align {
-		return fmt.Errorf("accounting: free %d + used %d != %d", freeTotal, a.inUse, a.total-a.align)
+	if freeTotal+a.inUse.Load() != a.total-a.align {
+		return fmt.Errorf("accounting: free %d + used %d != %d", freeTotal, a.inUse.Load(), a.total-a.align)
 	}
 	return nil
 }

@@ -17,10 +17,13 @@ package gvm
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
+	"strconv"
 
 	"gpuvirt/internal/cuda"
 	"gpuvirt/internal/gpusim"
+	"gpuvirt/internal/metrics"
 	"gpuvirt/internal/msgq"
 	"gpuvirt/internal/shm"
 	"gpuvirt/internal/sim"
@@ -140,6 +143,12 @@ type Config struct {
 	// streams flush (extension; the paper flushes in STR arrival order).
 	FlushPolicy FlushPolicy
 	Tracer      *trace.Tracer
+	// Metrics receives the manager's instruments. nil creates a private
+	// registry (reachable via Manager.Metrics()); the daemon passes one
+	// shared registry so gvm, transport and ipc series scrape together.
+	Metrics *metrics.Registry
+	// Log, when non-nil, receives one Info line per barrier flush.
+	Log *slog.Logger
 }
 
 // FlushPolicy orders sessions within a barrier batch.
@@ -215,14 +224,25 @@ type Manager struct {
 	strGen     uint64     // invalidates stale barrier-timeout timers
 	shmInUse   int64      // aggregate session footprint against the quota
 
-	// Stats for tests and reporting.
-	Requests        int
-	SessionsOpened  int
-	SessionsClosed  int
-	Flushes         int
-	BarrierTimeouts int
-	Suspensions     int
-	Resumes         int
+	reg *metrics.Registry
+	met managerMetrics
+	log *slog.Logger
+}
+
+// managerMetrics are the manager's registry-backed instruments. They are
+// mutated only on the owner goroutine, but being atomics they can be
+// read from any goroutine — tests, gvmbench and the /metrics scraper —
+// without tripping the race detector.
+type managerMetrics struct {
+	requests        *metrics.Counter
+	sessionsOpened  *metrics.Counter
+	sessionsClosed  *metrics.Counter
+	flushes         *metrics.Counter
+	barrierTimeouts *metrics.Counter
+	suspensions     *metrics.Counter
+	resumes         *metrics.Counter
+	openSessions    *metrics.Gauge
+	barrierWaitNS   *metrics.Histogram
 }
 
 // session is the manager-side state of one VGPU (one client process).
@@ -241,6 +261,7 @@ type session struct {
 
 	running    bool
 	done       bool
+	strArrived sim.Time  // when this session's STR joined the barrier
 	direct     bool      // payloads bypass the segment (Request.Direct)
 	stpWaiting bool      // a blocking STP response is owed
 	footprint  int64     // bytes counted against the manager's quota
@@ -258,15 +279,63 @@ func New(env *sim.Env, cfg Config) *Manager {
 		// Pageable staging is allowed (ablation) but flagged in traces.
 		cfg.trace("gvm", "pageable staging (ablation)", env.Now(), env.Now())
 	}
-	return &Manager{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	m := &Manager{
 		env:      env,
 		cfg:      cfg,
 		devs:     append([]*gpusim.Device{cfg.Device}, cfg.ExtraDevices...),
 		req:      msgq.New[Request](env, cfg.QueueCap, cfg.MsgLatency),
 		ready:    env.NewEvent(),
 		sessions: make(map[int]*session),
+		reg:      reg,
+		log:      cfg.Log,
 	}
+	m.met = managerMetrics{
+		requests:        reg.Counter("gvm_requests_total", "requests received by the manager"),
+		sessionsOpened:  reg.Counter("gvm_sessions_opened_total", "sessions provisioned by REQ"),
+		sessionsClosed:  reg.Counter("gvm_sessions_closed_total", "sessions torn down by RLS"),
+		flushes:         reg.Counter("gvm_flushes_total", "barrier batch flushes"),
+		barrierTimeouts: reg.Counter("gvm_barrier_timeouts_total", "partial flushes forced by BarrierTimeout"),
+		suspensions:     reg.Counter("gvm_suspensions_total", "sessions suspended (SUS)"),
+		resumes:         reg.Counter("gvm_resumes_total", "sessions resumed (RES)"),
+		openSessions:    reg.Gauge("gvm_open_sessions", "live sessions"),
+		barrierWaitNS:   reg.Histogram("gvm_barrier_wait_ns", "virtual ns each session waited at the STR barrier"),
+	}
+	for i, dev := range m.devs {
+		dev := dev
+		reg.GaugeFunc("gvm_mem_in_use_bytes", "device memory allocated to sessions",
+			func() int64 { return dev.MemInUse() }, metrics.L("gpu", strconv.Itoa(i)))
+	}
+	return m
 }
+
+// Metrics returns the registry holding the manager's instruments (the
+// one from Config.Metrics, or the private one created in its absence).
+func (m *Manager) Metrics() *metrics.Registry { return m.reg }
+
+// Requests returns how many requests the manager has received.
+func (m *Manager) Requests() int { return int(m.met.requests.Value()) }
+
+// SessionsOpened returns how many sessions REQ has provisioned.
+func (m *Manager) SessionsOpened() int { return int(m.met.sessionsOpened.Value()) }
+
+// SessionsClosed returns how many sessions RLS has torn down.
+func (m *Manager) SessionsClosed() int { return int(m.met.sessionsClosed.Value()) }
+
+// Flushes returns how many barrier batches have flushed.
+func (m *Manager) Flushes() int { return int(m.met.flushes.Value()) }
+
+// BarrierTimeouts returns how many flushes BarrierTimeout forced.
+func (m *Manager) BarrierTimeouts() int { return int(m.met.barrierTimeouts.Value()) }
+
+// Suspensions returns how many SUS verbs have completed.
+func (m *Manager) Suspensions() int { return int(m.met.suspensions.Value()) }
+
+// Resumes returns how many RES verbs have completed.
+func (m *Manager) Resumes() int { return int(m.met.resumes.Value()) }
 
 func (c Config) trace(lane, label string, start, end sim.Time) {
 	if c.Tracer != nil {
@@ -321,7 +390,7 @@ func (m *Manager) Start() {
 		p.Daemonize()
 		for {
 			req := m.req.Recv(p)
-			m.Requests++
+			m.met.requests.Inc()
 			m.handle(p, req)
 		}
 	})
@@ -451,7 +520,8 @@ func (m *Manager) handleREQ(p *sim.Proc, r Request) {
 	}
 	s.stream = ctx.NewStream()
 	m.sessions[s.id] = s
-	m.SessionsOpened++
+	m.met.sessionsOpened.Inc()
+	m.met.openSessions.Inc()
 	m.cfg.trace("gvm", fmt.Sprintf("REQ s%d (%s)", s.id, r.Spec.Name), start, p.Now())
 	r.Reply.Send(p, Response{Status: ACK, Session: s.id})
 }
@@ -485,6 +555,7 @@ func (m *Manager) handleSTR(p *sim.Proc, s *session) {
 	}
 	s.running = true
 	s.done = false
+	s.strArrived = p.Now()
 	m.strPending = append(m.strPending, s)
 	if len(m.strPending) < m.cfg.Parties {
 		if m.cfg.BarrierTimeout > 0 && len(m.strPending) == 1 {
@@ -496,6 +567,13 @@ func (m *Manager) handleSTR(p *sim.Proc, s *session) {
 					return
 				}
 				m.env.Go("gvm-barrier-timeout", func(p *sim.Proc) {
+					// Re-check: between this proc being scheduled and it
+					// running, the original barrier may have completed and
+					// a NEW generation's first STR may now be pending. A
+					// stale timer must never flush that newer generation.
+					if m.strGen != gen || len(m.strPending) == 0 {
+						return
+					}
 					m.flushBatch(p, true)
 				})
 			})
@@ -509,14 +587,21 @@ func (m *Manager) handleSTR(p *sim.Proc, s *session) {
 // STRs. timedOut marks a partial flush forced by BarrierTimeout.
 func (m *Manager) flushBatch(p *sim.Proc, timedOut bool) {
 	batch := m.strPending
-	m.strPending = nil
-	m.strGen++
 	if len(batch) == 0 {
 		return
 	}
-	m.Flushes++
+	m.strPending = nil
+	m.strGen++
+	m.met.flushes.Inc()
 	if timedOut {
-		m.BarrierTimeouts++
+		m.met.barrierTimeouts.Inc()
+	}
+	for _, bs := range batch {
+		m.met.barrierWaitNS.Observe(int64(p.Now() - bs.strArrived))
+	}
+	if m.log != nil {
+		m.log.Info("gvm flush",
+			"sessions", len(batch), "timed_out", timedOut, "gen", m.strGen)
 	}
 	switch m.cfg.FlushPolicy {
 	case FlushSJF:
@@ -606,7 +691,8 @@ func (m *Manager) handleRCV(p *sim.Proc, s *session) {
 func (m *Manager) handleRLS(p *sim.Proc, s *session) {
 	m.teardown(s)
 	delete(m.sessions, s.id)
-	m.SessionsClosed++
+	m.met.sessionsClosed.Inc()
+	m.met.openSessions.Dec()
 	s.reply.Send(p, Response{Status: ACK, Session: s.id})
 }
 
@@ -666,5 +752,6 @@ func (m *Manager) Segment(session int) shm.Segment {
 	return nil
 }
 
-// OpenSessions returns the number of live sessions.
-func (m *Manager) OpenSessions() int { return len(m.sessions) }
+// OpenSessions returns the number of live sessions. It reads the
+// registry gauge, so (unlike len(m.sessions)) it is safe off-owner.
+func (m *Manager) OpenSessions() int { return int(m.met.openSessions.Value()) }

@@ -87,8 +87,8 @@ func TestUnknownSessionDropped(t *testing.T) {
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if m.Requests != 1 {
-		t.Fatalf("Requests = %d", m.Requests)
+	if m.Requests() != 1 {
+		t.Fatalf("Requests = %d", m.Requests())
 	}
 }
 
@@ -154,9 +154,9 @@ func TestSessionAccounting(t *testing.T) {
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if m.SessionsOpened != 1 || m.SessionsClosed != 1 || m.OpenSessions() != 0 {
+	if m.SessionsOpened() != 1 || m.SessionsClosed() != 1 || m.OpenSessions() != 0 {
 		t.Fatalf("accounting: opened=%d closed=%d live=%d",
-			m.SessionsOpened, m.SessionsClosed, m.OpenSessions())
+			m.SessionsOpened(), m.SessionsClosed(), m.OpenSessions())
 	}
 }
 

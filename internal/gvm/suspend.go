@@ -76,7 +76,7 @@ func (m *Manager) handleSUS(p *sim.Proc, s *session) {
 	s.devIn, s.devOut, s.scratch = 0, 0, nil
 	s.kernels = nil // pointers are stale; rebuilt on resume
 	s.susp = snap
-	m.Suspensions++
+	m.met.suspensions.Inc()
 	m.cfg.trace("gvm", fmt.Sprintf("SUS s%d %dB", s.id, snap.total), start, p.Now())
 	s.reply.Send(p, Response{Status: ACK, Session: s.id})
 }
@@ -145,7 +145,7 @@ func (m *Manager) handleRES(p *sim.Proc, s *session) {
 		s.kernels = ks
 	}
 	s.susp = nil
-	m.Resumes++
+	m.met.resumes.Inc()
 	m.cfg.trace("gvm", fmt.Sprintf("RES s%d %dB", s.id, snap.total), start, p.Now())
 	s.reply.Send(p, Response{Status: ACK, Session: s.id})
 }

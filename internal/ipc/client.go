@@ -89,7 +89,16 @@ func DialOptions(addr string, o Options) (*Client, error) {
 }
 
 // Close drops the connection; the daemon releases any sessions left open.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	// Close the raw connection first: it unblocks any round trip stuck in
+	// a read. Then taking mu waits that round trip out, after which no
+	// read is in flight and the pooled read buffer can be released.
+	err := c.nc.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conn.Release()
+	return err
+}
 
 // SetRequestTimeout sets the per-round-trip I/O deadline for subsequent
 // requests (0 disables it).

@@ -143,9 +143,11 @@ func TestBATMisuse(t *testing.T) {
 
 // TestPipelinedStressRace hammers one inproc daemon with 8 concurrent
 // pipelined clients for 50 cycles each and checks every output is
-// byte-identical to a serial single-client run of the same input. Run
-// under -race this is the data-plane concurrency acceptance test: the
-// off-owner staging copies must never race the owner's simulation work.
+// byte-identical to a serial single-client run of the same input. A
+// scraper goroutine renders the daemon's /metrics registry the whole
+// time. Run under -race this is the concurrency acceptance test: the
+// off-owner staging copies must never race the owner's simulation work,
+// and a telemetry scrape must never race either of them.
 func TestPipelinedStressRace(t *testing.T) {
 	const (
 		clients = 8
@@ -185,6 +187,28 @@ func TestPipelinedStressRace(t *testing.T) {
 	}
 	serial.Close()
 
+	// Scrape concurrently with the traffic below: every series in the
+	// registry is read while the owner and 8 connection goroutines
+	// mutate them.
+	scrapeDone := make(chan struct{})
+	scrapeQuit := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-scrapeQuit:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := s.Metrics().WritePrometheus(&sb); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			s.Metrics().Snapshot()
+		}
+	}()
+
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
 	for r := 0; r < clients; r++ {
@@ -218,6 +242,8 @@ func TestPipelinedStressRace(t *testing.T) {
 		}(r)
 	}
 	wg.Wait()
+	close(scrapeQuit)
+	<-scrapeDone
 	close(errs)
 	for err := range errs {
 		if err != nil {

@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"sync"
+	"time"
 
 	"gpuvirt/internal/fermi"
 	"gpuvirt/internal/gpusim"
 	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/metrics"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/transport"
 )
@@ -54,6 +57,13 @@ type ServerConfig struct {
 	// guard, not as a grace period.
 	BarrierTimeout sim.Duration
 	Logger         *log.Logger
+	// Metrics is the registry shared by the manager, the dispatcher and
+	// the server's own connection instruments; a /metrics scrape of it
+	// covers the whole daemon path. nil creates one (Server.Metrics()).
+	Metrics *metrics.Registry
+	// Slog receives structured logging: one Debug line per verb served
+	// and one Info line per barrier flush. nil disables it.
+	Slog *slog.Logger
 }
 
 // Server is the gvmd daemon: it owns one simulated GPU plus one GVM and
@@ -76,14 +86,26 @@ type Server struct {
 	mgr  *gvm.Manager
 	disp *transport.Dispatcher
 
+	met serverMetrics
+
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
 }
 
+// serverMetrics are the server's own connection-layer instruments; the
+// manager's and dispatcher's series live in the same shared registry.
+type serverMetrics struct {
+	connections *metrics.Gauge     // live client connections
+	disconnects *metrics.Counter   // connections that have ended
+	frameErrors *metrics.Counter   // bad preambles, codec mismatches, non-EOF read errors
+	queueWaitNS *metrics.Histogram // wall ns a submit waited for the owner goroutine
+}
+
 type workItem struct {
-	fn   func(p *sim.Proc)
-	done chan struct{}
+	fn       func(p *sim.Proc)
+	done     chan struct{}
+	enqueued time.Time
 }
 
 // NewServer creates and starts a daemon listening on every address in
@@ -122,12 +144,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.GPUs == 0 {
 		cfg.GPUs = 1
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	s := &Server{
 		cfg:  cfg,
 		lns:  lns,
 		work: make(chan workItem),
 		quit: make(chan struct{}),
 		env:  sim.NewEnv(),
+		met: serverMetrics{
+			connections: cfg.Metrics.Gauge("ipc_connections", "live client connections"),
+			disconnects: cfg.Metrics.Counter("ipc_disconnects_total", "client connections ended"),
+			frameErrors: cfg.Metrics.Counter("ipc_frame_errors_total", "bad preambles, codec mismatches and non-EOF frame read errors"),
+			queueWaitNS: cfg.Metrics.Histogram("gvmd_owner_queue_wait_ns", "wall ns a request waited for the simulation-owner goroutine"),
+		},
 	}
 	devs := make([]*gpusim.Device, cfg.GPUs)
 	var err error
@@ -144,6 +175,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		ExtraDevices:   devs[1:],
 		Parties:        cfg.Parties,
 		BarrierTimeout: cfg.BarrierTimeout,
+		Metrics:        cfg.Metrics,
+		Log:            cfg.Slog,
 	})
 	s.mgr.Start()
 	if err := s.env.Run(); err != nil { // bring the manager up
@@ -155,6 +188,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Functional:      cfg.Functional,
 		ShmDir:          cfg.ShmDir,
 		MaxSessionBytes: cfg.MaxSessionBytes,
+		Metrics:         cfg.Metrics,
+		Log:             cfg.Slog,
 	})
 	s.wg.Add(1 + len(lns))
 	go s.owner()
@@ -163,6 +198,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	return s, nil
 }
+
+// Metrics returns the daemon's shared telemetry registry (manager,
+// dispatcher and connection-layer series).
+func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
 
 // Addr returns the first listener's address in URL form (Dial accepts
 // it directly).
@@ -217,6 +256,7 @@ func (s *Server) owner() {
 			return
 		case it = <-s.work:
 		}
+		s.met.queueWaitNS.Observe(int64(time.Since(it.enqueued)))
 		s.env.Go("ipc-request", func(p *sim.Proc) {
 			p.Daemonize() // may park at the STR barrier until peers arrive
 			it.fn(p)
@@ -231,7 +271,7 @@ func (s *Server) owner() {
 // submit runs fn on a simulation process and waits for it. It returns
 // false if the server shut down before fn completed.
 func (s *Server) submit(fn func(p *sim.Proc)) bool {
-	item := workItem{fn: fn, done: make(chan struct{})}
+	item := workItem{fn: fn, done: make(chan struct{}), enqueued: time.Now()}
 	select {
 	case s.work <- item:
 	case <-s.quit:
@@ -270,11 +310,13 @@ func (s *Server) serveConn(nc net.Conn, defaultPlane string) {
 	if err != nil {
 		if !errors.Is(err, io.EOF) {
 			s.cfg.Logger.Printf("gvmd: preamble: %v", err)
+			s.met.frameErrors.Inc()
 		}
 		nc.Close()
 		return
 	}
 	if clientJSON != s.cfg.JSONWire {
+		s.met.frameErrors.Inc()
 		// Reject in the CLIENT's codec so the mismatch surfaces as a
 		// clean error on its next read, not as frame garbage.
 		msg := "ipc: codec mismatch: daemon speaks the binary wire (dial without DialJSON)"
@@ -291,7 +333,15 @@ func (s *Server) serveConn(nc net.Conn, defaultPlane string) {
 	if s.cfg.JSONWire {
 		conn = transport.NewConnJSON(nc)
 	}
-	defer conn.Close()
+	s.met.connections.Inc()
+	defer func() {
+		conn.Close()
+		// This goroutine is the connection's only reader and its read
+		// loop has exited, so the pooled read buffer can go back.
+		conn.Release()
+		s.met.connections.Dec()
+		s.met.disconnects.Inc()
+	}()
 	cs := &transport.ConnState{DefaultPlane: defaultPlane}
 	defer func() {
 		// Release sessions the client abandoned.
@@ -302,6 +352,7 @@ func (s *Server) serveConn(nc net.Conn, defaultPlane string) {
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				s.cfg.Logger.Printf("gvmd: read: %v", err)
+				s.met.frameErrors.Inc()
 			}
 			return
 		}

@@ -1,0 +1,299 @@
+// Package metrics is the daemon's telemetry registry: atomic counters,
+// gauges and fixed-bucket (log2) histograms that cost one atomic
+// operation per update and allocate nothing on the hot path, plus a
+// Prometheus-text-format encoder (prom.go) and a JSON-friendly Snapshot.
+//
+// Instruments are registered once (registration is idempotent: asking
+// for the same name+labels returns the same instrument) and updated from
+// any goroutine; scrapes read the atomics without stopping writers. This
+// is the single sanctioned way to export runtime state from the daemon
+// path — the gvm.Manager statistics, the transport dispatcher's per-verb
+// accounting and the ipc server's connection counters all live here, so
+// none of them can race under concurrent readers.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair attached to an instrument.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must not be negative; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HistBuckets is the number of finite histogram buckets. Bucket i has
+// the upper bound 2^i: bucket 0 counts observations <= 1, bucket i
+// counts 2^(i-1) < v <= 2^i. The last bound is 2^39 (~9.2 minutes when
+// observing nanoseconds, 512 GiB when observing bytes); larger
+// observations count toward +Inf (and the sum) only, so the finite
+// cumulative buckets stay exact.
+const HistBuckets = 40
+
+// Histogram is a fixed-bucket log2 histogram: Observe costs three atomic
+// adds and no float math, which keeps it viable inside the verb hot path.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.sum.Add(v)
+	h.count.Add(1)
+	idx := 0
+	if v > 1 {
+		idx = bits.Len64(uint64(v - 1))
+	}
+	if idx < HistBuckets {
+		h.buckets[idx].Add(1)
+	}
+}
+
+// Sum returns the running total of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Bucket returns bucket i's own (non-cumulative) count.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i].Load() }
+
+// BucketBound returns bucket i's inclusive upper bound (2^i).
+func BucketBound(i int) int64 { return 1 << uint(i) }
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled instrument inside a family. Exactly one of
+// c/g/h/fn is set; fn-backed series read their value at scrape time.
+type series struct {
+	labels []Label // sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() int64
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []*series          // registration order
+	byKey  map[string]*series // label-set key -> series
+}
+
+// Registry holds a set of instrument families. The zero value is not
+// usable; create one with NewRegistry. Registration takes a mutex;
+// instrument updates and reads never do.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Counter registers (or returns the existing) counter name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, labels, nil)
+	if s.c == nil {
+		panic(fmt.Sprintf("metrics: %s is func-backed, not a settable counter", name))
+	}
+	return s.c
+}
+
+// Gauge registers (or returns the existing) gauge name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, labels, nil)
+	if s.g == nil {
+		panic(fmt.Sprintf("metrics: %s is func-backed, not a settable gauge", name))
+	}
+	return s.g
+}
+
+// Histogram registers (or returns the existing) histogram name{labels}.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.register(name, help, kindHistogram, labels, nil).h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for counters that already live elsewhere as atomics
+// (e.g. the transport buffer pool's package-level statistics).
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(name, help, kindCounter, labels, fn)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(name, help, kindGauge, labels, fn)
+}
+
+func (r *Registry) register(name, help string, k kind, labels []Label, fn func() int64) *series {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var key strings.Builder
+	for _, l := range ls {
+		key.WriteString(l.Key)
+		key.WriteByte(0xff)
+		key.WriteString(l.Value)
+		key.WriteByte(0xfe)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, byKey: make(map[string]*series)}
+		r.fams[name] = f
+		r.order = append(r.order, f)
+	} else if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as %v, requested as %v", name, f.kind, k))
+	}
+	if s := f.byKey[key.String()]; s != nil {
+		return s
+	}
+	s := &series{labels: ls, fn: fn}
+	if fn == nil {
+		switch k {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = &Histogram{}
+		}
+	}
+	f.byKey[key.String()] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// value reads a counter/gauge series (fn-backed or atomic).
+func (s *series) value() int64 {
+	switch {
+	case s.fn != nil:
+		return s.fn()
+	case s.c != nil:
+		return s.c.Value()
+	case s.g != nil:
+		return s.g.Value()
+	}
+	return 0
+}
+
+// Bucket is one histogram bucket in a snapshot: the cumulative count of
+// observations at or below the inclusive upper bound LE.
+type Bucket struct {
+	LE    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Sample is one instrument's state at snapshot time, shaped for JSON
+// embedding (gvmbench writes these into its results artifact).
+type Sample struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   int64             `json:"value,omitempty"`
+	Sum     int64             `json:"sum,omitempty"`
+	Count   int64             `json:"count,omitempty"`
+	Buckets []Bucket          `json:"buckets,omitempty"`
+}
+
+// Snapshot captures every instrument's current value. It is safe to call
+// concurrently with updates; each individual value is read atomically
+// (the snapshot as a whole is not one consistent cut — no telemetry
+// scrape is).
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	var out []Sample
+	for _, f := range fams {
+		for _, s := range f.series {
+			smp := Sample{Name: f.name, Type: f.kind.String()}
+			if len(s.labels) > 0 {
+				smp.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					smp.Labels[l.Key] = l.Value
+				}
+			}
+			if f.kind == kindHistogram {
+				var cum int64
+				for i := 0; i < HistBuckets; i++ {
+					if n := s.h.buckets[i].Load(); n > 0 {
+						cum += n
+						smp.Buckets = append(smp.Buckets, Bucket{LE: BucketBound(i), Count: cum})
+					}
+				}
+				smp.Sum = s.h.Sum()
+				smp.Count = s.h.Count()
+			} else {
+				smp.Value = s.value()
+			}
+			out = append(out, smp)
+		}
+	}
+	return out
+}

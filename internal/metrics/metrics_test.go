@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("open", "open things")
+	g.Set(7)
+	g.Dec()
+	g.Add(-2)
+	g.Inc()
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "", L("verb", "SND"))
+	b := r.Counter("c", "", L("verb", "SND"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	other := r.Counter("c", "", L("verb", "RCV"))
+	if a == other {
+		t.Fatal("different labels returned the same counter")
+	}
+	// Label order must not matter.
+	h1 := r.Histogram("h", "", L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("h", "", L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Bucket i has inclusive upper bound 2^i; bucket 0 holds v <= 1.
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-3, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		before := h.Bucket(c.bucket)
+		h.Observe(c.v)
+		if h.Bucket(c.bucket) != before+1 {
+			t.Fatalf("Observe(%d) did not land in bucket %d (le=%d)", c.v, c.bucket, BucketBound(c.bucket))
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	var sum int64
+	for _, c := range cases {
+		if c.v > 0 {
+			sum += c.v
+		}
+	}
+	if h.Sum() != sum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), sum)
+	}
+	// An observation beyond the last finite bound counts toward count
+	// (the +Inf bucket) but no finite bucket.
+	var big Histogram
+	big.Observe(1 << 45)
+	for i := 0; i < HistBuckets; i++ {
+		if big.Bucket(i) != 0 {
+			t.Fatalf("out-of-range observation landed in finite bucket %d", i)
+		}
+	}
+	if big.Count() != 1 {
+		t.Fatal("out-of-range observation not counted")
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	n := int64(41)
+	r.CounterFunc("fn_total", "func counter", func() int64 { return n })
+	n++
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Value != 42 {
+		t.Fatalf("func counter snapshot = %+v, want value 42", snap)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "", L("verb", "SND")).Add(3)
+	r.Gauge("b", "").Set(-7)
+	h := r.Histogram("lat_ns", "")
+	h.Observe(3)
+	h.Observe(100)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d samples, want 3", len(snap))
+	}
+	if snap[0].Name != "a_total" || snap[0].Value != 3 || snap[0].Labels["verb"] != "SND" {
+		t.Fatalf("counter sample wrong: %+v", snap[0])
+	}
+	if snap[1].Value != -7 {
+		t.Fatalf("gauge sample wrong: %+v", snap[1])
+	}
+	hs := snap[2]
+	if hs.Count != 2 || hs.Sum != 103 {
+		t.Fatalf("histogram sample wrong: %+v", hs)
+	}
+	// Buckets are cumulative: the last one must equal the count when no
+	// observation exceeded the finite range.
+	if len(hs.Buckets) == 0 || hs.Buckets[len(hs.Buckets)-1].Count != 2 {
+		t.Fatalf("histogram buckets wrong: %+v", hs.Buckets)
+	}
+}
+
+// promLine matches one Prometheus text sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?\d+$`)
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("verb_requests_total", "requests by verb", L("verb", "SND")).Add(9)
+	r.Counter("verb_requests_total", "requests by verb", L("verb", "RCV")).Add(2)
+	r.Gauge("open_sessions", "live sessions").Set(4)
+	h := r.Histogram("verb_latency_ns", "latency", L("verb", "SND"))
+	h.Observe(700)
+	h.Observe(90)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed sample line %q in:\n%s", line, text)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE verb_requests_total counter",
+		`verb_requests_total{verb="SND"} 9`,
+		`verb_requests_total{verb="RCV"} 2`,
+		"open_sessions 4",
+		"# TYPE verb_latency_ns histogram",
+		`verb_latency_ns_bucket{verb="SND",le="128"} 1`,
+		`verb_latency_ns_bucket{verb="SND",le="1024"} 2`,
+		`verb_latency_ns_bucket{verb="SND",le="+Inf"} 2`,
+		`verb_latency_ns_sum{verb="SND"} 790`,
+		`verb_latency_ns_count{verb="SND"} 2`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", L("path", `a"b\c`+"\n")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `c_total{path="a\"b\\c\n"} 1`) {
+		t.Fatalf("label not escaped: %s", sb.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hammer_total", "", L("verb", "SND"))
+			h := r.Histogram("hammer_ns", "")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			r.Snapshot()
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("hammer_total", "", L("verb", "SND")).Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+}

@@ -230,7 +230,7 @@ func RunVirt(cfg Config) (Result, error) {
 	}
 	res.ContextSwitches = dev.ContextSwitches
 	res.KernelsRun = dev.KernelsRun
-	res.Flushes = mgr.Flushes
+	res.Flushes = mgr.Flushes()
 	return res, nil
 }
 

@@ -1,11 +1,15 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/metrics"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/vgpu"
 	"gpuvirt/internal/workloads"
@@ -29,6 +33,12 @@ type DispatcherConfig struct {
 	// a client's say-so. 0 means no per-session limit (the manager's
 	// aggregate quota still applies).
 	MaxSessionBytes int64
+	// Metrics receives the dispatcher's per-verb instruments. nil creates
+	// a private registry; the daemon passes the registry it shares with
+	// gvm and ipc so one /metrics scrape covers the whole path.
+	Metrics *metrics.Registry
+	// Log, when non-nil, receives one Debug line per served verb.
+	Log *slog.Logger
 }
 
 // Submitter runs fn on the server's simulation-owner goroutine and waits
@@ -51,9 +61,69 @@ type Submitter func(fn func(p *sim.Proc)) bool
 // direct-staging mode, so no byte ever moves on the owner goroutine.
 type Dispatcher struct {
 	cfg DispatcherConfig
+	met *dispMetrics
 
 	mu       sync.RWMutex // guards the session table
 	sessions map[int]*hostSession
+}
+
+// dispMetrics are the dispatcher's registry-backed instruments. All maps
+// are built once at construction and only read afterwards, so the verb
+// hot path costs a map lookup plus a few atomic adds — no allocations
+// (the warm-path zero-alloc test holds them to that).
+type dispMetrics struct {
+	verbs    map[string]*verbInst
+	other    *verbInst // catch-all for unknown verbs
+	bytesIn  *metrics.Counter
+	bytesOut *metrics.Counter
+	copyIn   map[string]*metrics.Histogram // plane kind -> wall ns
+	copyOut  map[string]*metrics.Histogram
+	batSteps *metrics.Histogram
+}
+
+// verbInst is one verb's request/error/latency triple.
+type verbInst struct {
+	reqs *metrics.Counter
+	errs *metrics.Counter
+	lat  *metrics.Histogram
+}
+
+func (dm *dispMetrics) verb(v string) *verbInst {
+	if vi := dm.verbs[v]; vi != nil {
+		return vi
+	}
+	return dm.other
+}
+
+func newDispMetrics(reg *metrics.Registry) *dispMetrics {
+	dm := &dispMetrics{
+		verbs:    make(map[string]*verbInst),
+		bytesIn:  reg.Counter("gvmd_verb_bytes_total", "payload bytes staged by verb", metrics.L("verb", "SND"), metrics.L("dir", "in")),
+		bytesOut: reg.Counter("gvmd_verb_bytes_total", "payload bytes staged by verb", metrics.L("verb", "RCV"), metrics.L("dir", "out")),
+		copyIn:   make(map[string]*metrics.Histogram),
+		copyOut:  make(map[string]*metrics.Histogram),
+		batSteps: reg.Histogram("gvmd_bat_steps", "sub-requests per BAT frame"),
+	}
+	mk := func(v string) *verbInst {
+		return &verbInst{
+			reqs: reg.Counter("gvmd_verb_requests_total", "requests served by verb", metrics.L("verb", v)),
+			errs: reg.Counter("gvmd_verb_errors_total", "ERR responses by verb", metrics.L("verb", v)),
+			lat:  reg.Histogram("gvmd_verb_latency_ns", "wall-clock verb service time", metrics.L("verb", v)),
+		}
+	}
+	for _, v := range []string{"REQ", "BAT", "SND", "STR", "STP", "RCV", "RLS"} {
+		dm.verbs[v] = mk(v)
+	}
+	dm.other = mk("other")
+	for _, plane := range []string{PlaneShm, PlaneInline} {
+		dm.copyIn[plane] = reg.Histogram("gvmd_copy_ns", "wall-clock data-plane copy time", metrics.L("plane", plane), metrics.L("dir", "in"))
+		dm.copyOut[plane] = reg.Histogram("gvmd_copy_ns", "wall-clock data-plane copy time", metrics.L("plane", plane), metrics.L("dir", "out"))
+	}
+	reg.CounterFunc("transport_pool_gets_total", "frame-buffer pool gets", func() int64 { g, _, _, _ := PoolStats(); return g })
+	reg.CounterFunc("transport_pool_puts_total", "frame-buffer pool puts", func() int64 { _, p, _, _ := PoolStats(); return p })
+	reg.CounterFunc("transport_pool_hits_total", "frame-buffer pool hits", func() int64 { _, _, h, _ := PoolStats(); return h })
+	reg.CounterFunc("transport_pool_misses_total", "frame-buffer pool misses", func() int64 { _, _, _, m := PoolStats(); return m })
+	return dm
 }
 
 // hostSession is the daemon-side state of one client session: the vgpu
@@ -63,7 +133,8 @@ type Dispatcher struct {
 type hostSession struct {
 	id    int
 	v     *vgpu.VGPU
-	owner *ConnState // the connection that opened the session
+	owner *ConnState   // the connection that opened the session
+	met   *dispMetrics // the owning dispatcher's instruments
 
 	// mu guards the connection-side staging state (plane + buffers)
 	// against teardown: release marks the session closed under mu before
@@ -89,7 +160,13 @@ func (s *hostSession) copyIn(req *Request) error {
 	if s.stageIn == nil {
 		return nil // timing-only: no bytes move
 	}
-	return s.plane.CopyIn(req, s.stageIn)
+	start := time.Now()
+	if err := s.plane.CopyIn(req, s.stageIn); err != nil {
+		return err
+	}
+	s.met.copyIn[s.plane.Kind()].Observe(int64(time.Since(start)))
+	s.met.bytesIn.Add(int64(len(s.stageIn)))
+	return nil
 }
 
 // copyOut publishes RCV results from pinned staging through the data
@@ -103,7 +180,13 @@ func (s *hostSession) copyOut(resp *Response) error {
 	if s.stageOut == nil {
 		return nil
 	}
-	return s.plane.CopyOut(s.stageOut, resp)
+	start := time.Now()
+	if err := s.plane.CopyOut(s.stageOut, resp); err != nil {
+		return err
+	}
+	s.met.copyOut[s.plane.Kind()].Observe(int64(time.Since(start)))
+	s.met.bytesOut.Add(int64(len(s.stageOut)))
+	return nil
 }
 
 // ConnState is the dispatcher's per-connection state: which sessions the
@@ -131,8 +214,14 @@ func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
 	if cfg.SegPrefix == "" {
 		cfg.SegPrefix = "gvmd-seg"
 	}
-	return &Dispatcher{cfg: cfg, sessions: make(map[int]*hostSession)}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	return &Dispatcher{cfg: cfg, met: newDispMetrics(cfg.Metrics), sessions: make(map[int]*hostSession)}
 }
+
+// Metrics returns the registry holding the dispatcher's instruments.
+func (d *Dispatcher) Metrics() *metrics.Registry { return d.cfg.Metrics }
 
 func errResp(err error) Response { return Response{Status: "ERR", Err: err.Error()} }
 
@@ -147,16 +236,30 @@ var batchVerbRank = map[string]int{"SND": 0, "STR": 1, "STP": 2, "RCV": 3, "RLS"
 // false when the server shut down before the request completed (the
 // connection should close without replying).
 func (d *Dispatcher) Serve(req Request, cs *ConnState, submit Submitter) (resp Response, ok bool) {
+	vi := d.met.verb(req.Verb)
+	vi.reqs.Inc()
+	start := time.Now()
 	switch req.Verb {
 	case "REQ":
-		return d.serveREQ(req, cs, submit)
+		resp, ok = d.serveREQ(req, cs, submit)
 	case "BAT":
-		return d.serveBAT(req, cs, submit)
+		resp, ok = d.serveBAT(req, cs, submit)
 	case "SND", "STR", "STP", "RCV", "RLS":
-		return d.serveVerb(req, cs, submit)
+		resp, ok = d.serveVerb(req, cs, submit)
 	default:
-		return errResp(fmt.Errorf("transport: unknown verb %q", req.Verb)), true
+		resp, ok = errResp(fmt.Errorf("transport: unknown verb %q", req.Verb)), true
 	}
+	dur := time.Since(start)
+	vi.lat.Observe(int64(dur))
+	if ok && resp.Status == "ERR" {
+		vi.errs.Inc()
+	}
+	if log := d.cfg.Log; log != nil && log.Enabled(context.Background(), slog.LevelDebug) {
+		log.Debug("verb served",
+			"verb", req.Verb, "session", req.Session, "status", resp.Status,
+			"dur", dur, "err", resp.Err)
+	}
+	return resp, ok
 }
 
 func (d *Dispatcher) lookup(id int, cs *ConnState) (*hostSession, error) {
@@ -222,7 +325,7 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit Submitter) (Res
 
 	// Connection phase: create the data plane (shm file creation is real
 	// I/O and stays off the owner) and publish the session.
-	s := &hostSession{id: v.Session(), v: v, owner: cs, stageIn: stageIn, stageOut: stageOut}
+	s := &hostSession{id: v.Session(), v: v, owner: cs, met: d.met, stageIn: stageIn, stageOut: stageOut}
 	name := fmt.Sprintf("%s-%d", d.cfg.SegPrefix, s.id)
 	s.plane, err = NewHostPlane(kind, d.cfg.ShmDir, name, spec.InBytes, spec.OutBytes)
 	if err != nil {
@@ -347,8 +450,13 @@ func (d *Dispatcher) serveBAT(req Request, cs *ConnState, submit Submitter) (Res
 				"transport: BAT verbs for session %d must appear once each, in SND<STR<STP<RCV<RLS order", sub.Session)), true
 		}
 		lastRank[sub.Session] = rank
+		// Inner steps count against their own verb series too, so a
+		// scrape's SND/STR/STP/RCV counters reflect protocol traffic
+		// whether or not the client pipelines.
+		d.met.verb(sub.Verb).reqs.Inc()
 		steps[i] = step{req: sub, s: s}
 	}
+	d.met.batSteps.Observe(int64(len(steps)))
 
 	// Connection phase: stage every SND payload into pinned memory.
 	limit := len(steps)
@@ -392,6 +500,7 @@ func (d *Dispatcher) serveBAT(req Request, cs *ConnState, submit Submitter) (Res
 		case st.err != nil:
 			sub.Status = "ERR"
 			sub.Err = st.err.Error()
+			d.met.verb(st.req.Verb).errs.Inc()
 		case !st.ran:
 			sub.Status = "ERR"
 			sub.Err = "transport: skipped after earlier BAT failure"

@@ -93,7 +93,23 @@ type frameSeg struct {
 
 func (e *frameEncoder) reset() {
 	e.buf = e.buf[:0]
+	e.clearAliases()
+}
+
+// clearAliases drops every external payload reference the encoder holds
+// (segment list and iov backing array). Callers' payload buffers are
+// often pooled; an alias retained here past the frame's write — or past
+// an encode error — would pin the buffer, and alias live data once the
+// pool recycles it.
+func (e *frameEncoder) clearAliases() {
+	for i := range e.segs {
+		e.segs[i].ext = nil
+	}
 	e.segs = e.segs[:0]
+	for i := range e.iovBuf {
+		e.iovBuf[i] = nil
+	}
+	e.iovBuf = e.iovBuf[:0]
 	e.mark = 0
 }
 

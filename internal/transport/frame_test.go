@@ -19,7 +19,12 @@ func TestBinaryRequestRoundTrip(t *testing.T) {
 	a, b := fuzzPipeConn(t, NewConn)
 	for _, want := range reqs {
 		want := want
+		// Join the writer before the next iteration reuses the conn: a
+		// Conn is single-writer, and WriteRequest still touches encoder
+		// state after the pipe's read unblocks.
+		wrote := make(chan struct{})
 		go func() {
+			defer close(wrote)
 			if err := a.WriteRequest(want); err != nil {
 				t.Errorf("write %+v: %v", want, err)
 			}
@@ -28,6 +33,7 @@ func TestBinaryRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("read %+v: %v", want, err)
 		}
+		<-wrote
 		if !requestsEqual(got, want) {
 			t.Fatalf("round trip: got %+v, want %+v", got, want)
 		}

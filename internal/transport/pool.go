@@ -3,6 +3,7 @@ package transport
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Size-classed frame-buffer pool. Read and staging buffers on the verb
@@ -25,6 +26,18 @@ const (
 
 var bufPools [maxBufClass - minBufClass + 1]sync.Pool
 
+// Package-level pool accounting. A get that found a recycled buffer is a
+// hit; a get that had to allocate (empty class or unpoolable size) is a
+// miss. gets-puts is the number of buffers currently checked out (or
+// dropped on an error path — the leak signal the pool-balance tests and
+// the transport_pool_* metrics watch).
+var poolGets, poolPuts, poolHits, poolMisses atomic.Int64
+
+// PoolStats reports cumulative frame-buffer pool counters.
+func PoolStats() (gets, puts, hits, misses int64) {
+	return poolGets.Load(), poolPuts.Load(), poolHits.Load(), poolMisses.Load()
+}
+
 // bufClass maps a size to its pool index, or -1 for sizes beyond MaxFrame
 // (never pooled).
 func bufClass(n int) int {
@@ -44,13 +57,17 @@ func bufClass(n int) int {
 // getBuf returns a buffer of length n from the pool (capacity is n's size
 // class). Sizes beyond MaxFrame fall back to a plain allocation.
 func getBuf(n int) []byte {
+	poolGets.Add(1)
 	c := bufClass(n)
 	if c < 0 {
+		poolMisses.Add(1)
 		return make([]byte, n)
 	}
 	if v := bufPools[c].Get(); v != nil {
+		poolHits.Add(1)
 		return (*v.(*[]byte))[:n]
 	}
+	poolMisses.Add(1)
 	return make([]byte, n, 1<<(c+minBufClass))
 }
 
@@ -61,6 +78,7 @@ func putBuf(b []byte) {
 	if b == nil {
 		return
 	}
+	poolPuts.Add(1)
 	c := bufClass(cap(b))
 	if c < 0 || cap(b) != 1<<(c+minBufClass) {
 		return

@@ -127,6 +127,16 @@ func NewConnJSON(c net.Conn) *Conn {
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
 
+// Release returns the connection's pooled read buffer. Call it at most
+// once, when no read can be in flight — the reading goroutine after its
+// loop exits, or a peer that has already closed and joined the reader.
+// Releasing while a concurrent ReadRequest still aliases rbuf would hand
+// live bytes back to the pool.
+func (c *Conn) Release() {
+	putBuf(c.rbuf)
+	c.rbuf = nil
+}
+
 // SetDeadline bounds both reads and writes on the underlying connection;
 // the zero time clears it. Clients use it to put an I/O timeout around
 // each round trip so a hung daemon cannot block them forever.
@@ -143,6 +153,10 @@ func (c *Conn) WriteRequest(req Request) error {
 		return c.enc.Encode(req)
 	}
 	if err := c.we.encodeRequest(req); err != nil {
+		// A failed encode (e.g. nested batch) aborts mid-frame: drop the
+		// payload aliases accumulated so far so the encoder is clean for
+		// the next frame and pins nothing.
+		c.we.clearAliases()
 		return err
 	}
 	return c.writeFrame()
@@ -155,6 +169,7 @@ func (c *Conn) WriteResponse(resp Response) error {
 		return c.enc.Encode(resp)
 	}
 	if err := c.we.encodeResponse(resp); err != nil {
+		c.we.clearAliases()
 		return err
 	}
 	return c.writeFrame()
@@ -165,15 +180,20 @@ func (c *Conn) WriteResponse(resp Response) error {
 // writev so large payloads are never copied into the encode buffer.
 func (c *Conn) writeFrame() error {
 	bufs := c.we.buffers()
+	var err error
 	if len(bufs) == 1 {
-		_, err := c.c.Write(bufs[0])
-		return err
+		_, err = c.c.Write(bufs[0])
+	} else {
+		// WriteTo consumes the slice (advances/nils entries); the encoder
+		// rebuilds it from its segment list on the next frame. Called on the
+		// encoder's own iov field (not a local) so the net.Buffers header does
+		// not escape to the heap on every frame.
+		_, err = c.we.iov.WriteTo(c.c)
 	}
-	// WriteTo consumes the slice (advances/nils entries); the encoder
-	// rebuilds it from its segment list on the next frame. Called on the
-	// encoder's own iov field (not a local) so the net.Buffers header does
-	// not escape to the heap on every frame.
-	_, err := c.we.iov.WriteTo(c.c)
+	// Whether the write completed or died short, the frame is over: drop
+	// payload aliases so the reused encoder does not pin (or later alias)
+	// the caller's pooled buffers.
+	c.we.clearAliases()
 	return err
 }
 

@@ -120,8 +120,8 @@ func TestEightClientsBarrierAndConcurrency(t *testing.T) {
 	if len(ends) != 8 {
 		t.Fatalf("%d clients finished", len(ends))
 	}
-	if mgr.Flushes != 1 {
-		t.Fatalf("Flushes = %d, want 1 (single barrier batch)", mgr.Flushes)
+	if mgr.Flushes() != 1 {
+		t.Fatalf("Flushes = %d, want 1 (single barrier batch)", mgr.Flushes())
 	}
 	if dev.ContextSwitches != 0 {
 		t.Fatalf("ContextSwitches = %d, want 0 under virtualization", dev.ContextSwitches)
@@ -442,8 +442,8 @@ func TestBarrierTimeoutFlushesPartialBatch(t *testing.T) {
 	if len(done) != 2 {
 		t.Fatalf("%d clients completed, want 2 (timeout flush)", len(done))
 	}
-	if mgr.BarrierTimeouts != 1 {
-		t.Fatalf("BarrierTimeouts = %d, want 1", mgr.BarrierTimeouts)
+	if mgr.BarrierTimeouts() != 1 {
+		t.Fatalf("BarrierTimeouts = %d, want 1", mgr.BarrierTimeouts())
 	}
 }
 
@@ -467,11 +467,11 @@ func TestBarrierTimeoutNotFiredWhenAllArrive(t *testing.T) {
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if mgr.BarrierTimeouts != 0 {
-		t.Fatalf("BarrierTimeouts = %d, want 0", mgr.BarrierTimeouts)
+	if mgr.BarrierTimeouts() != 0 {
+		t.Fatalf("BarrierTimeouts = %d, want 0", mgr.BarrierTimeouts())
 	}
-	if mgr.Flushes != 1 {
-		t.Fatalf("Flushes = %d, want 1", mgr.Flushes)
+	if mgr.Flushes() != 1 {
+		t.Fatalf("Flushes = %d, want 1", mgr.Flushes())
 	}
 }
 
@@ -627,8 +627,8 @@ func TestSuspendResumePreservesState(t *testing.T) {
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if mgr.Suspensions != 1 || mgr.Resumes != 1 {
-		t.Fatalf("suspensions=%d resumes=%d", mgr.Suspensions, mgr.Resumes)
+	if mgr.Suspensions() != 1 || mgr.Resumes() != 1 {
+		t.Fatalf("suspensions=%d resumes=%d", mgr.Suspensions(), mgr.Resumes())
 	}
 }
 

@@ -1,8 +1,22 @@
 #!/bin/sh
 # End-to-end smoke test: a gvmd daemon on a TCP loopback port, driven by
 # the multiprocess example as two real client processes. Passes only if
-# every worker verifies its results and reports a turnaround time.
+# every worker verifies its results and reports a turnaround time, and
+# the daemon's /metrics endpoint serves well-formed Prometheus text with
+# nonzero verb counters after the round.
 set -eu
+
+# fetch URL: curl if present, wget fallback.
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    elif command -v wget >/dev/null 2>&1; then
+        wget -qO- "$1"
+    else
+        echo "smoke: neither curl nor wget available" >&2
+        return 1
+    fi
+}
 
 workdir=$(mktemp -d)
 bindir="$workdir/bin"
@@ -25,6 +39,7 @@ ${GO:-go} build -o "$bindir/multiprocess" ./examples/multiprocess
 
 echo "smoke: starting gvmd on a TCP loopback port"
 "$bindir/gvmd" -listen tcp://127.0.0.1:0 -parties 2 -addr-file "$addrfile" \
+    -metrics 127.0.0.1:0 \
     >"$logfile" 2>&1 &
 gvmd_pid=$!
 
@@ -45,7 +60,12 @@ while [ ! -s "$addrfile" ]; do
     sleep 0.1
 done
 addr=$(head -n1 "$addrfile")
-echo "smoke: gvmd is serving on $addr"
+metrics_url=$(grep '^http://' "$addrfile" | head -n1)
+echo "smoke: gvmd is serving on $addr (metrics at $metrics_url)"
+if [ -z "$metrics_url" ]; then
+    echo "smoke: gvmd did not publish a metrics URL in its addr file" >&2
+    exit 1
+fi
 
 out=$("$bindir/multiprocess" -workers 2 -connect "$addr")
 echo "$out"
@@ -55,6 +75,29 @@ if [ "$turnarounds" -ne 2 ]; then
     echo "smoke: expected 2 worker turnaround lines, got $turnarounds" >&2
     exit 1
 fi
+
+echo "smoke: scraping $metrics_url"
+scrape=$(fetch "$metrics_url")
+if [ -z "$scrape" ]; then
+    echo "smoke: /metrics scrape returned nothing" >&2
+    exit 1
+fi
+# Every non-comment line must be a valid Prometheus text sample:
+# name{labels} value, where value is an optionally signed integer.
+bad=$(echo "$scrape" | grep -v '^#' | grep -vE '^[A-Za-z_:][A-Za-z0-9_:]*(\{[^{}]*\})? -?[0-9]+$' || true)
+if [ -n "$bad" ]; then
+    echo "smoke: malformed Prometheus sample line(s):" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+# Two workers each sent one STR — the verb counter must be nonzero.
+str_count=$(echo "$scrape" | grep -E '^gvmd_verb_requests_total\{verb="STR"\} [0-9]+$' | awk '{print $2}')
+if [ -z "$str_count" ] || [ "$str_count" -eq 0 ]; then
+    echo "smoke: gvmd_verb_requests_total{verb=\"STR\"} missing or zero after a two-process round" >&2
+    echo "$scrape" | grep '^gvmd_verb' >&2 || true
+    exit 1
+fi
+echo "smoke: metrics OK (STR count = $str_count)"
 
 kill "$gvmd_pid"
 wait "$gvmd_pid" 2>/dev/null || true
