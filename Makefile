@@ -18,8 +18,10 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order so inter-test coupling (shared
+# sockets, leaked state) surfaces in CI instead of in the field.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -34,10 +36,10 @@ bench-short:
 
 # Full benchmark matrix: data-plane microbenchmarks plus daemon cycle
 # throughput at 1/2/4/8 clients over inproc/unix/tcp, pipelined vs
-# serial, plus the daemon's metrics snapshot, written as the PR4 JSON
-# artifact.
+# serial, plus the shard-scaling sweep (1/2/4 GPUs x 1/4/8 clients),
+# written as the PR5 JSON artifact.
 bench:
-	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr4.json
+	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr5.json
 
 # Regenerate the machine-readable hot-path numbers (alias of bench;
 # earlier PR artifacts are kept as historical records).

@@ -32,6 +32,7 @@ import (
 	"gpuvirt/internal/fermi"
 	"gpuvirt/internal/ipc"
 	"gpuvirt/internal/metrics"
+	"gpuvirt/internal/node"
 	"gpuvirt/internal/shm"
 	"gpuvirt/internal/transport"
 )
@@ -54,7 +55,8 @@ func main() {
 	functional := flag.Bool("functional", true, "carry real data and compute real results")
 	shmDir := flag.String("shm", "", "shared-memory directory (default /dev/shm)")
 	archName := flag.String("arch", "c2070", "gpu architecture: c2070|c2050|gtx480|c1060")
-	gpus := flag.Int("gpus", 1, "number of simulated GPUs the manager owns")
+	gpus := flag.Int("gpus", 1, "number of per-GPU manager shards the daemon runs (each with its own owner goroutine and STR barrier)")
+	placement := flag.String("placement", "least-sessions", "session placement policy across shards: "+strings.Join(node.PolicyNames(), "|"))
 	barrierTimeout := flag.Duration("barrier-timeout", 0, "flush partial STR batches after this long (0 = strict barrier)")
 	execWorkers := flag.Int("exec-workers", 0, "functional kernel execution worker pool (0 = GOMAXPROCS, 1 = serial)")
 	jsonWire := flag.Bool("json-wire", false, "speak newline-delimited JSON on the control socket (debugging; clients must use DialJSON)")
@@ -132,6 +134,7 @@ func main() {
 		Functional:      *functional,
 		ShmDir:          *shmDir,
 		GPUs:            *gpus,
+		Placement:       *placement,
 		ExecWorkers:     *execWorkers,
 		JSONWire:        *jsonWire,
 		MaxSessionBytes: *maxSessionBytes,
@@ -144,8 +147,8 @@ func main() {
 		log.Fatalf("gvmd: %v", err)
 	}
 	addrs := srv.Addrs()
-	log.Printf("gvmd: serving %dx %s on %s (parties=%d functional=%v)",
-		*gpus, arch.Name, strings.Join(addrs, ", "), *parties, *functional)
+	log.Printf("gvmd: serving %dx %s on %s (placement=%s parties=%d/shard functional=%v)",
+		*gpus, arch.Name, strings.Join(addrs, ", "), srv.Node().Policy(), *parties, *functional)
 	if *addrFile != "" {
 		// Written only after every listener is bound, so a waiter that
 		// sees the file can connect immediately. The metrics URL rides

@@ -82,6 +82,54 @@ func DaemonBench() ([]MicroBenchResult, []metrics.Sample) {
 	return out, snap
 }
 
+// DaemonShardBench measures how daemon cycle throughput moves with the
+// shard (GPU) count: 1/2/4 shards × 1/4/8 pipelined clients over inproc
+// (the transport with the least connection overhead, so the owner-layer
+// parallelism is what's measured). Placement is the default
+// least-sessions, so clients spread evenly; each shard runs its own
+// owner goroutine, so on a multi-core host throughput should scale with
+// shards until clients-per-shard hits 1 (see MicroBenchReport.Note for
+// the single-CPU caveat).
+func DaemonShardBench() []MicroBenchResult {
+	var out []MicroBenchResult
+	for _, gpus := range []int{1, 2, 4} {
+		shmDir := shmBenchDir()
+		srv, err := ipc.NewServer(ipc.ServerConfig{
+			Listen:     []string{fmt.Sprintf("inproc://gvmbench-shards-%d", gpus)},
+			Functional: true,
+			ShmDir:     shmDir,
+			GPUs:       gpus,
+		})
+		if err != nil {
+			out = append(out, MicroBenchResult{Name: fmt.Sprintf("daemon-cycle-shards-g%d", gpus), NsPerOp: -1})
+			continue
+		}
+		for _, clients := range []int{1, 4, 8} {
+			name := fmt.Sprintf("daemon-cycle-shards-g%d-c%d/pipelined", gpus, clients)
+			r, err := daemonBenchRun(srv.Addr(), shmDir, clients, false)
+			if err != nil {
+				out = append(out, MicroBenchResult{Name: name, NsPerOp: -1})
+				continue
+			}
+			res := MicroBenchResult{
+				Name:        name,
+				NsPerOp:     float64(r.NsPerOp()),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			if r.NsPerOp() > 0 {
+				res.CyclesPerSec = float64(clients) * 1e9 / float64(r.NsPerOp())
+			}
+			out = append(out, res)
+		}
+		srv.Close()
+		if shmDir != "" {
+			os.RemoveAll(shmDir)
+		}
+	}
+	return out
+}
+
 func shmBenchDir() string {
 	dir, err := os.MkdirTemp("", "gvmbench-daemon")
 	if err != nil {

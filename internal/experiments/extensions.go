@@ -6,11 +6,9 @@ import (
 
 	"gpuvirt/internal/cluster"
 	"gpuvirt/internal/fermi"
-	"gpuvirt/internal/gpusim"
-	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/node"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/task"
-	"gpuvirt/internal/vgpu"
 	"gpuvirt/internal/workloads"
 )
 
@@ -88,25 +86,37 @@ type MultiGPURow struct {
 }
 
 // ExtensionMultiGPU runs 8 device-saturating Electrostatics processes
-// against a manager owning 1, 2 and 4 GPUs.
+// against a node of 1, 2 and 4 per-GPU manager shards (least-sessions
+// placement; each shard's STR barrier spans the 8/gpus sessions placed
+// on it).
 func ExtensionMultiGPU() ([]MultiGPURow, error) {
 	w := PaperSaturatingWorkload()
 	run := func(gpus int) (float64, error) {
 		env := sim.NewEnv()
-		devs := make([]*gpusim.Device, gpus)
-		for i := range devs {
-			devs[i] = gpusim.MustNew(env, gpusim.Config{Arch: fermi.TeslaC2070()})
+		nd, err := node.New(node.Config{
+			GPUs:      gpus,
+			Arch:      fermi.TeslaC2070(),
+			Parties:   8 / gpus,
+			SharedEnv: env,
+		})
+		if err != nil {
+			return 0, err
 		}
-		mgr := gvm.New(env, gvm.Config{Device: devs[0], ExtraDevices: devs[1:], Parties: 8})
-		mgr.Start()
+		if err := nd.Start(); err != nil {
+			return 0, err
+		}
 		var makespan sim.Duration
 		errs := make([]error, 8)
 		for i := 0; i < 8; i++ {
 			i := i
 			env.Go(fmt.Sprintf("c%d", i), func(p *sim.Proc) {
-				p.Wait(mgr.Ready())
+				// Clients never pay Tinit (the paper's design): wait out
+				// every shard's bring-up before starting the clock.
+				for _, sh := range nd.Shards() {
+					p.Wait(sh.Mgr.Ready())
+				}
 				t0 := p.Now()
-				v, err := vgpu.Connect(p, mgr, w.Spec(i))
+				v, _, err := nd.Connect(p, w.Spec(i))
 				if err != nil {
 					errs[i] = err
 					return

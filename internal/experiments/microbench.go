@@ -253,13 +253,16 @@ func MicroBench() MicroBenchReport {
 	return rep
 }
 
-// WriteMicroBenchJSON runs MicroBench plus the daemon-throughput matrix
-// (DaemonBench) and writes the combined report to path, embedding the
-// daemon's metrics snapshot alongside the timing results.
+// WriteMicroBenchJSON runs MicroBench plus the daemon-throughput
+// matrices (DaemonBench's transport × clients × pipelining grid and
+// DaemonShardBench's shard-count dimension) and writes the combined
+// report to path, embedding the daemon's metrics snapshot alongside the
+// timing results.
 func WriteMicroBenchJSON(path string) error {
 	rep := MicroBench()
 	daemon, snap := DaemonBench()
 	rep.Results = append(rep.Results, daemon...)
+	rep.Results = append(rep.Results, DaemonShardBench()...)
 	rep.DaemonMetrics = snap
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -98,16 +98,25 @@ type Response struct {
 
 // Config configures a manager.
 type Config struct {
+	// Device is the one GPU this manager owns. A manager manages exactly
+	// one device (the paper's design: one GVM, one context, one GPU);
+	// multi-GPU nodes run one manager per device behind package node's
+	// placement layer.
 	Device *gpusim.Device
-	// ExtraDevices extends the manager to a multi-GPU node: sessions are
-	// placed on the device with the fewest live sessions, each device
-	// carrying its own manager-held context. An extension beyond the
-	// paper's single-GPU node ("our approach can be applied to any HPC
-	// system with GPU resources", Section VII).
-	ExtraDevices []*gpusim.Device
+	// GPUIndex identifies this manager's device within a multi-shard
+	// node. It labels every manager metric series (gpu="<index>") so
+	// shards sharing a registry stay distinguishable, and prefixes error
+	// messages. 0 on a single-GPU node.
+	GPUIndex int
+	// SessionIDStride namespaces session ids when several managers share
+	// one client-visible id space: manager GPUIndex of a stride-N node
+	// hands out GPUIndex+1, GPUIndex+1+N, GPUIndex+1+2N, ... so no two
+	// shards ever mint the same id. 0 or 1 means the usual 1,2,3,...
+	SessionIDStride int
 	// Parties is the STR barrier width: the number of SPMD processes
 	// whose STR requests are synchronized before all streams flush
-	// together. 1 disables barrier batching.
+	// together — on a multi-shard node, the width of THIS shard's
+	// barrier. 1 disables barrier batching.
 	Parties int
 	// HostCopyBW is host memcpy bandwidth (bytes/s) for client<->shm and
 	// shm<->pinned staging copies. Default 24 GB/s (dual-socket X5560
@@ -182,7 +191,7 @@ func (f FlushPolicy) String() string {
 // estimateCost scores a session's cycle for flush ordering: transfer
 // time at pageable bandwidth plus modeled compute time at device peak.
 func (m *Manager) estimateCost(s *session) float64 {
-	arch := m.devs[s.devIdx].Arch()
+	arch := m.dev.Arch()
 	sec := arch.TransferTime(s.spec.InBytes, true, true).Seconds() +
 		arch.TransferTime(s.spec.OutBytes, false, true).Seconds()
 	peak := float64(arch.TotalCores()) * arch.ClockHz
@@ -208,17 +217,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Manager is the GPU Virtualization Manager run-time process.
+// Manager is the GPU Virtualization Manager run-time process: one
+// manager, one device, one context (a "shard" of a multi-GPU node).
 type Manager struct {
-	env  *sim.Env
-	cfg  Config
-	devs []*gpusim.Device
-	ctxs []*gpusim.Context
+	env *sim.Env
+	cfg Config
+	dev *gpusim.Device
+	ctx *gpusim.Context
 
 	req      *msgq.Queue[Request]
 	ready    *sim.Event
 	sessions map[int]*session
-	nextID   int
+	nextID   int // last id handed out; advances by the id stride
 
 	strPending []*session // sessions buffered at the STR barrier
 	strGen     uint64     // invalidates stale barrier-timeout timers
@@ -265,7 +275,6 @@ type session struct {
 	direct     bool      // payloads bypass the segment (Request.Direct)
 	stpWaiting bool      // a blocking STP response is owed
 	footprint  int64     // bytes counted against the manager's quota
-	devIdx     int       // which managed device hosts the session
 	susp       *snapshot // non-nil while suspended (extension verbs SUS/RES)
 }
 
@@ -283,32 +292,38 @@ func New(env *sim.Env, cfg Config) *Manager {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	stride := cfg.SessionIDStride
+	if stride < 1 {
+		stride = 1
+	}
 	m := &Manager{
 		env:      env,
 		cfg:      cfg,
-		devs:     append([]*gpusim.Device{cfg.Device}, cfg.ExtraDevices...),
+		dev:      cfg.Device,
 		req:      msgq.New[Request](env, cfg.QueueCap, cfg.MsgLatency),
 		ready:    env.NewEvent(),
 		sessions: make(map[int]*session),
+		nextID:   cfg.GPUIndex + 1 - stride, // first id handed out is GPUIndex+1
 		reg:      reg,
 		log:      cfg.Log,
 	}
+	// Every manager series carries a gpu label so N shards sharing one
+	// registry stay distinguishable in a single /metrics scrape.
+	gl := metrics.L("gpu", strconv.Itoa(cfg.GPUIndex))
 	m.met = managerMetrics{
-		requests:        reg.Counter("gvm_requests_total", "requests received by the manager"),
-		sessionsOpened:  reg.Counter("gvm_sessions_opened_total", "sessions provisioned by REQ"),
-		sessionsClosed:  reg.Counter("gvm_sessions_closed_total", "sessions torn down by RLS"),
-		flushes:         reg.Counter("gvm_flushes_total", "barrier batch flushes"),
-		barrierTimeouts: reg.Counter("gvm_barrier_timeouts_total", "partial flushes forced by BarrierTimeout"),
-		suspensions:     reg.Counter("gvm_suspensions_total", "sessions suspended (SUS)"),
-		resumes:         reg.Counter("gvm_resumes_total", "sessions resumed (RES)"),
-		openSessions:    reg.Gauge("gvm_open_sessions", "live sessions"),
-		barrierWaitNS:   reg.Histogram("gvm_barrier_wait_ns", "virtual ns each session waited at the STR barrier"),
+		requests:        reg.Counter("gvm_requests_total", "requests received by the manager", gl),
+		sessionsOpened:  reg.Counter("gvm_sessions_opened_total", "sessions provisioned by REQ", gl),
+		sessionsClosed:  reg.Counter("gvm_sessions_closed_total", "sessions torn down by RLS", gl),
+		flushes:         reg.Counter("gvm_flushes_total", "barrier batch flushes", gl),
+		barrierTimeouts: reg.Counter("gvm_barrier_timeouts_total", "partial flushes forced by BarrierTimeout", gl),
+		suspensions:     reg.Counter("gvm_suspensions_total", "sessions suspended (SUS)", gl),
+		resumes:         reg.Counter("gvm_resumes_total", "sessions resumed (RES)", gl),
+		openSessions:    reg.Gauge("gvm_open_sessions", "live sessions", gl),
+		barrierWaitNS:   reg.Histogram("gvm_barrier_wait_ns", "virtual ns each session waited at the STR barrier", gl),
 	}
-	for i, dev := range m.devs {
-		dev := dev
-		reg.GaugeFunc("gvm_mem_in_use_bytes", "device memory allocated to sessions",
-			func() int64 { return dev.MemInUse() }, metrics.L("gpu", strconv.Itoa(i)))
-	}
+	dev := m.dev
+	reg.GaugeFunc("gvm_mem_in_use_bytes", "device memory allocated to sessions",
+		func() int64 { return dev.MemInUse() }, gl)
 	return m
 }
 
@@ -346,11 +361,12 @@ func (c Config) trace(lane, label string, start, end sim.Time) {
 // Env returns the manager's simulation environment.
 func (m *Manager) Env() *sim.Env { return m.env }
 
-// Device returns the first managed device.
-func (m *Manager) Device() *gpusim.Device { return m.devs[0] }
+// Device returns the managed device.
+func (m *Manager) Device() *gpusim.Device { return m.dev }
 
-// Devices returns all managed devices.
-func (m *Manager) Devices() []*gpusim.Device { return m.devs }
+// GPUIndex returns this manager's device index within its node (the
+// value of every manager series' gpu label).
+func (m *Manager) GPUIndex() int { return m.cfg.GPUIndex }
 
 // Ready fires once the manager has initialized the device, created its
 // single GPU context, and begun serving requests. Clients connecting
@@ -377,14 +393,11 @@ func (m *Manager) HostCopyTime(n int64) sim.Duration {
 func (m *Manager) Start() {
 	m.env.Go("gvm", func(p *sim.Proc) {
 		start := p.Now()
-		for _, dev := range m.devs {
-			ctx := dev.CreateContext(p)
-			// The manager holds each device for its whole lifetime: all
-			// work flows through one context per device, so no context
-			// switches ever occur (paper Section IV.B.2).
-			ctx.Acquire(p)
-			m.ctxs = append(m.ctxs, ctx)
-		}
+		m.ctx = m.dev.CreateContext(p)
+		// The manager holds its device for its whole lifetime: all work
+		// flows through the one context, so no context switches ever
+		// occur (paper Section IV.B.2).
+		m.ctx.Acquire(p)
 		m.cfg.trace("gvm", "init", start, p.Now())
 		m.ready.Fire(nil)
 		p.Daemonize()
@@ -433,22 +446,6 @@ func (m *Manager) handle(p *sim.Proc, r Request) {
 	}
 }
 
-// placeSession picks the managed device with the fewest live sessions
-// (multi-GPU extension; trivially device 0 on a single-GPU node).
-func (m *Manager) placeSession() int {
-	counts := make([]int, len(m.devs))
-	for _, s := range m.sessions {
-		counts[s.devIdx]++
-	}
-	best := 0
-	for i, c := range counts {
-		if c < counts[best] {
-			best = i
-		}
-	}
-	return best
-}
-
 // handleREQ provisions a VGPU: shared-memory segment, device buffers,
 // pinned staging, a dedicated stream, and the prepared kernel sequence.
 func (m *Manager) handleREQ(p *sim.Proc, r Request) {
@@ -467,19 +464,22 @@ func (m *Manager) handleREQ(p *sim.Proc, r Request) {
 	footprint := r.Spec.InBytes + r.Spec.OutBytes
 	quota := m.cfg.MaxSessionBytes
 	if quota == 0 {
-		for _, dev := range m.devs {
-			quota += dev.Arch().MemBytes
-		}
+		quota = m.dev.Arch().MemBytes
 	}
 	if m.shmInUse+footprint > quota {
 		r.Reply.Send(p, Response{Status: ERR, Err: fmt.Sprintf(
-			"gvm: session quota exceeded: %d bytes live + %d requested > %d", m.shmInUse, footprint, quota)})
+			"gvm: gpu %d session quota exceeded: %d bytes live + %d requested > %d",
+			m.cfg.GPUIndex, m.shmInUse, footprint, quota)})
 		return
 	}
-	m.nextID++
-	s := &session{id: m.nextID, spec: r.Spec, reply: r.Reply, devIdx: m.placeSession(), direct: r.Direct}
-	ctx := m.ctxs[s.devIdx]
-	dev := m.devs[s.devIdx]
+	stride := m.cfg.SessionIDStride
+	if stride < 1 {
+		stride = 1
+	}
+	m.nextID += stride
+	s := &session{id: m.nextID, spec: r.Spec, reply: r.Reply, direct: r.Direct}
+	ctx := m.ctx
+	dev := m.dev
 	// Direct sessions never move bytes through the segment, so it stays
 	// timing-only regardless of the device mode.
 	s.seg = shm.NewMemory(footprint, dev.Functional() && !r.Direct)
@@ -533,7 +533,7 @@ func (m *Manager) handleSND(p *sim.Proc, s *session) {
 	start := p.Now()
 	n := s.spec.InBytes
 	p.Sleep(m.HostCopyTime(n))
-	if !s.direct && m.devs[s.devIdx].Functional() && s.pinIn != nil {
+	if !s.direct && m.dev.Functional() && s.pinIn != nil {
 		if err := s.seg.ReadAt(s.pinIn.Data(), 0); err != nil {
 			s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: err.Error()})
 			return
@@ -677,7 +677,7 @@ func (m *Manager) handleRCV(p *sim.Proc, s *session) {
 	start := p.Now()
 	n := s.spec.OutBytes
 	p.Sleep(m.HostCopyTime(n))
-	if !s.direct && m.devs[s.devIdx].Functional() && s.pinOut != nil {
+	if !s.direct && m.dev.Functional() && s.pinOut != nil {
 		if err := s.seg.WriteAt(s.pinOut.Data(), s.spec.InBytes); err != nil {
 			s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: err.Error()})
 			return
@@ -698,7 +698,7 @@ func (m *Manager) handleRLS(p *sim.Proc, s *session) {
 
 // teardown frees a session's device memory and stream.
 func (m *Manager) teardown(s *session) {
-	ctx := m.ctxs[s.devIdx]
+	ctx := m.ctx
 	if s.devIn != 0 {
 		_ = ctx.Free(s.devIn)
 		s.devIn = 0

@@ -44,8 +44,8 @@ func (m *Manager) handleSUS(p *sim.Proc, s *session) {
 		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: "gvm: already suspended"})
 		return
 	}
-	ctx := m.ctxs[s.devIdx]
-	dev := m.devs[s.devIdx]
+	ctx := m.ctx
+	dev := m.dev
 	start := p.Now()
 	snap := &snapshot{}
 	save := func(ptr cuda.DevPtr) ([]byte, int64) {
@@ -88,8 +88,8 @@ func (m *Manager) handleRES(p *sim.Proc, s *session) {
 		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: "gvm: RES without SUS"})
 		return
 	}
-	ctx := m.ctxs[s.devIdx]
-	dev := m.devs[s.devIdx]
+	ctx := m.ctx
+	dev := m.dev
 	snap := s.susp
 	start := p.Now()
 	fail := func(err error) {
@@ -153,7 +153,7 @@ func (m *Manager) handleRES(p *sim.Proc, s *session) {
 // freeSessionBuffers releases whatever device buffers a partially
 // restored session holds, keeping its snapshot intact.
 func (m *Manager) freeSessionBuffers(s *session) {
-	ctx := m.ctxs[s.devIdx]
+	ctx := m.ctx
 	if s.devIn != 0 {
 		_ = ctx.Free(s.devIn)
 		s.devIn = 0

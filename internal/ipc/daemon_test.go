@@ -192,7 +192,7 @@ func TestDisconnectMidSessionFreesResources(t *testing.T) {
 				t.Fatal(err)
 			}
 			var memAfterREQ int64 = -1
-			if !s.submitProbe(func() { memAfterREQ = s.mgr.Device().MemInUse() }) {
+			if !s.submitProbe(0, func() { memAfterREQ = s.node.Shard(0).Dev.MemInUse() }) {
 				t.Fatal("server closed early")
 			}
 			if memAfterREQ <= 0 {
@@ -233,9 +233,9 @@ func TestDisconnectMidSessionFreesResources(t *testing.T) {
 			// session is gone and its device memory is back.
 			for deadline := 400; deadline > 0; deadline-- {
 				open, mem := -1, int64(-1)
-				if !s.submitProbe(func() {
-					open = s.mgr.OpenSessions()
-					mem = s.mgr.Device().MemInUse()
+				if !s.submitProbe(0, func() {
+					open = s.node.Shard(0).Mgr.OpenSessions()
+					mem = s.node.Shard(0).Dev.MemInUse()
 				}) {
 					t.Fatal("server closed early")
 				}

@@ -171,7 +171,7 @@ func TestDisconnectCleansUpSessions(t *testing.T) {
 	deadline := 400
 	for ; deadline > 0; deadline-- {
 		open := -1
-		if !s.submitProbe(func() { open = s.mgr.OpenSessions() }) {
+		if !s.submitProbe(0, func() { open = s.node.Shard(0).Mgr.OpenSessions() }) {
 			t.Fatal("server closed early")
 		}
 		if open == 0 {
@@ -182,9 +182,10 @@ func TestDisconnectCleansUpSessions(t *testing.T) {
 	t.Fatal("abandoned session never released")
 }
 
-// submitProbe runs fn on the owner goroutine (test helper).
-func (s *Server) submitProbe(fn func()) bool {
-	return s.submit(func(p *sim.Proc) { fn() })
+// submitProbe runs fn on one shard's owner goroutine (test helper): it
+// synchronizes with that shard's pending owner work before reading.
+func (s *Server) submitProbe(shard int, fn func()) bool {
+	return s.submit(shard, func(p *sim.Proc) { fn() })
 }
 
 func TestMultipleCyclesOneSession(t *testing.T) {
@@ -281,6 +282,9 @@ func TestDaemonBarrierTimeoutUnwedges(t *testing.T) {
 }
 
 func TestDaemonMultiGPU(t *testing.T) {
+	// Barriers are per shard: with 2 shards at Parties=2 each,
+	// least-sessions placement puts 2 of the 4 clients on each shard and
+	// each shard's barrier fills independently.
 	dir := t.TempDir()
 	s, err := NewServer(ServerConfig{
 		Socket:  tempSocket(t),
@@ -292,9 +296,10 @@ func TestDaemonMultiGPU(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
+	const clients = 4
 	var wg sync.WaitGroup
-	errs := make([]error, 2)
-	for i := 0; i < 2; i++ {
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
 		i := i
 		wg.Add(1)
 		go func() {
@@ -319,7 +324,16 @@ func TestDaemonMultiGPU(t *testing.T) {
 			t.Fatalf("client %d: %v", i, err)
 		}
 	}
-	if got := len(s.mgr.Devices()); got != 2 {
-		t.Fatalf("daemon owns %d devices, want 2", got)
+	if got := s.node.NumShards(); got != 2 {
+		t.Fatalf("daemon owns %d shards, want 2", got)
+	}
+	for i := 0; i < 2; i++ {
+		mgr := s.node.Shard(i).Mgr
+		if got := mgr.SessionsOpened(); got != 2 {
+			t.Errorf("gpu %d opened %d sessions, want 2", i, got)
+		}
+		if got := mgr.Flushes(); got != 1 {
+			t.Errorf("gpu %d flushed %d batches, want 1", i, got)
+		}
 	}
 }

@@ -105,13 +105,18 @@ func TestMetricsEndpoint(t *testing.T) {
 	if got := samples["gvmd_bat_steps_sum"]; got != 4*cycles {
 		t.Fatalf("bat_steps sum = %d, want %d (SND+STR+STP+RCV per cycle)", got, 4*cycles)
 	}
-	// Manager-side series flow through the same registry.
-	if samples["gvm_sessions_opened_total"] != 1 || samples["gvm_sessions_closed_total"] != 1 {
+	// Manager-side series flow through the same registry, labelled with
+	// the owning shard's gpu index.
+	if samples[`gvm_sessions_opened_total{gpu="0"}`] != 1 || samples[`gvm_sessions_closed_total{gpu="0"}`] != 1 {
 		t.Fatalf("gvm sessions opened/closed = %d/%d, want 1/1",
-			samples["gvm_sessions_opened_total"], samples["gvm_sessions_closed_total"])
+			samples[`gvm_sessions_opened_total{gpu="0"}`], samples[`gvm_sessions_closed_total{gpu="0"}`])
 	}
-	if samples["gvm_flushes_total"] != cycles {
-		t.Fatalf("gvm_flushes_total = %d, want %d", samples["gvm_flushes_total"], cycles)
+	if samples[`gvm_flushes_total{gpu="0"}`] != cycles {
+		t.Fatalf("gvm_flushes_total = %d, want %d", samples[`gvm_flushes_total{gpu="0"}`], cycles)
+	}
+	// The node layer accounts placements; the session was released.
+	if samples[`node_placed_sessions{gpu="0"}`] != 0 {
+		t.Fatalf("node_placed_sessions = %d, want 0 after release", samples[`node_placed_sessions{gpu="0"}`])
 	}
 	// Data-plane byte counters: InBytes per SND, OutBytes per RCV.
 	if got, want := samples[`gvmd_verb_bytes_total{dir="in",verb="SND"}`], int64(cycles)*sess.InBytes(); got != want {

@@ -143,18 +143,30 @@ func TestBATMisuse(t *testing.T) {
 
 // TestPipelinedStressRace hammers one inproc daemon with 8 concurrent
 // pipelined clients for 50 cycles each and checks every output is
-// byte-identical to a serial single-client run of the same input. A
+// byte-identical to a serial single-shard run of the same input. A
 // scraper goroutine renders the daemon's /metrics registry the whole
 // time. Run under -race this is the concurrency acceptance test: the
 // off-owner staging copies must never race the owner's simulation work,
 // and a telemetry scrape must never race either of them.
-func TestPipelinedStressRace(t *testing.T) {
+func TestPipelinedStressRace(t *testing.T) { runStressRace(t, 1) }
+
+// TestShardedStressRace is the same stress run against a 2-shard daemon:
+// two owner goroutines execute in parallel, the clients split 4/4
+// across the shards, and every output must still match the single-shard
+// serial reference byte for byte.
+func TestShardedStressRace(t *testing.T) { runStressRace(t, 2) }
+
+func runStressRace(t *testing.T, gpus int) {
 	const (
 		clients = 8
 		iters   = 50
 		n       = 128
 	)
-	s := startServerOn(t, ServerConfig{Listen: []string{"inproc://stress"}, Functional: true})
+	s := startServerOn(t, ServerConfig{
+		Listen:     []string{fmt.Sprintf("inproc://stress-g%d", gpus)},
+		Functional: true,
+		GPUs:       gpus,
+	})
 
 	input := func(rank int) []byte {
 		in := make([]float32, 2*n)
@@ -165,9 +177,14 @@ func TestPipelinedStressRace(t *testing.T) {
 		return cuda.HostFloat32Bytes(in)
 	}
 
-	// Serial reference pass: one client, one cycle per distinct input.
+	// Serial reference pass on a separate single-shard daemon: one
+	// client, one cycle per distinct input.
+	refSrv := startServerOn(t, ServerConfig{
+		Listen:     []string{fmt.Sprintf("inproc://stress-ref-g%d", gpus)},
+		Functional: true,
+	})
 	ref := make([][]byte, clients)
-	serial, err := Dial(s.Addr(), s.cfg.ShmDir)
+	serial, err := Dial(refSrv.Addr(), refSrv.cfg.ShmDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,12 +226,25 @@ func TestPipelinedStressRace(t *testing.T) {
 		}
 	}()
 
+	// Every client holds its session open until all of them have placed
+	// theirs, so least-sessions placement splits them evenly across the
+	// shards before the hammering starts.
+	var openWG sync.WaitGroup
+	openWG.Add(clients)
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
 	for r := 0; r < clients; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			signalled := false
+			signal := func() {
+				if !signalled {
+					signalled = true
+					openWG.Done()
+				}
+			}
+			defer signal()
 			c, err := Dial(s.Addr(), s.cfg.ShmDir)
 			if err != nil {
 				errs <- err
@@ -227,6 +257,8 @@ func TestPipelinedStressRace(t *testing.T) {
 				errs <- err
 				return
 			}
+			signal()
+			openWG.Wait()
 			out := make([]byte, sess.OutBytes())
 			for i := 0; i < iters; i++ {
 				if err := sess.RunCycle(in, out); err != nil {
@@ -248,6 +280,16 @@ func TestPipelinedStressRace(t *testing.T) {
 	for err := range errs {
 		if err != nil {
 			t.Fatal(err)
+		}
+	}
+	// The load spread evenly: clients/gpus sessions were opened per shard.
+	for shard := 0; shard < gpus; shard++ {
+		opened := -1
+		if !s.submitProbe(shard, func() { opened = s.node.Shard(shard).Mgr.SessionsOpened() }) {
+			t.Fatal("server closed early")
+		}
+		if opened != clients/gpus {
+			t.Errorf("gpu %d opened %d sessions, want %d", shard, opened, clients/gpus)
 		}
 	}
 }
@@ -326,9 +368,9 @@ func TestDisconnectMidBAT(t *testing.T) {
 
 	for deadline := 400; deadline > 0; deadline-- {
 		open, mem := -1, int64(-1)
-		if !s.submitProbe(func() {
-			open = s.mgr.OpenSessions()
-			mem = s.mgr.Device().MemInUse()
+		if !s.submitProbe(0, func() {
+			open = s.node.Shard(0).Mgr.OpenSessions()
+			mem = s.node.Shard(0).Dev.MemInUse()
 		}) {
 			t.Fatal("server closed early")
 		}

@@ -7,13 +7,13 @@ import (
 	"log"
 	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"gpuvirt/internal/fermi"
-	"gpuvirt/internal/gpusim"
-	"gpuvirt/internal/gvm"
 	"gpuvirt/internal/metrics"
+	"gpuvirt/internal/node"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/transport"
 )
@@ -35,9 +35,14 @@ type ServerConfig struct {
 	// ExecWorkers sizes the functional kernel-execution worker pool
 	// (gpusim.Config.ExecWorkers): 0 = GOMAXPROCS, 1 = serial.
 	ExecWorkers int
-	// GPUs is the number of simulated devices the manager owns
-	// (default 1; the multi-GPU extension).
+	// GPUs is the number of per-GPU manager shards the daemon runs
+	// (default 1). Each shard is an independent sim.Env + device +
+	// gvm.Manager with its own owner goroutine, so shards serve verbs in
+	// parallel; Parties is the STR barrier width of EACH shard.
 	GPUs int
+	// Placement names the policy assigning new sessions to shards (see
+	// node.PolicyNames; default least-sessions).
+	Placement string
 	// JSONWire selects the newline-delimited JSON control-plane codec
 	// instead of the default binary frames — a debugging aid (frames are
 	// readable with socat); clients must dial with DialJSON. Clients
@@ -66,24 +71,22 @@ type ServerConfig struct {
 	Slog *slog.Logger
 }
 
-// Server is the gvmd daemon: it owns one simulated GPU plus one GVM and
-// serves the six-verb protocol to real OS processes over any set of
+// Server is the gvmd daemon: it owns a node of per-GPU manager shards
+// and serves the six-verb protocol to real OS processes over any set of
 // transports (unix, tcp, inproc). All verb handling lives in the shared
-// transport.Dispatcher; all simulation work runs on a single owner
-// goroutine — connection handlers submit closures to it and wait, so the
-// deterministic single-threaded discipline of the simulator is preserved
-// under concurrent clients.
+// transport.Dispatcher; each shard's simulation work runs on that
+// shard's own owner goroutine — connection handlers submit closures to
+// the owning shard and wait, so the deterministic single-threaded
+// discipline of each simulator is preserved under concurrent clients
+// while distinct shards run in parallel.
 type Server struct {
 	cfg ServerConfig
 	lns []transport.Listener
 
-	work chan workItem
+	work []chan workItem // one owner queue per shard
 	quit chan struct{}
 
-	// Owner-goroutine state.
-	env  *sim.Env
-	dev  *gpusim.Device
-	mgr  *gvm.Manager
+	node *node.Node
 	disp *transport.Dispatcher
 
 	met serverMetrics
@@ -94,12 +97,12 @@ type Server struct {
 }
 
 // serverMetrics are the server's own connection-layer instruments; the
-// manager's and dispatcher's series live in the same shared registry.
+// managers' and dispatcher's series live in the same shared registry.
 type serverMetrics struct {
-	connections *metrics.Gauge     // live client connections
-	disconnects *metrics.Counter   // connections that have ended
-	frameErrors *metrics.Counter   // bad preambles, codec mismatches, non-EOF read errors
-	queueWaitNS *metrics.Histogram // wall ns a submit waited for the owner goroutine
+	connections *metrics.Gauge       // live client connections
+	disconnects *metrics.Counter     // connections that have ended
+	frameErrors *metrics.Counter     // bad preambles, codec mismatches, non-EOF read errors
+	queueWaitNS []*metrics.Histogram // per shard: wall ns a submit waited for its owner goroutine
 }
 
 type workItem struct {
@@ -150,58 +153,67 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		cfg:  cfg,
 		lns:  lns,
-		work: make(chan workItem),
 		quit: make(chan struct{}),
-		env:  sim.NewEnv(),
 		met: serverMetrics{
 			connections: cfg.Metrics.Gauge("ipc_connections", "live client connections"),
 			disconnects: cfg.Metrics.Counter("ipc_disconnects_total", "client connections ended"),
 			frameErrors: cfg.Metrics.Counter("ipc_frame_errors_total", "bad preambles, codec mismatches and non-EOF frame read errors"),
-			queueWaitNS: cfg.Metrics.Histogram("gvmd_owner_queue_wait_ns", "wall ns a request waited for the simulation-owner goroutine"),
 		},
 	}
-	devs := make([]*gpusim.Device, cfg.GPUs)
-	var err error
-	for i := range devs {
-		devs[i], err = gpusim.New(s.env, gpusim.Config{Arch: cfg.Arch, Functional: cfg.Functional, ExecWorkers: cfg.ExecWorkers})
-		if err != nil {
-			closeAll()
-			return nil, err
-		}
-	}
-	s.dev = devs[0]
-	s.mgr = gvm.New(s.env, gvm.Config{
-		Device:         devs[0],
-		ExtraDevices:   devs[1:],
-		Parties:        cfg.Parties,
-		BarrierTimeout: cfg.BarrierTimeout,
-		Metrics:        cfg.Metrics,
-		Log:            cfg.Slog,
+	n, err := node.New(node.Config{
+		GPUs:            cfg.GPUs,
+		Arch:            cfg.Arch,
+		Functional:      cfg.Functional,
+		ExecWorkers:     cfg.ExecWorkers,
+		Parties:         cfg.Parties,
+		Placement:       cfg.Placement,
+		MaxSessionBytes: cfg.MaxSessionBytes,
+		BarrierTimeout:  cfg.BarrierTimeout,
+		Metrics:         cfg.Metrics,
+		Log:             cfg.Slog,
 	})
-	s.mgr.Start()
-	if err := s.env.Run(); err != nil { // bring the manager up
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	s.node = n
+	if err := n.Start(); err != nil { // bring every shard's manager up
 		closeAll()
 		return nil, err
 	}
 	s.disp = transport.NewDispatcher(transport.DispatcherConfig{
-		Mgr:             s.mgr,
-		Functional:      cfg.Functional,
-		ShmDir:          cfg.ShmDir,
-		MaxSessionBytes: cfg.MaxSessionBytes,
-		Metrics:         cfg.Metrics,
-		Log:             cfg.Slog,
+		Node:       n,
+		Functional: cfg.Functional,
+		ShmDir:     cfg.ShmDir,
+		Metrics:    cfg.Metrics,
+		Log:        cfg.Slog,
 	})
-	s.wg.Add(1 + len(lns))
-	go s.owner()
+	s.work = make([]chan workItem, n.NumShards())
+	s.met.queueWaitNS = make([]*metrics.Histogram, n.NumShards())
+	for i := range s.work {
+		s.work[i] = make(chan workItem)
+		s.met.queueWaitNS[i] = cfg.Metrics.Histogram("gvmd_owner_queue_wait_ns",
+			"wall ns a request waited for the shard's simulation-owner goroutine",
+			metrics.L("gpu", strconv.Itoa(i)))
+	}
+	s.wg.Add(n.NumShards() + len(lns))
+	for i := range s.work {
+		go s.owner(i)
+	}
 	for _, ln := range lns {
 		go s.accept(ln)
 	}
 	return s, nil
 }
 
-// Metrics returns the daemon's shared telemetry registry (manager,
-// dispatcher and connection-layer series).
+// Metrics returns the daemon's shared telemetry registry (every shard's
+// manager, the dispatcher, the node and connection-layer series).
 func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// Node returns the daemon's shard layer: per-GPU managers plus the
+// placement policy. Tests and stats consumers address shards explicitly
+// (there is no "the device" on a multi-GPU daemon).
+func (s *Server) Node() *node.Node { return s.node }
 
 // Addr returns the first listener's address in URL form (Dial accepts
 // it directly).
@@ -235,9 +247,9 @@ func (s *Server) Close() error {
 		}
 	}
 	// Tear down sessions abandoned by still-connected clients before the
-	// owner stops, so their segments and device memory are freed.
-	s.submit(func(p *sim.Proc) { s.disp.ReleaseAll(p) })
-	// Signal shutdown instead of closing the work channel: connection
+	// owners stop, so every shard's segments and device memory are freed.
+	s.disp.ReleaseAll(s.submit)
+	// Signal shutdown instead of closing the work channels: connection
 	// handlers (including deferred session cleanup) may still be trying
 	// to submit, and a send racing a close is a data race.
 	close(s.quit)
@@ -245,35 +257,38 @@ func (s *Server) Close() error {
 	return err
 }
 
-// owner executes submitted closures on simulation processes, one batch
-// at a time, preserving the simulator's single-threaded discipline.
-func (s *Server) owner() {
+// owner executes closures submitted to one shard on that shard's
+// simulation processes, one batch at a time, preserving the simulator's
+// single-threaded discipline per shard (distinct shards run in
+// parallel).
+func (s *Server) owner(shard int) {
 	defer s.wg.Done()
+	env := s.node.Shard(shard).Env
 	for {
 		var it workItem
 		select {
 		case <-s.quit:
 			return
-		case it = <-s.work:
+		case it = <-s.work[shard]:
 		}
-		s.met.queueWaitNS.Observe(int64(time.Since(it.enqueued)))
-		s.env.Go("ipc-request", func(p *sim.Proc) {
+		s.met.queueWaitNS[shard].Observe(int64(time.Since(it.enqueued)))
+		env.Go("ipc-request", func(p *sim.Proc) {
 			p.Daemonize() // may park at the STR barrier until peers arrive
 			it.fn(p)
 			close(it.done)
 		})
-		if err := s.env.Run(); err != nil {
-			s.cfg.Logger.Printf("gvmd: simulation error: %v", err)
+		if err := env.Run(); err != nil {
+			s.cfg.Logger.Printf("gvmd: gpu %d simulation error: %v", shard, err)
 		}
 	}
 }
 
-// submit runs fn on a simulation process and waits for it. It returns
-// false if the server shut down before fn completed.
-func (s *Server) submit(fn func(p *sim.Proc)) bool {
+// submit runs fn on a simulation process of the given shard and waits
+// for it. It returns false if the server shut down before fn completed.
+func (s *Server) submit(shard int, fn func(p *sim.Proc)) bool {
 	item := workItem{fn: fn, done: make(chan struct{}), enqueued: time.Now()}
 	select {
-	case s.work <- item:
+	case s.work[shard] <- item:
 	case <-s.quit:
 		return false
 	}
@@ -344,8 +359,8 @@ func (s *Server) serveConn(nc net.Conn, defaultPlane string) {
 	}()
 	cs := &transport.ConnState{DefaultPlane: defaultPlane}
 	defer func() {
-		// Release sessions the client abandoned.
-		s.submit(func(p *sim.Proc) { s.disp.HangUp(p, cs) })
+		// Release sessions the client abandoned, each on its own shard.
+		s.disp.HangUp(cs, s.submit)
 	}()
 	for {
 		req, err := conn.ReadRequest()

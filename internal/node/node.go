@@ -1,0 +1,278 @@
+// Package node is the multi-GPU layer above gvm: it owns N independent
+// per-GPU shards — each one a sim.Env, a simulated device, and a
+// gvm.Manager (the paper's one-GPU GVM) — plus the pluggable placement
+// policy that assigns new sessions to shards. The paper's design is one
+// manager per GPU context; a multi-GPU HPC node (Section VII, and the
+// authors' journal extension arXiv:1511.07658) is therefore N managers
+// behind one placement decision, not one manager with extra devices.
+//
+// Shards are fully independent: separate virtual clocks, separate STR
+// barrier generations (Config.Parties is the width of EACH shard's
+// barrier), separate staging pools. The daemon runs one owner goroutine
+// per shard, so shards execute in parallel on real CPUs; simulation-mode
+// callers may instead share one Env across every shard (SharedEnv) and
+// keep the single-threaded discipline.
+package node
+
+import (
+	"fmt"
+	"log/slog"
+	"strconv"
+	"sync"
+
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/gpusim"
+	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/metrics"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/task"
+	"gpuvirt/internal/vgpu"
+)
+
+// Shard is one GPU's slice of the node: its simulation environment (own
+// clock unless the node was built with SharedEnv), its device, and the
+// gvm.Manager owning the device's single context.
+type Shard struct {
+	Index int
+	Env   *sim.Env
+	Dev   *gpusim.Device
+	Mgr   *gvm.Manager
+}
+
+// Config configures a node.
+type Config struct {
+	// GPUs is the number of shards (default 1).
+	GPUs int
+	// Arch is every shard's device architecture (zero value: Tesla C2070).
+	Arch fermi.Arch
+	// Functional carries real data end to end on every shard.
+	Functional bool
+	// ExecWorkers sizes each device's functional kernel-execution pool.
+	ExecWorkers int
+	// Parties is the STR barrier width OF EACH SHARD: a shard flushes
+	// when Parties of ITS sessions have issued STR. Placement decides
+	// which sessions share a shard (and hence a barrier), so Parties > 1
+	// with GPUs > 1 needs client counts in multiples of Parties*GPUs for
+	// strict barriers to fill. Default 1 (no barrier batching).
+	Parties int
+	// Placement names the policy assigning sessions to shards (see
+	// PolicyNames; default least-sessions). Validated by New.
+	Placement string
+	// MaxSessionBytes caps one session's staging footprint
+	// (InBytes+OutBytes); Place rejects a larger session with an error
+	// naming the limit. 0 = no per-session cap (device-memory fit still
+	// applies).
+	MaxSessionBytes int64
+	// BarrierTimeout bounds each shard's partial-barrier wait (gvm
+	// semantics, per shard).
+	BarrierTimeout sim.Duration
+	// FlushPolicy orders each shard's barrier batches.
+	FlushPolicy gvm.FlushPolicy
+	// SharedEnv, when non-nil, puts every shard on this one environment
+	// instead of a private one per shard: simulation-mode callers (the
+	// experiments) drive all shards under one virtual clock. The daemon
+	// leaves it nil so each shard's owner goroutine runs in parallel.
+	SharedEnv *sim.Env
+	// Metrics receives every shard's manager series (gpu-labelled) plus
+	// the node's placement gauges. nil creates a private registry.
+	Metrics *metrics.Registry
+	// Log is handed to every shard's manager.
+	Log *slog.Logger
+}
+
+// Node owns the shards and the placement policy. Placement state is O(1)
+// per operation: per-shard session and byte counters move on Place and
+// Release, so choosing a shard never rescans live sessions.
+type Node struct {
+	cfg    Config
+	shards []*Shard
+	reg    *metrics.Registry
+
+	mu     sync.Mutex
+	policy Policy
+	// Per-shard placement loads, mutated under mu. The gauges double as
+	// the scrape-visible node_placed_* series, and being atomics they can
+	// be read off-lock (Loads, tests, /metrics).
+	placedSessions []*metrics.Gauge
+	placedBytes    []*metrics.Gauge
+}
+
+// New builds the node's shards and validates the placement config. Call
+// Start to bring the managers up.
+func New(cfg Config) (*Node, error) {
+	if cfg.GPUs == 0 {
+		cfg.GPUs = 1
+	}
+	if cfg.GPUs < 1 {
+		return nil, fmt.Errorf("node: GPUs must be >= 1, got %d", cfg.GPUs)
+	}
+	if cfg.Parties < 0 {
+		return nil, fmt.Errorf("node: Parties must be >= 0, got %d", cfg.Parties)
+	}
+	if cfg.Arch.SMs == 0 {
+		cfg.Arch = fermi.TeslaC2070()
+	}
+	policy, err := PolicyByName(cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	n := &Node{cfg: cfg, reg: reg, policy: policy}
+	for i := 0; i < cfg.GPUs; i++ {
+		env := cfg.SharedEnv
+		if env == nil {
+			env = sim.NewEnv()
+		}
+		dev, err := gpusim.New(env, gpusim.Config{
+			Arch:        cfg.Arch,
+			Functional:  cfg.Functional,
+			ExecWorkers: cfg.ExecWorkers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node: gpu %d: %w", i, err)
+		}
+		mgr := gvm.New(env, gvm.Config{
+			Device:          dev,
+			GPUIndex:        i,
+			SessionIDStride: cfg.GPUs,
+			Parties:         cfg.Parties,
+			BarrierTimeout:  cfg.BarrierTimeout,
+			FlushPolicy:     cfg.FlushPolicy,
+			Metrics:         reg,
+			Log:             cfg.Log,
+		})
+		n.shards = append(n.shards, &Shard{Index: i, Env: env, Dev: dev, Mgr: mgr})
+		gl := metrics.L("gpu", strconv.Itoa(i))
+		n.placedSessions = append(n.placedSessions,
+			reg.Gauge("node_placed_sessions", "sessions the placement layer has assigned to the shard", gl))
+		n.placedBytes = append(n.placedBytes,
+			reg.Gauge("node_placed_bytes", "staging bytes the placement layer has reserved on the shard", gl))
+	}
+	return n, nil
+}
+
+// Start spawns every shard's manager. With per-shard environments it
+// also drains each one so every manager is Ready on return; with
+// SharedEnv the caller runs the environment itself (the managers come up
+// alongside the caller's own processes).
+func (n *Node) Start() error {
+	for _, sh := range n.shards {
+		sh.Mgr.Start()
+	}
+	if n.cfg.SharedEnv != nil {
+		return nil
+	}
+	for _, sh := range n.shards {
+		if err := sh.Env.Run(); err != nil {
+			return fmt.Errorf("node: gpu %d: %w", sh.Index, err)
+		}
+	}
+	return nil
+}
+
+// Metrics returns the registry shared by the node and its shards.
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// NumShards returns the shard count.
+func (n *Node) NumShards() int { return len(n.shards) }
+
+// Shard returns shard i.
+func (n *Node) Shard(i int) *Shard { return n.shards[i] }
+
+// Shards returns every shard in index order.
+func (n *Node) Shards() []*Shard { return n.shards }
+
+// Policy returns the active placement policy's name.
+func (n *Node) Policy() string { return n.policy.Name() }
+
+// SessionShard maps a session id back to the shard that minted it (ids
+// are striped GPUIndex+1, GPUIndex+1+GPUs, ...). It does not check
+// liveness.
+func (n *Node) SessionShard(id int) int {
+	if id < 1 {
+		return -1
+	}
+	return (id - 1) % len(n.shards)
+}
+
+// Loads snapshots every shard's placement load in index order.
+func (n *Node) Loads() []Load {
+	loads := make([]Load, len(n.shards))
+	for i, sh := range n.shards {
+		loads[i] = Load{
+			Shard:    i,
+			Sessions: n.placedSessions[i].Value(),
+			Bytes:    n.placedBytes[i].Value(),
+			MemFree:  sh.Dev.Arch().MemBytes - n.placedBytes[i].Value(),
+		}
+	}
+	return loads
+}
+
+// Place runs admission control and the placement policy for a session
+// with the given staging footprint, reserving the footprint on the
+// chosen shard. The caller must pair a successful Place with Release
+// (even when the shard's manager later rejects the REQ). O(GPUs), no
+// session scans.
+func (n *Node) Place(inBytes, outBytes int64) (int, error) {
+	footprint := inBytes + outBytes
+	if max := n.cfg.MaxSessionBytes; max > 0 && footprint > max {
+		return -1, fmt.Errorf(
+			"node: session staging %d bytes (in %d + out %d) exceeds the daemon's -max-session-bytes limit %d",
+			footprint, inBytes, outBytes, max)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	all := n.Loads()
+	cands := all[:0:0]
+	for _, l := range all {
+		if footprint <= l.MemFree {
+			cands = append(cands, l)
+		}
+	}
+	if len(cands) == 0 {
+		return -1, fmt.Errorf("node: session footprint %d bytes fits no GPU (%s)",
+			footprint, describeLoads(all))
+	}
+	k := n.policy.Pick(cands, footprint)
+	if k < 0 || k >= len(cands) {
+		k = 0
+	}
+	idx := cands[k].Shard
+	n.placedSessions[idx].Inc()
+	n.placedBytes[idx].Add(footprint)
+	return idx, nil
+}
+
+// Release returns a session's reservation to shard idx (the inverse of
+// Place; call it when the session is torn down or its REQ failed).
+func (n *Node) Release(idx int, inBytes, outBytes int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.placedSessions[idx].Dec()
+	n.placedBytes[idx].Add(-(inBytes + outBytes))
+}
+
+// Connect places spec's session and opens a VGPU bound to the chosen
+// shard's manager — the simulation-mode equivalent of the daemon's REQ
+// path (vgpu keeps its API; only the manager it binds to is decided
+// here). The caller should pair a successful Connect with
+// Release(shard, spec.InBytes, spec.OutBytes) after VGPU.Release.
+func (n *Node) Connect(p *sim.Proc, spec *task.Spec) (*vgpu.VGPU, int, error) {
+	if spec == nil {
+		return nil, -1, fmt.Errorf("node: nil task spec")
+	}
+	idx, err := n.Place(spec.InBytes, spec.OutBytes)
+	if err != nil {
+		return nil, -1, err
+	}
+	v, err := vgpu.Connect(p, n.shards[idx].Mgr, spec)
+	if err != nil {
+		n.Release(idx, spec.InBytes, spec.OutBytes)
+		return nil, -1, err
+	}
+	return v, idx, nil
+}

@@ -1,0 +1,138 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Load is one shard's placement-relevant load, maintained by the node in
+// O(1) per REQ/RLS (no session-map rescans): counters move when a
+// session is placed or released, never by iterating live sessions.
+type Load struct {
+	// Shard is the shard (GPU) index this load describes.
+	Shard int
+	// Sessions is the number of sessions currently placed on the shard.
+	Sessions int64
+	// Bytes is the aggregate staging footprint (InBytes+OutBytes) of the
+	// placed sessions.
+	Bytes int64
+	// MemFree is the device memory not yet reserved by placed sessions.
+	MemFree int64
+}
+
+// Policy picks the shard for a new session. Pick receives the admissible
+// candidates (every shard whose free device memory fits the footprint,
+// ascending shard index) and returns an index INTO cands. The node calls
+// Pick under its placement lock, so policies may keep unguarded state
+// (e.g. a round-robin cursor).
+type Policy interface {
+	Name() string
+	Pick(cands []Load, footprint int64) int
+}
+
+// Policy names accepted by PolicyByName (and gvmd -placement).
+const (
+	LeastSessions = "least-sessions"
+	RoundRobin    = "round-robin"
+	LeastMemory   = "least-memory"
+	WeightedBytes = "weighted-bytes"
+)
+
+// PolicyNames lists the built-in policies in flag-help order.
+func PolicyNames() []string {
+	return []string{LeastSessions, RoundRobin, LeastMemory, WeightedBytes}
+}
+
+// PolicyByName returns a fresh instance of a built-in policy.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", LeastSessions:
+		return leastSessions{}, nil
+	case RoundRobin:
+		return &roundRobin{}, nil
+	case LeastMemory:
+		return leastMemory{}, nil
+	case WeightedBytes:
+		return weightedBytes{}, nil
+	}
+	return nil, fmt.Errorf("node: unknown placement policy %q (want %s)",
+		name, strings.Join(PolicyNames(), ", "))
+}
+
+// leastSessions picks the shard with the fewest placed sessions (ties go
+// to the lowest index) — the pre-shard daemon's placement behaviour.
+type leastSessions struct{}
+
+func (leastSessions) Name() string { return LeastSessions }
+
+func (leastSessions) Pick(cands []Load, _ int64) int {
+	best := 0
+	for i, c := range cands {
+		if c.Sessions < cands[best].Sessions {
+			best = i
+		}
+	}
+	return best
+}
+
+// roundRobin cycles through the candidates regardless of load: useful
+// when sessions are uniform and arrival order should dictate spread.
+type roundRobin struct{ cursor int }
+
+func (*roundRobin) Name() string { return RoundRobin }
+
+func (r *roundRobin) Pick(cands []Load, _ int64) int {
+	i := r.cursor % len(cands)
+	r.cursor++
+	return i
+}
+
+// leastMemory picks the shard with the most free device memory (i.e. the
+// least memory in use), so memory-heavy sessions spread by footprint
+// headroom rather than session count.
+type leastMemory struct{}
+
+func (leastMemory) Name() string { return LeastMemory }
+
+func (leastMemory) Pick(cands []Load, _ int64) int {
+	best := 0
+	for i, c := range cands {
+		if c.MemFree > cands[best].MemFree {
+			best = i
+		}
+	}
+	return best
+}
+
+// weightedBytes picks the shard with the smallest placed staging
+// footprint: sessions are weighted by their bytes, so one large session
+// counts as many small ones when balancing.
+type weightedBytes struct{}
+
+func (weightedBytes) Name() string { return WeightedBytes }
+
+func (weightedBytes) Pick(cands []Load, _ int64) int {
+	best := 0
+	for i, c := range cands {
+		if c.Bytes < cands[best].Bytes {
+			best = i
+		}
+	}
+	return best
+}
+
+// describeLoads renders candidate GPU loads for admission errors, e.g.
+// "gpu 0: 512 B free, gpu 1: 1024 B free".
+func describeLoads(loads []Load) string {
+	sorted := append([]Load(nil), loads...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "gpu %d: %d B free", l.Shard, l.MemFree)
+	}
+	return b.String()
+}

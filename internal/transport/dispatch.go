@@ -8,8 +8,8 @@ import (
 	"sync"
 	"time"
 
-	"gpuvirt/internal/gvm"
 	"gpuvirt/internal/metrics"
+	"gpuvirt/internal/node"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/vgpu"
 	"gpuvirt/internal/workloads"
@@ -17,9 +17,12 @@ import (
 
 // DispatcherConfig configures the server-side verb dispatcher.
 type DispatcherConfig struct {
-	// Mgr is the GPU Virtualization Manager every verb ultimately lands
-	// on.
-	Mgr *gvm.Manager
+	// Node owns the per-GPU manager shards every verb ultimately lands
+	// on. The dispatcher places each REQ through the node's policy and
+	// from then on routes the session's verbs to its owning shard only
+	// (admission control — MaxSessionBytes, device-memory fit — lives in
+	// the node layer).
+	Node *node.Node
 	// Functional carries real payload bytes end to end; otherwise
 	// sessions are timing-only and the data planes stay idle.
 	Functional bool
@@ -27,12 +30,6 @@ type DispatcherConfig struct {
 	ShmDir string
 	// SegPrefix names shm-plane segment files (default "gvmd-seg").
 	SegPrefix string
-	// MaxSessionBytes caps one session's staging footprint
-	// (InBytes+OutBytes): a REQ over the limit is rejected with a clear
-	// error instead of the daemon allocating up to MaxFrame per session on
-	// a client's say-so. 0 means no per-session limit (the manager's
-	// aggregate quota still applies).
-	MaxSessionBytes int64
 	// Metrics receives the dispatcher's per-verb instruments. nil creates
 	// a private registry; the daemon passes the registry it shares with
 	// gvm and ipc so one /metrics scrape covers the whole path.
@@ -41,9 +38,9 @@ type DispatcherConfig struct {
 	Log *slog.Logger
 }
 
-// Submitter runs fn on the server's simulation-owner goroutine and waits
+// ShardSubmitter runs fn on shard's simulation-owner goroutine and waits
 // for it; it returns false if the server shut down before fn completed.
-type Submitter func(fn func(p *sim.Proc)) bool
+type ShardSubmitter func(shard int, fn func(p *sim.Proc)) bool
 
 // Dispatcher is the one server-side implementation of the
 // REQ/SND/STR/STP/RCV/RLS protocol for real clients. Every transport —
@@ -133,6 +130,9 @@ func newDispMetrics(reg *metrics.Registry) *dispMetrics {
 type hostSession struct {
 	id    int
 	v     *vgpu.VGPU
+	shard int          // the node shard (GPU) hosting the session
+	inB   int64        // staging footprint reserved on the shard
+	outB  int64        //   (returned to the node on release)
 	owner *ConnState   // the connection that opened the session
 	met   *dispMetrics // the owning dispatcher's instruments
 
@@ -209,7 +209,7 @@ func (cs *ConnState) dropOwned(id int) {
 	}
 }
 
-// NewDispatcher creates a dispatcher serving cfg.Mgr.
+// NewDispatcher creates a dispatcher serving cfg.Node's shards.
 func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
 	if cfg.SegPrefix == "" {
 		cfg.SegPrefix = "gvmd-seg"
@@ -232,10 +232,12 @@ func errResp(err error) Response { return Response{Status: "ERR", Err: err.Error
 var batchVerbRank = map[string]int{"SND": 0, "STR": 1, "STP": 2, "RCV": 3, "RLS": 4}
 
 // Serve services one request from a connection goroutine, submitting only
-// the verb's owner-side phase to the simulation owner. It returns ok ==
-// false when the server shut down before the request completed (the
-// connection should close without replying).
-func (d *Dispatcher) Serve(req Request, cs *ConnState, submit Submitter) (resp Response, ok bool) {
+// the verb's owner-side phase to the owning shard's simulation owner
+// (session→shard resolves once at REQ; every later verb routes by the
+// session's recorded shard). It returns ok == false when the server shut
+// down before the request completed (the connection should close without
+// replying).
+func (d *Dispatcher) Serve(req Request, cs *ConnState, submit ShardSubmitter) (resp Response, ok bool) {
 	vi := d.met.verb(req.Verb)
 	vi.reqs.Inc()
 	start := time.Now()
@@ -275,7 +277,7 @@ func (d *Dispatcher) lookup(id int, cs *ConnState) (*hostSession, error) {
 	return s, nil
 }
 
-func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit Submitter) (Response, bool) {
+func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit ShardSubmitter) (Response, bool) {
 	if req.Ref == nil {
 		return errResp(errors.New("transport: REQ needs a workload reference")), true
 	}
@@ -284,11 +286,6 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit Submitter) (Res
 		return errResp(err), true
 	}
 	spec := w.Spec(req.Rank)
-	if max := d.cfg.MaxSessionBytes; max > 0 && spec.InBytes+spec.OutBytes > max {
-		return errResp(fmt.Errorf(
-			"transport: session staging %d bytes (in %d + out %d) exceeds the daemon's -max-session-bytes limit %d",
-			spec.InBytes+spec.OutBytes, spec.InBytes, spec.OutBytes, max)), true
-	}
 	kind := req.Plane
 	if kind == "" {
 		kind = cs.DefaultPlane
@@ -300,6 +297,14 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit Submitter) (Res
 		return errResp(fmt.Errorf("transport: unknown data plane %q (want %q or %q)", kind, PlaneShm, PlaneInline)), true
 	}
 
+	// Admission + placement: the node picks the shard once, here; every
+	// later verb for the session routes straight to it.
+	shard, err := d.cfg.Node.Place(spec.InBytes, spec.OutBytes)
+	if err != nil {
+		return errResp(err), true
+	}
+	mgr := d.cfg.Node.Shard(shard).Mgr
+
 	// Owner phase: open the gvm session (direct staging — the dispatcher
 	// moves the bytes, the owner only accounts virtual time).
 	var (
@@ -308,16 +313,18 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit Submitter) (Res
 		verr              error
 		vms               float64
 	)
-	if !submit(func(p *sim.Proc) {
-		v, verr = vgpu.ConnectDirect(p, d.cfg.Mgr, spec)
+	if !submit(shard, func(p *sim.Proc) {
+		v, verr = vgpu.ConnectDirect(p, mgr, spec)
 		if verr == nil && d.cfg.Functional {
-			stageIn, stageOut = d.cfg.Mgr.Staging(v.Session())
+			stageIn, stageOut = mgr.Staging(v.Session())
 		}
 		vms = p.Now().Milliseconds()
 	}) {
+		d.cfg.Node.Release(shard, spec.InBytes, spec.OutBytes)
 		return Response{}, false
 	}
 	if verr != nil {
+		d.cfg.Node.Release(shard, spec.InBytes, spec.OutBytes)
 		r := errResp(verr)
 		r.VirtualMS = vms
 		return r, true
@@ -325,11 +332,16 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit Submitter) (Res
 
 	// Connection phase: create the data plane (shm file creation is real
 	// I/O and stays off the owner) and publish the session.
-	s := &hostSession{id: v.Session(), v: v, owner: cs, met: d.met, stageIn: stageIn, stageOut: stageOut}
+	s := &hostSession{
+		id: v.Session(), v: v, shard: shard,
+		inB: spec.InBytes, outB: spec.OutBytes,
+		owner: cs, met: d.met, stageIn: stageIn, stageOut: stageOut,
+	}
 	name := fmt.Sprintf("%s-%d", d.cfg.SegPrefix, s.id)
 	s.plane, err = NewHostPlane(kind, d.cfg.ShmDir, name, spec.InBytes, spec.OutBytes)
 	if err != nil {
-		submit(func(p *sim.Proc) { _ = v.Release(p) })
+		submit(shard, func(p *sim.Proc) { _ = v.Release(p) })
+		d.cfg.Node.Release(shard, spec.InBytes, spec.OutBytes)
 		return errResp(err), true
 	}
 	d.mu.Lock()
@@ -347,7 +359,7 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit Submitter) (Res
 	}, true
 }
 
-func (d *Dispatcher) serveVerb(req Request, cs *ConnState, submit Submitter) (Response, bool) {
+func (d *Dispatcher) serveVerb(req Request, cs *ConnState, submit ShardSubmitter) (Response, bool) {
 	s, err := d.lookup(req.Session, cs)
 	if err != nil {
 		return errResp(err), true
@@ -359,7 +371,7 @@ func (d *Dispatcher) serveVerb(req Request, cs *ConnState, submit Submitter) (Re
 	}
 	resp := Response{Status: "ACK", Session: s.id}
 	var verr error
-	if !submit(func(p *sim.Proc) {
+	if !submit(s.shard, func(p *sim.Proc) {
 		verr = d.ownerVerb(p, s, req.Verb)
 		resp.VirtualMS = p.Now().Milliseconds()
 	}) {
@@ -417,9 +429,11 @@ func (d *Dispatcher) ownerVerb(p *sim.Proc, s *hostSession, verb string) error {
 }
 
 // serveBAT runs a pipelined verb batch: every sub-verb's connection phase
-// plus ONE owner round trip for all the owner phases, so a full SPMD
-// cycle (SND+STR+STP+RCV) costs a single submission instead of four.
-func (d *Dispatcher) serveBAT(req Request, cs *ConnState, submit Submitter) (Response, bool) {
+// plus one owner round trip PER RUN of consecutive same-shard steps, so a
+// full SPMD cycle (SND+STR+STP+RCV) against one session costs a single
+// submission instead of four. A batch addressing sessions on several
+// shards submits once per contiguous same-shard run, in batch order.
+func (d *Dispatcher) serveBAT(req Request, cs *ConnState, submit ShardSubmitter) (Response, bool) {
 	if len(req.Batch) == 0 {
 		return errResp(errors.New("transport: empty BAT")), true
 	}
@@ -470,22 +484,33 @@ func (d *Dispatcher) serveBAT(req Request, cs *ConnState, submit Submitter) (Res
 		}
 	}
 
-	// Owner phase: one submission for every staged step, stopping at the
-	// first failure.
+	// Owner phase: one submission per contiguous same-shard run of staged
+	// steps, stopping the whole batch at the first failure.
 	var vms float64
-	if !submit(func(p *sim.Proc) {
-		for i := 0; i < limit; i++ {
-			st := &steps[i]
-			st.ran = true
-			st.err = d.ownerVerb(p, st.s, st.req.Verb)
-			st.resp.VirtualMS = p.Now().Milliseconds()
-			if st.err != nil {
-				break
-			}
+	failed := false
+	for i := 0; i < limit && !failed; {
+		j := i
+		shard := steps[i].s.shard
+		for j < limit && steps[j].s.shard == shard {
+			j++
 		}
-		vms = p.Now().Milliseconds()
-	}) {
-		return Response{}, false
+		lo, hi := i, j
+		if !submit(shard, func(p *sim.Proc) {
+			for k := lo; k < hi; k++ {
+				st := &steps[k]
+				st.ran = true
+				st.err = d.ownerVerb(p, st.s, st.req.Verb)
+				st.resp.VirtualMS = p.Now().Milliseconds()
+				if st.err != nil {
+					failed = true
+					break
+				}
+			}
+			vms = p.Now().Milliseconds()
+		}) {
+			return Response{}, false
+		}
+		i = j
 	}
 
 	// Connection phase: collect RCV results, finish RLS bookkeeping,
@@ -520,10 +545,11 @@ func (d *Dispatcher) serveBAT(req Request, cs *ConnState, submit Submitter) (Res
 	return out, true
 }
 
-// releaseOwner tears one session down. Owner-goroutine side: unpublish
-// first so no new connection phase can find it, then mark it closed under
-// its mutex (waiting out any staging copy in flight) before releasing the
-// gvm session and the data plane.
+// releaseOwner tears one session down. Owning-shard owner-goroutine
+// side: unpublish first so no new connection phase can find it, then mark
+// it closed under its mutex (waiting out any staging copy in flight)
+// before releasing the gvm session, the data plane, and the node's
+// placement reservation.
 func (d *Dispatcher) releaseOwner(p *sim.Proc, s *hostSession) {
 	d.mu.Lock()
 	cur, live := d.sessions[s.id]
@@ -542,25 +568,27 @@ func (d *Dispatcher) releaseOwner(p *sim.Proc, s *hostSession) {
 	if plane != nil {
 		_ = plane.Close()
 	}
+	d.cfg.Node.Release(s.shard, s.inB, s.outB)
 }
 
-// HangUp releases every session a disconnected client left open.
-// Owner-goroutine side (servers submit it from the connection's cleanup).
-func (d *Dispatcher) HangUp(p *sim.Proc, cs *ConnState) {
+// HangUp releases every session a disconnected client left open,
+// submitting each teardown to its owning shard. Connection-goroutine
+// side (servers call it from the connection's cleanup).
+func (d *Dispatcher) HangUp(cs *ConnState, submit ShardSubmitter) {
 	for _, id := range cs.owned {
 		d.mu.RLock()
 		s := d.sessions[id]
 		d.mu.RUnlock()
 		if s != nil && s.owner == cs {
-			d.releaseOwner(p, s)
+			submit(s.shard, func(p *sim.Proc) { d.releaseOwner(p, s) })
 		}
 	}
 	cs.owned = nil
 }
 
-// ReleaseAll tears down every live session; servers call it at shutdown
-// so device memory and file-backed segments are reclaimed.
-func (d *Dispatcher) ReleaseAll(p *sim.Proc) {
+// ReleaseAll tears down every live session on every shard; servers call
+// it at shutdown so device memory and file-backed segments are reclaimed.
+func (d *Dispatcher) ReleaseAll(submit ShardSubmitter) {
 	d.mu.RLock()
 	live := make([]*hostSession, 0, len(d.sessions))
 	for _, s := range d.sessions {
@@ -568,7 +596,8 @@ func (d *Dispatcher) ReleaseAll(p *sim.Proc) {
 	}
 	d.mu.RUnlock()
 	for _, s := range live {
-		d.releaseOwner(p, s)
+		s := s
+		submit(s.shard, func(p *sim.Proc) { d.releaseOwner(p, s) })
 	}
 }
 

@@ -475,93 +475,6 @@ func TestBarrierTimeoutNotFiredWhenAllArrive(t *testing.T) {
 	}
 }
 
-func TestMultiGPUSpreadsSessions(t *testing.T) {
-	env := sim.NewEnv()
-	arch := fermi.TeslaC2070()
-	dev0 := gpusim.MustNew(env, gpusim.Config{Arch: arch})
-	dev1 := gpusim.MustNew(env, gpusim.Config{Arch: arch})
-	mgr := gvm.New(env, gvm.Config{Device: dev0, ExtraDevices: []*gpusim.Device{dev1}, Parties: 4})
-	mgr.Start()
-	for i := 0; i < 4; i++ {
-		env.Go(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
-			p.Wait(mgr.Ready())
-			v, err := Connect(p, mgr, vecSpec(1<<20))
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			if err := v.RunCycle(p, nil, nil); err != nil {
-				t.Error(err)
-			}
-		})
-	}
-	if err := env.Run(); err != nil {
-		t.Fatal(err)
-	}
-	// Least-loaded placement: two sessions per device, two kernels each.
-	if dev0.KernelsRun != 2 || dev1.KernelsRun != 2 {
-		t.Fatalf("kernels split %d/%d, want 2/2", dev0.KernelsRun, dev1.KernelsRun)
-	}
-	if len(mgr.Devices()) != 2 {
-		t.Fatalf("Devices() = %d", len(mgr.Devices()))
-	}
-}
-
-func TestMultiGPUHalvesSaturatedTurnaround(t *testing.T) {
-	// A device-filling workload on 8 clients: two GPUs should roughly
-	// halve the compute portion of the makespan.
-	bigSpec := func() *task.Spec {
-		const n = 1 << 20
-		return &task.Spec{
-			Name:    "filler",
-			InBytes: 8, OutBytes: 8,
-			Build: func(b *task.Buffers) ([]*cuda.Kernel, error) {
-				return []*cuda.Kernel{{
-					Name: "fill", Grid: cuda.Dim(14), Block: cuda.Dim(1024),
-					CyclesPerThread: 1e6,
-				}}, nil
-			},
-		}
-	}
-	run := func(extra []*gpusim.Device, env *sim.Env, dev0 *gpusim.Device) sim.Duration {
-		mgr := gvm.New(env, gvm.Config{Device: dev0, ExtraDevices: extra, Parties: 8})
-		mgr.Start()
-		var makespan sim.Duration
-		for i := 0; i < 8; i++ {
-			env.Go("c", func(p *sim.Proc) {
-				p.Wait(mgr.Ready())
-				t0 := p.Now()
-				v, err := Connect(p, mgr, bigSpec())
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				if err := v.RunCycle(p, nil, nil); err != nil {
-					t.Error(err)
-					return
-				}
-				if d := p.Now().Sub(t0); d > makespan {
-					makespan = d
-				}
-			})
-		}
-		if err := env.Run(); err != nil {
-			t.Fatal(err)
-		}
-		return makespan
-	}
-	env1 := sim.NewEnv()
-	one := run(nil, env1, gpusim.MustNew(env1, gpusim.Config{Arch: fermi.TeslaC2070()}))
-	env2 := sim.NewEnv()
-	d0 := gpusim.MustNew(env2, gpusim.Config{Arch: fermi.TeslaC2070()})
-	d1 := gpusim.MustNew(env2, gpusim.Config{Arch: fermi.TeslaC2070()})
-	two := run([]*gpusim.Device{d1}, env2, d0)
-	ratio := float64(one) / float64(two)
-	if ratio < 1.6 {
-		t.Fatalf("2-GPU speedup = %.2f, want ~2 for a saturating workload", ratio)
-	}
-}
-
 func TestSuspendResumePreservesState(t *testing.T) {
 	// Send input, suspend, resume, run: results must be computed from
 	// the restored input. The device footprint drops to zero while

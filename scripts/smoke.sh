@@ -1,9 +1,10 @@
 #!/bin/sh
-# End-to-end smoke test: a gvmd daemon on a TCP loopback port, driven by
-# the multiprocess example as two real client processes. Passes only if
-# every worker verifies its results and reports a turnaround time, and
-# the daemon's /metrics endpoint serves well-formed Prometheus text with
-# nonzero verb counters after the round.
+# End-to-end smoke test: a 2-shard gvmd daemon on a TCP loopback port,
+# driven by the multiprocess example as four real client processes.
+# Passes only if every worker verifies its results and reports a
+# turnaround time, and the daemon's /metrics endpoint serves well-formed
+# Prometheus text with nonzero verb counters and sessions placed on BOTH
+# gpu labels after the round.
 set -eu
 
 # fetch URL: curl if present, wget fallback.
@@ -37,8 +38,11 @@ echo "smoke: building gvmd and the multiprocess example"
 ${GO:-go} build -o "$bindir/gvmd" ./cmd/gvmd
 ${GO:-go} build -o "$bindir/multiprocess" ./examples/multiprocess
 
-echo "smoke: starting gvmd on a TCP loopback port"
-"$bindir/gvmd" -listen tcp://127.0.0.1:0 -parties 2 -addr-file "$addrfile" \
+echo "smoke: starting a 2-shard gvmd on a TCP loopback port"
+# Two shards at -parties 2 each: the 4 workers split 2/2 under
+# least-sessions placement and each shard's own STR barrier fills.
+"$bindir/gvmd" -listen tcp://127.0.0.1:0 -gpus 2 -parties 2 \
+    -placement least-sessions -addr-file "$addrfile" \
     -metrics 127.0.0.1:0 \
     >"$logfile" 2>&1 &
 gvmd_pid=$!
@@ -67,12 +71,12 @@ if [ -z "$metrics_url" ]; then
     exit 1
 fi
 
-out=$("$bindir/multiprocess" -workers 2 -connect "$addr")
+out=$("$bindir/multiprocess" -workers 4 -connect "$addr")
 echo "$out"
 
 turnarounds=$(echo "$out" | grep -c "turnaround" || true)
-if [ "$turnarounds" -ne 2 ]; then
-    echo "smoke: expected 2 worker turnaround lines, got $turnarounds" >&2
+if [ "$turnarounds" -ne 4 ]; then
+    echo "smoke: expected 4 worker turnaround lines, got $turnarounds" >&2
     exit 1
 fi
 
@@ -90,14 +94,23 @@ if [ -n "$bad" ]; then
     echo "$bad" >&2
     exit 1
 fi
-# Two workers each sent one STR — the verb counter must be nonzero.
+# Four workers each sent one STR — the verb counter must be nonzero.
 str_count=$(echo "$scrape" | grep -E '^gvmd_verb_requests_total\{verb="STR"\} [0-9]+$' | awk '{print $2}')
 if [ -z "$str_count" ] || [ "$str_count" -eq 0 ]; then
-    echo "smoke: gvmd_verb_requests_total{verb=\"STR\"} missing or zero after a two-process round" >&2
+    echo "smoke: gvmd_verb_requests_total{verb=\"STR\"} missing or zero after a four-process round" >&2
     echo "$scrape" | grep '^gvmd_verb' >&2 || true
     exit 1
 fi
-echo "smoke: metrics OK (STR count = $str_count)"
+# The placement layer spread the sessions: both shards opened some.
+for gpu in 0 1; do
+    opened=$(echo "$scrape" | grep -E "^gvm_sessions_opened_total\{gpu=\"$gpu\"\} [0-9]+$" | awk '{print $2}')
+    if [ -z "$opened" ] || [ "$opened" -eq 0 ]; then
+        echo "smoke: gvm_sessions_opened_total{gpu=\"$gpu\"} missing or zero — sessions did not reach shard $gpu" >&2
+        echo "$scrape" | grep '^gvm_sessions' >&2 || true
+        exit 1
+    fi
+done
+echo "smoke: metrics OK (STR count = $str_count, sessions on both shards)"
 
 kill "$gvmd_pid"
 wait "$gvmd_pid" 2>/dev/null || true
