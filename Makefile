@@ -12,8 +12,12 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# The GOARCH=386 pass type-checks the tree on a 32-bit target: the ring
+# doorbell/sequence words are deliberately 32-bit atomics, and this
+# catches any accidental 64-bit atomic that would trap unaligned there.
 vet:
 	$(GO) vet ./...
+	GOARCH=386 $(GO) vet ./...
 
 build:
 	$(GO) build ./...
@@ -31,15 +35,16 @@ race:
 # simulator calendar) — catches perf regressions that break, not ones
 # that merely slow down.
 bench-short:
-	$(GO) test -run '^$$' -bench 'IPCPipeRoundTrip|DaemonThroughput' -benchtime 20x -benchmem ./internal/transport/ ./internal/ipc/
+	$(GO) test -run '^$$' -bench 'IPCPipeRoundTrip|RingCycle' -benchtime 20x -benchmem ./internal/transport/ ./internal/ipc/
+	$(GO) test -run '^$$' -bench 'DaemonThroughput' -benchtime 20x -benchmem ./internal/ipc/
 	$(GO) test -run '^$$' -bench 'FunctionalExec|IPCFrame|ShmCopy|Calendar' -benchtime 100ms -benchmem ./...
 
 # Full benchmark matrix: data-plane microbenchmarks plus daemon cycle
-# throughput at 1/2/4/8 clients over inproc/unix/tcp, pipelined vs
+# throughput at 1/2/4/8 clients over inproc/unix/tcp/ring, pipelined vs
 # serial, plus the shard-scaling sweep (1/2/4 GPUs x 1/4/8 clients),
-# written as the PR5 JSON artifact.
+# written as the PR6 JSON artifact.
 bench:
-	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr5.json
+	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr6.json
 
 # Regenerate the machine-readable hot-path numbers (alias of bench;
 # earlier PR artifacts are kept as historical records).

@@ -4,13 +4,17 @@
 // transports. Unix-domain sockets pair with file-backed shared-memory
 // segments under /dev/shm as the data plane; TCP listeners default to
 // carrying payloads inline over the wire, which is what makes remote
-// (rCUDA-style) VGPU access work across machines.
+// (rCUDA-style) VGPU access work across machines. A ring:// listener is
+// a unix socket whose sessions negotiate shared-memory
+// submission/completion rings: after REQ every verb travels through the
+// mmap'd segment, so a warm cycle performs zero syscalls (see DESIGN.md
+// §3).
 //
 // Usage:
 //
 //	gvmd -listen unix:///tmp/gvmd.sock -parties 4 -functional
 //	gvmd -listen tcp://:7070
-//	gvmd -listen unix:///tmp/gvmd.sock -listen tcp://:7070
+//	gvmd -listen ring:///tmp/gvmd.sock -listen tcp://:7070
 //
 // Clients connect with internal/ipc.Dial using the same address syntax
 // (see examples/multiprocess and examples/cluster -real).
@@ -48,7 +52,7 @@ func (l *listenFlags) Set(v string) error {
 
 func main() {
 	var listen listenFlags
-	flag.Var(&listen, "listen", "transport address to serve: unix:///path, tcp://host:port (repeatable; default unix:///tmp/gvmd.sock)")
+	flag.Var(&listen, "listen", "transport address to serve: unix:///path, tcp://host:port, ring:///path (repeatable; default unix:///tmp/gvmd.sock)")
 	socket := flag.String("socket", "", "legacy alias for -listen unix://<path>")
 	addrFile := flag.String("addr-file", "", "write the bound addresses to this file, one per line (useful with tcp://...:0)")
 	parties := flag.Int("parties", 1, "STR barrier width (number of SPMD processes)")
@@ -117,7 +121,7 @@ func main() {
 	// Clean up after a daemon that died without its signal handler: stale
 	// unix sockets block the new bind, stale segments leak /dev/shm.
 	for _, addr := range listen {
-		if scheme, target := transport.SplitAddr(addr); scheme == "unix" {
+		if scheme, target := transport.SplitAddr(addr); scheme == "unix" || scheme == "ring" {
 			os.Remove(target)
 		}
 	}
@@ -185,7 +189,7 @@ func main() {
 	// segments by session teardown, but a forced exit must not leave
 	// residue for the next run to trip over.
 	for _, addr := range listen {
-		if scheme, target := transport.SplitAddr(addr); scheme == "unix" {
+		if scheme, target := transport.SplitAddr(addr); scheme == "unix" || scheme == "ring" {
 			os.Remove(target)
 		}
 	}

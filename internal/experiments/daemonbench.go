@@ -35,7 +35,7 @@ const daemonBenchN = 1024
 func DaemonBench() ([]MicroBenchResult, []metrics.Sample) {
 	var out []MicroBenchResult
 	var snap []metrics.Sample
-	for _, tr := range []string{"inproc", "unix", "tcp"} {
+	for _, tr := range []string{"inproc", "unix", "tcp", "ring"} {
 		addr, cleanup, err := daemonBenchAddr(tr)
 		if err != nil {
 			out = append(out, MicroBenchResult{Name: "daemon-cycle-" + tr, NsPerOp: -1})
@@ -144,7 +144,7 @@ func daemonBenchAddr(tr string) (addr string, cleanup func(), err error) {
 		return "inproc://gvmbench-daemon", func() {}, nil
 	case "tcp":
 		return "tcp://127.0.0.1:0", func() {}, nil
-	case "unix":
+	case "unix", "ring":
 		f, err := os.CreateTemp("", "gvmbench-*.sock")
 		if err != nil {
 			return "", nil, err
@@ -152,7 +152,7 @@ func daemonBenchAddr(tr string) (addr string, cleanup func(), err error) {
 		path := f.Name()
 		f.Close()
 		os.Remove(path)
-		return "unix://" + path, func() { os.Remove(path) }, nil
+		return tr + "://" + path, func() { os.Remove(path) }, nil
 	}
 	return "", nil, fmt.Errorf("unknown transport %q", tr)
 }

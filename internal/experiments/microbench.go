@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -115,8 +116,12 @@ func MicroBench() MicroBenchReport {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		When:       time.Now().UTC().Format(time.RFC3339),
 	}
+	// Always record the host's parallelism in the note: the absolute
+	// numbers (and especially any cross-report comparison) are
+	// meaningless without it.
+	rep.Note = fmt.Sprintf("host: numcpu=%d gomaxprocs=%d", rep.NumCPU, rep.GOMAXPROCS)
 	if runtime.NumCPU() < 2 {
-		rep.Note = "single-CPU host: parallel-executor variants measure pool overhead, not speedup; daemon-cycle client-count scaling is serialized on one core and understates multi-core throughput"
+		rep.Note += "; single-CPU host: parallel-executor variants measure pool overhead, not speedup; daemon-cycle client-count scaling is serialized on one core and understates multi-core throughput"
 	}
 
 	rep.Results = append(rep.Results, microExecPair("functional-exec-mm", func(m *microArena) *cuda.Kernel {

@@ -207,6 +207,11 @@ func (d *Device) emit(lane, label string, start, end sim.Time) {
 	}
 }
 
+// tracing reports whether emit would record anything; call sites that
+// format labels check it first so an untraced run never pays the
+// fmt.Sprintf (it is the only allocation on several hot paths).
+func (d *Device) tracing() bool { return d.tracer != nil }
+
 // Context is a GPU context. Every process in the non-virtualized baseline
 // owns one; the virtualization manager owns exactly one for everybody.
 type Context struct {
@@ -430,7 +435,9 @@ func (c *Context) memcpyH2D(p *sim.Proc, dst cuda.DevPtr, src *HostBuffer, off, 
 	}
 	d.BytesH2D += n
 	d.h2dEngine.Release(1)
-	d.emit("h2d", fmt.Sprintf("ctx%d H2D %dB", c.id, n), start, p.Now())
+	if d.tracer != nil {
+		d.emit("h2d", fmt.Sprintf("ctx%d H2D %dB", c.id, n), start, p.Now())
+	}
 }
 
 // memcpyD2H performs a device-to-host copy on the calling process.
@@ -452,7 +459,9 @@ func (c *Context) memcpyD2H(p *sim.Proc, dst *HostBuffer, off int64, src cuda.De
 	}
 	d.BytesD2H += n
 	d.d2hEngine.Release(1)
-	d.emit("d2h", fmt.Sprintf("ctx%d D2H %dB", c.id, n), start, p.Now())
+	if d.tracer != nil {
+		d.emit("d2h", fmt.Sprintf("ctx%d D2H %dB", c.id, n), start, p.Now())
+	}
 }
 
 // MemcpyH2D is the synchronous host-to-device copy.

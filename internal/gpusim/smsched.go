@@ -32,6 +32,9 @@ type smScheduler struct {
 	pending []*launchState // waiting for a window slot, FIFO
 	active  []*launchState // admitted kernels, FIFO dispatch priority
 	nextSM  int            // round-robin cursor
+	// groupFree recycles smGroups so a steady stream of small kernels
+	// (the daemon's warm ring cycle) does not allocate one per launch.
+	groupFree []*smGroup
 }
 
 // launchState tracks one in-flight kernel.
@@ -62,6 +65,10 @@ type smState struct {
 	groups     []*smGroup
 	lastUpdate sim.Time
 	timerGen   uint64
+	// freshFrom marks where this dispatch pass's new groups begin in
+	// groups, so same-instant placements of one kernel merge without a
+	// scratch map.
+	freshFrom int
 }
 
 // smGroup is a set of identical blocks of one kernel that started together
@@ -199,9 +206,14 @@ func (s *smScheduler) collectFinished() {
 			sm.usedRegs -= g.regs
 			sm.usedShmem -= g.shmem
 			sm.usedBlocks -= g.blocks
-			g.ls.blocksDone += g.blocks
-			if g.ls.blocksDone == g.ls.total {
-				s.finish(g.ls)
+			ls := g.ls
+			ls.blocksDone += g.blocks
+			*g = smGroup{}
+			if len(s.groupFree) < 32 {
+				s.groupFree = append(s.groupFree, g)
+			}
+			if ls.blocksDone == ls.total {
+				s.finish(ls)
 			}
 		}
 		sm.groups = kept
@@ -225,34 +237,38 @@ func (s *smScheduler) finish(ls *launchState) {
 		s.admit(next)
 	}
 	s.dev.KernelsRun++
-	fire := func() {
-		if s.dev.functional && ls.k.Func != nil {
-			// Device.Bytes only reads the allocation table, so concurrent
-			// block bodies may resolve pointers safely while they write
-			// their disjoint output ranges.
-			if err := s.dev.exec.Run(ls.k, s.dev); err != nil {
-				panic(err)
-			}
-		}
-		s.dev.emit("sm", fmt.Sprintf("ctx%d kernel %s", ls.ctx.id, ls.k.Name), ls.start, s.env.Now())
-		ls.done.Fire(nil)
-	}
 	if s.env.Now() < ls.memFloorEnd {
-		s.env.At(ls.memFloorEnd, fire)
+		s.env.At(ls.memFloorEnd, func() { s.fireLaunch(ls) })
 	} else {
-		fire()
+		s.fireLaunch(ls)
 	}
+}
+
+// fireLaunch runs the kernel's functional body (in functional mode) and
+// fires its completion event; it is finish's tail, split out so the
+// common no-memory-floor case pays no closure.
+func (s *smScheduler) fireLaunch(ls *launchState) {
+	if s.dev.functional && ls.k.Func != nil {
+		// Device.Bytes only reads the allocation table, so concurrent
+		// block bodies may resolve pointers safely while they write
+		// their disjoint output ranges.
+		if err := s.dev.exec.Run(ls.k, s.dev); err != nil {
+			panic(err)
+		}
+	}
+	if s.dev.tracing() {
+		s.dev.emit("sm", fmt.Sprintf("ctx%d kernel %s", ls.ctx.id, ls.k.Name), ls.start, s.env.Now())
+	}
+	ls.done.Fire(nil)
 }
 
 // dispatch places undispatched blocks onto SMs: kernels in FIFO order,
 // SMs round-robin, one block at a time, merging same-instant placements
 // of one kernel on one SM into a single group.
 func (s *smScheduler) dispatch() {
-	type key struct {
-		sm *smState
-		ls *launchState
+	for _, sm := range s.sms {
+		sm.freshFrom = len(sm.groups)
 	}
-	fresh := make(map[key]*smGroup)
 	for {
 		// Zero-work kernels complete without occupying hardware. finish
 		// mutates s.active (and may admit pending kernels), so restart the
@@ -280,10 +296,23 @@ func (s *smScheduler) dispatch() {
 				if !s.fits(sm, ls) {
 					continue
 				}
-				g := fresh[key{sm, ls}]
+				var g *smGroup
+				for _, fg := range sm.groups[sm.freshFrom:] {
+					if fg.ls == ls {
+						g = fg
+						break
+					}
+				}
 				if g == nil {
-					g = &smGroup{ls: ls, remWork: ls.blockWork}
-					fresh[key{sm, ls}] = g
+					if n := len(s.groupFree); n > 0 {
+						g = s.groupFree[n-1]
+						s.groupFree[n-1] = nil
+						s.groupFree = s.groupFree[:n-1]
+					} else {
+						g = &smGroup{}
+					}
+					g.ls = ls
+					g.remWork = ls.blockWork
 					sm.groups = append(sm.groups, g)
 				}
 				g.blocks++

@@ -19,13 +19,14 @@ type Stream struct {
 	ctx  *Context
 	id   int
 	ops  *sim.Store[streamOp]
-	idle *sim.Event // re-created whenever the stream becomes busy
+	idle *sim.Event // created lazily by Synchronize while the stream is busy
 	busy int        // queued + in-flight operations
 }
 
 type streamOp struct {
 	run  func(p *sim.Proc)
 	done *sim.Event // optional per-op completion event
+	cb   func()     // optional completion callback (alloc-free alternative)
 }
 
 // NewStream creates a stream in this context and starts its runner.
@@ -33,12 +34,10 @@ func (c *Context) NewStream() *Stream {
 	c.mustLive()
 	c.dev.nextStreamID++
 	s := &Stream{
-		ctx:  c,
-		id:   c.dev.nextStreamID,
-		ops:  sim.NewStore[streamOp](c.dev.env, 0),
-		idle: c.dev.env.NewEvent(),
+		ctx: c,
+		id:  c.dev.nextStreamID,
+		ops: sim.NewStore[streamOp](c.dev.env, 0),
 	}
-	s.idle.Fire(nil) // empty stream is idle
 	c.dev.env.Go(fmt.Sprintf("stream-%d", s.id), s.runner)
 	return s
 }
@@ -60,9 +59,13 @@ func (s *Stream) runner(p *sim.Proc) {
 		if op.done != nil {
 			op.done.Fire(nil)
 		}
+		if op.cb != nil {
+			op.cb()
+		}
 		s.busy--
-		if s.busy == 0 {
+		if s.busy == 0 && s.idle != nil {
 			s.idle.Fire(nil)
+			s.idle = nil
 		}
 	}
 }
@@ -73,14 +76,20 @@ func (s *Stream) Close() {
 }
 
 func (s *Stream) enqueue(run func(p *sim.Proc)) *sim.Event {
-	env := s.ctx.dev.env
-	done := env.NewEvent()
-	if s.busy == 0 {
-		s.idle = env.NewEvent()
-	}
+	done := s.ctx.dev.env.NewEvent()
 	s.busy++
 	s.ops.TryPut(streamOp{run: run, done: done}) // unbounded store: never fails
 	return done
+}
+
+// EnqueueCB enqueues run with an optional completion callback in place of
+// the per-op completion event: the alloc-free form of enqueue. The GVM's
+// flush hot path uses it with closures prebound at session setup so a
+// steady-state cycle enqueues stream work without a single allocation. cb
+// (may be nil) runs on the scheduler goroutine right after run completes.
+func (s *Stream) EnqueueCB(run func(p *sim.Proc), cb func()) {
+	s.busy++
+	s.ops.TryPut(streamOp{run: run, cb: cb})
 }
 
 // MemcpyH2DAsync enqueues a host-to-device copy of n bytes and returns
@@ -116,6 +125,9 @@ func (s *Stream) Query() bool { return s.busy == 0 }
 // Synchronize blocks the calling process until the stream drains.
 func (s *Stream) Synchronize(p *sim.Proc) {
 	for s.busy > 0 {
+		if s.idle == nil {
+			s.idle = s.ctx.dev.env.NewEvent()
+		}
 		p.Wait(s.idle)
 	}
 }

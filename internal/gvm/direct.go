@@ -1,0 +1,153 @@
+package gvm
+
+import (
+	"fmt"
+
+	"gpuvirt/internal/gpusim"
+)
+
+// DirectNotify delivers completions of verbs issued through
+// Manager.DirectVerb. It runs on the shard-owner goroutine, either inline
+// during the DirectVerb call (for verbs that complete instantly) or from a
+// calendar event while the environment drains; implementations must not
+// block and must tolerate being called from either context.
+type DirectNotify func(verb Verb, st Status, errMsg string)
+
+// BindDirect attaches a zero-hop control surface to a direct-staging
+// session: verb completions flow through notify instead of a reply queue,
+// and (when in/out are non-nil) the session's pinned staging buffers are
+// rebound onto caller-owned memory — the daemon points them into the
+// session's mmap'd ring segment, so a client writing the mapped file IS
+// writing pinned staging and SND/RCV move zero bytes.
+//
+// The session keeps its reply queue, so queue-path verbs (SUS/RES, or a
+// release issued by the daemon's hang-up sweep) still work alongside the
+// direct path.
+func (m *Manager) BindDirect(id int, in, out []byte, notify DirectNotify) error {
+	s, ok := m.sessions[id]
+	if !ok {
+		return fmt.Errorf("gvm: BindDirect: unknown session %d", id)
+	}
+	if !s.direct {
+		return fmt.Errorf("gvm: BindDirect: session %d is not direct-staging", id)
+	}
+	if notify == nil {
+		return fmt.Errorf("gvm: BindDirect: nil notify")
+	}
+	if in != nil && s.pinIn != nil {
+		if int64(len(in)) != s.spec.InBytes {
+			return fmt.Errorf("gvm: BindDirect: in is %d bytes, spec says %d", len(in), s.spec.InBytes)
+		}
+		s.pinIn = gpusim.WrapHost(in, m.cfg.PinnedStaging)
+	}
+	if out != nil && s.pinOut != nil {
+		if int64(len(out)) != s.spec.OutBytes {
+			return fmt.Errorf("gvm: BindDirect: out is %d bytes, spec says %d", len(out), s.spec.OutBytes)
+		}
+		s.pinOut = gpusim.WrapHost(out, m.cfg.PinnedStaging)
+	}
+	s.notify = notify
+	// Prebind the copy-completion closures so the hot path schedules them
+	// without allocating.
+	s.sndDone = func() {
+		if s.notify != nil {
+			s.notify(SND, ACK, "")
+		}
+	}
+	s.rcvDone = func() {
+		if s.notify != nil {
+			s.notify(RCV, ACK, "")
+		}
+	}
+	return nil
+}
+
+// DirectVerb issues one hot-path verb on a bound session, bypassing the
+// message queues entirely: the verb's virtual cost is charged as calendar
+// events on the shard's clock and the outcome arrives via the session's
+// DirectNotify. It must run on the owner goroutine, between or during
+// env.Run drains. The synchronous error covers only caller bugs (unknown
+// or unbound session, unsupported verb); protocol outcomes — including
+// errors — arrive through notify.
+//
+// Cost model vs the queue path: a ring client writes the mapped segment
+// directly, which IS the pinned staging buffer after BindDirect, so SND
+// and RCV charge exactly one host copy each (the one real memcpy that
+// happened) and zero message-queue hops — the mqueue latency the paper
+// measures as virtualization overhead is what this path deletes.
+func (m *Manager) DirectVerb(id int, verb Verb) error {
+	s, ok := m.sessions[id]
+	if !ok {
+		return fmt.Errorf("gvm: DirectVerb: unknown session %d", id)
+	}
+	if s.notify == nil {
+		return fmt.Errorf("gvm: DirectVerb: session %d not bound", id)
+	}
+	m.met.requests.Inc()
+	if s.susp != nil && (verb == SND || verb == STR || verb == RCV) {
+		s.notify(verb, ERR, fmt.Sprintf("gvm: %v on suspended session %d", verb, s.id))
+		return nil
+	}
+	switch verb {
+	case SND:
+		if d := m.HostCopyTime(s.spec.InBytes); d > 0 {
+			m.env.After(d, s.sndDone)
+		} else {
+			s.sndDone()
+		}
+	case STR:
+		m.directSTR(s)
+	case STP:
+		// Ring STP is always blocking-style: no WAIT polling ever crosses
+		// the ring; the ack fires from the stream's completion callback.
+		switch {
+		case s.done:
+			s.notify(STP, ACK, "")
+		case s.running:
+			s.stpDirectWait = true
+		default:
+			s.notify(STP, ERR, "gvm: STP before STR")
+		}
+	case RCV:
+		if !s.done {
+			s.notify(RCV, ERR, "gvm: RCV before completion")
+			return nil
+		}
+		if d := m.HostCopyTime(s.spec.OutBytes); d > 0 {
+			m.env.After(d, s.rcvDone)
+		} else {
+			s.rcvDone()
+		}
+	case RLS:
+		notify := s.notify
+		m.teardown(s)
+		delete(m.sessions, s.id)
+		m.met.sessionsClosed.Inc()
+		m.met.openSessions.Dec()
+		notify(RLS, ACK, "")
+	default:
+		return fmt.Errorf("gvm: DirectVerb: unsupported verb %v", verb)
+	}
+	return nil
+}
+
+// directSTR joins the session to the STR barrier exactly like the queue
+// path does — ring and queue sessions may share one barrier generation —
+// and flushes when the shard's parties have all arrived.
+func (m *Manager) directSTR(s *session) {
+	if s.running {
+		s.notify(STR, ERR, "gvm: STR while already running")
+		return
+	}
+	s.running = true
+	s.done = false
+	s.strArrived = m.env.Now()
+	m.strPending = append(m.strPending, s)
+	if len(m.strPending) < m.cfg.Parties {
+		if m.cfg.BarrierTimeout > 0 && len(m.strPending) == 1 {
+			m.armBarrierTimeout()
+		}
+		return
+	}
+	m.flushBatch(nil, false)
+}

@@ -24,7 +24,6 @@ import (
 	"gpuvirt/internal/cuda"
 	"gpuvirt/internal/gpusim"
 	"gpuvirt/internal/metrics"
-	"gpuvirt/internal/msgq"
 	"gpuvirt/internal/shm"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/task"
@@ -78,8 +77,8 @@ func (s Status) String() string {
 type Request struct {
 	Session int
 	Verb    Verb
-	Spec    *task.Spec            // REQ only
-	Reply   *msgq.Queue[Response] // REQ only; later requests use the session's queue
+	Spec    *task.Spec       // REQ only
+	Reply   *Queue[Response] // REQ only; later requests use the session's queue
 	// Direct (REQ only) opens the session in direct-staging mode: the
 	// caller moves payload bytes straight into and out of the pinned
 	// staging buffers (Staging), so SND/RCV skip the shared-memory-segment
@@ -225,12 +224,13 @@ type Manager struct {
 	dev *gpusim.Device
 	ctx *gpusim.Context
 
-	req      *msgq.Queue[Request]
+	req      *Queue[Request]
 	ready    *sim.Event
 	sessions map[int]*session
 	nextID   int // last id handed out; advances by the id stride
 
 	strPending []*session // sessions buffered at the STR barrier
+	strScratch []*session // retired barrier array recycled by direct flushes
 	strGen     uint64     // invalidates stale barrier-timeout timers
 	shmInUse   int64      // aggregate session footprint against the quota
 
@@ -259,7 +259,7 @@ type managerMetrics struct {
 type session struct {
 	id      int
 	spec    *task.Spec
-	reply   *msgq.Queue[Response]
+	reply   *Queue[Response]
 	seg     shm.Segment
 	devIn   cuda.DevPtr
 	devOut  cuda.DevPtr
@@ -276,6 +276,19 @@ type session struct {
 	stpWaiting bool      // a blocking STP response is owed
 	footprint  int64     // bytes counted against the manager's quota
 	susp       *snapshot // non-nil while suspended (extension verbs SUS/RES)
+
+	// Prebound flush sequence (H2D, kernels, D2H) and completion callback,
+	// built once at REQ so steady-state flushes enqueue stream work without
+	// allocating a closure or event per operation.
+	ops      []func(p *sim.Proc)
+	finishCB func()
+
+	// Direct control surface (Manager.BindDirect): verb completions bypass
+	// the reply queue and fire these instead.
+	notify        DirectNotify
+	stpDirectWait bool   // a direct STP ack is owed at stream completion
+	sndDone       func() // prebound SND copy-completion
+	rcvDone       func() // prebound RCV copy-completion
 }
 
 // New creates a manager bound to a device. Call Start to bring it up.
@@ -300,7 +313,7 @@ func New(env *sim.Env, cfg Config) *Manager {
 		env:      env,
 		cfg:      cfg,
 		dev:      cfg.Device,
-		req:      msgq.New[Request](env, cfg.QueueCap, cfg.MsgLatency),
+		req:      NewQueue[Request](env, cfg.QueueCap, cfg.MsgLatency),
 		ready:    env.NewEvent(),
 		sessions: make(map[int]*session),
 		nextID:   cfg.GPUIndex + 1 - stride, // first id handed out is GPUIndex+1
@@ -374,7 +387,7 @@ func (m *Manager) GPUIndex() int { return m.cfg.GPUIndex }
 func (m *Manager) Ready() *sim.Event { return m.ready }
 
 // RequestQueue returns the manager's request queue; clients send REQ here.
-func (m *Manager) RequestQueue() *msgq.Queue[Request] { return m.req }
+func (m *Manager) RequestQueue() *Queue[Request] { return m.req }
 
 // MsgLatency returns the configured control-message hop latency.
 func (m *Manager) MsgLatency() sim.Duration { return m.cfg.MsgLatency }
@@ -519,6 +532,7 @@ func (m *Manager) handleREQ(p *sim.Proc, r Request) {
 		}
 	}
 	s.stream = ctx.NewStream()
+	m.prepareOps(s)
 	m.sessions[s.id] = s
 	m.met.sessionsOpened.Inc()
 	m.met.openSessions.Inc()
@@ -539,7 +553,9 @@ func (m *Manager) handleSND(p *sim.Proc, s *session) {
 			return
 		}
 	}
-	m.cfg.trace("gvm", fmt.Sprintf("SND s%d %dB", s.id, n), start, p.Now())
+	if m.cfg.Tracer != nil {
+		m.cfg.trace("gvm", fmt.Sprintf("SND s%d %dB", s.id, n), start, p.Now())
+	}
 	s.reply.Send(p, Response{Status: ACK, Session: s.id})
 }
 
@@ -559,45 +575,63 @@ func (m *Manager) handleSTR(p *sim.Proc, s *session) {
 	m.strPending = append(m.strPending, s)
 	if len(m.strPending) < m.cfg.Parties {
 		if m.cfg.BarrierTimeout > 0 && len(m.strPending) == 1 {
-			// Arm a timeout for this barrier generation: if the other
-			// parties never arrive, flush the partial batch.
-			gen := m.strGen
-			m.env.After(m.cfg.BarrierTimeout, func() {
-				if m.strGen != gen || len(m.strPending) == 0 {
-					return
-				}
-				m.env.Go("gvm-barrier-timeout", func(p *sim.Proc) {
-					// Re-check: between this proc being scheduled and it
-					// running, the original barrier may have completed and
-					// a NEW generation's first STR may now be pending. A
-					// stale timer must never flush that newer generation.
-					if m.strGen != gen || len(m.strPending) == 0 {
-						return
-					}
-					m.flushBatch(p, true)
-				})
-			})
+			m.armBarrierTimeout()
 		}
 		return // barrier: wait for the remaining parties
 	}
 	m.flushBatch(p, false)
 }
 
+// armBarrierTimeout arms a timeout for the current barrier generation: if
+// the other parties never arrive, the partial batch flushes anyway.
+func (m *Manager) armBarrierTimeout() {
+	gen := m.strGen
+	m.env.After(m.cfg.BarrierTimeout, func() {
+		if m.strGen != gen || len(m.strPending) == 0 {
+			return
+		}
+		m.env.Go("gvm-barrier-timeout", func(p *sim.Proc) {
+			// Re-check: between this proc being scheduled and it
+			// running, the original barrier may have completed and
+			// a NEW generation's first STR may now be pending. A
+			// stale timer must never flush that newer generation.
+			if m.strGen != gen || len(m.strPending) == 0 {
+				return
+			}
+			m.flushBatch(p, true)
+		})
+	})
+}
+
 // flushBatch flushes all sessions buffered at the barrier and ACKs their
-// STRs. timedOut marks a partial flush forced by BarrierTimeout.
+// STRs. timedOut marks a partial flush forced by BarrierTimeout. p may be
+// nil when a direct (ring) STR completed the barrier: direct sessions are
+// acknowledged inline through their notify hooks, and any queue sessions
+// sharing the batch get their replies from a transient process.
 func (m *Manager) flushBatch(p *sim.Proc, timedOut bool) {
 	batch := m.strPending
 	if len(batch) == 0 {
 		return
 	}
-	m.strPending = nil
+	if p == nil {
+		// The direct path never parks inside this call, so no second
+		// flushBatch can overlap it: recycle the retired array to keep the
+		// steady-state ring cycle allocation-free.
+		m.strPending = m.strScratch[:0]
+		m.strScratch = batch
+	} else {
+		// The queue path parks in reply.Send below; a barrier-timeout flush
+		// could interleave, so the batch must own its array.
+		m.strPending = nil
+	}
 	m.strGen++
 	m.met.flushes.Inc()
 	if timedOut {
 		m.met.barrierTimeouts.Inc()
 	}
+	now := m.env.Now()
 	for _, bs := range batch {
-		m.met.barrierWaitNS.Observe(int64(p.Now() - bs.strArrived))
+		m.met.barrierWaitNS.Observe(int64(now - bs.strArrived))
 	}
 	if m.log != nil {
 		m.log.Info("gvm flush",
@@ -613,29 +647,72 @@ func (m *Manager) flushBatch(p *sim.Proc, timedOut bool) {
 			return m.estimateCost(batch[i]) > m.estimateCost(batch[j])
 		})
 	}
-	start := p.Now()
 	for _, bs := range batch {
 		m.flush(bs)
 	}
-	m.cfg.trace("gvm", fmt.Sprintf("STR flush x%d", len(batch)), start, p.Now())
-	for _, bs := range batch {
-		bs.reply.Send(p, Response{Status: ACK, Session: bs.id})
+	if m.cfg.Tracer != nil {
+		m.cfg.trace("gvm", fmt.Sprintf("STR flush x%d", len(batch)), now, m.env.Now())
 	}
+	queued := 0
+	for _, bs := range batch {
+		if bs.notify != nil {
+			bs.notify(STR, ACK, "")
+		} else {
+			queued++
+		}
+	}
+	if queued == 0 {
+		return
+	}
+	if p != nil {
+		for _, bs := range batch {
+			if bs.notify == nil {
+				bs.reply.Send(p, Response{Status: ACK, Session: bs.id})
+			}
+		}
+		return
+	}
+	// Mixed batch completed by a direct STR: ack the queue sessions from a
+	// transient process so their reply hops happen in virtual time. Copy
+	// them out first — the recycled batch array may be reused before the
+	// process finishes its sends.
+	rest := make([]*session, 0, queued)
+	for _, bs := range batch {
+		if bs.notify == nil {
+			rest = append(rest, bs)
+		}
+	}
+	m.env.Go("gvm-flush-reply", func(p *sim.Proc) {
+		for _, bs := range rest {
+			bs.reply.Send(p, Response{Status: ACK, Session: bs.id})
+		}
+	})
 }
 
-// flush enqueues one session's full GPU cycle on its stream.
-func (m *Manager) flush(s *session) {
-	var last *sim.Event
+// prepareOps prebinds the session's flush sequence — H2D, the kernel
+// chain, D2H — and its completion callback. Building these once at REQ
+// keeps every subsequent flush free of per-operation closure and event
+// allocations; the closures read the session's fields at run time, so
+// BindDirect and SUS/RES may rebind buffers underneath them.
+func (m *Manager) prepareOps(s *session) {
+	ctx := m.ctx
 	if s.spec.InBytes > 0 {
-		last = s.stream.MemcpyH2DAsync(s.devIn, s.pinIn, s.spec.InBytes)
+		s.ops = append(s.ops, func(p *sim.Proc) { ctx.MemcpyH2D(p, s.devIn, s.pinIn, s.spec.InBytes) })
 	}
 	for _, k := range s.kernels {
-		last = s.stream.LaunchAsync(k)
+		k := k
+		s.ops = append(s.ops, func(p *sim.Proc) {
+			done, err := ctx.LaunchAsync(p, k)
+			if err != nil {
+				panic(fmt.Sprintf("gvm: session %d: %v", s.id, err))
+			}
+			p.Wait(done)
+		})
 	}
 	if s.spec.OutBytes > 0 {
-		last = s.stream.MemcpyD2HAsync(s.pinOut, s.devOut, s.spec.OutBytes)
+		s.ops = append(s.ops, func(p *sim.Proc) { ctx.MemcpyD2H(p, s.pinOut, s.devOut, s.spec.OutBytes) })
 	}
-	finish := func(any) {
+	s.finishCB = func() {
 		s.running = false
 		s.done = true
 		if s.stpWaiting {
@@ -646,12 +723,30 @@ func (m *Manager) flush(s *session) {
 				s.reply.Send(p, Response{Status: ACK, Session: s.id})
 			})
 		}
+		if s.stpDirectWait {
+			s.stpDirectWait = false
+			if s.notify != nil {
+				s.notify(STP, ACK, "")
+			}
+		}
 	}
-	if last == nil {
-		finish(nil)
+}
+
+// flush enqueues one session's full GPU cycle on its stream; the finish
+// callback rides the last operation.
+func (m *Manager) flush(s *session) {
+	n := len(s.ops)
+	if n == 0 {
+		s.finishCB()
 		return
 	}
-	last.OnFire(finish)
+	for i, op := range s.ops {
+		var cb func()
+		if i == n-1 {
+			cb = s.finishCB
+		}
+		s.stream.EnqueueCB(op, cb)
+	}
 }
 
 // handleSTP answers a status query: ACK when the stream has drained,
@@ -683,7 +778,9 @@ func (m *Manager) handleRCV(p *sim.Proc, s *session) {
 			return
 		}
 	}
-	m.cfg.trace("gvm", fmt.Sprintf("RCV s%d %dB", s.id, n), start, p.Now())
+	if m.cfg.Tracer != nil {
+		m.cfg.trace("gvm", fmt.Sprintf("RCV s%d %dB", s.id, n), start, p.Now())
+	}
 	s.reply.Send(p, Response{Status: ACK, Session: s.id})
 }
 
@@ -698,6 +795,17 @@ func (m *Manager) handleRLS(p *sim.Proc, s *session) {
 
 // teardown frees a session's device memory and stream.
 func (m *Manager) teardown(s *session) {
+	// A session released while parked at the STR barrier (a client that
+	// hung up mid-cycle) must leave the barrier, or a later flush would
+	// drive a torn-down stream.
+	for i, bs := range m.strPending {
+		if bs == s {
+			m.strPending = append(m.strPending[:i], m.strPending[i+1:]...)
+			break
+		}
+	}
+	s.notify = nil
+	s.stpDirectWait = false
 	ctx := m.ctx
 	if s.devIn != 0 {
 		_ = ctx.Free(s.devIn)

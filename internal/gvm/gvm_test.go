@@ -5,7 +5,7 @@ import (
 
 	"gpuvirt/internal/fermi"
 	"gpuvirt/internal/gpusim"
-	"gpuvirt/internal/msgq"
+
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/task"
 )
@@ -63,7 +63,7 @@ func TestREQWithoutSpecErrors(t *testing.T) {
 	var got Response
 	env.Go("client", func(p *sim.Proc) {
 		p.Wait(m.Ready())
-		reply := msgq.New[Response](env, 0, 0)
+		reply := NewQueue[Response](env, 0, 0)
 		m.RequestQueue().Send(p, Request{Verb: REQ, Reply: reply})
 		got = reply.Recv(p)
 	})
@@ -97,7 +97,7 @@ func TestUnknownVerbErrors(t *testing.T) {
 	var got Response
 	env.Go("client", func(p *sim.Proc) {
 		p.Wait(m.Ready())
-		reply := msgq.New[Response](env, 0, 0)
+		reply := NewQueue[Response](env, 0, 0)
 		m.RequestQueue().Send(p, Request{Verb: REQ, Spec: &task.Spec{Name: "t", InBytes: 8, OutBytes: 8}, Reply: reply})
 		r := reply.Recv(p)
 		if r.Status != ACK {
@@ -130,7 +130,7 @@ func TestSessionAccounting(t *testing.T) {
 	env, m := newManager(t, nil)
 	env.Go("client", func(p *sim.Proc) {
 		p.Wait(m.Ready())
-		reply := msgq.New[Response](env, 0, 0)
+		reply := NewQueue[Response](env, 0, 0)
 		m.RequestQueue().Send(p, Request{Verb: REQ, Spec: &task.Spec{Name: "t", InBytes: 64, OutBytes: 64}, Reply: reply})
 		r := reply.Recv(p)
 		if r.Status != ACK {

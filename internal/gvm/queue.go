@@ -1,12 +1,16 @@
-// Package msgq implements POSIX-message-queue-like bounded FIFO queues in
-// virtual time: the GVM's control plane (paper Section V). Every send and
-// receive pays a configurable per-hop latency, which is part of the
-// virtualization overhead the paper measures in Figure 10.
-package msgq
+package gvm
 
 import "gpuvirt/internal/sim"
 
-// Queue is a bounded FIFO of messages of type T with per-hop latency.
+// Queue is a bounded FIFO of control-plane messages with per-hop latency,
+// modelling the POSIX message queues of the paper's original control plane
+// (Section V). Every send and receive pays a configurable per-hop latency,
+// which is part of the virtualization overhead the paper measures in
+// Figure 10.
+//
+// Queue used to live in its own package (internal/msgq); it moved here when
+// the daemon's hot path graduated to shared-memory rings (the mqueue → ring
+// lineage documented in DESIGN.md) and the manager became its only consumer.
 type Queue[T any] struct {
 	env     *sim.Env
 	store   *sim.Store[T]
@@ -15,10 +19,9 @@ type Queue[T any] struct {
 	recv    int
 }
 
-// New returns a queue holding up to capacity messages (0 = unbounded),
-// with the given one-way hop latency applied on every Send and every
-// Recv.
-func New[T any](env *sim.Env, capacity int, latency sim.Duration) *Queue[T] {
+// NewQueue returns a queue holding up to capacity messages (0 = unbounded),
+// with the given one-way hop latency applied on every Send and every Recv.
+func NewQueue[T any](env *sim.Env, capacity int, latency sim.Duration) *Queue[T] {
 	return &Queue[T]{env: env, store: sim.NewStore[T](env, capacity), latency: latency}
 }
 

@@ -1,4 +1,4 @@
-package msgq
+package gvm
 
 import (
 	"testing"
@@ -6,9 +6,9 @@ import (
 	"gpuvirt/internal/sim"
 )
 
-func TestSendRecvLatency(t *testing.T) {
+func TestQueueSendRecvLatency(t *testing.T) {
 	env := sim.NewEnv()
-	q := New[string](env, 0, 50*sim.Microsecond)
+	q := NewQueue[string](env, 0, 50*sim.Microsecond)
 	var recvAt sim.Time
 	var got string
 	env.Go("producer", func(p *sim.Proc) {
@@ -29,9 +29,9 @@ func TestSendRecvLatency(t *testing.T) {
 	}
 }
 
-func TestFIFOOrdering(t *testing.T) {
+func TestQueueFIFOOrdering(t *testing.T) {
 	env := sim.NewEnv()
-	q := New[int](env, 0, sim.Microsecond)
+	q := NewQueue[int](env, 0, sim.Microsecond)
 	var got []int
 	env.Go("producer", func(p *sim.Proc) {
 		for i := 0; i < 10; i++ {
@@ -53,9 +53,9 @@ func TestFIFOOrdering(t *testing.T) {
 	}
 }
 
-func TestBoundedQueueBlocksSender(t *testing.T) {
+func TestQueueBoundedBlocksSender(t *testing.T) {
 	env := sim.NewEnv()
-	q := New[int](env, 2, 0)
+	q := NewQueue[int](env, 2, 0)
 	var thirdSent sim.Time
 	env.Go("producer", func(p *sim.Proc) {
 		q.Send(p, 1)
@@ -75,9 +75,9 @@ func TestBoundedQueueBlocksSender(t *testing.T) {
 	}
 }
 
-func TestTryRecv(t *testing.T) {
+func TestQueueTryRecv(t *testing.T) {
 	env := sim.NewEnv()
-	q := New[int](env, 0, sim.Microsecond)
+	q := NewQueue[int](env, 0, sim.Microsecond)
 	env.Go("p", func(p *sim.Proc) {
 		if _, ok := q.TryRecv(p); ok {
 			t.Error("TryRecv on empty queue succeeded")
@@ -97,9 +97,9 @@ func TestTryRecv(t *testing.T) {
 	}
 }
 
-func TestStats(t *testing.T) {
+func TestQueueStats(t *testing.T) {
 	env := sim.NewEnv()
-	q := New[int](env, 0, 0)
+	q := NewQueue[int](env, 0, 0)
 	env.Go("p", func(p *sim.Proc) {
 		q.Send(p, 1)
 		q.Send(p, 2)

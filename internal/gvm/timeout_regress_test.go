@@ -3,7 +3,6 @@ package gvm
 import (
 	"testing"
 
-	"gpuvirt/internal/msgq"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/task"
 )
@@ -31,7 +30,7 @@ func TestStaleBarrierTimerDoesNotFlushNewGeneration(t *testing.T) {
 	var sA, sC *session
 	env.Go("driver", func(p *sim.Proc) {
 		p.Wait(m.Ready())
-		reply := msgq.New[Response](env, 4, 0)
+		reply := NewQueue[Response](env, 4, 0)
 		open := func() *session {
 			m.RequestQueue().Send(p, Request{Verb: REQ,
 				Spec: &task.Spec{Name: "t", InBytes: 8, OutBytes: 8}, Reply: reply})

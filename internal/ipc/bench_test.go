@@ -18,6 +18,7 @@ func BenchmarkDaemonThroughput(b *testing.B) {
 		{"inproc", "inproc://bench-daemon"},
 		{"unix", "unix:///tmp/gvmd-bench.sock"},
 		{"tcp", "tcp://127.0.0.1:0"},
+		{"ring", "ring:///tmp/gvmd-bench-ring.sock"},
 	} {
 		b.Run(tr.name, func(b *testing.B) {
 			shmDir := b.TempDir()

@@ -154,27 +154,55 @@ type Session struct {
 	plane    transport.DataPlane
 	inBytes  int64
 	outBytes int64
+	// ring is set when the session negotiated the ring plane: every verb
+	// then travels as a record through the session's shared-memory rings
+	// and never touches the socket. ringMu serializes trips (the rings
+	// are strictly SPSC); ringReqs is the retained BAT sub-request
+	// backing that keeps a pipelined ring cycle allocation-free.
+	ring     *transport.RingPlane
+	ringMu   sync.Mutex
+	ringReqs [4]Request
 	// VirtualMS is the simulated-GPU clock at the last response.
 	VirtualMS float64
 }
 
-// Request opens a VGPU session for the given workload reference.
+// Request opens a VGPU session for the given workload reference. A
+// client that asked for the ring plane against a daemon without ring
+// support (the REQ fails with "unknown data plane") renegotiates the
+// connection down to the shm plane automatically, so ring:// addresses
+// degrade to the classic unix+shm path instead of erroring.
 func (c *Client) Request(ref workloads.Ref, rank int) (*Session, error) {
-	resp, err := c.roundTrip(Request{Verb: "REQ", Ref: &ref, Rank: rank, Plane: c.plane})
+	c.mu.Lock()
+	reqPlane, timeout := c.plane, c.timeout
+	c.mu.Unlock()
+	resp, err := c.roundTrip(Request{Verb: "REQ", Ref: &ref, Rank: rank, Plane: reqPlane})
 	if err != nil {
-		return nil, err
+		if reqPlane == transport.PlaneRing && strings.Contains(err.Error(), "unknown data plane") {
+			c.mu.Lock()
+			c.plane = transport.PlaneShm
+			c.mu.Unlock()
+			resp, err = c.roundTrip(Request{Verb: "REQ", Ref: &ref, Rank: rank, Plane: transport.PlaneShm})
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	plane, err := transport.OpenPlane(c.shmDir, resp)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		c:        c,
 		id:       resp.Session,
 		plane:    plane,
 		inBytes:  resp.InBytes,
 		outBytes: resp.OutBytes,
-	}, nil
+	}
+	if rp, ok := plane.(*transport.RingPlane); ok {
+		rp.SetTimeout(timeout)
+		s.ring = rp
+	}
+	return s, nil
 }
 
 // ID returns the daemon-assigned session id.
@@ -190,12 +218,45 @@ func (s *Session) OutBytes() int64 { return s.outBytes }
 func (s *Session) Plane() string { return s.plane.Kind() }
 
 func (s *Session) verb(verb string) error {
+	if s.ring != nil {
+		_, err := s.ringTrip(Request{Verb: verb, Session: s.id})
+		return err
+	}
 	resp, err := s.c.roundTrip(Request{Verb: verb, Session: s.id})
 	if err != nil {
 		return err
 	}
 	s.VirtualMS = resp.VirtualMS
 	return nil
+}
+
+// ringTrip performs one ring round trip under the session's trip lock.
+// The returned response is owned by the ring plane and valid until the
+// next trip.
+func (s *Session) ringTrip(req Request) (*transport.Response, error) {
+	s.ringMu.Lock()
+	defer s.ringMu.Unlock()
+	resp, err := s.ring.Trip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == "ERR" {
+		return nil, fmt.Errorf("ipc: %s: %s", req.Verb, resp.Err)
+	}
+	s.VirtualMS = resp.VirtualMS
+	return resp, nil
+}
+
+// RingTrips returns how many ring round trips the session has made (0
+// for socket sessions); tests use it to assert verbs stayed off the
+// socket.
+func (s *Session) RingTrips() int64 {
+	if s.ring == nil {
+		return 0
+	}
+	s.ringMu.Lock()
+	defer s.ringMu.Unlock()
+	return s.ring.Trips()
 }
 
 // SendInput stages the input through the data plane and issues SND.
@@ -209,6 +270,10 @@ func (s *Session) SendInput(data []byte) error {
 		if err := s.plane.StageIn(data, &req); err != nil {
 			return err
 		}
+	}
+	if s.ring != nil {
+		_, err := s.ringTrip(req)
+		return err
 	}
 	resp, err := s.c.roundTrip(req)
 	if err != nil {
@@ -226,6 +291,18 @@ func (s *Session) Start() error { return s.verb("STR") }
 // time after each flush, a single STP normally suffices; WAIT responses
 // back off in real time.
 func (s *Session) Wait() error {
+	if s.ring != nil {
+		// Ring STP is blocking-style: the daemon acks once the stream
+		// completes, so a single trip suffices and nothing ever polls.
+		resp, err := s.ringTrip(Request{Verb: "STP", Session: s.id})
+		if err != nil {
+			return err
+		}
+		if resp.Status != "ACK" {
+			return errors.New("ipc: unexpected STP status " + resp.Status)
+		}
+		return nil
+	}
 	delay := time.Millisecond
 	for {
 		resp, err := s.c.roundTrip(Request{Verb: "STP", Session: s.id})
@@ -251,6 +328,13 @@ func (s *Session) Wait() error {
 func (s *Session) Receive(buf []byte) error {
 	if buf != nil && int64(len(buf)) != s.outBytes {
 		return fmt.Errorf("ipc: output buffer is %d bytes, session stages %d", len(buf), s.outBytes)
+	}
+	if s.ring != nil {
+		resp, err := s.ringTrip(Request{Verb: "RCV", Session: s.id})
+		if err != nil {
+			return err
+		}
+		return s.plane.CollectOut(buf, resp)
 	}
 	resp, err := s.c.roundTrip(Request{Verb: "RCV", Session: s.id})
 	if err != nil {
@@ -302,6 +386,9 @@ func (s *Session) RunCycle(in, out []byte) error {
 	if !pipelined {
 		return s.runCycleSerial(in, out)
 	}
+	if s.ring != nil {
+		return s.runCycleRing(in, out)
+	}
 
 	reqs := []Request{
 		{Verb: "SND", Session: s.id},
@@ -332,6 +419,41 @@ func (s *Session) RunCycle(in, out []byte) error {
 	}
 	s.VirtualMS = resps[3].VirtualMS
 	return s.plane.CollectOut(out, &resps[3])
+}
+
+// runCycleRing is the warm path the ring plane exists for: one BAT
+// record through the submission ring, one response record back — zero
+// syscalls, zero allocations, and the only byte movement is the
+// caller's own staging copies into and out of the mapped segment.
+func (s *Session) runCycleRing(in, out []byte) error {
+	if in != nil {
+		if err := s.plane.StageIn(in, nil); err != nil {
+			return err
+		}
+	}
+	s.ringMu.Lock()
+	defer s.ringMu.Unlock()
+	s.ringReqs[0] = Request{Verb: "SND", Session: s.id}
+	s.ringReqs[1] = Request{Verb: "STR", Session: s.id}
+	s.ringReqs[2] = Request{Verb: "STP", Session: s.id}
+	s.ringReqs[3] = Request{Verb: "RCV", Session: s.id}
+	resp, err := s.ring.Trip(Request{Verb: "BAT", Session: s.id, Batch: s.ringReqs[:]})
+	if err != nil {
+		return err
+	}
+	if resp.Status != "ACK" {
+		return fmt.Errorf("ipc: BAT: %s", resp.Err)
+	}
+	if len(resp.Batch) != len(s.ringReqs) {
+		return fmt.Errorf("ipc: ring BAT returned %d responses for %d requests", len(resp.Batch), len(s.ringReqs))
+	}
+	for i := range resp.Batch {
+		if resp.Batch[i].Status != "ACK" {
+			return fmt.Errorf("ipc: %s (pipelined): %s", s.ringReqs[i].Verb, resp.Batch[i].Err)
+		}
+	}
+	s.VirtualMS = resp.Batch[3].VirtualMS
+	return s.plane.CollectOut(out, &resp.Batch[3])
 }
 
 func (s *Session) runCycleSerial(in, out []byte) error {

@@ -1,0 +1,447 @@
+package ipc
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpuvirt/internal/shm"
+	"gpuvirt/internal/transport"
+	"gpuvirt/internal/workloads"
+)
+
+// startRingServer boots a functional daemon listening on ring:// with a
+// per-test shm directory; both are torn down with the test.
+func startRingServer(t testing.TB, gpus int) (*Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	srv, err := NewServer(ServerConfig{
+		Listen:     []string{"ring://" + filepath.Join(dir, "gvmd.sock")},
+		ShmDir:     dir,
+		Functional: true,
+		GPUs:       gpus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, dir
+}
+
+// TestRingCycle runs warm pipelined cycles over the ring plane and
+// checks that after REQ the socket goes quiet: every verb of every
+// cycle travels as a ring record, one BAT trip per cycle.
+func TestRingCycle(t *testing.T) {
+	srv, dir := startRingServer(t, 1)
+	c, err := Dial(srv.Addr(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 256}}
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Request(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Plane() != transport.PlaneRing {
+		t.Fatalf("plane = %q, want %q", sess.Plane(), transport.PlaneRing)
+	}
+	in := make([]byte, sess.InBytes())
+	out := make([]byte, sess.OutBytes())
+	w.Fill(0, in)
+	for i := 0; i < 3; i++ {
+		if err := sess.RunCycle(in, out); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := w.Check(0, out); err != nil {
+			t.Fatalf("cycle %d check: %v", i, err)
+		}
+	}
+	if got := sess.RingTrips(); got != 3 {
+		t.Fatalf("ring trips = %d, want 3 (one BAT per cycle)", got)
+	}
+	if rt := c.RoundTrips(); rt != 1 {
+		t.Fatalf("socket round trips = %d, want 1 (REQ only)", rt)
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingSerialVerbs drives the four verbs as separate ring trips (the
+// NoPipeline path): even unbatched, nothing but REQ touches the socket.
+func TestRingSerialVerbs(t *testing.T) {
+	srv, dir := startRingServer(t, 1)
+	c, err := DialOptions(srv.Addr(), Options{ShmDir: dir, NoPipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 256}}
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Request(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, sess.InBytes())
+	out := make([]byte, sess.OutBytes())
+	w.Fill(0, in)
+	if err := sess.RunCycle(in, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(0, out); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.RingTrips(); got != 4 {
+		t.Fatalf("ring trips = %d, want 4 (SND, STR, STP, RCV)", got)
+	}
+	if rt := c.RoundTrips(); rt != 1 {
+		t.Fatalf("socket round trips = %d, want 1 (REQ only)", rt)
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingFallback asks a daemon that has no ring host for the ring
+// plane: the REQ must be rejected with the pre-ring wording and the
+// client must renegotiate down to the shm plane transparently.
+func TestRingFallback(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewServer(ServerConfig{
+		Listen:     []string{"unix://" + filepath.Join(dir, "gvmd.sock")},
+		ShmDir:     dir,
+		Functional: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialOptions(srv.Addr(), Options{ShmDir: dir, Plane: transport.PlaneRing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 256}}
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Request(ref, 0)
+	if err != nil {
+		t.Fatalf("fallback REQ: %v", err)
+	}
+	if sess.Plane() != transport.PlaneShm {
+		t.Fatalf("plane = %q, want fallback to %q", sess.Plane(), transport.PlaneShm)
+	}
+	in := make([]byte, sess.InBytes())
+	out := make([]byte, sess.OutBytes())
+	w.Fill(0, in)
+	if err := sess.RunCycle(in, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(0, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRing8ClientRace stresses eight concurrent clients over ring://
+// against a two-shard daemon, then re-runs every rank's cycle serially
+// and requires byte-identical output. Run under -race this also guards
+// the ring host's owner-goroutine discipline.
+func TestRing8ClientRace(t *testing.T) {
+	const clients, cycles = 8, 4
+	srv, dir := startRingServer(t, 2)
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 256}}
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outs := make([][]byte, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for r := 0; r < clients; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = func() error {
+				c, err := Dial(srv.Addr(), dir)
+				if err != nil {
+					return err
+				}
+				defer c.Close()
+				sess, err := c.Request(ref, rank)
+				if err != nil {
+					return err
+				}
+				if sess.Plane() != transport.PlaneRing {
+					return fmt.Errorf("rank %d plane = %q, want ring", rank, sess.Plane())
+				}
+				in := make([]byte, sess.InBytes())
+				out := make([]byte, sess.OutBytes())
+				w.Fill(rank, in)
+				for i := 0; i < cycles; i++ {
+					if err := sess.RunCycle(in, out); err != nil {
+						return fmt.Errorf("rank %d cycle %d: %w", rank, i, err)
+					}
+					if err := w.Check(rank, out); err != nil {
+						return fmt.Errorf("rank %d cycle %d: %w", rank, i, err)
+					}
+				}
+				outs[rank] = out
+				return sess.Release()
+			}()
+		}(r)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+
+	// Serial reference: one rank at a time, unbatched verbs.
+	c, err := DialOptions(srv.Addr(), Options{ShmDir: dir, NoPipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for rank := 0; rank < clients; rank++ {
+		sess, err := c.Request(ref, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([]byte, sess.InBytes())
+		want := make([]byte, sess.OutBytes())
+		w.Fill(rank, in)
+		if err := sess.RunCycle(in, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Release(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(outs[rank], want) {
+			t.Fatalf("rank %d: concurrent ring output differs from serial reference", rank)
+		}
+	}
+}
+
+// ringSegments lists session segment files ("gvmd-seg-<id>", doorbell
+// excluded) currently present in the shm directory.
+func ringSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "gvmd-seg-") && !strings.HasPrefix(name, "gvmd-seg-door-") {
+			segs = append(segs, name)
+		}
+	}
+	return segs
+}
+
+// TestRingOrphanReclaim kills a client (socket close, no RLS) while its
+// session is mid-cycle over the ring. The daemon's hang-up path must
+// reclaim the session, its device memory, and unlink the segment file —
+// and keep serving new clients. Stale segments from a daemon that died
+// outright are reclaimed by the startup sweep, exercised here directly
+// via shm.RemoveStale.
+func TestRingOrphanReclaim(t *testing.T) {
+	srv, dir := startRingServer(t, 1)
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 256}}
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timeout bounds the doomed client's in-flight ring trip: once the
+	// daemon reclaims the session nobody drains its submission ring, so
+	// the abandoned trip must fail instead of spinning forever.
+	c, err := DialOptions(srv.Addr(), Options{ShmDir: dir, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Request(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ringSegments(t, dir)); n != 1 {
+		t.Fatalf("session segments = %d, want 1", n)
+	}
+	in := make([]byte, sess.InBytes())
+	out := make([]byte, sess.OutBytes())
+	w.Fill(0, in)
+	if err := sess.RunCycle(in, out); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer cycles from a goroutine, then yank the socket mid-stream so
+	// the hang-up races records in flight between doorbell and drain.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if err := sess.RunCycle(in, out); err != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close() // no Release: simulates a killed client process
+	deadline := time.Now().Add(5 * time.Second)
+	for len(ringSegments(t, dir)) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("session segment not reclaimed after hang-up; left: %v", ringSegments(t, dir))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	<-done
+
+	// The daemon stays healthy: a fresh client gets a fresh session.
+	c2, err := Dial(srv.Addr(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	sess2, err := c2.Request(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.RunCycle(in, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(0, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Startup-sweep half: segments a dead daemon left behind (session and
+	// doorbell alike) match the "gvmd-seg-" prefix and are removed.
+	stale := t.TempDir()
+	for _, name := range []string{"gvmd-seg-7", "gvmd-seg-door-4242"} {
+		if err := os.WriteFile(filepath.Join(stale, name), make([]byte, 64), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := shm.RemoveStale(stale, "gvmd-seg-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("RemoveStale removed %d, want 2", n)
+	}
+}
+
+// TestRingCycleZeroAllocZeroSyscall is the tentpole's acceptance test:
+// a warm pipelined cycle over the ring allocates nothing and crosses
+// the kernel zero times. Syscall-freedom is observed through the futex
+// counters behind the doorbells — if neither side ever parks, the whole
+// cycle ran on shared-memory atomics alone. Scheduling noise can park a
+// side on a busy host, so the syscall half samples a few windows and
+// requires one to be completely futex-free.
+func TestRingCycleZeroAllocZeroSyscall(t *testing.T) {
+	srv, dir := startRingServer(t, 1)
+	c, err := Dial(srv.Addr(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The copy workload has no kernels: the cycle is pure control plane
+	// plus the two staging copies, so any allocation or futex is the
+	// ring's own.
+	ref := workloads.Ref{Name: "copy", Params: map[string]int{"n": 4096}}
+	sess, err := c.Request(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Release()
+	in := make([]byte, sess.InBytes())
+	out := make([]byte, sess.OutBytes())
+	for i := range in {
+		in[i] = byte(i)
+	}
+	for i := 0; i < 8; i++ { // warm: staging bound, intern table hot
+		if err := sess.RunCycle(in, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if allocs := testing.AllocsPerRun(64, func() {
+		if err := sess.RunCycle(in, out); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm ring cycle allocates %v objects/op, want 0", allocs)
+	}
+
+	const windows, cyclesPerWindow = 5, 100
+	clean := false
+	for w := 0; w < windows && !clean; w++ {
+		waits0, wakes0 := shm.FutexStats()
+		for i := 0; i < cyclesPerWindow; i++ {
+			if err := sess.RunCycle(in, out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waits1, wakes1 := shm.FutexStats()
+		if waits1 == waits0 && wakes1 == wakes0 {
+			clean = true
+		} else {
+			t.Logf("window %d: %d futex waits, %d wakes over %d cycles",
+				w, waits1-waits0, wakes1-wakes0, cyclesPerWindow)
+		}
+	}
+	if !clean {
+		t.Fatalf("no futex-free window in %d attempts of %d warm cycles", windows, cyclesPerWindow)
+	}
+}
+
+// BenchmarkRingCycle is the headline number for the ring control plane:
+// one warm pipelined SND+STR+STP+RCV cycle per op, single client.
+// Compare against BenchmarkDaemonThroughput/unix/c1-pipelined — the
+// same cycle over a unix socket.
+func BenchmarkRingCycle(b *testing.B) {
+	srv, dir := startRingServer(b, 1)
+	c, err := Dial(srv.Addr(), dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 1024}}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Release()
+	in := make([]byte, sess.InBytes())
+	out := make([]byte, sess.OutBytes())
+	if err := sess.RunCycle(in, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := sess.RunCycle(in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"log"
 	"log/slog"
 	"net"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"gpuvirt/internal/fermi"
 	"gpuvirt/internal/metrics"
 	"gpuvirt/internal/node"
+	"gpuvirt/internal/shm"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/transport"
 )
@@ -86,8 +88,9 @@ type Server struct {
 	work []chan workItem // one owner queue per shard
 	quit chan struct{}
 
-	node *node.Node
-	disp *transport.Dispatcher
+	node  *node.Node
+	disp  *transport.Dispatcher
+	rings *transport.RingHost // non-nil when a ring:// listener is bound
 
 	met serverMetrics
 
@@ -181,12 +184,31 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		closeAll()
 		return nil, err
 	}
+	// A ring:// listener turns the ring control plane on: the daemon lays
+	// a doorbell segment out and runs each shard owner as a sweep loop
+	// instead of a blocking queue receiver.
+	for _, ln := range lns {
+		if ln.Scheme() == "ring" {
+			rh, rerr := transport.NewRingHost(transport.RingHostConfig{
+				ShmDir:  cfg.ShmDir,
+				Shards:  n.NumShards(),
+				Metrics: cfg.Metrics,
+			})
+			if rerr != nil {
+				closeAll()
+				return nil, rerr
+			}
+			s.rings = rh
+			break
+		}
+	}
 	s.disp = transport.NewDispatcher(transport.DispatcherConfig{
 		Node:       n,
 		Functional: cfg.Functional,
 		ShmDir:     cfg.ShmDir,
 		Metrics:    cfg.Metrics,
 		Log:        cfg.Slog,
+		Rings:      s.rings,
 	})
 	s.work = make([]chan workItem, n.NumShards())
 	s.met.queueWaitNS = make([]*metrics.Histogram, n.NumShards())
@@ -199,6 +221,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.wg.Add(n.NumShards() + len(lns))
 	for i := range s.work {
 		go s.owner(i)
+	}
+	if s.rings != nil {
+		s.wg.Add(n.NumShards())
+		for i := 0; i < n.NumShards(); i++ {
+			go s.waker(s.rings.Shard(i))
+		}
 	}
 	for _, ln := range lns {
 		go s.accept(ln)
@@ -253,7 +281,19 @@ func (s *Server) Close() error {
 	// handlers (including deferred session cleanup) may still be trying
 	// to submit, and a send racing a close is a data race.
 	close(s.quit)
+	if s.rings != nil {
+		// Kick every parked owner loop and waker out of its futex wait so
+		// shutdown does not ride out a park slice.
+		s.rings.RingAll()
+	}
 	s.wg.Wait()
+	if s.rings != nil {
+		// The owner loops have stopped; reclaim every remaining session
+		// segment and the doorbell segment.
+		if rerr := s.rings.Close(); err == nil {
+			err = rerr
+		}
+	}
 	return err
 }
 
@@ -264,6 +304,10 @@ func (s *Server) Close() error {
 func (s *Server) owner(shard int) {
 	defer s.wg.Done()
 	env := s.node.Shard(shard).Env
+	if s.rings != nil {
+		s.ringOwner(shard, env)
+		return
+	}
 	for {
 		var it workItem
 		select {
@@ -272,13 +316,112 @@ func (s *Server) owner(shard int) {
 		case it = <-s.work[shard]:
 		}
 		s.met.queueWaitNS[shard].Observe(int64(time.Since(it.enqueued)))
-		env.Go("ipc-request", func(p *sim.Proc) {
-			p.Daemonize() // may park at the STR barrier until peers arrive
-			it.fn(p)
-			close(it.done)
-		})
+		s.runItem(env, shard, it)
+	}
+}
+
+// runItem executes one submitted closure on the shard's simulation and
+// drains the virtual calendar it scheduled.
+func (s *Server) runItem(env *sim.Env, shard int, it workItem) {
+	env.Go("ipc-request", func(p *sim.Proc) {
+		p.Daemonize() // may park at the STR barrier until peers arrive
+		it.fn(p)
+		close(it.done)
+	})
+	if err := env.Run(); err != nil {
+		s.cfg.Logger.Printf("gvmd: gpu %d simulation error: %v", shard, err)
+	}
+}
+
+// ringOwner is the shard owner loop of a ring daemon: instead of
+// blocking on the work channel it alternates draining submitted work,
+// sweeping the shard's session rings, and running the calendar, then
+// spins briefly and finally parks on the shard doorbell. The futex wait
+// itself runs on the shard's waker goroutine so the owner can keep
+// select-ing on work submissions and shutdown while parked — clients
+// ring the doorbell after every ring submission, so a parked owner
+// wakes in one futex round trip while a busy owner never syscalls.
+func (s *Server) ringOwner(shard int, env *sim.Env) {
+	rs := s.rings.Shard(shard)
+	door := rs.Door()
+	const spinBudget = 128
+	idle := 0
+	for {
+		progress := false
+		for {
+			var it workItem
+			select {
+			case it = <-s.work[shard]:
+			case <-s.quit:
+				return
+			default:
+			}
+			if it.fn == nil {
+				break
+			}
+			s.met.queueWaitNS[shard].Observe(int64(time.Since(it.enqueued)))
+			s.runItem(env, shard, it)
+			progress = true
+		}
+		if rs.Sweep() {
+			progress = true
+		}
+		// Drain any calendar events the sweep scheduled (direct verbs
+		// charge their virtual cost as calendar events and complete
+		// through notifies fired during this drain).
 		if err := env.Run(); err != nil {
 			s.cfg.Logger.Printf("gvmd: gpu %d simulation error: %v", shard, err)
+		}
+		if progress {
+			idle = 0
+			continue
+		}
+		if idle++; idle < spinBudget {
+			runtime.Gosched()
+			continue
+		}
+		idle = 0
+		// Arm the doorbell's sleep bit, then re-check: a submission
+		// published before the bit was visible must not be slept past.
+		armed := shm.DoorArm(door)
+		if rs.Sweep() {
+			shm.DoorDisarm(door)
+			continue
+		}
+		select {
+		case rs.ArmCh() <- armed:
+		default:
+			// The waker already holds (or is sleeping on) an armed value;
+			// any doorbell ring still changes the word and wakes it.
+		}
+		select {
+		case <-s.quit:
+			return
+		case it := <-s.work[shard]:
+			shm.DoorDisarm(door)
+			s.met.queueWaitNS[shard].Observe(int64(time.Since(it.enqueued)))
+			s.runItem(env, shard, it)
+		case <-rs.WakeCh():
+			shm.DoorDisarm(door)
+		}
+	}
+}
+
+// waker is a shard's parking proxy: it performs the bounded futex waits
+// on the shard doorbell so the owner loop stays responsive to channel
+// work while parked, and nudges the owner when the doorbell rings.
+func (s *Server) waker(rs *transport.RingShard) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case armed := <-rs.ArmCh():
+			shm.DoorSleep(rs.Door(), armed, 100*time.Millisecond)
+			select {
+			case rs.WakeCh() <- struct{}{}:
+			default:
+			}
 		}
 	}
 }

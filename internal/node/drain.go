@@ -1,0 +1,64 @@
+package node
+
+import "sync/atomic"
+
+// Drain is a multi-producer single-consumer event queue: any goroutine
+// may Push, one owner goroutine Drains. It is the registration side
+// channel of the ring control plane — connection goroutines hand new
+// (or closing) session rings to the shard owner without taking a lock
+// the owner's sweep loop would have to contend on.
+//
+// The implementation is a Treiber push stack: Push is one
+// compare-and-swap on the head pointer, Drain is one atomic swap plus a
+// list reversal, so the owner's fast path (empty drain) is a single
+// atomic load of nil. Unlike a channel there is no capacity to size and
+// an empty check never syscalls or parks.
+type Drain[T any] struct {
+	head atomic.Pointer[drainNode[T]]
+}
+
+type drainNode[T any] struct {
+	v    T
+	next *drainNode[T]
+}
+
+// Push enqueues v. Safe from any goroutine.
+func (d *Drain[T]) Push(v T) {
+	n := &drainNode[T]{v: v}
+	for {
+		old := d.head.Load()
+		n.next = old
+		if d.head.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// Drain removes every queued value and applies fn to each in push order
+// (oldest first). It returns how many values it delivered. Only the
+// owner goroutine may call it.
+func (d *Drain[T]) Drain(fn func(T)) int {
+	top := d.head.Swap(nil)
+	if top == nil {
+		return 0
+	}
+	// The stack pops newest-first; reverse to deliver in push order so
+	// a session's register always precedes its unregister.
+	var rev *drainNode[T]
+	for top != nil {
+		next := top.next
+		top.next = rev
+		rev = top
+		top = next
+	}
+	n := 0
+	for ; rev != nil; rev = rev.next {
+		fn(rev.v)
+		n++
+	}
+	return n
+}
+
+// Empty reports whether the drain has no queued values (a single atomic
+// load; the answer may be stale by the time the caller acts on it).
+func (d *Drain[T]) Empty() bool { return d.head.Load() == nil }

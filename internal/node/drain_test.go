@@ -1,0 +1,63 @@
+package node
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDrainOrdering(t *testing.T) {
+	var d Drain[int]
+	if !d.Empty() {
+		t.Fatal("new drain not empty")
+	}
+	for i := 0; i < 10; i++ {
+		d.Push(i)
+	}
+	if d.Empty() {
+		t.Fatal("drain empty after pushes")
+	}
+	var got []int
+	if n := d.Drain(func(v int) { got = append(got, v) }); n != 10 {
+		t.Fatalf("drained %d values, want 10", n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want push order", i, v)
+		}
+	}
+	if n := d.Drain(func(int) {}); n != 0 || !d.Empty() {
+		t.Fatal("drain not empty after draining")
+	}
+}
+
+func TestDrainConcurrentProducers(t *testing.T) {
+	const producers, per = 8, 1000
+	var d Drain[int]
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.Push(p*per + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := make(map[int]bool, producers*per)
+	last := make(map[int]int) // producer -> last value seen (per-producer FIFO)
+	d.Drain(func(v int) {
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+		p := v / per
+		if prev, ok := last[p]; ok && v <= prev {
+			t.Fatalf("producer %d out of order: %d after %d", p, v, prev)
+		}
+		last[p] = v
+	})
+	if len(seen) != producers*per {
+		t.Fatalf("delivered %d values, want %d", len(seen), producers*per)
+	}
+}

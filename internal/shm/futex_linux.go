@@ -1,0 +1,39 @@
+//go:build linux
+
+package shm
+
+import (
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Shared (non-private) futex ops: the doorbell words live in shm segments
+// mapped by several processes.
+const (
+	futexWaitOp = 0 // FUTEX_WAIT
+	futexWakeOp = 1 // FUTEX_WAKE
+)
+
+// futexWait sleeps until *d changes from val, a wake arrives, or the
+// timeout elapses (0 = forever). The kernel atomically re-checks the
+// value under its bucket lock, so a ring between DoorArm's re-check and
+// this call returns immediately with EAGAIN — no lost wakeups.
+func futexWait(d *atomic.Uint32, val uint32, timeout time.Duration) {
+	futexWaits.Add(1)
+	var tsp unsafe.Pointer
+	if timeout > 0 {
+		ts := syscall.NsecToTimespec(int64(timeout))
+		tsp = unsafe.Pointer(&ts)
+	}
+	_, _, _ = syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(d)), futexWaitOp, uintptr(val), uintptr(tsp), 0, 0)
+}
+
+// futexWake wakes one waiter sleeping on d.
+func futexWake(d *atomic.Uint32) {
+	futexWakes.Add(1)
+	_, _, _ = syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(d)), futexWakeOp, 1, 0, 0, 0)
+}

@@ -1,0 +1,24 @@
+//go:build !linux
+
+package shm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Non-Linux fallback: poll the doorbell word with short sleeps. Counters
+// still advance so the syscall-accounting tests stay meaningful.
+
+func futexWait(d *atomic.Uint32, val uint32, timeout time.Duration) {
+	futexWaits.Add(1)
+	if timeout <= 0 {
+		timeout = 10 * time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for d.Load() == val && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func futexWake(d *atomic.Uint32) { futexWakes.Add(1) }

@@ -159,6 +159,10 @@ type Proc struct {
 	name   string
 	wake   chan struct{}
 	daemon bool
+	// resume is the one handoff closure every park/unpark of this process
+	// schedules, bound once at spawn so the hot path (Sleep, WaitUntil,
+	// unblock) enters the calendar without allocating a fresh closure.
+	resume func()
 }
 
 // Daemonize marks the process as a daemon: a daemon blocked on a condition
@@ -179,6 +183,7 @@ func (p *Proc) Now() Time { return p.env.now }
 // (after already-scheduled events at this instant).
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{env: e, name: name, wake: make(chan struct{})}
+	p.resume = func() { e.handoff(p) }
 	e.procs++
 	go func() {
 		<-p.wake // wait for first resume
@@ -186,7 +191,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		e.procs--
 		e.parked <- struct{}{} // yield control back for good
 	}()
-	e.schedule(e.now, func() { e.handoff(p) })
+	e.schedule(e.now, p.resume)
 	return p
 }
 
@@ -214,8 +219,7 @@ func (p *Proc) Sleep(d Duration) {
 
 // WaitUntil suspends the process until virtual instant t.
 func (p *Proc) WaitUntil(t Time) {
-	e := p.env
-	e.schedule(t, func() { e.handoff(p) })
+	p.env.schedule(t, p.resume)
 	p.park()
 }
 
@@ -237,7 +241,7 @@ func (p *Proc) block() {
 
 // unblock schedules p to resume at the current instant.
 func (e *Env) unblock(p *Proc) {
-	e.schedule(e.now, func() { e.handoff(p) })
+	e.schedule(e.now, p.resume)
 }
 
 // Run executes calendar entries in time order until the calendar is empty.
@@ -317,16 +321,32 @@ func (ev *Event) Fire(v any) {
 	}
 	ev.fired = true
 	ev.val = v
-	for _, p := range ev.waiters {
+	// Nothing re-registers on a fired event (Wait and OnFire both take
+	// the already-fired fast path), so the slices can be truncated in
+	// place: the backing arrays survive for the next use after Reset,
+	// keeping repeated block/wake cycles allocation-free.
+	for i, p := range ev.waiters {
 		ev.env.unblock(p)
+		ev.waiters[i] = nil
 	}
-	ev.waiters = nil
-	for _, cb := range ev.cbs {
+	ev.waiters = ev.waiters[:0]
+	for i, cb := range ev.cbs {
 		if cb != nil { // detached (e.g. a WaitAny loser)
 			cb(v)
 		}
+		ev.cbs[i] = nil
 	}
-	ev.cbs = nil
+	ev.cbs = ev.cbs[:0]
+}
+
+// Reset returns a fired event to the unfired state so its owner can
+// arm it again, avoiding one Event allocation per blocking operation.
+// Only the sole consumer of the previous firing may call it (e.g. a
+// Store getter recycling its waiter): anyone still holding the event
+// would otherwise see it spuriously unfired.
+func (ev *Event) Reset() {
+	ev.fired = false
+	ev.val = nil
 }
 
 // OnFire registers a callback run (on the scheduler goroutine) when the

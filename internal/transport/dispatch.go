@@ -8,8 +8,10 @@ import (
 	"sync"
 	"time"
 
+	"gpuvirt/internal/gvm"
 	"gpuvirt/internal/metrics"
 	"gpuvirt/internal/node"
+	"gpuvirt/internal/shm"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/vgpu"
 	"gpuvirt/internal/workloads"
@@ -34,6 +36,12 @@ type DispatcherConfig struct {
 	// a private registry; the daemon passes the registry it shares with
 	// gvm and ipc so one /metrics scrape covers the whole path.
 	Metrics *metrics.Registry
+	// Rings, when non-nil, enables the ring data plane: REQ may negotiate
+	// PlaneRing and the session's later verbs travel through shared-memory
+	// rings swept by the shard owner loops. nil daemons reject PlaneRing
+	// with the same "unknown data plane" wording older daemons use, which
+	// is what drives the client's automatic unix+shm fallback.
+	Rings *RingHost
 	// Log, when non-nil, receives one Debug line per served verb.
 	Log *slog.Logger
 }
@@ -293,8 +301,16 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit ShardSubmitter)
 	if kind == "" {
 		kind = PlaneShm
 	}
-	if kind != PlaneShm && kind != PlaneInline {
-		return errResp(fmt.Errorf("transport: unknown data plane %q (want %q or %q)", kind, PlaneShm, PlaneInline)), true
+	switch kind {
+	case PlaneShm, PlaneInline:
+	case PlaneRing:
+		if d.cfg.Rings == nil {
+			// Match the pre-ring wording exactly: the client's fallback
+			// treats "unknown data plane" as "renegotiate with shm".
+			return errResp(fmt.Errorf("transport: unknown data plane %q (want %q or %q)", kind, PlaneShm, PlaneInline)), true
+		}
+	default:
+		return errResp(fmt.Errorf("transport: unknown data plane %q (want %q, %q or %q)", kind, PlaneShm, PlaneInline, PlaneRing)), true
 	}
 
 	// Admission + placement: the node picks the shard once, here; every
@@ -330,6 +346,10 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit ShardSubmitter)
 		return r, true
 	}
 
+	if kind == PlaneRing {
+		return d.serveRingREQ(cs, submit, shard, mgr, v, spec.InBytes, spec.OutBytes, vms)
+	}
+
 	// Connection phase: create the data plane (shm file creation is real
 	// I/O and stays off the owner) and publish the session.
 	s := &hostSession{
@@ -357,6 +377,88 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit ShardSubmitter)
 		OutBytes:  spec.OutBytes,
 		VirtualMS: vms,
 	}, true
+}
+
+// serveRingREQ finishes a REQ that negotiated the ring plane: it lays
+// the session's rings out in a fresh segment, rebinds gvm's pinned
+// staging onto the segment's staging regions (so SND/RCV payload bytes
+// are shared, not copied), and registers the session with its shard's
+// ring sweep. Connection-goroutine side, with one owner submit for the
+// bind.
+func (d *Dispatcher) serveRingREQ(cs *ConnState, submit ShardSubmitter, shard int, mgr *gvm.Manager, v *vgpu.VGPU, inB, outB int64, vms float64) (Response, bool) {
+	rh := d.cfg.Rings
+	id := v.Session()
+	name := fmt.Sprintf("%s-%d", d.cfg.SegPrefix, id)
+	rcfg := rh.Config()
+	abort := func() {
+		submit(shard, func(p *sim.Proc) { _ = v.Release(p) })
+		d.cfg.Node.Release(shard, inB, outB)
+	}
+	seg, err := shm.NewFile(d.cfg.ShmDir, name, shm.RingSegmentSize(rcfg, inB, outB))
+	if err != nil {
+		abort()
+		return errResp(err), true
+	}
+	sr, err := shm.InitSessionRing(seg, rcfg, inB, outB, rh.DoorName(), uint32(shard*shm.DoorStride))
+	if err != nil {
+		seg.Close()
+		abort()
+		return errResp(err), true
+	}
+	rs := rh.Shard(shard)
+	sess := &ringSession{id: id, shard: rs, mgr: mgr, seg: seg, sr: sr}
+	s := &hostSession{
+		id: id, v: v, shard: shard, inB: inB, outB: outB,
+		owner: cs, met: d.met,
+		plane: &ringHostPlane{name: name, rs: rs, sess: sess},
+	}
+	sess.onRelease = func() { d.ringReleased(s) }
+	var berr error
+	if !submit(shard, func(p *sim.Proc) {
+		berr = mgr.BindDirect(id, sr.In(), sr.Out(), sess.notify)
+	}) {
+		seg.Close()
+		d.cfg.Node.Release(shard, inB, outB)
+		return Response{}, false
+	}
+	if berr != nil {
+		seg.Close()
+		abort()
+		return errResp(berr), true
+	}
+	d.mu.Lock()
+	d.sessions[id] = s
+	d.mu.Unlock()
+	cs.owned = append(cs.owned, id)
+	rs.Register(sess)
+	return Response{
+		Status:    "ACK",
+		Session:   id,
+		Plane:     PlaneRing,
+		Segment:   name,
+		InBytes:   inB,
+		OutBytes:  outB,
+		VirtualMS: vms,
+	}, true
+}
+
+// ringReleased is the ring-RLS counterpart of releaseOwner: gvm already
+// tore the session down inside DirectVerb, so only dispatcher
+// bookkeeping remains. It runs on the owner goroutine (from the
+// session's DirectNotify); the connection's owned list is left alone —
+// HangUp tolerates ids that have left the session table.
+func (d *Dispatcher) ringReleased(s *hostSession) {
+	d.mu.Lock()
+	if cur := d.sessions[s.id]; cur != s {
+		d.mu.Unlock()
+		return
+	}
+	delete(d.sessions, s.id)
+	d.mu.Unlock()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	d.cfg.Node.Release(s.shard, s.inB, s.outB)
 }
 
 func (d *Dispatcher) serveVerb(req Request, cs *ConnState, submit ShardSubmitter) (Response, bool) {

@@ -58,7 +58,7 @@ const (
 var internTable = [...]string{
 	"REQ", "SND", "STR", "STP", "RCV", "RLS", "BAT",
 	"ACK", "WAIT", "ERR",
-	PlaneShm, PlaneInline,
+	PlaneShm, PlaneInline, PlaneRing,
 }
 
 func intern(b []byte) string {
@@ -308,6 +308,65 @@ func DecodeResponseBinary(frame []byte) (Response, error) {
 		return Response{}, err
 	}
 	return decodeResponsePayload(payload)
+}
+
+// DecodeRequestBinaryInto parses one complete binary request frame into
+// *req, reusing req.Batch's backing array across calls — the allocation-
+// free decode the ring control plane runs per record. Every field of
+// *req is overwritten. On error *req is unspecified. The same aliasing
+// rule as DecodeRequestBinary applies: req.Data and sub-request Data
+// alias frame.
+func DecodeRequestBinaryInto(req *Request, frame []byte) error {
+	payload, err := framePayload(frame, kindRequest)
+	if err != nil {
+		return err
+	}
+	batch := req.Batch[:0]
+	r := frameReader{b: payload}
+	*req = r.requestFields()
+	if r.err == nil && r.off < len(r.b) {
+		n := r.uvarint()
+		if n > uint64(len(r.b)) { // each sub-request takes >= 6 bytes
+			r.fail("batch count %d overruns payload", n)
+		} else {
+			if uint64(cap(batch)) < n {
+				batch = make([]Request, 0, n)
+			}
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				batch = append(batch, r.requestFields())
+			}
+			req.Batch = batch
+		}
+	}
+	return r.finish()
+}
+
+// DecodeResponseBinaryInto parses one complete binary response frame
+// into *resp, reusing resp.Batch's backing array; the counterpart of
+// DecodeRequestBinaryInto for the client side of the ring.
+func DecodeResponseBinaryInto(resp *Response, frame []byte) error {
+	payload, err := framePayload(frame, kindResponse)
+	if err != nil {
+		return err
+	}
+	batch := resp.Batch[:0]
+	r := frameReader{b: payload}
+	*resp = r.responseFields()
+	if r.err == nil && r.off < len(r.b) {
+		n := r.uvarint()
+		if n > uint64(len(r.b)) {
+			r.fail("batch count %d overruns payload", n)
+		} else {
+			if uint64(cap(batch)) < n {
+				batch = make([]Response, 0, n)
+			}
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				batch = append(batch, r.responseFields())
+			}
+			resp.Batch = batch
+		}
+	}
+	return r.finish()
 }
 
 // framePayload validates a whole-frame buffer's header and returns its

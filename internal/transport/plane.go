@@ -35,6 +35,8 @@ func OpenPlane(shmDir string, resp Response) (DataPlane, error) {
 		return &shmPlane{seg: seg, inBytes: resp.InBytes}, nil
 	case PlaneInline:
 		return inlinePlane{}, nil
+	case PlaneRing:
+		return openRingPlane(shmDir, resp)
 	case "":
 		// Tolerate a daemon that predates plane negotiation: a segment
 		// name means shm, nothing means inline.

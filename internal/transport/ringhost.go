@@ -1,0 +1,548 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+
+	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/metrics"
+	"gpuvirt/internal/node"
+	"gpuvirt/internal/shm"
+)
+
+// RingHostConfig configures the daemon side of the ring control plane.
+type RingHostConfig struct {
+	// ShmDir is where the doorbell segment lives ("" = /dev/shm); it must
+	// match the dispatcher's segment directory.
+	ShmDir string
+	// Prefix names the doorbell segment file (default "gvmd-seg", so the
+	// daemon's startup RemoveStale sweep reclaims orphans of crashed
+	// daemons along with ordinary session segments).
+	Prefix string
+	// Shards is how many per-GPU owner loops the daemon runs; each gets
+	// its own doorbell word on its own cache line.
+	Shards int
+	// Ring sizes every session's rings (zero value: DefaultRingConfig).
+	Ring shm.RingConfig
+	// Metrics receives the ring instruments (nil creates a private
+	// registry).
+	Metrics *metrics.Registry
+}
+
+// RingHost is the daemon half of the zero-syscall control plane: one
+// process-wide doorbell segment with a word per shard, plus a RingShard
+// per owner loop that sweeps the shard's session rings. Clients ring a
+// shard's doorbell after every submission; an owner that went idle and
+// armed the sleep bit gets a futex wake, a busy owner sees nothing but
+// the counter — the steady state is syscall-free on both sides.
+type RingHost struct {
+	dir      string
+	ring     shm.RingConfig
+	doorSeg  shm.Segment
+	doorName string
+	shards   []*RingShard
+}
+
+// NewRingHost creates the doorbell segment and one RingShard per shard.
+func NewRingHost(cfg RingHostConfig) (*RingHost, error) {
+	if cfg.Prefix == "" {
+		cfg.Prefix = "gvmd-seg"
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Ring.Slots == 0 && cfg.Ring.SlotSize == 0 {
+		cfg.Ring = shm.DefaultRingConfig()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	name := fmt.Sprintf("%s-door-%d", cfg.Prefix, os.Getpid())
+	seg, err := shm.NewFile(cfg.ShmDir, name, shm.DoorSegmentSize(cfg.Shards))
+	if err != nil {
+		return nil, fmt.Errorf("transport: ring doorbell segment: %w", err)
+	}
+	h := &RingHost{dir: cfg.ShmDir, ring: cfg.Ring, doorSeg: seg, doorName: name}
+	h.shards = make([]*RingShard, cfg.Shards)
+	for i := range h.shards {
+		door, derr := shm.DoorWordAt(seg, uint32(i*shm.DoorStride))
+		if derr != nil {
+			seg.Close()
+			return nil, derr
+		}
+		gpu := metrics.L("gpu", strconv.Itoa(i))
+		rs := &RingShard{
+			host:    h,
+			index:   i,
+			door:    door,
+			armCh:   make(chan uint32, 1),
+			wakeCh:  make(chan struct{}, 1),
+			records: cfg.Metrics.Counter("gvmd_ring_records_total", "submission-ring records consumed", gpu),
+			sweeps:  cfg.Metrics.Counter("gvmd_ring_sweeps_total", "ring sweeps that made progress", gpu),
+			open:    cfg.Metrics.Gauge("gvmd_ring_sessions", "live ring-plane sessions", gpu),
+		}
+		// The doorbell word's upper 31 bits ARE the ring count, so the
+		// counter comes for free (it wraps at 2^31 rings, like any u32-
+		// backed counter would).
+		d := door
+		cfg.Metrics.CounterFunc("gvmd_ring_doorbells_total", "shard submission doorbell rings", func() int64 {
+			return int64(d.Load() >> 1)
+		}, gpu)
+		h.shards[i] = rs
+	}
+	return h, nil
+}
+
+// DoorName returns the doorbell segment's file name, advertised to every
+// ring session so clients can map the shard doorbell.
+func (h *RingHost) DoorName() string { return h.doorName }
+
+// Config returns the per-session ring geometry.
+func (h *RingHost) Config() shm.RingConfig { return h.ring }
+
+// NumShards returns how many shard doorbells the host holds.
+func (h *RingHost) NumShards() int { return len(h.shards) }
+
+// Shard returns shard i's ring sweep state.
+func (h *RingHost) Shard(i int) *RingShard { return h.shards[i] }
+
+// Close releases every remaining session segment and the doorbell
+// segment. Call only after the owner loops have stopped.
+func (h *RingHost) Close() error {
+	for _, rs := range h.shards {
+		rs.events.Drain(func(ev ringEvent) {
+			if ev.close {
+				ev.sess.closeOwner()
+			} else {
+				rs.sessions = append(rs.sessions, ev.sess)
+			}
+		})
+		for _, s := range rs.sessions {
+			s.closeOwner()
+		}
+		rs.sessions = nil
+	}
+	return h.doorSeg.Close()
+}
+
+// RingAll rings every shard doorbell — the shutdown kick that pops
+// parked owner loops and wakers out of their futex waits promptly.
+func (h *RingHost) RingAll() {
+	for _, rs := range h.shards {
+		shm.DoorRing(rs.door)
+	}
+}
+
+// ringEvent is one registration-side-channel entry: a session ring to
+// start sweeping, or (close) one to stop sweeping and unmap.
+type ringEvent struct {
+	sess  *ringSession
+	close bool
+}
+
+// RingShard is one owner loop's ring state: its doorbell word, the MPSC
+// drain connection goroutines register sessions through, and the
+// owner-private session list the sweep walks. All methods except
+// Register/Unregister are owner-goroutine-only.
+type RingShard struct {
+	host  *RingHost
+	index int
+	door  *atomic.Uint32
+
+	events node.Drain[ringEvent]
+
+	sessions []*ringSession // owner-goroutine private
+
+	armCh  chan uint32   // owner -> waker: doorbell word to sleep on
+	wakeCh chan struct{} // waker -> owner: the doorbell rang while parked
+
+	records *metrics.Counter
+	sweeps  *metrics.Counter
+	open    *metrics.Gauge
+}
+
+// Door returns the shard's submission doorbell word.
+func (rs *RingShard) Door() *atomic.Uint32 { return rs.door }
+
+// ArmCh is the owner->waker handoff of the armed doorbell value.
+func (rs *RingShard) ArmCh() chan uint32 { return rs.armCh }
+
+// WakeCh is the waker->owner doorbell-rang signal.
+func (rs *RingShard) WakeCh() chan struct{} { return rs.wakeCh }
+
+// Register hands a new session ring to the shard owner and rings the
+// doorbell so a parked owner picks it up. Any goroutine may call it.
+func (rs *RingShard) Register(sess *ringSession) {
+	rs.events.Push(ringEvent{sess: sess})
+	shm.DoorRing(rs.door)
+}
+
+// Unregister tells the shard owner to stop sweeping sess and unmap its
+// segment. Any goroutine may call it; the segment stays mapped until the
+// owner applies the event, so a sweep never races the unmap.
+func (rs *RingShard) Unregister(sess *ringSession) {
+	rs.events.Push(ringEvent{sess: sess, close: true})
+	shm.DoorRing(rs.door)
+}
+
+// Sweep applies queued register/unregister events, retries completions
+// waiting for ring space, and gives every session's submission ring a
+// consume pass. It reports whether it made progress; the owner loop
+// keeps sweeping (interleaved with calendar drains) until a sweep comes
+// back dry, then spins, then parks on the doorbell.
+func (rs *RingShard) Sweep() bool {
+	progress := false
+	if !rs.events.Empty() {
+		rs.events.Drain(func(ev ringEvent) {
+			progress = true
+			if ev.close {
+				rs.remove(ev.sess)
+				ev.sess.closeOwner()
+			} else {
+				rs.sessions = append(rs.sessions, ev.sess)
+				rs.open.Inc()
+			}
+		})
+	}
+	live := rs.sessions[:0]
+	for _, s := range rs.sessions {
+		if s.step() {
+			progress = true
+		}
+		if s.done {
+			rs.open.Dec()
+			s.closeOwner()
+			continue
+		}
+		live = append(live, s)
+	}
+	for i := len(live); i < len(rs.sessions); i++ {
+		rs.sessions[i] = nil
+	}
+	rs.sessions = live
+	if progress {
+		rs.sweeps.Inc()
+	}
+	return progress
+}
+
+func (rs *RingShard) remove(sess *ringSession) {
+	for i, s := range rs.sessions {
+		if s == sess {
+			rs.sessions = append(rs.sessions[:i], rs.sessions[i+1:]...)
+			rs.open.Dec()
+			return
+		}
+	}
+}
+
+// ringSession is the daemon-side state machine of one ring-plane
+// session: it consumes request frames from the submission ring, drives
+// them through gvm's direct verb path, and produces response frames on
+// the completion ring. All fields are owner-goroutine-only; completions
+// arrive via gvm.DirectNotify on the same goroutine (inline in
+// DirectVerb or from a calendar event during the owner's drain).
+type ringSession struct {
+	id    int
+	shard *RingShard
+	mgr   *gvm.Manager
+	seg   shm.Segment
+	sr    *shm.SessionRing
+
+	// onRelease runs once gvm has released the session through the ring
+	// RLS path (dispatcher bookkeeping: session table + node placement).
+	onRelease func()
+
+	enc frameEncoder
+	rec []byte  // retained response-frame scratch
+	req Request // retained decode target; Batch backing reused
+
+	// In-flight frame state. idx is the step currently executing (an
+	// index into req.Batch for BAT frames, ignored for single verbs).
+	active    bool
+	batch     bool
+	idx       int
+	waiting   bool // a DirectVerb completion is pending in the calendar
+	issuing   bool // inside advance(): inline notifies must not recurse
+	failed    bool
+	one       Response   // single-verb response
+	batchResp []Response // retained per-step response backing
+	pending   bool       // encoded response waiting for completion-ring space
+	released  bool       // gvm session released (ring RLS acked)
+	done      bool       // ready for the sweep to unmap
+	closed    bool
+}
+
+// step is one sweep pass over the session: deliver a stalled completion
+// first, then (when idle) consume the next submission.
+func (s *ringSession) step() bool {
+	progress := false
+	if s.pending {
+		if !s.sr.Cpl.Push(s.rec) {
+			return false // still blocked on completion-ring space
+		}
+		s.pending = false
+		s.completed()
+		progress = true
+	}
+	for !s.active && !s.pending && !s.done {
+		rec, ok := s.sr.Sub.Peek()
+		if !ok {
+			break
+		}
+		progress = true
+		s.begin(rec)
+	}
+	return progress
+}
+
+// begin decodes and validates one submission record, recycles its slot,
+// and starts executing it. The slot can be recycled immediately after
+// decode: decode-into leaves no alias into the frame (verbs and planes
+// intern, other strings copy) and ring requests must not carry Data.
+func (s *ringSession) begin(rec []byte) {
+	err := DecodeRequestBinaryInto(&s.req, rec)
+	s.sr.Sub.Release()
+	s.shard.records.Inc()
+	if err != nil {
+		s.fail(fmt.Sprintf("transport: ring record: %v", err))
+		return
+	}
+	s.req.Data = nil
+	for i := range s.req.Batch {
+		s.req.Batch[i].Data = nil
+	}
+	s.active = true
+	s.idx = 0
+	s.failed = false
+	s.one = Response{}
+	switch {
+	case s.req.Verb == "BAT":
+		if len(s.req.Batch) == 0 {
+			s.fail("transport: empty BAT")
+			return
+		}
+		lastRank := -1
+		for i := range s.req.Batch {
+			sub := &s.req.Batch[i]
+			rank, allowed := batchVerbRank[sub.Verb]
+			if !allowed {
+				s.fail(fmt.Sprintf("transport: verb %q not allowed in BAT", sub.Verb))
+				return
+			}
+			if sub.Session != s.id {
+				s.fail(fmt.Sprintf("transport: ring BAT addresses session %d on session %d's ring", sub.Session, s.id))
+				return
+			}
+			if rank <= lastRank {
+				s.fail(fmt.Sprintf("transport: BAT verbs for session %d must appear once each, in SND<STR<STP<RCV<RLS order", s.id))
+				return
+			}
+			lastRank = rank
+		}
+		s.batch = true
+		if cap(s.batchResp) < len(s.req.Batch) {
+			s.batchResp = make([]Response, len(s.req.Batch))
+		}
+		s.batchResp = s.batchResp[:len(s.req.Batch)]
+	default:
+		if _, ok := ringVerbOf(s.req.Verb); !ok {
+			s.fail(fmt.Sprintf("transport: verb %q not allowed on a session ring", s.req.Verb))
+			return
+		}
+		if s.req.Session != s.id {
+			s.fail(fmt.Sprintf("transport: ring record addresses session %d on session %d's ring", s.req.Session, s.id))
+			return
+		}
+		s.batch = false
+	}
+	s.advance()
+}
+
+// ringVerbOf maps a wire verb onto gvm's direct verb set. REQ and BAT
+// (and anything unknown) are excluded: a ring belongs to one session
+// that already exists.
+func ringVerbOf(v string) (gvm.Verb, bool) {
+	switch v {
+	case "SND":
+		return gvm.SND, true
+	case "STR":
+		return gvm.STR, true
+	case "STP":
+		return gvm.STP, true
+	case "RCV":
+		return gvm.RCV, true
+	case "RLS":
+		return gvm.RLS, true
+	}
+	return 0, false
+}
+
+// advance issues verbs until one leaves its completion in the calendar
+// (waiting) or the frame is finished. It is driven from begin and —
+// for calendar completions — from notify.
+func (s *ringSession) advance() {
+	s.issuing = true
+	for s.active && !s.waiting {
+		if s.failed || (s.batch && s.idx >= len(s.req.Batch)) || (!s.batch && s.idx >= 1) {
+			s.finish()
+			break
+		}
+		verbStr := s.req.Verb
+		if s.batch {
+			verbStr = s.req.Batch[s.idx].Verb
+		}
+		verb, _ := ringVerbOf(verbStr)
+		s.waiting = true
+		if err := s.mgr.DirectVerb(s.id, verb); err != nil {
+			// Synchronous errors are caller bugs (unknown/unbound
+			// session); report them like a protocol ERR.
+			s.waiting = false
+			s.record("ERR", err.Error())
+			s.failed = true
+		}
+	}
+	s.issuing = false
+}
+
+// notify is the session's gvm.DirectNotify: it records the completed
+// step and, when the completion arrived from a calendar event rather
+// than inline in DirectVerb, resumes issuing.
+func (s *ringSession) notify(verb gvm.Verb, st gvm.Status, errMsg string) {
+	if s.closed || !s.active || !s.waiting {
+		return // stale completion after teardown
+	}
+	s.waiting = false
+	s.record(st.String(), errMsg)
+	if st != gvm.ACK {
+		s.failed = true
+	}
+	if verb == gvm.RLS && st == gvm.ACK {
+		s.released = true
+		if s.onRelease != nil {
+			s.onRelease()
+		}
+	}
+	if !s.issuing {
+		s.advance()
+	}
+}
+
+// record stores the current step's response and moves to the next step.
+func (s *ringSession) record(status, errMsg string) {
+	r := Response{
+		Status:    status,
+		Session:   s.id,
+		Err:       errMsg,
+		VirtualMS: s.mgr.Env().Now().Milliseconds(),
+	}
+	if s.batch {
+		if s.idx < len(s.batchResp) {
+			s.batchResp[s.idx] = r
+		}
+	} else {
+		s.one = r
+	}
+	s.idx++
+}
+
+// fail aborts the in-flight frame with a single ERR response (used for
+// records that never reached execution: decode or validation errors).
+func (s *ringSession) fail(msg string) {
+	s.active = true
+	s.batch = false
+	s.one = Response{Status: "ERR", Session: s.id, Err: msg, VirtualMS: s.mgr.Env().Now().Milliseconds()}
+	s.finish()
+}
+
+// finish encodes the frame's response and pushes it to the completion
+// ring (deferring to the sweep when the ring is full).
+func (s *ringSession) finish() {
+	s.active = false
+	var resp Response
+	if s.batch {
+		for k := s.idx; k < len(s.batchResp); k++ {
+			s.batchResp[k] = Response{
+				Status:  "ERR",
+				Session: s.id,
+				Err:     "transport: skipped after earlier BAT failure",
+			}
+		}
+		resp = Response{
+			Status:    "ACK",
+			Session:   s.id,
+			VirtualMS: s.mgr.Env().Now().Milliseconds(),
+			Batch:     s.batchResp,
+		}
+	} else {
+		resp = s.one
+	}
+	if err := s.enc.encodeResponse(resp); err != nil {
+		_ = s.enc.encodeResponse(Response{Status: "ERR", Session: s.id, Err: err.Error()})
+	}
+	s.rec = s.enc.flatten(s.rec[:0])
+	s.enc.clearAliases()
+	if len(s.rec) > s.sr.Cpl.MaxRecord() {
+		_ = s.enc.encodeResponse(Response{
+			Status: "ERR", Session: s.id,
+			Err: fmt.Sprintf("transport: ring response %d bytes exceeds slot capacity %d", len(s.rec), s.sr.Cpl.MaxRecord()),
+		})
+		s.rec = s.enc.flatten(s.rec[:0])
+		s.enc.clearAliases()
+	}
+	if s.sr.Cpl.Push(s.rec) {
+		s.completed()
+	} else {
+		s.pending = true
+	}
+}
+
+// completed rings the client's doorbell for a delivered response; after
+// a ring RLS the session is finished and the next sweep unmaps it (the
+// client's own mapping outlives ours, so it still reads the response).
+func (s *ringSession) completed() {
+	shm.DoorRing(s.sr.ClientDoor())
+	if s.released {
+		s.done = true
+	}
+}
+
+// closeOwner unmaps the session segment. Idempotent; owner-goroutine
+// (or post-shutdown RingHost.Close) only.
+func (s *ringSession) closeOwner() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	_ = s.seg.Close()
+}
+
+// ringHostPlane is the dispatcher-facing HostPlane of a ring session.
+// The owner never copies payloads for ring sessions (staging is rebound
+// onto the client-visible segment), so the copy hooks only guard against
+// misuse; Close routes teardown through the shard owner so the segment
+// is unmapped exactly once, race-free with the sweep.
+type ringHostPlane struct {
+	name string
+	rs   *RingShard
+	sess *ringSession
+}
+
+func (h *ringHostPlane) Kind() string    { return PlaneRing }
+func (h *ringHostPlane) Segment() string { return h.name }
+
+func (h *ringHostPlane) CopyIn(req *Request, dst []byte) error {
+	return errors.New("transport: ring sessions stage payloads through the mapped segment, not the socket")
+}
+
+func (h *ringHostPlane) CopyOut(src []byte, resp *Response) error {
+	return errors.New("transport: ring sessions collect payloads through the mapped segment, not the socket")
+}
+
+func (h *ringHostPlane) Close() error {
+	h.rs.Unregister(h.sess)
+	return nil
+}

@@ -40,6 +40,12 @@ const (
 	// so a remote client needs nothing but the connection. One payload is
 	// bounded by MaxFrame.
 	PlaneInline = "inline"
+	// PlaneRing moves the whole session — control verbs AND payloads —
+	// through lock-free submission/completion rings inside one mmap'd
+	// shared-memory segment (see ring.go). The socket only carries REQ;
+	// every later verb is a ring record, so a warm cycle crosses the
+	// kernel zero times. Requires a shared filesystem, like PlaneShm.
+	PlaneRing = "ring"
 )
 
 // Transport binds the verb protocol to one kind of connection.
@@ -85,7 +91,7 @@ func Lookup(scheme string) (Transport, error) {
 	defer registry.Unlock()
 	t, ok := registry.m[scheme]
 	if !ok {
-		return nil, fmt.Errorf("transport: unknown scheme %q (have unix, tcp, inproc)", scheme)
+		return nil, fmt.Errorf("transport: unknown scheme %q (have unix, tcp, inproc, ring)", scheme)
 	}
 	return t, nil
 }
@@ -165,6 +171,26 @@ func (tcpTransport) Listen(target string) (Listener, error) {
 	return netListener{ln: ln, scheme: "tcp"}, nil
 }
 
+// ringTransport is the zero-syscall control plane's scheme: the listener
+// and dial are ordinary unix sockets (REQ negotiation and codec preamble
+// still travel there), but sessions default to the ring data plane, so
+// after REQ every verb moves through the session's shared-memory rings
+// and never touches the socket again.
+type ringTransport struct{}
+
+func (ringTransport) Scheme() string       { return "ring" }
+func (ringTransport) DefaultPlane() string { return PlaneRing }
+func (ringTransport) Dial(target string) (net.Conn, error) {
+	return net.Dial("unix", target)
+}
+func (ringTransport) Listen(target string) (Listener, error) {
+	ln, err := net.Listen("unix", target)
+	if err != nil {
+		return nil, err
+	}
+	return netListener{ln: ln, scheme: "ring"}, nil
+}
+
 // inprocTransport serves dials from the same process through synchronous
 // in-memory pipes — no OS socket, no filesystem. Names live in a
 // process-global registry.
@@ -240,5 +266,6 @@ func (l *inprocListener) Scheme() string { return "inproc" }
 func init() {
 	Register(unixTransport{})
 	Register(tcpTransport{})
+	Register(ringTransport{})
 	Register(&inprocTransport{lns: make(map[string]*inprocListener)})
 }

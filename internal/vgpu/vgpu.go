@@ -10,7 +10,6 @@ import (
 	"fmt"
 
 	"gpuvirt/internal/gvm"
-	"gpuvirt/internal/msgq"
 	"gpuvirt/internal/shm"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/task"
@@ -33,7 +32,7 @@ func DefaultPollPolicy() PollPolicy {
 type VGPU struct {
 	mgr     *gvm.Manager
 	spec    *task.Spec
-	resp    *msgq.Queue[gvm.Response]
+	resp    *gvm.Queue[gvm.Response]
 	session int
 	seg     shm.Segment
 	poll    PollPolicy
@@ -66,7 +65,7 @@ func connect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec, direct bool) (*VGPU
 	v := &VGPU{
 		mgr:  mgr,
 		spec: spec,
-		resp: msgq.New[gvm.Response](mgr.Env(), 0, mgr.MsgLatency()),
+		resp: gvm.NewQueue[gvm.Response](mgr.Env(), 0, mgr.MsgLatency()),
 		poll: DefaultPollPolicy(),
 	}
 	mgr.RequestQueue().Send(p, gvm.Request{Verb: gvm.REQ, Spec: spec, Reply: v.resp, Direct: direct})

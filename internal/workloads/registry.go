@@ -28,6 +28,8 @@ func FromRef(r Ref) (Workload, error) {
 	switch r.Name {
 	case "vecadd":
 		return VectorAdd(r.param("n", 50_000_000)), nil
+	case "copy":
+		return Copy(r.param("n", 1<<20)), nil
 	case "ep":
 		return EP(r.param("m", 30), r.param("grid", 4)), nil
 	case "mm":
@@ -54,5 +56,5 @@ func FromRef(r Ref) (Workload, error) {
 
 // Names lists the registry's workload names.
 func Names() []string {
-	return []string{"vecadd", "ep", "mm", "mg", "blackscholes", "cg", "electrostatics", "is", "ft"}
+	return []string{"vecadd", "copy", "ep", "mm", "mg", "blackscholes", "cg", "electrostatics", "is", "ft"}
 }

@@ -134,6 +134,24 @@ func VectorAdd(n int) Workload {
 // PaperVectorAdd is Table II's instance: 50M floats.
 func PaperVectorAdd() Workload { return VectorAdd(50_000_000) }
 
+// Copy is the protocol micro-benchmark workload: n bytes staged in, n
+// bytes staged back, zero kernels. A cycle is purely the H2D/D2H copy
+// path plus verb overhead, which is what the ring control plane's
+// zero-allocation and zero-syscall tests need in isolation — a kernel
+// launch costs an allocation per launch by design, so any workload with
+// kernels would mask the control plane's own footprint.
+func Copy(n int) Workload {
+	w := Workload{
+		Name:        "Copy",
+		ProblemSize: fmt.Sprintf("%s bytes each way", humanCount(n)),
+		Class:       IOIntensive,
+	}
+	w.Spec = func(rank int) *task.Spec {
+		return &task.Spec{Name: w.Name, InBytes: int64(n), OutBytes: int64(n)}
+	}
+	return w
+}
+
 // EP is the compute-intensive micro-benchmark: NAS EP with 2^m pairs on
 // a gridBlocks-block grid (paper: class B, M=30, grid 4, Table II).
 func EP(m, gridBlocks int) Workload {

@@ -119,4 +119,57 @@ if [ -e "$addrfile" ]; then
     echo "smoke: gvmd left its addr file behind on shutdown" >&2
     exit 1
 fi
+
+# Second round: the zero-syscall ring transport. The daemon listens on
+# ring://, clients negotiate shared-memory submission/completion rings,
+# and the doorbell counter proves verbs actually travelled through the
+# rings rather than falling back to the socket.
+echo "smoke: starting gvmd on a ring:// listener"
+shmdir="$workdir/shm"
+mkdir -p "$shmdir"
+addrfile="$workdir/gvmd-ring.addr"
+logfile="$workdir/gvmd-ring.log"
+"$bindir/gvmd" -listen "ring://$workdir/gvmd-ring.sock" -parties 2 \
+    -shm "$shmdir" -addr-file "$addrfile" -metrics 127.0.0.1:0 \
+    >"$logfile" 2>&1 &
+gvmd_pid=$!
+tries=0
+while [ ! -s "$addrfile" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "smoke: ring gvmd never published its address" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    if ! kill -0 "$gvmd_pid" 2>/dev/null; then
+        echo "smoke: ring gvmd exited early" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(head -n1 "$addrfile")
+metrics_url=$(grep '^http://' "$addrfile" | head -n1)
+echo "smoke: ring gvmd is serving on $addr (metrics at $metrics_url)"
+
+out=$(GVMD_SHM_DIR="$shmdir" "$bindir/multiprocess" -workers 2 -connect "$addr")
+echo "$out"
+turnarounds=$(echo "$out" | grep -c "turnaround" || true)
+if [ "$turnarounds" -ne 2 ]; then
+    echo "smoke: expected 2 worker turnaround lines over ring://, got $turnarounds" >&2
+    exit 1
+fi
+
+scrape=$(fetch "$metrics_url")
+doorbells=$(echo "$scrape" | grep -E '^gvmd_ring_doorbells_total\{gpu="0"\} [0-9]+$' | awk '{print $2}')
+if [ -z "$doorbells" ] || [ "$doorbells" -eq 0 ]; then
+    echo "smoke: gvmd_ring_doorbells_total{gpu=\"0\"} missing or zero after a ring:// round" >&2
+    echo "$scrape" | grep '^gvmd_ring' >&2 || true
+    exit 1
+fi
+echo "smoke: ring metrics OK (doorbells = $doorbells)"
+
+kill "$gvmd_pid"
+wait "$gvmd_pid" 2>/dev/null || true
+gvmd_pid=""
 echo "smoke: OK"
