@@ -41,10 +41,12 @@ bench-short:
 
 # Full benchmark matrix: data-plane microbenchmarks plus daemon cycle
 # throughput at 1/2/4/8 clients over inproc/unix/tcp/ring, pipelined vs
-# serial, plus the shard-scaling sweep (1/2/4 GPUs x 1/4/8 clients),
-# written as the PR6 JSON artifact.
+# serial, the shard-scaling sweep (1/2/4 GPUs x 1/4/8 clients), and the
+# memory-oversubscription sweep (sessions totaling 1x/2x/4x device
+# memory: swap traffic and p99 turnaround), written as the PR7 JSON
+# artifact.
 bench:
-	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr6.json
+	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr7.json
 
 # Regenerate the machine-readable hot-path numbers (alias of bench;
 # earlier PR artifacts are kept as historical records).

@@ -65,6 +65,8 @@ func main() {
 	execWorkers := flag.Int("exec-workers", 0, "functional kernel execution worker pool (0 = GOMAXPROCS, 1 = serial)")
 	jsonWire := flag.Bool("json-wire", false, "speak newline-delimited JSON on the control socket (debugging; clients must use DialJSON)")
 	maxSessionBytes := flag.Int64("max-session-bytes", 0, "reject REQ whose staging footprint (InBytes+OutBytes) exceeds this many bytes (0 = no per-session limit)")
+	overcommit := flag.Float64("overcommit", 1.0, "admit sessions while reserved bytes stay within this factor of each GPU's memory; above 1.0 idle sessions are evicted to host snapshots on demand")
+	memBytes := flag.Int64("mem", 0, "override each simulated GPU's device memory in bytes (0 = architecture default; shrink it to demo -overcommit eviction)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/alloc profiles of the daemon hot path")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus text metrics at http://<addr>/metrics (e.g. localhost:9090; also mounted on the -pprof mux)")
 	logLevel := flag.String("log-level", "", "structured verb logging to stderr: debug (one line per verb), info (one line per flush), warn, error; empty disables")
@@ -111,6 +113,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("gvmd: %v", err)
 	}
+	if *memBytes < 0 {
+		log.Fatalf("gvmd: -mem must be >= 0, got %d", *memBytes)
+	}
+	if *memBytes > 0 {
+		arch.MemBytes = *memBytes
+	}
 	if *socket != "" {
 		listen = append(listenFlags{"unix://" + *socket}, listen...)
 	}
@@ -142,6 +150,7 @@ func main() {
 		ExecWorkers:     *execWorkers,
 		JSONWire:        *jsonWire,
 		MaxSessionBytes: *maxSessionBytes,
+		Overcommit:      *overcommit,
 		BarrierTimeout:  *barrierTimeout,
 		Logger:          log.New(os.Stderr, "gvmd: ", log.LstdFlags),
 		Metrics:         reg,

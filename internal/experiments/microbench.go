@@ -34,6 +34,14 @@ type MicroBenchResult struct {
 	// CyclesPerSec is set by the daemon-throughput results: aggregate
 	// full-cycle throughput across all concurrent clients.
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// The oversubscription sweep (DaemonOversubBench) fills in tail
+	// latency and the residency engine's swap traffic: NsPerOp is then the
+	// mean cycle turnaround and P99NsPerOp its 99th percentile.
+	P99NsPerOp   float64 `json:"p99_ns_per_op,omitempty"`
+	SwapOutBytes int64   `json:"swap_out_bytes,omitempty"`
+	SwapInBytes  int64   `json:"swap_in_bytes,omitempty"`
+	Evictions    int64   `json:"evictions,omitempty"`
+	Restores     int64   `json:"restores,omitempty"`
 }
 
 // MicroBenchReport is the JSON document `gvmbench -benchjson` writes.
@@ -259,15 +267,16 @@ func MicroBench() MicroBenchReport {
 }
 
 // WriteMicroBenchJSON runs MicroBench plus the daemon-throughput
-// matrices (DaemonBench's transport × clients × pipelining grid and
-// DaemonShardBench's shard-count dimension) and writes the combined
-// report to path, embedding the daemon's metrics snapshot alongside the
-// timing results.
+// matrices (DaemonBench's transport × clients × pipelining grid,
+// DaemonShardBench's shard-count dimension, and DaemonOversubBench's
+// memory-oversubscription sweep) and writes the combined report to path,
+// embedding the daemon's metrics snapshot alongside the timing results.
 func WriteMicroBenchJSON(path string) error {
 	rep := MicroBench()
 	daemon, snap := DaemonBench()
 	rep.Results = append(rep.Results, daemon...)
 	rep.Results = append(rep.Results, DaemonShardBench()...)
+	rep.Results = append(rep.Results, DaemonOversubBench()...)
 	rep.DaemonMetrics = snap
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

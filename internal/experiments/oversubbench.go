@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/ipc"
+	"gpuvirt/internal/workloads"
+)
+
+// This file is the oversubscription sweep behind `gvmbench -benchjson`:
+// it packs sessions whose arenas total 1x/2x/4x of one GPU's memory onto
+// a deliberately tiny card and measures what the residency engine costs
+// — swap traffic (gvm_swap_bytes_total) and the turnaround-time tail
+// (p99) — as the overcommit factor grows. At 1x nothing should swap; at
+// 2x and 4x every cycle lands on an evicted session and pays a
+// transparent restore, so the p99/mean gap is the eviction penalty the
+// virtual-device-memory layer trades for admitting the extra sessions.
+
+// oversubN is the per-session vecadd size: 32 KiB in + 16 KiB out of
+// arenas, so two sessions exactly fill the 96 KiB bench card.
+const oversubN = 4096
+
+const oversubSessionBytes = 3 * 4 * oversubN // two input arenas + one output
+
+// oversubCycles is how many timed cycles each session runs; with up to 8
+// sessions that yields enough samples for a stable-ish p99 while keeping
+// `make bench` fast.
+const oversubCycles = 40
+
+// DaemonOversubBench boots one tiny-card daemon per oversubscription
+// factor (sessions totaling 1x, 2x, 4x device memory, admitted via
+// Overcommit=factor), runs every session's cycles concurrently, and
+// reports mean and p99 cycle turnaround plus the swap counters from the
+// daemon's own metrics registry.
+func DaemonOversubBench() []MicroBenchResult {
+	var out []MicroBenchResult
+	for _, factor := range []int{1, 2, 4} {
+		name := fmt.Sprintf("daemon-oversub-%dx", factor)
+		res, err := oversubRun(factor)
+		if err != nil {
+			out = append(out, MicroBenchResult{Name: name, NsPerOp: -1})
+			continue
+		}
+		res.Name = name
+		out = append(out, res)
+	}
+	return out
+}
+
+func oversubRun(factor int) (MicroBenchResult, error) {
+	arch := fermi.TeslaC2070()
+	// The card fits exactly two sessions; the extra page covers the
+	// allocator's reserved null-address alignment slot.
+	arch.MemBytes = 2*oversubSessionBytes + 4096
+	sessions := 2 * factor
+	shmDir, err := os.MkdirTemp("", "gvmbench-oversub")
+	if err != nil {
+		return MicroBenchResult{}, err
+	}
+	defer os.RemoveAll(shmDir)
+	srv, err := ipc.NewServer(ipc.ServerConfig{
+		Listen:     []string{fmt.Sprintf("inproc://gvmbench-oversub-%dx", factor)},
+		Functional: true,
+		ShmDir:     shmDir,
+		Arch:       arch,
+		Overcommit: float64(factor),
+	})
+	if err != nil {
+		return MicroBenchResult{}, err
+	}
+	defer srv.Close()
+
+	cs := make([]*ipc.Client, sessions)
+	sess := make([]*ipc.Session, sessions)
+	defer func() {
+		for i := range cs {
+			if sess[i] != nil {
+				sess[i].Release()
+			}
+			if cs[i] != nil {
+				cs[i].Close()
+			}
+		}
+	}()
+	for i := range cs {
+		c, err := ipc.Dial(srv.Addr(), shmDir)
+		if err != nil {
+			return MicroBenchResult{}, err
+		}
+		cs[i] = c
+		s, err := c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": oversubN}}, 0)
+		if err != nil {
+			return MicroBenchResult{}, err
+		}
+		sess[i] = s
+	}
+
+	lat := make([][]time.Duration, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := make([]byte, sess[i].InBytes())
+			outBuf := make([]byte, sess[i].OutBytes())
+			for j := range in {
+				in[j] = byte(i + j)
+			}
+			if err := sess[i].RunCycle(in, outBuf); err != nil { // warm up
+				errs[i] = err
+				return
+			}
+			lat[i] = make([]time.Duration, 0, oversubCycles)
+			for c := 0; c < oversubCycles; c++ {
+				t0 := time.Now()
+				if err := sess[i].RunCycle(in, outBuf); err != nil {
+					errs[i] = err
+					return
+				}
+				lat[i] = append(lat[i], time.Since(t0))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return MicroBenchResult{}, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	res := MicroBenchResult{
+		NsPerOp:    float64(sum.Nanoseconds()) / float64(len(all)),
+		P99NsPerOp: float64(all[len(all)*99/100].Nanoseconds()),
+	}
+	if res.NsPerOp > 0 {
+		res.CyclesPerSec = float64(sessions) * 1e9 / res.NsPerOp
+	}
+	for _, s := range srv.Metrics().Snapshot() {
+		switch s.Name {
+		case "gvm_swap_bytes_total":
+			if s.Labels["dir"] == "out" {
+				res.SwapOutBytes += s.Value
+			} else {
+				res.SwapInBytes += s.Value
+			}
+		case "gvm_evictions_total":
+			res.Evictions += s.Value
+		case "gvm_restores_total":
+			res.Restores += s.Value
+		}
+	}
+	return res, nil
+}
+
+// oversubSwapped is used by tests: an overcommitted run must actually
+// exercise the residency engine, a 1x run must not.
+func oversubSwapped(r MicroBenchResult) bool { return r.Evictions > 0 && r.Restores > 0 }

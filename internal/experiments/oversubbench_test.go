@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// TestOversubSweepSwapBehavior pins the sweep's defining property: at 1x
+// the card fits every session and the residency engine stays idle, while
+// an overcommitted run must evict and restore (and account the swapped
+// bytes) to serve sessions beyond device memory.
+func TestOversubSweepSwapBehavior(t *testing.T) {
+	base, err := oversubRun(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oversubSwapped(base) || base.SwapOutBytes != 0 || base.SwapInBytes != 0 {
+		t.Fatalf("1x run swapped: %+v", base)
+	}
+	if base.NsPerOp <= 0 || base.P99NsPerOp < base.NsPerOp {
+		t.Fatalf("1x latencies malformed: mean=%v p99=%v", base.NsPerOp, base.P99NsPerOp)
+	}
+	over, err := oversubRun(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oversubSwapped(over) {
+		t.Fatalf("2x run never exercised the residency engine: %+v", over)
+	}
+	if over.SwapOutBytes == 0 || over.SwapInBytes == 0 {
+		t.Fatalf("2x run swapped without accounting bytes: %+v", over)
+	}
+}

@@ -21,6 +21,16 @@ type Allocator struct {
 	// InUse() feeds telemetry (Device.MemInUse, the gvm_mem_in_use_bytes
 	// gauge) read from scraper goroutines.
 	inUse atomic.Int64
+	// reserved tracks logical bytes promised to sessions, independent of
+	// what is physically resident right now. A session that has been
+	// evicted to host memory keeps its reservation; reserved therefore may
+	// exceed total under overcommit. Atomic for the same telemetry reason
+	// as inUse.
+	reserved atomic.Int64
+	// evictor, when set, is asked to make room whenever a first-fit pass
+	// fails. It returns true if it freed anything (Alloc retries), false
+	// when nothing more can be evicted (Alloc reports OOM).
+	evictor func(need int64) bool
 }
 
 type span struct{ off, size int64 }
@@ -48,16 +58,82 @@ func (a *Allocator) Total() int64 { return a.total }
 // InUse returns the number of bytes currently allocated (after rounding).
 func (a *Allocator) InUse() int64 { return a.inUse.Load() }
 
+// Resident is InUse under its residency-layer name: bytes physically
+// backed by device memory right now.
+func (a *Allocator) Resident() int64 { return a.inUse.Load() }
+
+// Reserved returns the logical bytes promised to sessions. Under
+// overcommit this may exceed Total(); the difference between Reserved
+// and Resident is what has been evicted to host snapshots (or reserved
+// but not yet touched).
+func (a *Allocator) Reserved() int64 { return a.reserved.Load() }
+
+// Reserve records n logical bytes as promised. Reservations are pure
+// accounting — they do not consume address space until Alloc.
+func (a *Allocator) Reserve(n int64) { a.reserved.Add(n) }
+
+// Unreserve returns n logical bytes to the pool.
+func (a *Allocator) Unreserve(n int64) {
+	if a.reserved.Add(-n) < 0 {
+		panic("gpusim: Unreserve below zero")
+	}
+}
+
+// SetEvictor installs the callback Alloc invokes when a first-fit pass
+// fails. The callback must free at least one allocation (via Free) and
+// return true to make Alloc retry, or return false to let the OOM
+// surface. It runs on the owner goroutine, inside Alloc.
+func (a *Allocator) SetEvictor(fn func(need int64) bool) { a.evictor = fn }
+
+// RoundUp returns n rounded up to the allocator's alignment — the size
+// Alloc would actually consume for an n-byte request.
+func (a *Allocator) RoundUp(n int64) int64 {
+	return (n + a.align - 1) / a.align * a.align
+}
+
+// LargestFree returns the size of the largest contiguous free span —
+// the biggest single allocation that could succeed right now. The free
+// list is short in practice (coalesced), so a linear scan is fine.
+func (a *Allocator) LargestFree() int64 {
+	var max int64
+	for _, s := range a.free {
+		if s.size > max {
+			max = s.size
+		}
+	}
+	return max
+}
+
 // Allocations returns the number of live allocations.
 func (a *Allocator) Allocations() int { return len(a.used) }
 
 // Alloc reserves n bytes and returns the device address, or an
-// out-of-memory error. Zero or negative sizes are rejected.
+// out-of-memory error. Zero or negative sizes are rejected. When an
+// evictor is installed, a failed first-fit pass asks it to make room
+// and retries until it either fits or the evictor reports nothing left
+// to evict.
 func (a *Allocator) Alloc(n int64) (cuda.DevPtr, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("gpusim: alloc of %d bytes", n)
 	}
 	size := (n + a.align - 1) / a.align * a.align
+	for {
+		if ptr, ok := a.tryAlloc(size); ok {
+			return ptr, nil
+		}
+		if a.evictor == nil || !a.evictor(size) {
+			break
+		}
+	}
+	// Report the largest contiguous span, not total-minus-inUse: under
+	// fragmentation the sum of free spans overstates what a single
+	// allocation can get.
+	return 0, fmt.Errorf("gpusim: out of device memory: need %d bytes, largest contiguous span %d (%d free total in %d spans)",
+		size, a.LargestFree(), a.total-a.align-a.inUse.Load(), len(a.free))
+}
+
+// tryAlloc is one first-fit pass over the free list.
+func (a *Allocator) tryAlloc(size int64) (cuda.DevPtr, bool) {
 	for i, s := range a.free {
 		if s.size < size {
 			continue
@@ -70,10 +146,9 @@ func (a *Allocator) Alloc(n int64) (cuda.DevPtr, error) {
 		}
 		a.used[ptr] = size
 		a.inUse.Add(size)
-		return ptr, nil
+		return ptr, true
 	}
-	return 0, fmt.Errorf("gpusim: out of device memory: need %d bytes, %d free (fragmented into %d spans)",
-		size, a.total-a.align-a.inUse.Load(), len(a.free))
+	return 0, false
 }
 
 // Free releases the allocation at ptr. Freeing an unknown address is an

@@ -152,6 +152,30 @@ func (d *Device) Functional() bool { return d.functional }
 // MemInUse returns allocated device memory in bytes.
 func (d *Device) MemInUse() int64 { return d.alloc.InUse() }
 
+// MemResident returns physically resident device memory in bytes (an
+// alias of MemInUse under the residency layer's vocabulary).
+func (d *Device) MemResident() int64 { return d.alloc.Resident() }
+
+// MemReserved returns the logical bytes promised to sessions; may
+// exceed Arch().MemBytes under overcommit.
+func (d *Device) MemReserved() int64 { return d.alloc.Reserved() }
+
+// Reserve records n logical bytes as promised to a session.
+func (d *Device) Reserve(n int64) { d.alloc.Reserve(n) }
+
+// Unreserve returns n logical bytes to the pool.
+func (d *Device) Unreserve(n int64) { d.alloc.Unreserve(n) }
+
+// LargestFree returns the largest contiguous free span of device memory.
+func (d *Device) LargestFree() int64 { return d.alloc.LargestFree() }
+
+// RoundUp returns n rounded up to the allocator's alignment.
+func (d *Device) RoundUp(n int64) int64 { return d.alloc.RoundUp(n) }
+
+// SetEvictor installs the allocator's make-room callback; see
+// Allocator.SetEvictor.
+func (d *Device) SetEvictor(fn func(need int64) bool) { d.alloc.SetEvictor(fn) }
+
 // devBuf is one functional-mode allocation's backing store.
 type devBuf struct {
 	start cuda.DevPtr

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpuvirt/internal/gpusim"
+	"gpuvirt/internal/sim"
 )
 
 // DirectNotify delivers completions of verbs issued through
@@ -84,10 +85,34 @@ func (m *Manager) DirectVerb(id int, verb Verb) error {
 		return fmt.Errorf("gvm: DirectVerb: session %d not bound", id)
 	}
 	m.met.requests.Inc()
+	s.lastUsed = m.env.Now()
 	if s.susp != nil && (verb == SND || verb == STR || verb == RCV) {
-		s.notify(verb, ERR, fmt.Sprintf("gvm: %v on suspended session %d", verb, s.id))
+		if !s.evicted {
+			// Client-driven SUS still demands an explicit RES.
+			s.notify(verb, ERR, fmt.Sprintf("gvm: %v on suspended session %d", verb, s.id))
+			return nil
+		}
+		// The manager evicted this session's arena; restore it
+		// transparently before the verb. DirectVerb must not block, so the
+		// restore runs on a transient process and re-issues the verb — its
+		// completion reaches notify during a calendar drain, exactly like
+		// any deferred direct completion.
+		m.env.Go("gvm-restore", func(p *sim.Proc) {
+			if err := m.restoreWithBackoff(p, s); err != nil {
+				if s.notify != nil {
+					s.notify(verb, ERR, err.Error())
+				}
+				return
+			}
+			m.directDispatch(s, verb)
+		})
 		return nil
 	}
+	return m.directDispatch(s, verb)
+}
+
+// directDispatch performs one direct verb on a live (restored) session.
+func (m *Manager) directDispatch(s *session, verb Verb) error {
 	switch verb {
 	case SND:
 		if d := m.HostCopyTime(s.spec.InBytes); d > 0 {
@@ -125,6 +150,53 @@ func (m *Manager) DirectVerb(id int, verb Verb) error {
 		m.met.sessionsClosed.Inc()
 		m.met.openSessions.Dec()
 		notify(RLS, ACK, "")
+	case SUS:
+		// The evacuation D2H needs a process clock; conditions are checked
+		// inside the transient process, where they are authoritative.
+		m.env.Go("gvm-sus", func(p *sim.Proc) {
+			switch {
+			case s.running:
+				if s.notify != nil {
+					s.notify(SUS, ERR, "gvm: SUS while running")
+				}
+			case s.susp != nil && s.evicted:
+				// Adopt the eviction engine's snapshot as a client-held
+				// suspension (evictions are transparent to the client).
+				s.evicted = false
+				m.met.suspensions.Inc()
+				if s.notify != nil {
+					s.notify(SUS, ACK, "")
+				}
+			case s.susp != nil:
+				if s.notify != nil {
+					s.notify(SUS, ERR, "gvm: already suspended")
+				}
+			default:
+				m.suspendSession(p, s)
+				m.met.suspensions.Inc()
+				if s.notify != nil {
+					s.notify(SUS, ACK, "")
+				}
+			}
+		})
+	case RES:
+		m.env.Go("gvm-res", func(p *sim.Proc) {
+			if s.susp == nil {
+				if s.notify != nil {
+					s.notify(RES, ERR, "gvm: RES without SUS")
+				}
+				return
+			}
+			if err := m.resumeSession(p, s, false); err != nil {
+				if s.notify != nil {
+					s.notify(RES, ERR, err.Error())
+				}
+				return
+			}
+			if s.notify != nil {
+				s.notify(RES, ACK, "")
+			}
+		})
 	default:
 		return fmt.Errorf("gvm: DirectVerb: unsupported verb %v", verb)
 	}

@@ -86,6 +86,14 @@ type Request struct {
 	// daemon dispatcher uses this to keep O(bytes) work off the
 	// simulation-owner goroutine.
 	Direct bool
+	// MemQuota (REQ only) is a hard per-session device-memory limit in
+	// bytes, enforced at every Malloc the session performs (HAMi-style).
+	// 0 means unlimited.
+	MemQuota int64
+	// Priority (REQ only) orders eviction victims: lower-priority
+	// sessions are evicted first when the device cannot fit an
+	// allocation. Equal priorities fall back to LRU. 0 is the default.
+	Priority int
 }
 
 // Response is a control-plane message from the manager to a client.
@@ -140,8 +148,14 @@ type Config struct {
 	// footprint of live sessions; REQ beyond the cap is rejected. The
 	// paper: "the shared memory size is user-customizable to ensure the
 	// total size does not exceed the GPU memory size". 0 defaults to the
-	// device's memory size.
+	// device's memory size, scaled by Overcommit.
 	MaxSessionBytes int64
+	// Overcommit scales the default MaxSessionBytes quota (the node's
+	// -overcommit factor): under overcommit the manager hosts more
+	// sessions than fit the card, paging idle arenas to host snapshots,
+	// so the aggregate staging cap must grow in step. Values <= 1 (and 0)
+	// leave the classic device-sized default.
+	Overcommit float64
 	// BarrierTimeout bounds how long buffered STR requests wait for the
 	// remaining parties. When it expires the manager flushes the partial
 	// batch, so a crashed SPMD rank cannot wedge the node. 0 disables
@@ -234,6 +248,11 @@ type Manager struct {
 	strGen     uint64     // invalidates stale barrier-timeout timers
 	shmInUse   int64      // aggregate session footprint against the quota
 
+	// curProc is the process currently inside a manager handler. The
+	// allocator's evictor callback runs synchronously inside Malloc and
+	// needs a process to charge the evacuation D2H on; this is it.
+	curProc *sim.Proc
+
 	reg *metrics.Registry
 	met managerMetrics
 	log *slog.Logger
@@ -251,6 +270,10 @@ type managerMetrics struct {
 	barrierTimeouts *metrics.Counter
 	suspensions     *metrics.Counter
 	resumes         *metrics.Counter
+	evictions       *metrics.Counter
+	restores        *metrics.Counter
+	swapOutBytes    *metrics.Counter
+	swapInBytes     *metrics.Counter
 	openSessions    *metrics.Gauge
 	barrierWaitNS   *metrics.Histogram
 }
@@ -276,6 +299,18 @@ type session struct {
 	stpWaiting bool      // a blocking STP response is owed
 	footprint  int64     // bytes counted against the manager's quota
 	susp       *snapshot // non-nil while suspended (extension verbs SUS/RES)
+
+	// Residency-layer state: a session's device reservation (devBytes,
+	// the rounded bytes it logically holds) outlives eviction — evicted
+	// means the manager moved the arena to the host snapshot to make
+	// room, and the next SND/STR/RCV restores it transparently. A
+	// client-driven SUS sets susp but not evicted: it still requires an
+	// explicit RES.
+	evicted  bool
+	lastUsed sim.Time // LRU clock for victim selection
+	priority int      // lower evicts first (Request.Priority)
+	memQuota int64    // hard Malloc-time limit, 0 = unlimited
+	devBytes int64    // logical device bytes reserved by this session
 
 	// Prebound flush sequence (H2D, kernels, D2H) and completion callback,
 	// built once at REQ so steady-state flushes enqueue stream work without
@@ -331,12 +366,20 @@ func New(env *sim.Env, cfg Config) *Manager {
 		barrierTimeouts: reg.Counter("gvm_barrier_timeouts_total", "partial flushes forced by BarrierTimeout", gl),
 		suspensions:     reg.Counter("gvm_suspensions_total", "sessions suspended (SUS)", gl),
 		resumes:         reg.Counter("gvm_resumes_total", "sessions resumed (RES)", gl),
+		evictions:       reg.Counter("gvm_evictions_total", "sessions evicted to host snapshots to make room", gl),
+		restores:        reg.Counter("gvm_restores_total", "evicted sessions restored on their next verb", gl),
+		swapOutBytes:    reg.Counter("gvm_swap_bytes_total", "bytes moved between device arenas and host snapshots", gl, metrics.L("dir", "out")),
+		swapInBytes:     reg.Counter("gvm_swap_bytes_total", "bytes moved between device arenas and host snapshots", gl, metrics.L("dir", "in")),
 		openSessions:    reg.Gauge("gvm_open_sessions", "live sessions", gl),
 		barrierWaitNS:   reg.Histogram("gvm_barrier_wait_ns", "virtual ns each session waited at the STR barrier", gl),
 	}
 	dev := m.dev
 	reg.GaugeFunc("gvm_mem_in_use_bytes", "device memory allocated to sessions",
 		func() int64 { return dev.MemInUse() }, gl)
+	reg.GaugeFunc("gvm_resident_bytes", "session bytes physically resident in device memory",
+		func() int64 { return dev.MemResident() }, gl)
+	reg.GaugeFunc("gvm_reserved_bytes", "logical session bytes reserved (may exceed capacity under overcommit)",
+		func() int64 { return dev.MemReserved() }, gl)
 	return m
 }
 
@@ -364,6 +407,12 @@ func (m *Manager) Suspensions() int { return int(m.met.suspensions.Value()) }
 
 // Resumes returns how many RES verbs have completed.
 func (m *Manager) Resumes() int { return int(m.met.resumes.Value()) }
+
+// Evictions returns how many sessions the manager evicted to make room.
+func (m *Manager) Evictions() int { return int(m.met.evictions.Value()) }
+
+// Restores returns how many evicted sessions were restored lazily.
+func (m *Manager) Restores() int { return int(m.met.restores.Value()) }
 
 func (c Config) trace(lane, label string, start, end sim.Time) {
 	if c.Tracer != nil {
@@ -411,6 +460,11 @@ func (m *Manager) Start() {
 		// flows through the one context, so no context switches ever
 		// occur (paper Section IV.B.2).
 		m.ctx.Acquire(p)
+		// Residency layer: when an allocation cannot fit, the allocator
+		// asks the manager to evict an idle session's arena to a host
+		// snapshot and retries. The callback runs inside Malloc on the
+		// owner goroutine, charging the evacuation on m.curProc's clock.
+		m.dev.SetEvictor(m.evictForAlloc)
 		m.cfg.trace("gvm", "init", start, p.Now())
 		m.ready.Fire(nil)
 		p.Daemonize()
@@ -424,6 +478,8 @@ func (m *Manager) Start() {
 
 // handle services one request on the manager's clock.
 func (m *Manager) handle(p *sim.Proc, r Request) {
+	m.curProc = p
+	defer func() { m.curProc = nil }()
 	if r.Verb == REQ {
 		m.handleREQ(p, r)
 		return
@@ -434,10 +490,22 @@ func (m *Manager) handle(p *sim.Proc, r Request) {
 		// timeouts in their own tests.)
 		return
 	}
+	s.lastUsed = p.Now()
 	if s.susp != nil && (r.Verb == SND || r.Verb == STR || r.Verb == RCV) {
-		s.reply.Send(p, Response{Status: ERR, Session: s.id,
-			Err: fmt.Sprintf("gvm: %v on suspended session %d", r.Verb, s.id)})
-		return
+		if !s.evicted {
+			// Client-driven SUS: the client must issue an explicit RES.
+			s.reply.Send(p, Response{Status: ERR, Session: s.id,
+				Err: fmt.Sprintf("gvm: %v on suspended session %d", r.Verb, s.id)})
+			return
+		}
+		// Manager-driven eviction is transparent: restore the arena before
+		// serving the verb, waiting out pressure from running sessions.
+		// Failure (device still full, nothing evictable, nothing running)
+		// leaves the snapshot intact so the verb can be retried.
+		if err := m.restoreWithBackoff(p, s); err != nil {
+			s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: err.Error()})
+			return
+		}
 	}
 	switch r.Verb {
 	case SND:
@@ -478,6 +546,9 @@ func (m *Manager) handleREQ(p *sim.Proc, r Request) {
 	quota := m.cfg.MaxSessionBytes
 	if quota == 0 {
 		quota = m.dev.Arch().MemBytes
+		if m.cfg.Overcommit > 1 {
+			quota = int64(m.cfg.Overcommit * float64(quota))
+		}
 	}
 	if m.shmInUse+footprint > quota {
 		r.Reply.Send(p, Response{Status: ERR, Err: fmt.Sprintf(
@@ -490,7 +561,10 @@ func (m *Manager) handleREQ(p *sim.Proc, r Request) {
 		stride = 1
 	}
 	m.nextID += stride
-	s := &session{id: m.nextID, spec: r.Spec, reply: r.Reply, direct: r.Direct}
+	s := &session{
+		id: m.nextID, spec: r.Spec, reply: r.Reply, direct: r.Direct,
+		memQuota: r.MemQuota, priority: r.Priority, lastUsed: p.Now(),
+	}
 	ctx := m.ctx
 	dev := m.dev
 	// Direct sessions never move bytes through the segment, so it stays
@@ -499,15 +573,20 @@ func (m *Manager) handleREQ(p *sim.Proc, r Request) {
 	m.shmInUse += footprint
 	s.footprint = footprint
 
+	// All of a session's device allocations flow through its quota
+	// allocator: it enforces the hard MemQuota at Malloc time and keeps
+	// the device's reserved-bytes gauge in step with what the session
+	// logically holds (the reservation survives eviction).
+	alloc := &sessionAllocator{m: m, s: s}
 	var err error
 	if r.Spec.InBytes > 0 {
-		if s.devIn, err = ctx.Malloc(r.Spec.InBytes); err != nil {
+		if s.devIn, err = alloc.Malloc(r.Spec.InBytes); err != nil {
 			fail(s, err)
 			return
 		}
 	}
 	if r.Spec.OutBytes > 0 {
-		if s.devOut, err = ctx.Malloc(r.Spec.OutBytes); err != nil {
+		if s.devOut, err = alloc.Malloc(r.Spec.OutBytes); err != nil {
 			fail(s, err)
 			return
 		}
@@ -519,7 +598,7 @@ func (m *Manager) handleREQ(p *sim.Proc, r Request) {
 		s.pinOut = dev.AllocHost(r.Spec.OutBytes, m.cfg.PinnedStaging)
 	}
 	if r.Spec.Build != nil {
-		b := &task.Buffers{In: s.devIn, Out: s.devOut, Alloc: ctx, Scratch: &s.scratch}
+		b := &task.Buffers{In: s.devIn, Out: s.devOut, Alloc: alloc, Scratch: &s.scratch}
 		if s.kernels, err = r.Spec.Build(b); err != nil {
 			fail(s, err)
 			return
@@ -692,8 +771,10 @@ func (m *Manager) flushBatch(p *sim.Proc, timedOut bool) {
 // prepareOps prebinds the session's flush sequence — H2D, the kernel
 // chain, D2H — and its completion callback. Building these once at REQ
 // keeps every subsequent flush free of per-operation closure and event
-// allocations; the closures read the session's fields at run time, so
-// BindDirect and SUS/RES may rebind buffers underneath them.
+// allocations. The copy closures read the session's fields at run time,
+// so BindDirect may rebind staging underneath them; the kernel closures
+// capture the kernel objects themselves, so a restore that rebuilds
+// s.kernels must re-run prepareOps (resumeSession does).
 func (m *Manager) prepareOps(s *session) {
 	ctx := m.ctx
 	if s.spec.InBytes > 0 {
@@ -827,6 +908,14 @@ func (m *Manager) teardown(s *session) {
 		_ = s.seg.Close()
 		s.seg = nil
 	}
+	// The logical reservation is returned whether the arena was resident
+	// or sitting in a host snapshot.
+	if s.devBytes > 0 {
+		m.dev.Unreserve(s.devBytes)
+		s.devBytes = 0
+	}
+	s.susp = nil
+	s.evicted = false
 	m.shmInUse -= s.footprint
 	s.footprint = 0
 }

@@ -15,6 +15,14 @@ import (
 // session transparently. Suspended sessions keep their identity and
 // shared-memory segment; only the GPU footprint is evacuated, so other
 // sessions (or other tenants) can use the device memory meanwhile.
+//
+// The same machinery is the manager's internal evict/restore engine
+// (the residency layer): when an allocation cannot fit, the allocator's
+// evictor callback suspends the least-valuable idle session
+// (lowest priority, then LRU) and retries, and the victim's arena is
+// restored transparently on its next SND/STR/RCV. A session's logical
+// reservation (devBytes) survives eviction — "admitted" no longer
+// implies "resident".
 
 // The two extension verbs.
 const (
@@ -32,18 +40,51 @@ type snapshot struct {
 	total    int64
 }
 
-// handleSUS evacuates the session's device buffers into a host-side
-// snapshot and frees its device memory. The evacuation is a D2H transfer
-// of the session's whole footprint on the session's device.
+// handleSUS serves a client-driven suspend. Unlike an eviction, a
+// client-suspended session stays down until the client's explicit RES.
 func (m *Manager) handleSUS(p *sim.Proc, s *session) {
 	if s.running {
 		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: "gvm: SUS while running"})
 		return
 	}
 	if s.susp != nil {
+		if s.evicted {
+			// The eviction engine already evacuated the session; the client
+			// cannot know that (evictions are transparent), so SUS adopts
+			// the snapshot as a client-held suspension. No bytes move; the
+			// session now stays down until the client's explicit RES.
+			s.evicted = false
+			m.met.suspensions.Inc()
+			s.reply.Send(p, Response{Status: ACK, Session: s.id})
+			return
+		}
 		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: "gvm: already suspended"})
 		return
 	}
+	m.suspendSession(p, s)
+	m.met.suspensions.Inc()
+	s.reply.Send(p, Response{Status: ACK, Session: s.id})
+}
+
+// handleRES serves a client-driven resume.
+func (m *Manager) handleRES(p *sim.Proc, s *session) {
+	if s.susp == nil {
+		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: "gvm: RES without SUS"})
+		return
+	}
+	if err := m.resumeSession(p, s, false); err != nil {
+		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: err.Error()})
+		return
+	}
+	s.reply.Send(p, Response{Status: ACK, Session: s.id})
+}
+
+// suspendSession evacuates the session's device buffers into a host-side
+// snapshot and frees its device memory (resident bytes drop; the logical
+// reservation stays). The evacuation is a D2H transfer of the session's
+// whole footprint, charged on p's clock. The caller must have checked
+// !s.running && s.susp == nil.
+func (m *Manager) suspendSession(p *sim.Proc, s *session) {
 	ctx := m.ctx
 	dev := m.dev
 	start := p.Now()
@@ -75,29 +116,32 @@ func (m *Manager) handleSUS(p *sim.Proc, s *session) {
 	}
 	s.devIn, s.devOut, s.scratch = 0, 0, nil
 	s.kernels = nil // pointers are stale; rebuilt on resume
+	s.ops = nil     // the prebound flush closures captured those kernels
 	s.susp = snap
-	m.met.suspensions.Inc()
+	m.met.swapOutBytes.Add(snap.total)
 	m.cfg.trace("gvm", fmt.Sprintf("SUS s%d %dB", s.id, snap.total), start, p.Now())
-	s.reply.Send(p, Response{Status: ACK, Session: s.id})
 }
 
-// handleRES reallocates the session's device buffers, restores their
-// contents and rebuilds the kernel sequence against the new addresses.
-func (m *Manager) handleRES(p *sim.Proc, s *session) {
-	if s.susp == nil {
-		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: "gvm: RES without SUS"})
-		return
-	}
+// resumeSession reallocates the session's device buffers, restores their
+// contents, rebuilds the kernel sequence against the new addresses and
+// re-prepares the flush ops. On failure (device memory still exhausted
+// with nothing evictable) every partial allocation is released and the
+// snapshot stays intact, so the resume can be retried. evictedRestore
+// selects the metric pair (lazy restore vs client RES).
+func (m *Manager) resumeSession(p *sim.Proc, s *session, evictedRestore bool) error {
+	// Restoring may itself need room: the allocator's evictor runs inside
+	// these Mallocs and charges evacuations on m.curProc.
+	prev := m.curProc
+	m.curProc = p
+	defer func() { m.curProc = prev }()
 	ctx := m.ctx
 	dev := m.dev
 	snap := s.susp
 	start := p.Now()
-	fail := func(err error) {
-		// Restore failed (e.g. device memory now exhausted): the session
-		// stays suspended so the client can retry later.
-		m.freeSessionBuffers(s)
-		s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: err.Error()})
-	}
+	// Snapshot-sized buffers are already counted in the session's
+	// reservation, so they come back through the raw context; only
+	// scratch beyond the original set (fresh bytes) goes through the
+	// quota allocator below.
 	restore := func(data []byte, size int64) (cuda.DevPtr, error) {
 		if size == 0 {
 			return 0, nil
@@ -115,18 +159,18 @@ func (m *Manager) handleRES(p *sim.Proc, s *session) {
 	}
 	var err error
 	if s.devIn, err = restore(snap.in, snap.inSize); err != nil {
-		fail(err)
-		return
+		m.freeSessionBuffers(s)
+		return err
 	}
 	if s.devOut, err = restore(snap.out, snap.outSize); err != nil {
-		fail(err)
-		return
+		m.freeSessionBuffers(s)
+		return err
 	}
 	for i, data := range snap.scratch {
 		ptr, err := restore(data, snap.scrSizes[i])
 		if err != nil {
-			fail(err)
-			return
+			m.freeSessionBuffers(s)
+			return err
 		}
 		s.scratch = append(s.scratch, ptr)
 	}
@@ -136,22 +180,155 @@ func (m *Manager) handleRES(p *sim.Proc, s *session) {
 	// replaying allocator.
 	if s.spec.Build != nil {
 		replay := &replayScratch{ptrs: s.scratch}
-		b := &bufReplay{in: s.devIn, out: s.devOut, ctx: ctx, replay: replay}
+		b := &bufReplay{in: s.devIn, out: s.devOut, fresh: &sessionAllocator{m: m, s: s}, replay: replay}
 		ks, err := b.build(s)
 		if err != nil {
-			fail(err)
-			return
+			m.freeSessionBuffers(s)
+			return err
 		}
 		s.kernels = ks
 	}
 	s.susp = nil
-	m.met.resumes.Inc()
+	s.evicted = false
+	// The flush closures captured the old kernel objects; rebind them to
+	// the rebuilt sequence so a post-restore STR launches live kernels.
+	s.ops = nil
+	m.prepareOps(s)
+	if evictedRestore {
+		m.met.restores.Inc()
+	} else {
+		m.met.resumes.Inc()
+	}
+	m.met.swapInBytes.Add(snap.total)
 	m.cfg.trace("gvm", fmt.Sprintf("RES s%d %dB", s.id, snap.total), start, p.Now())
-	s.reply.Send(p, Response{Status: ACK, Session: s.id})
+	return nil
+}
+
+// restoreWithBackoff resumes an evicted session, waiting out transient
+// memory pressure: when the obstacle is another RUNNING session (whose
+// completion will make it evictable), the restore retries on a growing
+// virtual backoff instead of surfacing a spurious error on a verb that
+// is valid from the client's point of view — evictions are transparent,
+// so their restores must not fail while progress is possible. The wait
+// is bounded (a wedged strict barrier can pin memory forever), and
+// client-driven RES keeps fail-fast semantics via resumeSession.
+func (m *Manager) restoreWithBackoff(p *sim.Proc, s *session) error {
+	const maxWait = 60 * sim.Second
+	delay := sim.Millisecond
+	var waited sim.Duration
+	for {
+		err := m.resumeSession(p, s, true)
+		if err == nil {
+			return nil
+		}
+		if waited >= maxWait || !m.anyOtherRunning(s) {
+			return err
+		}
+		p.Sleep(delay) // calendar drains; running streams complete
+		waited += delay
+		if delay < 100*sim.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// anyOtherRunning reports whether any session besides s is running (and
+// so will eventually complete and become evictable).
+func (m *Manager) anyOtherRunning(s *session) bool {
+	for _, o := range m.sessions {
+		if o != s && o.running {
+			return true
+		}
+	}
+	return false
+}
+
+// evictForAlloc is the allocator's make-room callback: suspend the
+// least-valuable idle session and let the allocation retry. It returns
+// false when nothing is evictable (no current process, or every session
+// is running, already suspended, or holds no device bytes).
+func (m *Manager) evictForAlloc(need int64) bool {
+	p := m.curProc
+	if p == nil {
+		return false
+	}
+	v := m.evictionVictim()
+	if v == nil {
+		return false
+	}
+	m.suspendSession(p, v)
+	v.evicted = true
+	m.met.evictions.Inc()
+	if m.log != nil {
+		m.log.Info("gvm evict", "session", v.id, "bytes", v.susp.total, "need", need)
+	}
+	return true
+}
+
+// evictionVictim picks the session to evict: lowest priority first,
+// least recently used within a priority, lowest id as the final
+// deterministic tie-break. Running sessions (which includes sessions
+// parked at the STR barrier), suspended sessions and sessions without
+// device buffers are ineligible.
+func (m *Manager) evictionVictim() *session {
+	var best *session
+	for _, s := range m.sessions {
+		if s.running || s.susp != nil {
+			continue
+		}
+		if s.devIn == 0 && s.devOut == 0 && len(s.scratch) == 0 {
+			continue
+		}
+		if best == nil || s.priority < best.priority ||
+			(s.priority == best.priority &&
+				(s.lastUsed < best.lastUsed || (s.lastUsed == best.lastUsed && s.id < best.id))) {
+			best = s
+		}
+	}
+	return best
+}
+
+// sessionAllocator is the task.Allocator a session's device allocations
+// flow through: it enforces the session's hard memory quota (HAMi-style,
+// at Malloc time) and keeps the session's logical reservation — and the
+// device's reserved-bytes gauge — in step with what the session holds.
+// Restore-path reallocations of already-reserved bytes bypass it.
+type sessionAllocator struct {
+	m *Manager
+	s *session
+}
+
+func (a *sessionAllocator) Malloc(n int64) (cuda.DevPtr, error) {
+	rounded := a.m.dev.RoundUp(n)
+	if a.s.memQuota > 0 && a.s.devBytes+rounded > a.s.memQuota {
+		return 0, fmt.Errorf("gvm: session %d memory quota exceeded: %d bytes held + %d requested > quota %d",
+			a.s.id, a.s.devBytes, rounded, a.s.memQuota)
+	}
+	ptr, err := a.m.ctx.Malloc(n)
+	if err != nil {
+		return 0, err
+	}
+	a.s.devBytes += rounded
+	a.m.dev.Reserve(rounded)
+	return ptr, nil
+}
+
+func (a *sessionAllocator) Free(p cuda.DevPtr) error {
+	size, ok := a.m.ctx.SizeOf(p)
+	if err := a.m.ctx.Free(p); err != nil {
+		return err
+	}
+	if ok {
+		a.s.devBytes -= size
+		a.m.dev.Unreserve(size)
+	}
+	return nil
 }
 
 // freeSessionBuffers releases whatever device buffers a partially
-// restored session holds, keeping its snapshot intact.
+// restored session holds, keeping its snapshot intact. The logical
+// reservation is untouched: the session still holds its bytes, they are
+// just not resident.
 func (m *Manager) freeSessionBuffers(s *session) {
 	ctx := m.ctx
 	if s.devIn != 0 {
@@ -178,7 +355,7 @@ type replayScratch struct {
 
 type bufReplay struct {
 	in, out cuda.DevPtr
-	ctx     allocator
+	fresh   allocator // beyond-the-replay allocations (quota-checked)
 	replay  *replayScratch
 }
 
@@ -194,19 +371,26 @@ func (b *bufReplay) Malloc(n int64) (cuda.DevPtr, error) {
 		return p, nil
 	}
 	// The builder asked for more scratch than the original run: allocate
-	// fresh memory (it carries no restored state).
-	return b.ctx.Malloc(n)
+	// fresh memory (it carries no restored state, and it is new bytes —
+	// quota-checked and reserved).
+	return b.fresh.Malloc(n)
 }
 
-func (b *bufReplay) Free(p cuda.DevPtr) error { return b.ctx.Free(p) }
+func (b *bufReplay) Free(p cuda.DevPtr) error { return b.fresh.Free(p) }
 
 func (b *bufReplay) build(s *session) ([]*cuda.Kernel, error) {
 	var extra []cuda.DevPtr
 	bufs := &task.Buffers{In: b.in, Out: b.out, Alloc: b, Scratch: &extra}
 	ks, err := s.spec.Build(bufs)
 	if err != nil {
-		for _, p := range extra {
-			_ = b.ctx.Free(p)
+		// Release only the allocations beyond the replayed set: those were
+		// freshly reserved by this rebuild. The replayed pointers are still
+		// owned by the session (s.scratch) and are released — reservation
+		// intact — by the caller's freeSessionBuffers.
+		if b.replay.next < len(extra) {
+			for _, p := range extra[b.replay.next:] {
+				_ = b.fresh.Free(p)
+			}
 		}
 		return nil, err
 	}

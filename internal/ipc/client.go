@@ -166,22 +166,42 @@ type Session struct {
 	VirtualMS float64
 }
 
+// SessionOptions are the optional REQ parameters a client may attach
+// when opening a session.
+type SessionOptions struct {
+	// MemQuota is a hard per-session device-memory cap in bytes, enforced
+	// daemon-side at every allocation. 0 = unlimited. Daemons predating
+	// the field ignore it (the wire encoding is backward compatible).
+	MemQuota int64
+	// Priority orders eviction under memory pressure: lower-priority
+	// sessions are evicted first. 0 is the default class.
+	Priority int
+}
+
 // Request opens a VGPU session for the given workload reference. A
 // client that asked for the ring plane against a daemon without ring
 // support (the REQ fails with "unknown data plane") renegotiates the
 // connection down to the shm plane automatically, so ring:// addresses
 // degrade to the classic unix+shm path instead of erroring.
 func (c *Client) Request(ref workloads.Ref, rank int) (*Session, error) {
+	return c.RequestOptions(ref, rank, SessionOptions{})
+}
+
+// RequestOptions opens a VGPU session with explicit session options.
+func (c *Client) RequestOptions(ref workloads.Ref, rank int, o SessionOptions) (*Session, error) {
 	c.mu.Lock()
 	reqPlane, timeout := c.plane, c.timeout
 	c.mu.Unlock()
-	resp, err := c.roundTrip(Request{Verb: "REQ", Ref: &ref, Rank: rank, Plane: reqPlane})
+	req := Request{Verb: "REQ", Ref: &ref, Rank: rank, Plane: reqPlane,
+		MemQuota: o.MemQuota, Priority: o.Priority}
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		if reqPlane == transport.PlaneRing && strings.Contains(err.Error(), "unknown data plane") {
 			c.mu.Lock()
 			c.plane = transport.PlaneShm
 			c.mu.Unlock()
-			resp, err = c.roundTrip(Request{Verb: "REQ", Ref: &ref, Rank: rank, Plane: transport.PlaneShm})
+			req.Plane = transport.PlaneShm
+			resp, err = c.roundTrip(req)
 		}
 		if err != nil {
 			return nil, err
@@ -343,6 +363,17 @@ func (s *Session) Receive(buf []byte) error {
 	s.VirtualMS = resp.VirtualMS
 	return s.plane.CollectOut(buf, &resp)
 }
+
+// Suspend issues SUS: the daemon evacuates the session's device arenas
+// into a host snapshot and frees its device memory. The session stays
+// alive (and keeps its reservation); Resume restores it.
+func (s *Session) Suspend() error { return s.verb("SUS") }
+
+// Resume issues RES, restoring a suspended session's device state.
+// Sessions the daemon evicted under memory pressure restore themselves
+// transparently on their next verb; explicit Resume is only needed
+// after an explicit Suspend.
+func (s *Session) Resume() error { return s.verb("RES") }
 
 // Release issues RLS and detaches the data plane.
 func (s *Session) Release() error {

@@ -1,0 +1,246 @@
+package ipc
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/workloads"
+)
+
+// startTinyServer boots a functional daemon whose single GPU fits about
+// one vecadd-4096 session (48 KiB of arenas on a 64 KiB card) at the
+// given overcommit factor.
+func startTinyServer(t *testing.T, overcommit float64, ring bool) (*Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	arch := fermi.TeslaC2070()
+	arch.MemBytes = 64 << 10
+	cfg := ServerConfig{
+		ShmDir:     dir,
+		Functional: true,
+		Arch:       arch,
+		Overcommit: overcommit,
+	}
+	if ring {
+		cfg.Listen = []string{"ring://" + filepath.Join(dir, "gvmd.sock")}
+	} else {
+		cfg.Socket = tempSocket(t)
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, dir
+}
+
+// TestDaemonSuspendResumeOverWire drives the SUS/RES extension verbs
+// through the socket transport: state staged before the suspend must
+// survive the round trip to a host snapshot and back.
+func TestDaemonSuspendResumeOverWire(t *testing.T) {
+	srv := startServer(t, 1, true)
+	c, err := Dial(srv.Addr(), srv.cfg.ShmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 2048
+	sess, err := c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float32, 2*n)
+	for i := 0; i < n; i++ {
+		in[i] = float32(i)
+		in[n+i] = 5
+	}
+	if err := sess.SendInput(cuda.HostFloat32Bytes(in)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Suspend(); err != nil {
+		t.Fatalf("SUS over the wire: %v", err)
+	}
+	mgr := srv.node.Shard(0).Mgr
+	if mgr.Suspensions() != 1 {
+		t.Fatalf("suspensions = %d, want 1", mgr.Suspensions())
+	}
+	// Verbs on a client-suspended session fail until the explicit RES.
+	if err := sess.Start(); err == nil {
+		t.Fatal("STR on suspended session succeeded")
+	} else if !strings.Contains(err.Error(), "suspended") {
+		t.Fatalf("STR error does not explain the suspension: %v", err)
+	}
+	if err := sess.Resume(); err != nil {
+		t.Fatalf("RES over the wire: %v", err)
+	}
+	if err := sess.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, n*4)
+	if err := sess.Receive(out); err != nil {
+		t.Fatal(err)
+	}
+	res := cuda.Float32s(byteMem(out), 0, n)
+	for i := 0; i < n; i++ {
+		if res[i] != float32(i)+5 {
+			t.Fatalf("out[%d] = %g, want %g (input lost across SUS/RES)", i, res[i], float32(i)+5)
+		}
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonSuspendResumeOverRing drives SUS/RES as ring records: the
+// extension verbs ride the shared-memory control plane like any data
+// verb, never touching the socket.
+func TestDaemonSuspendResumeOverRing(t *testing.T) {
+	srv, dir := startTinyServer(t, 1.0, true)
+	c, err := Dial(srv.Addr(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 2048
+	sess, err := c.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float32, 2*n)
+	for i := 0; i < n; i++ {
+		in[i] = float32(2 * i)
+		in[n+i] = 3
+	}
+	if err := sess.SendInput(cuda.HostFloat32Bytes(in)); err != nil {
+		t.Fatal(err)
+	}
+	trips := sess.RingTrips()
+	if err := sess.Suspend(); err != nil {
+		t.Fatalf("SUS over the ring: %v", err)
+	}
+	if err := sess.Resume(); err != nil {
+		t.Fatalf("RES over the ring: %v", err)
+	}
+	if got := sess.RingTrips(); got != trips+2 {
+		t.Fatalf("SUS/RES took %d ring trips, want 2", got-trips)
+	}
+	if err := sess.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, n*4)
+	if err := sess.Receive(out); err != nil {
+		t.Fatal(err)
+	}
+	res := cuda.Float32s(byteMem(out), 0, n)
+	for i := 0; i < n; i++ {
+		if res[i] != float32(2*i)+3 {
+			t.Fatalf("out[%d] = %g, want %g", i, res[i], float32(2*i)+3)
+		}
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonEvictionDuringPipelinedBAT packs two full-card sessions onto
+// one GPU at overcommit 4 and alternates pipelined cycles between them:
+// every BAT's first verb lands on an evicted session and the manager
+// must restore it mid-batch, transparently, with byte-identical results.
+func TestDaemonEvictionDuringPipelinedBAT(t *testing.T) {
+	srv, dir := startTinyServer(t, 4.0, false)
+	c, err := Dial(srv.Addr(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 4096
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}
+	s1, err := c.Request(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Request(ref, 0)
+	if err != nil {
+		t.Fatalf("REQ within the overcommit quota rejected: %v", err)
+	}
+	mgr := srv.node.Shard(0).Mgr
+	if mgr.Evictions() == 0 {
+		t.Fatal("second session became resident without evicting the first")
+	}
+	mk := func(seed int) ([]float32, []byte) {
+		in := make([]float32, 2*n)
+		for i := 0; i < n; i++ {
+			in[i] = float32((i + seed) % 127)
+			in[n+i] = float32((i*3 + seed) % 131)
+		}
+		return in, cuda.HostFloat32Bytes(in)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		for si, sess := range []*Session{s1, s2} {
+			in, inB := mk(cycle*7 + si)
+			out := make([]byte, n*4)
+			if err := sess.RunCycle(inB, out); err != nil {
+				t.Fatalf("cycle %d session %d: %v", cycle, si, err)
+			}
+			res := cuda.Float32s(byteMem(out), 0, n)
+			for i := 0; i < n; i++ {
+				if res[i] != in[i]+in[n+i] {
+					t.Fatalf("cycle %d session %d: out[%d] = %g, want %g",
+						cycle, si, i, res[i], in[i]+in[n+i])
+				}
+			}
+		}
+	}
+	// Each cycle's BAT hit a swapped-out session: restores accumulated.
+	if mgr.Restores() < 3 {
+		t.Fatalf("restores = %d, want >= 3 (one per ping-pong)", mgr.Restores())
+	}
+	if err := s1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if open := srv.disp.OpenSessions(); open != 0 {
+		t.Fatalf("%d dispatcher sessions leaked", open)
+	}
+	dev := srv.node.Shard(0).Dev
+	if dev.MemInUse() != 0 || dev.MemReserved() != 0 {
+		t.Fatalf("leak: resident=%d reserved=%d", dev.MemInUse(), dev.MemReserved())
+	}
+}
+
+// TestDaemonQuotaAndPriorityOnREQ sends the optional MemQuota/Priority
+// REQ fields over the binary wire: an under-quota REQ is rejected by the
+// manager's allocation-time check, and an in-quota one works.
+func TestDaemonQuotaAndPriorityOnREQ(t *testing.T) {
+	srv := startServer(t, 1, true)
+	c, err := Dial(srv.Addr(), srv.cfg.ShmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 2048 // 16 KiB in + 8 KiB out of arenas
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}
+	if _, err := c.RequestOptions(ref, 0, SessionOptions{MemQuota: 8 << 10}); err == nil {
+		t.Fatal("REQ exceeding its own MemQuota accepted")
+	} else if !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("rejection does not name the quota: %v", err)
+	}
+	sess, err := c.RequestOptions(ref, 0, SessionOptions{MemQuota: 64 << 10, Priority: 3})
+	if err != nil {
+		t.Fatalf("in-quota REQ rejected: %v", err)
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,6 +55,12 @@ type ServerConfig struct {
 	// (InBytes+OutBytes); REQ beyond the limit is rejected with a clear
 	// error. 0 = no per-session limit.
 	MaxSessionBytes int64
+	// Overcommit is the quota-admission factor (gvmd -overcommit): each
+	// GPU admits sessions while their reserved bytes stay within
+	// Overcommit x its device capacity, relying on the managers' eviction
+	// engine to page idle sessions to host snapshots. 0 or 1 = classic
+	// fit-or-reject admission.
+	Overcommit float64
 	// BarrierTimeout flushes a partial STR batch after this much virtual
 	// time, so a crashed client cannot wedge the daemon (0 = strict).
 	// Caveat: the daemon drains virtual time eagerly after every request,
@@ -171,6 +177,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Parties:         cfg.Parties,
 		Placement:       cfg.Placement,
 		MaxSessionBytes: cfg.MaxSessionBytes,
+		Overcommit:      cfg.Overcommit,
 		BarrierTimeout:  cfg.BarrierTimeout,
 		Metrics:         cfg.Metrics,
 		Log:             cfg.Slog,

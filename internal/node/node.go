@@ -63,6 +63,14 @@ type Config struct {
 	// naming the limit. 0 = no per-session cap (device-memory fit still
 	// applies).
 	MaxSessionBytes int64
+	// Overcommit is the quota-admission factor: a shard admits a session
+	// while reserved bytes stay within Overcommit x its device capacity.
+	// 1.0 (or 0, the default) is the classic fit-or-reject admission;
+	// 2.0 admits up to twice the device memory, relying on the managers'
+	// eviction engine to page idle sessions' arenas to host snapshots.
+	// Values below 1 underbook the device (burn-in headroom). Must be
+	// > 0 when set.
+	Overcommit float64
 	// BarrierTimeout bounds each shard's partial-barrier wait (gvm
 	// semantics, per shard).
 	BarrierTimeout sim.Duration
@@ -112,6 +120,12 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Arch.SMs == 0 {
 		cfg.Arch = fermi.TeslaC2070()
 	}
+	if cfg.Overcommit < 0 || (cfg.Overcommit > 0 && cfg.Overcommit < 1e-9) {
+		return nil, fmt.Errorf("node: Overcommit must be > 0, got %g", cfg.Overcommit)
+	}
+	if cfg.Overcommit == 0 {
+		cfg.Overcommit = 1.0
+	}
 	policy, err := PolicyByName(cfg.Placement)
 	if err != nil {
 		return nil, err
@@ -139,6 +153,7 @@ func New(cfg Config) (*Node, error) {
 			GPUIndex:        i,
 			SessionIDStride: cfg.GPUs,
 			Parties:         cfg.Parties,
+			Overcommit:      cfg.Overcommit,
 			BarrierTimeout:  cfg.BarrierTimeout,
 			FlushPolicy:     cfg.FlushPolicy,
 			Metrics:         reg,
@@ -198,6 +213,15 @@ func (n *Node) SessionShard(id int) int {
 	return (id - 1) % len(n.shards)
 }
 
+// Overcommit returns the node's quota-admission factor (>= defaulted).
+func (n *Node) Overcommit() float64 { return n.cfg.Overcommit }
+
+// quota returns one shard's admission capacity: Overcommit x device
+// memory, the ceiling its reserved (placed) bytes may reach.
+func (n *Node) quota(sh *Shard) int64 {
+	return int64(n.cfg.Overcommit * float64(sh.Dev.Arch().MemBytes))
+}
+
 // Loads snapshots every shard's placement load in index order.
 func (n *Node) Loads() []Load {
 	loads := make([]Load, len(n.shards))
@@ -206,7 +230,8 @@ func (n *Node) Loads() []Load {
 			Shard:    i,
 			Sessions: n.placedSessions[i].Value(),
 			Bytes:    n.placedBytes[i].Value(),
-			MemFree:  sh.Dev.Arch().MemBytes - n.placedBytes[i].Value(),
+			MemFree:  n.quota(sh) - n.placedBytes[i].Value(),
+			Resident: sh.Dev.MemResident(),
 		}
 	}
 	return loads
@@ -214,9 +239,12 @@ func (n *Node) Loads() []Load {
 
 // Place runs admission control and the placement policy for a session
 // with the given staging footprint, reserving the footprint on the
-// chosen shard. The caller must pair a successful Place with Release
-// (even when the shard's manager later rejects the REQ). O(GPUs), no
-// session scans.
+// chosen shard. Admission is by RESERVED bytes against the overcommit
+// quota (reserved <= Overcommit x capacity), not by physical fit: under
+// overcommit the shard's eviction engine makes the bytes resident on
+// demand. The caller must pair a successful Place with Release (even
+// when the shard's manager later rejects the REQ). O(GPUs), no session
+// scans.
 func (n *Node) Place(inBytes, outBytes int64) (int, error) {
 	footprint := inBytes + outBytes
 	if max := n.cfg.MaxSessionBytes; max > 0 && footprint > max {
@@ -234,8 +262,8 @@ func (n *Node) Place(inBytes, outBytes int64) (int, error) {
 		}
 	}
 	if len(cands) == 0 {
-		return -1, fmt.Errorf("node: session footprint %d bytes fits no GPU (%s)",
-			footprint, describeLoads(all))
+		return -1, fmt.Errorf("node: session footprint %d bytes exceeds every GPU's reservation headroom at overcommit %.2g (%s)",
+			footprint, n.cfg.Overcommit, describeLoads(all))
 	}
 	k := n.policy.Pick(cands, footprint)
 	if k < 0 || k >= len(cands) {

@@ -15,10 +15,18 @@ type Load struct {
 	// Sessions is the number of sessions currently placed on the shard.
 	Sessions int64
 	// Bytes is the aggregate staging footprint (InBytes+OutBytes) of the
-	// placed sessions.
+	// placed sessions — the shard's RESERVED bytes from the placement
+	// layer's point of view.
 	Bytes int64
-	// MemFree is the device memory not yet reserved by placed sessions.
+	// MemFree is the reservation headroom left under the node's
+	// overcommit quota (Overcommit x capacity - Bytes). Under overcommit
+	// this is admission headroom, not physically free device memory.
 	MemFree int64
+	// Resident is the shard's physically resident device memory — what
+	// the manager has actually allocated on the card. Reserved bytes
+	// beyond Resident are evicted arenas (or not-yet-touched
+	// reservations) living in host snapshots.
+	Resident int64
 }
 
 // Policy picks the shard for a new session. Pick receives the admissible
@@ -123,7 +131,9 @@ func (weightedBytes) Pick(cands []Load, _ int64) int {
 }
 
 // describeLoads renders candidate GPU loads for admission errors, e.g.
-// "gpu 0: 512 B free, gpu 1: 1024 B free".
+// "gpu 0: 512 B headroom (1024 B reserved, 768 B resident)". Headroom is
+// what is left under the overcommit quota; reserved vs resident shows
+// how much of the placed footprint actually sits on the card.
 func describeLoads(loads []Load) string {
 	sorted := append([]Load(nil), loads...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
@@ -132,7 +142,8 @@ func describeLoads(loads []Load) string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "gpu %d: %d B free", l.Shard, l.MemFree)
+		fmt.Fprintf(&b, "gpu %d: %d B headroom (%d B reserved, %d B resident)",
+			l.Shard, l.MemFree, l.Bytes, l.Resident)
 	}
 	return b.String()
 }

@@ -203,7 +203,7 @@ func TestAdmissionMemoryFit(t *testing.T) {
 	if err == nil {
 		t.Fatal("unfittable session placed")
 	}
-	for _, want := range []string{"fits no GPU", "gpu 0: 1024 B free", "gpu 1: 1024 B free"} {
+	for _, want := range []string{"reservation headroom", "gpu 0: 1024 B headroom", "gpu 1: 1024 B headroom"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("admission error %q missing %q", err, want)
 		}
@@ -221,7 +221,7 @@ func TestAdmissionMemoryFit(t *testing.T) {
 	if err == nil {
 		t.Fatal("session placed with no shard headroom")
 	}
-	if !strings.Contains(err.Error(), "gpu 0: 0 B free") || !strings.Contains(err.Error(), "gpu 1: 424 B free") {
+	if !strings.Contains(err.Error(), "gpu 0: 0 B headroom") || !strings.Contains(err.Error(), "gpu 1: 424 B headroom") {
 		t.Fatalf("admission error %q does not report per-GPU headroom", err)
 	}
 }

@@ -116,7 +116,7 @@ func newDispMetrics(reg *metrics.Registry) *dispMetrics {
 			lat:  reg.Histogram("gvmd_verb_latency_ns", "wall-clock verb service time", metrics.L("verb", v)),
 		}
 	}
-	for _, v := range []string{"REQ", "BAT", "SND", "STR", "STP", "RCV", "RLS"} {
+	for _, v := range []string{"REQ", "BAT", "SND", "STR", "STP", "RCV", "RLS", "SUS", "RES"} {
 		dm.verbs[v] = mk(v)
 	}
 	dm.other = mk("other")
@@ -254,7 +254,7 @@ func (d *Dispatcher) Serve(req Request, cs *ConnState, submit ShardSubmitter) (r
 		resp, ok = d.serveREQ(req, cs, submit)
 	case "BAT":
 		resp, ok = d.serveBAT(req, cs, submit)
-	case "SND", "STR", "STP", "RCV", "RLS":
+	case "SND", "STR", "STP", "RCV", "RLS", "SUS", "RES":
 		resp, ok = d.serveVerb(req, cs, submit)
 	default:
 		resp, ok = errResp(fmt.Errorf("transport: unknown verb %q", req.Verb)), true
@@ -330,7 +330,9 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit ShardSubmitter)
 		vms               float64
 	)
 	if !submit(shard, func(p *sim.Proc) {
-		v, verr = vgpu.ConnectDirect(p, mgr, spec)
+		v, verr = vgpu.ConnectOpts(p, mgr, spec, vgpu.Opts{
+			Direct: true, MemQuota: req.MemQuota, Priority: req.Priority,
+		})
 		if verr == nil && d.cfg.Functional {
 			stageIn, stageOut = mgr.Staging(v.Session())
 		}
@@ -525,6 +527,10 @@ func (d *Dispatcher) ownerVerb(p *sim.Proc, s *hostSession, verb string) error {
 	case "RLS":
 		d.releaseOwner(p, s)
 		return nil
+	case "SUS":
+		return s.v.Suspend(p)
+	case "RES":
+		return s.v.Resume(p)
 	default:
 		return fmt.Errorf("transport: unknown verb %q", verb)
 	}

@@ -22,7 +22,12 @@ import (
 // data-plane name and the optional inline payload. A BAT container
 // appends a sub-request count and each sub-request's fields (same
 // layout, no nesting); single-verb frames carry no batch section at all,
-// so they are byte-identical to the pre-batch format.
+// so they are byte-identical to the pre-batch format. A frame whose REQ
+// carries extension fields (MemQuota, Priority) appends, after the batch
+// section (count 0 when there is none), an extension-flags uvarint
+// followed by one varint per set flag — bit 0 MemQuota, bit 1 Priority.
+// Frames without extension fields omit the section entirely, keeping
+// them byte-identical to the pre-extension format.
 // Response payload: status, session, err, plane, segment, inBytes,
 // outBytes, virtualMS (float64 bits, 8 bytes little-endian), optional
 // inline payload, then the optional sub-response section mirroring the
@@ -56,7 +61,7 @@ const (
 // decoding returns these canonical values instead of allocating, which is
 // what keeps the steady-state SND/RCV decode path at zero allocations.
 var internTable = [...]string{
-	"REQ", "SND", "STR", "STP", "RCV", "RLS", "BAT",
+	"REQ", "SND", "STR", "STP", "RCV", "RLS", "SUS", "RES", "BAT",
 	"ACK", "WAIT", "ERR",
 	PlaneShm, PlaneInline, PlaneRing,
 }
@@ -201,15 +206,38 @@ func (e *frameEncoder) encodeRequest(req Request) error {
 	if err := e.requestFields(req); err != nil {
 		return err
 	}
-	if len(req.Batch) > 0 {
+	ext := req.MemQuota != 0 || req.Priority != 0
+	if len(req.Batch) > 0 || ext {
+		// The extension section sits after the batch section, so a frame
+		// carrying extensions always emits the batch count (possibly 0).
 		e.uvarint(uint64(len(req.Batch)))
 		for i := range req.Batch {
 			if len(req.Batch[i].Batch) > 0 {
 				return fmt.Errorf("transport: nested batch in %s frame", req.Verb)
 			}
+			if req.Batch[i].MemQuota != 0 || req.Batch[i].Priority != 0 {
+				// REQ is disallowed inside BAT, and the fields are REQ-only.
+				return fmt.Errorf("transport: MemQuota/Priority on batch sub-request %s", req.Batch[i].Verb)
+			}
 			if err := e.requestFields(req.Batch[i]); err != nil {
 				return err
 			}
+		}
+	}
+	if ext {
+		var flags uint64
+		if req.MemQuota != 0 {
+			flags |= 1
+		}
+		if req.Priority != 0 {
+			flags |= 2
+		}
+		e.uvarint(flags)
+		if flags&1 != 0 {
+			e.varint(req.MemQuota)
+		}
+		if flags&2 != 0 {
+			e.varint(int64(req.Priority))
 		}
 	}
 	return e.finish()
@@ -337,6 +365,9 @@ func DecodeRequestBinaryInto(req *Request, frame []byte) error {
 			}
 			req.Batch = batch
 		}
+	}
+	if r.err == nil && r.off < len(r.b) {
+		r.requestExt(req)
 	}
 	return r.finish()
 }
@@ -533,17 +564,37 @@ func decodeRequestPayload(payload []byte) (Request, error) {
 		n := r.uvarint()
 		if n > uint64(len(r.b)) { // each sub-request takes >= 6 bytes
 			r.fail("batch count %d overruns payload", n)
-		} else {
+		} else if n > 0 {
 			req.Batch = make([]Request, 0, n)
 			for i := uint64(0); i < n && r.err == nil; i++ {
 				req.Batch = append(req.Batch, r.requestFields())
 			}
 		}
 	}
+	if r.err == nil && r.off < len(r.b) {
+		r.requestExt(&req)
+	}
 	if err := r.finish(); err != nil {
 		return Request{}, err
 	}
 	return req, nil
+}
+
+// requestExt decodes the optional trailing extension section: an
+// extension-flags uvarint, then one varint per set flag. Unknown flags
+// fail the frame — their encoding length is unknowable, so skipping them
+// would desynchronize the reader.
+func (r *frameReader) requestExt(req *Request) {
+	flags := r.uvarint()
+	if flags&1 != 0 {
+		req.MemQuota = r.varint()
+	}
+	if flags&2 != 0 {
+		req.Priority = int(r.varint())
+	}
+	if flags&^uint64(3) != 0 {
+		r.fail("unknown request extension flags %#x", flags)
+	}
 }
 
 func (r *frameReader) responseFields() Response {

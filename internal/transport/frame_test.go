@@ -40,6 +40,75 @@ func TestBinaryRequestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBinaryRequestExtensionRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Verb: "REQ", Ref: refp("mm", map[string]int{"n": 64}), MemQuota: 1 << 30},
+		{Verb: "REQ", Ref: refp("mm", nil), Priority: 7},
+		{Verb: "REQ", Ref: refp("mm", nil), Priority: -2},
+		{Verb: "REQ", Ref: refp("mm", nil), MemQuota: 4096, Priority: 3},
+		{Verb: "BAT", MemQuota: 96 << 10, Batch: []Request{
+			{Verb: "SND", Session: 4, Data: []byte{9}},
+			{Verb: "STR", Session: 4},
+		}},
+	}
+	for _, want := range reqs {
+		frame, err := EncodeRequestBinary(nil, want)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		got, err := DecodeRequestBinary(frame)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		// requestsEqual covers MemQuota/Priority, but assert them directly
+		// too: they are the fields under test.
+		if got.MemQuota != want.MemQuota || got.Priority != want.Priority {
+			t.Fatalf("extensions lost: got quota=%d prio=%d, want quota=%d prio=%d",
+				got.MemQuota, got.Priority, want.MemQuota, want.Priority)
+		}
+		if !requestsEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+		if len(got.Batch) != len(want.Batch) {
+			t.Fatalf("batch length: got %d, want %d", len(got.Batch), len(want.Batch))
+		}
+		for i := range want.Batch {
+			if !requestsEqual(got.Batch[i], want.Batch[i]) {
+				t.Fatalf("batch[%d]: got %+v, want %+v", i, got.Batch[i], want.Batch[i])
+			}
+		}
+	}
+}
+
+func TestBinaryRequestExtensionUnknownFlagRejected(t *testing.T) {
+	// Priority 1 encodes as a trailing [flags=0x02, zigzag(1)=0x02] pair;
+	// flipping the flags byte to an unassigned bit must fail the frame —
+	// the decoder cannot know how long an unknown extension is.
+	frame, err := EncodeRequestBinary(nil, Request{Verb: "REQ", Ref: refp("mm", nil), Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[len(frame)-2] != 0x02 {
+		t.Fatalf("flags byte = %#x, want 0x02 (layout changed?)", frame[len(frame)-2])
+	}
+	frame[len(frame)-2] = 0x04
+	if _, err := DecodeRequestBinary(frame); err == nil ||
+		!strings.Contains(err.Error(), "unknown request extension") {
+		t.Fatalf("unknown flag: got %v, want extension-flags rejection", err)
+	}
+}
+
+func TestBinaryExtensionOnBatchSubRequestRejected(t *testing.T) {
+	// MemQuota/Priority are REQ-only and REQ is disallowed inside BAT; the
+	// encoder refuses rather than silently dropping the fields.
+	_, err := EncodeRequestBinary(nil, Request{Verb: "BAT", Batch: []Request{
+		{Verb: "SND", Session: 1, MemQuota: 4096},
+	}})
+	if err == nil || !strings.Contains(err.Error(), "batch sub-request") {
+		t.Fatalf("quota on sub-request: got %v, want encode rejection", err)
+	}
+}
+
 func TestBinaryOversizedFrameRejected(t *testing.T) {
 	// Write side: an encoder-produced payload over MaxFrame must error out
 	// before anything hits the wire.

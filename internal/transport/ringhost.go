@@ -377,6 +377,10 @@ func ringVerbOf(v string) (gvm.Verb, bool) {
 		return gvm.RCV, true
 	case "RLS":
 		return gvm.RLS, true
+	case "SUS":
+		return gvm.SUS, true
+	case "RES":
+		return gvm.RES, true
 	}
 	return 0, false
 }

@@ -1,0 +1,433 @@
+package vgpu
+
+import (
+	"fmt"
+	"testing"
+
+	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/gpusim"
+	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/task"
+)
+
+// lcgStep is the deterministic RNG used by the residency tests (no
+// math/rand, so runs replay exactly).
+func lcgStep(s *uint32) uint32 {
+	*s = *s*1664525 + 1013904223
+	return *s
+}
+
+// mixIn builds the deterministic input for session sess's cycle c: the
+// pressured run and the unconstrained reference run feed every cycle the
+// same bytes, so their outputs must match bit for bit.
+func mixIn(sess, cycle, n int) []float32 {
+	in := make([]float32, 2*n)
+	for i := 0; i < n; i++ {
+		in[i] = float32((i*7 + sess*13 + cycle*31) % 251)
+		in[n+i] = float32((i*3 + sess*5 + cycle*17) % 257)
+	}
+	return in
+}
+
+// runResidencyMix runs `sessions` concurrent vecadd clients for `cycles`
+// cycles each on a card with memBytes of device memory, injecting an
+// explicit Suspend/Resume window at susPct% of the verb boundaries, and
+// returns every session's per-cycle output bytes.
+func runResidencyMix(t *testing.T, memBytes int64, sessions, cycles int, seed, susPct uint32) ([][][]byte, *gvm.Manager, *gpusim.Device) {
+	t.Helper()
+	const n = 4096
+	env := sim.NewEnv()
+	arch := fermi.TeslaC2070()
+	arch.MemBytes = memBytes
+	dev := gpusim.MustNew(env, gpusim.Config{Arch: arch, Functional: true})
+	mgr := gvm.New(env, gvm.Config{Device: dev, MaxSessionBytes: 1 << 30})
+	mgr.Start()
+	outs := make([][][]byte, sessions)
+	for s := 0; s < sessions; s++ {
+		s := s
+		outs[s] = make([][]byte, cycles)
+		env.Go(fmt.Sprintf("client-%d", s), func(p *sim.Proc) {
+			rng := seed + uint32(s)*977
+			p.Wait(mgr.Ready())
+			v, err := Connect(p, mgr, vecSpec(n))
+			if err != nil {
+				t.Errorf("session %d: %v", s, err)
+				return
+			}
+			// susWindow suspends the session, idles a random while (other
+			// sessions' REQs and restores land in the gap), and resumes.
+			susWindow := func() {
+				if susPct == 0 || lcgStep(&rng)%100 >= susPct {
+					return
+				}
+				if err := v.Suspend(p); err != nil {
+					t.Errorf("session %d: suspend: %v", s, err)
+					return
+				}
+				p.Sleep(sim.Duration(lcgStep(&rng)%2000) * sim.Microsecond)
+				if err := v.Resume(p); err != nil {
+					t.Errorf("session %d: resume: %v", s, err)
+				}
+			}
+			for c := 0; c < cycles; c++ {
+				in := mixIn(s, c, n)
+				if err := v.SendInput(p, cuda.HostFloat32Bytes(in)); err != nil {
+					t.Errorf("session %d cycle %d: SND: %v", s, c, err)
+					return
+				}
+				susWindow()
+				if err := v.Start(p); err != nil {
+					t.Errorf("session %d cycle %d: STR: %v", s, c, err)
+					return
+				}
+				if err := v.Wait(p); err != nil {
+					t.Errorf("session %d cycle %d: STP: %v", s, c, err)
+					return
+				}
+				susWindow()
+				out := make([]byte, n*4)
+				if err := v.ReceiveOutput(p, out); err != nil {
+					t.Errorf("session %d cycle %d: RCV: %v", s, c, err)
+					return
+				}
+				outs[s][c] = out
+				susWindow()
+			}
+			if err := v.Release(p); err != nil {
+				t.Errorf("session %d: RLS: %v", s, err)
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return outs, mgr, dev
+}
+
+// TestRandomizedSuspendResumeInterleavings is the residency layer's
+// equivalence test: three clients cycling on a card that fits only ~1.5
+// of their arenas, with randomized explicit suspend windows layered on
+// top of the engine's own evictions, must produce byte-identical outputs
+// to the same clients on an unconstrained card that never suspends.
+func TestRandomizedSuspendResumeInterleavings(t *testing.T) {
+	const sessions, cycles = 3, 3
+	ref, refMgr, _ := runResidencyMix(t, 256<<20, sessions, cycles, 1, 0)
+	if refMgr.Evictions() != 0 {
+		t.Fatalf("reference run evicted %d sessions on an unconstrained card", refMgr.Evictions())
+	}
+	for _, seed := range []uint32{2, 77, 4242} {
+		got, mgr, dev := runResidencyMix(t, 96<<10, sessions, cycles, seed, 40)
+		if mgr.Evictions() == 0 {
+			t.Errorf("seed %d: no evictions on a 96 KiB card under 3x pressure", seed)
+		}
+		if mgr.Restores()+mgr.Resumes() == 0 {
+			t.Errorf("seed %d: nothing was ever restored", seed)
+		}
+		for s := 0; s < sessions; s++ {
+			for c := 0; c < cycles; c++ {
+				if string(got[s][c]) != string(ref[s][c]) {
+					t.Errorf("seed %d: session %d cycle %d output differs from never-suspended reference", seed, s, c)
+				}
+			}
+		}
+		if dev.MemReserved() != 0 || dev.MemInUse() != 0 {
+			t.Errorf("seed %d: leak after release: reserved=%d resident=%d", seed, dev.MemReserved(), dev.MemInUse())
+		}
+	}
+}
+
+// TestEvictedSessionTransparentRestore pins the lazy restore path: a
+// session evicted by another's REQ is restored by its own next verb
+// without any client-visible SUS/RES traffic.
+func TestEvictedSessionTransparentRestore(t *testing.T) {
+	const n = 4096
+	env := sim.NewEnv()
+	arch := fermi.TeslaC2070()
+	arch.MemBytes = 64 << 10 // fits one ~48 KiB session
+	dev := gpusim.MustNew(env, gpusim.Config{Arch: arch, Functional: true})
+	mgr := gvm.New(env, gvm.Config{Device: dev, MaxSessionBytes: 1 << 30})
+	mgr.Start()
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v1, err := Connect(p, mgr, vecSpec(n))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		in := mixIn(0, 0, n)
+		if err := v1.SendInput(p, cuda.HostFloat32Bytes(in)); err != nil {
+			t.Error(err)
+			return
+		}
+		// v2's REQ must evict idle v1 — including its staged input.
+		v2, err := Connect(p, mgr, vecSpec(n))
+		if err != nil {
+			t.Errorf("second REQ did not evict the idle session: %v", err)
+			return
+		}
+		if mgr.Evictions() != 1 || mgr.Restores() != 0 {
+			t.Errorf("evictions=%d restores=%d after REQ, want 1/0", mgr.Evictions(), mgr.Restores())
+		}
+		// v1's next verb transparently restores it (evicting v2 in turn)
+		// and the pre-eviction input survives the round trip.
+		if err := v1.Start(p); err != nil {
+			t.Errorf("STR on evicted session: %v", err)
+			return
+		}
+		if err := v1.Wait(p); err != nil {
+			t.Error(err)
+			return
+		}
+		out := make([]byte, n*4)
+		if err := v1.ReceiveOutput(p, out); err != nil {
+			t.Error(err)
+			return
+		}
+		res := cuda.Float32s(memBytes(out), 0, n)
+		for i := 0; i < n; i++ {
+			if res[i] != in[i]+in[n+i] {
+				t.Errorf("out[%d] = %g, want %g (restored input corrupted)", i, res[i], in[i]+in[n+i])
+				return
+			}
+		}
+		if mgr.Restores() == 0 {
+			t.Error("transparent restore did not count as a restore")
+		}
+		if mgr.Resumes() != 0 || mgr.Suspensions() != 0 {
+			t.Errorf("transparent path leaked into client SUS/RES counters: resumes=%d suspensions=%d",
+				mgr.Resumes(), mgr.Suspensions())
+		}
+		if err := v1.Release(p); err != nil {
+			t.Error(err)
+		}
+		if err := v2.Release(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.MemReserved() != 0 || dev.MemInUse() != 0 {
+		t.Fatalf("leak: reserved=%d resident=%d", dev.MemReserved(), dev.MemInUse())
+	}
+}
+
+// TestRestoreFailureLeavesSnapshotRetryable drives a resume into memory
+// pressure it cannot relieve: the only other session is parked at an STR
+// barrier (running, hence evict-ineligible) and holds the whole card.
+// The RES must fail cleanly, leave the snapshot intact, and succeed when
+// retried after the pressure clears.
+func TestRestoreFailureLeavesSnapshotRetryable(t *testing.T) {
+	const n = 4096
+	env := sim.NewEnv()
+	arch := fermi.TeslaC2070()
+	arch.MemBytes = 64 << 10 // one session's arenas at a time
+	dev := gpusim.MustNew(env, gpusim.Config{Arch: arch, Functional: true})
+	mgr := gvm.New(env, gvm.Config{
+		Device: dev, MaxSessionBytes: 1 << 30,
+		Parties: 2, BarrierTimeout: 250 * sim.Millisecond,
+	})
+	mgr.Start()
+	var in []float32
+	env.Go("holder", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v, err := Connect(p, mgr, vecSpec(n))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.SendInput(p, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		// Parks at the Parties=2 barrier holding the card until the
+		// timeout flush; running sessions cannot be evicted.
+		if err := v.Start(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Wait(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.ReceiveOutput(p, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Release(p); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Go("suspended", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		v, err := Connect(p, mgr, vecSpec(n))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		in = mixIn(1, 0, n)
+		if err := v.SendInput(p, cuda.HostFloat32Bytes(in)); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Suspend(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// Let the holder connect and park at the barrier, then try to
+		// resume while it pins the card.
+		p.Sleep(100 * sim.Millisecond)
+		if err := v.Resume(p); err == nil {
+			t.Error("RES succeeded while an unevictable session held the card")
+			return
+		}
+		// The failed restore must not have consumed the snapshot: after
+		// the barrier timeout flushes the holder, the retry succeeds and
+		// the session computes from its pre-suspend input.
+		p.Sleep(400 * sim.Millisecond)
+		if err := v.Resume(p); err != nil {
+			t.Errorf("retried RES failed: %v", err)
+			return
+		}
+		if err := v.Start(p); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := v.Wait(p); err != nil {
+			t.Error(err)
+			return
+		}
+		out := make([]byte, n*4)
+		if err := v.ReceiveOutput(p, out); err != nil {
+			t.Error(err)
+			return
+		}
+		res := cuda.Float32s(memBytes(out), 0, n)
+		for i := 0; i < n; i++ {
+			if res[i] != in[i]+in[n+i] {
+				t.Errorf("out[%d] = %g, want %g (snapshot damaged by failed resume)", i, res[i], in[i]+in[n+i])
+				return
+			}
+		}
+		if err := v.Release(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.MemReserved() != 0 || dev.MemInUse() != 0 {
+		t.Fatalf("leak: reserved=%d resident=%d", dev.MemReserved(), dev.MemInUse())
+	}
+}
+
+// TestPriorityOrdersEviction pins the victim policy: under pressure the
+// lowest-priority session goes first, even when a higher-priority one is
+// colder (older lastUsed).
+func TestPriorityOrdersEviction(t *testing.T) {
+	const n = 4096
+	env := sim.NewEnv()
+	arch := fermi.TeslaC2070()
+	arch.MemBytes = 112 << 10 // fits two ~48 KiB sessions, not three
+	dev := gpusim.MustNew(env, gpusim.Config{Arch: arch})
+	mgr := gvm.New(env, gvm.Config{Device: dev, MaxSessionBytes: 1 << 30})
+	mgr.Start()
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		high, err := ConnectOpts(p, mgr, vecSpec(n), Opts{Priority: 10})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(10 * sim.Millisecond) // make high the LRU victim candidate
+		low, err := ConnectOpts(p, mgr, vecSpec(n), Opts{Priority: 0})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(10 * sim.Millisecond)
+		third, err := Connect(p, mgr, vecSpec(n))
+		if err != nil {
+			t.Errorf("third REQ did not evict: %v", err)
+			return
+		}
+		if mgr.Evictions() != 1 {
+			t.Errorf("evictions = %d, want 1", mgr.Evictions())
+		}
+		// high (priority 10) must still be resident: its verb restores
+		// nothing. low (priority 0) was the victim despite being more
+		// recently used.
+		if err := high.SendInput(p, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if mgr.Restores() != 0 {
+			t.Errorf("high-priority session was evicted (restores = %d)", mgr.Restores())
+		}
+		if err := low.SendInput(p, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if mgr.Restores() != 1 {
+			t.Errorf("low-priority session was not the victim (restores = %d)", mgr.Restores())
+		}
+		for _, v := range []*VGPU{high, low, third} {
+			if err := v.Release(p); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemQuotaEnforcedAtMalloc pins HAMi-style hard quotas: every device
+// allocation a session makes — REQ arenas and Build-time scratch alike —
+// counts against its MemQuota, and the first allocation over the line
+// fails with a quota error (not a device OOM).
+func TestMemQuotaEnforcedAtMalloc(t *testing.T) {
+	env := sim.NewEnv()
+	dev := gpusim.MustNew(env, gpusim.Config{Arch: fermi.TeslaC2070()})
+	mgr := gvm.New(env, gvm.Config{Device: dev, MaxSessionBytes: 1 << 30})
+	mgr.Start()
+	env.Go("client", func(p *sim.Proc) {
+		p.Wait(mgr.Ready())
+		// Arenas alone exceed the quota: REQ is rejected.
+		spec := &task.Spec{Name: "q", InBytes: 1 << 20, OutBytes: 512 << 10}
+		if _, err := ConnectOpts(p, mgr, spec, Opts{MemQuota: 1 << 20}); err == nil {
+			t.Error("REQ exceeded its quota and was accepted")
+		}
+		// Arenas fit, but a Build-time scratch pushes past the quota.
+		scratchSpec := &task.Spec{
+			Name: "qs", InBytes: 1 << 20, OutBytes: 512 << 10,
+			Build: func(b *task.Buffers) ([]*cuda.Kernel, error) {
+				_, err := b.NewScratch(1 << 20)
+				return nil, err
+			},
+		}
+		if _, err := ConnectOpts(p, mgr, scratchSpec, Opts{MemQuota: 2 << 20}); err == nil {
+			t.Error("scratch allocation exceeded the quota and was accepted")
+		}
+		// The same spec under a sufficient quota works.
+		v, err := ConnectOpts(p, mgr, scratchSpec, Opts{MemQuota: 4 << 20})
+		if err != nil {
+			t.Errorf("in-quota REQ rejected: %v", err)
+			return
+		}
+		if err := v.Release(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.OpenSessions() != 0 {
+		t.Fatalf("%d sessions leaked", mgr.OpenSessions())
+	}
+	if dev.MemReserved() != 0 || dev.MemInUse() != 0 {
+		t.Fatalf("leak after quota rejections: reserved=%d resident=%d", dev.MemReserved(), dev.MemInUse())
+	}
+}

@@ -45,7 +45,7 @@ type VGPU struct {
 // manager is up (clients arriving during manager initialization queue,
 // they do not fail).
 func Connect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec) (*VGPU, error) {
-	return connect(p, mgr, spec, false)
+	return connect(p, mgr, spec, Opts{})
 }
 
 // ConnectDirect opens the session in direct-staging mode: payload bytes
@@ -55,10 +55,28 @@ func Connect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec) (*VGPU, error) {
 // dispatcher uses it to keep payload memcpys off the simulation-owner
 // goroutine; use SendInput/ReceiveOutput with nil buffers.
 func ConnectDirect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec) (*VGPU, error) {
-	return connect(p, mgr, spec, true)
+	return connect(p, mgr, spec, Opts{Direct: true})
 }
 
-func connect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec, direct bool) (*VGPU, error) {
+// Opts are the optional REQ parameters a client may attach when opening
+// a session.
+type Opts struct {
+	// Direct selects direct-staging mode (see ConnectDirect).
+	Direct bool
+	// MemQuota is a hard per-session device-memory cap in bytes, enforced
+	// by the manager at every allocation. 0 = unlimited.
+	MemQuota int64
+	// Priority orders eviction under memory pressure: lower-priority
+	// sessions are evicted first. 0 is the default class.
+	Priority int
+}
+
+// ConnectOpts issues REQ with explicit session options.
+func ConnectOpts(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec, o Opts) (*VGPU, error) {
+	return connect(p, mgr, spec, o)
+}
+
+func connect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec, o Opts) (*VGPU, error) {
 	if spec == nil {
 		return nil, errors.New("vgpu: nil task spec")
 	}
@@ -68,7 +86,10 @@ func connect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec, direct bool) (*VGPU
 		resp: gvm.NewQueue[gvm.Response](mgr.Env(), 0, mgr.MsgLatency()),
 		poll: DefaultPollPolicy(),
 	}
-	mgr.RequestQueue().Send(p, gvm.Request{Verb: gvm.REQ, Spec: spec, Reply: v.resp, Direct: direct})
+	mgr.RequestQueue().Send(p, gvm.Request{
+		Verb: gvm.REQ, Spec: spec, Reply: v.resp, Direct: o.Direct,
+		MemQuota: o.MemQuota, Priority: o.Priority,
+	})
 	r := v.resp.Recv(p)
 	if r.Status != gvm.ACK {
 		return nil, fmt.Errorf("vgpu: REQ rejected: %s", r.Err)

@@ -546,11 +546,15 @@ func TestSuspendResumePreservesState(t *testing.T) {
 }
 
 func TestSuspendedSessionFreesRoomForOthers(t *testing.T) {
-	// Quota pressure: with a 1 MiB device, one session fills it; after
-	// SUS another session fits; after RLS of the second, RES succeeds.
+	// Residency-layer packing: with a ~2 MiB device one session fills
+	// the card. Under the old fit-or-reject model the second REQ died on
+	// device OOM; the eviction engine now evacuates the idle first
+	// session to a host snapshot and admits the second. An explicit
+	// Resume then evicts the second in turn — the device swaps arenas
+	// instead of rejecting work.
 	env := sim.NewEnv()
 	arch := fermi.TeslaC2070()
-	arch.MemBytes = 2 << 20 // tiny card: one ~1.5MiB session at a time
+	arch.MemBytes = 2 << 20 // tiny card: one ~1.5MiB session resident at a time
 	dev := gpusim.MustNew(env, gpusim.Config{Arch: arch})
 	// Lift the shm quota so device memory is the binding constraint.
 	mgr := gvm.New(env, gvm.Config{Device: dev, MaxSessionBytes: 1 << 30})
@@ -563,37 +567,42 @@ func TestSuspendedSessionFreesRoomForOthers(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		// Device is full: a second session's REQ fails on device OOM.
-		if _, err := Connect(p, mgr, spec); err == nil {
-			t.Error("second session fit on a full device")
-			return
-		}
-		if err := v1.Suspend(p); err != nil {
-			t.Error(err)
-			return
-		}
-		// Now it fits.
+		// The device is full, but v1 is idle: REQ evicts it and fits.
 		v2, err := Connect(p, mgr, spec)
 		if err != nil {
-			t.Errorf("session after suspend rejected: %v", err)
+			t.Errorf("second session rejected on a full device: %v", err)
 			return
 		}
-		// Resume fails while v2 occupies the device, and the session
-		// stays suspended.
-		if err := v1.Resume(p); err == nil {
-			t.Error("resume succeeded with the device full")
+		if mgr.Evictions() != 1 {
+			t.Errorf("evictions = %d, want 1", mgr.Evictions())
+		}
+		// v1's arena sits in a host snapshot; its logical reservation
+		// persists, so reserved now exceeds resident.
+		if res, inUse := dev.MemReserved(), dev.MemInUse(); res <= inUse {
+			t.Errorf("reserved %d <= resident %d after eviction", res, inUse)
+		}
+		// Resume swaps the pair: v2 is idle, so it is evicted to make
+		// room for v1's restore.
+		if err := v1.Resume(p); err != nil {
+			t.Errorf("resume: %v", err)
 			return
+		}
+		if mgr.Evictions() != 2 {
+			t.Errorf("evictions = %d, want 2", mgr.Evictions())
 		}
 		if err := v2.Release(p); err != nil {
 			t.Error(err)
 			return
 		}
-		if err := v1.Resume(p); err != nil {
-			t.Errorf("resume after release failed: %v", err)
+		if err := v1.Release(p); err != nil {
+			t.Error(err)
 		}
 	})
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
+	}
+	if dev.MemReserved() != 0 || dev.MemInUse() != 0 {
+		t.Fatalf("leak: reserved=%d inUse=%d after release", dev.MemReserved(), dev.MemInUse())
 	}
 }
 

@@ -172,4 +172,66 @@ echo "smoke: ring metrics OK (doorbells = $doorbells)"
 kill "$gvmd_pid"
 wait "$gvmd_pid" 2>/dev/null || true
 gvmd_pid=""
+
+# Third round: memory overcommit. The daemon's card is shrunk so it fits
+# only two of the four workers' arenas (each worker stages 768 KiB on a
+# 1.6 MiB device) and -overcommit 2.0 admits all four anyway; the
+# residency engine must evict idle sessions to host snapshots and
+# restore them transparently, and every worker still verifies its
+# results byte-for-byte.
+echo "smoke: starting gvmd with -overcommit 2.0 on a shrunken card"
+addrfile="$workdir/gvmd-oc.addr"
+logfile="$workdir/gvmd-oc.log"
+"$bindir/gvmd" -listen tcp://127.0.0.1:0 -overcommit 2.0 \
+    -mem $((1600 * 1024)) -addr-file "$addrfile" -metrics 127.0.0.1:0 \
+    >"$logfile" 2>&1 &
+gvmd_pid=$!
+tries=0
+while [ ! -s "$addrfile" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "smoke: overcommit gvmd never published its address" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    if ! kill -0 "$gvmd_pid" 2>/dev/null; then
+        echo "smoke: overcommit gvmd exited early" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(head -n1 "$addrfile")
+metrics_url=$(grep '^http://' "$addrfile" | head -n1)
+echo "smoke: overcommit gvmd is serving on $addr (metrics at $metrics_url)"
+
+out=$("$bindir/multiprocess" -workers 4 -connect "$addr")
+echo "$out"
+turnarounds=$(echo "$out" | grep -c "turnaround" || true)
+if [ "$turnarounds" -ne 4 ]; then
+    echo "smoke: expected 4 worker turnaround lines under overcommit, got $turnarounds" >&2
+    exit 1
+fi
+
+scrape=$(fetch "$metrics_url")
+evictions=$(echo "$scrape" | grep -E '^gvm_evictions_total\{gpu="0"\} [0-9]+$' | awk '{print $2}')
+swapout=$(echo "$scrape" | grep -E '^gvm_swap_bytes_total\{dir="out",gpu="0"\} [0-9]+$' | awk '{print $2}')
+if [ -z "$evictions" ] || [ "$evictions" -eq 0 ]; then
+    echo "smoke: gvm_evictions_total{gpu=\"0\"} missing or zero after over-packing a 1.6 MiB card" >&2
+    echo "$scrape" | grep -E '^gvm_(evictions|restores|swap|resident|reserved)' >&2 || true
+    exit 1
+fi
+# Whether a restore also fired depends on interleaving (an eviction can
+# land on a session that is already done), so only the swap-out traffic
+# is asserted alongside the eviction count.
+if [ -z "$swapout" ] || [ "$swapout" -eq 0 ]; then
+    echo "smoke: gvm_swap_bytes_total{dir=\"out\"} missing or zero despite $evictions evictions" >&2
+    echo "$scrape" | grep -E '^gvm_(evictions|restores|swap|resident|reserved)' >&2 || true
+    exit 1
+fi
+echo "smoke: overcommit metrics OK (evictions = $evictions, swapped out = $swapout bytes)"
+
+kill "$gvmd_pid"
+wait "$gvmd_pid" 2>/dev/null || true
+gvmd_pid=""
 echo "smoke: OK"
