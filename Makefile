@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all ci fmt vet build test race bench bench-short bench-json smoke
+.PHONY: all ci fmt vet build test race bench bench-short bench-json interference-short smoke
 
 all: ci
 
 # Tier-1 gate (README "CI gate"): everything a change must keep green.
-ci: fmt vet build test race bench-short smoke
+ci: fmt vet build test race bench-short interference-short smoke
 
 # Formatting gate: fails listing any file gofmt would rewrite.
 fmt:
@@ -39,14 +39,22 @@ bench-short:
 	$(GO) test -run '^$$' -bench 'DaemonThroughput' -benchtime 20x -benchmem ./internal/ipc/
 	$(GO) test -run '^$$' -bench 'FunctionalExec|IPCFrame|ShmCopy|Calendar' -benchtime 100ms -benchmem ./...
 
+# CI-sized QoS interference run: asserts weighted-fair co-location keeps
+# the latency tenant's p99 within 2x solo while the FIFO baseline blows
+# past it, with <= 15% batch throughput cost and byte-identical outputs.
+interference-short:
+	$(GO) test -run TestInterferenceShort -count=1 ./internal/experiments/
+
 # Full benchmark matrix: data-plane microbenchmarks plus daemon cycle
 # throughput at 1/2/4/8 clients over inproc/unix/tcp/ring, pipelined vs
-# serial, the shard-scaling sweep (1/2/4 GPUs x 1/4/8 clients), and the
+# serial, the shard-scaling sweep (1/2/4 GPUs x 1/4/8 clients), the
 # memory-oversubscription sweep (sessions totaling 1x/2x/4x device
-# memory: swap traffic and p99 turnaround), written as the PR7 JSON
+# memory: swap traffic and p99 turnaround), and the QoS interference
+# co-location sweep (solo vs FIFO vs weighted-fair tail latency, batch
+# throughput cost, 1:2:4 fairness races), written as the PR8 JSON
 # artifact.
 bench:
-	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr7.json
+	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr8.json
 
 # Regenerate the machine-readable hot-path numbers (alias of bench;
 # earlier PR artifacts are kept as historical records).

@@ -63,6 +63,7 @@ func main() {
 	placement := flag.String("placement", "least-sessions", "session placement policy across shards: "+strings.Join(node.PolicyNames(), "|"))
 	barrierTimeout := flag.Duration("barrier-timeout", 0, "flush partial STR batches after this long (0 = strict barrier)")
 	execWorkers := flag.Int("exec-workers", 0, "functional kernel execution worker pool (0 = GOMAXPROCS, 1 = serial)")
+	preemptRatio := flag.Float64("preempt-ratio", 0, "wave-boundary preemption threshold: a pending kernel preempts an active one iff weight > ratio*activeWeight (0 = default 1.0, negative disables)")
 	jsonWire := flag.Bool("json-wire", false, "speak newline-delimited JSON on the control socket (debugging; clients must use DialJSON)")
 	maxSessionBytes := flag.Int64("max-session-bytes", 0, "reject REQ whose staging footprint (InBytes+OutBytes) exceeds this many bytes (0 = no per-session limit)")
 	overcommit := flag.Float64("overcommit", 1.0, "admit sessions while reserved bytes stay within this factor of each GPU's memory; above 1.0 idle sessions are evicted to host snapshots on demand")
@@ -148,6 +149,7 @@ func main() {
 		GPUs:            *gpus,
 		Placement:       *placement,
 		ExecWorkers:     *execWorkers,
+		PreemptRatio:    *preemptRatio,
 		JSONWire:        *jsonWire,
 		MaxSessionBytes: *maxSessionBytes,
 		Overcommit:      *overcommit,

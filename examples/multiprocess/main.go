@@ -25,6 +25,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"gpuvirt/internal/cuda"
@@ -41,13 +43,17 @@ func main() {
 	workers := flag.Int("workers", 4, "number of SPMD worker processes")
 	connect := flag.String("connect", "", "dial an external gvmd at this address (unix:///path or tcp://host:port) instead of starting one in-process")
 	timeout := flag.Duration("timeout", 0, "per-request I/O timeout on client round trips (0 = none)")
+	weight := flag.Int("weight", 0, "this worker's weighted-fair SM share (0 = derive from -priority)")
+	priority := flag.Int("priority", 0, "this worker's session priority (eviction order and default weight class)")
+	weights := flag.String("weights", "", "comma-separated per-rank weights, e.g. 1,1,4,8 (padded with the last value)")
+	priorities := flag.String("priorities", "", "comma-separated per-rank priorities (padded with the last value)")
 	flag.Parse()
 
 	switch *role {
 	case "parent":
-		parent(*workers, *connect, *timeout)
+		parent(*workers, *connect, *timeout, perRank(*weights, *workers), perRank(*priorities, *workers))
 	case "worker":
-		if err := worker(*addr, *rank, *timeout); err != nil {
+		if err := worker(*addr, *rank, *timeout, *weight, *priority); err != nil {
 			log.Fatalf("worker %d: %v", *rank, err)
 		}
 	default:
@@ -55,7 +61,30 @@ func main() {
 	}
 }
 
-func parent(workers int, connect string, timeout time.Duration) {
+// perRank parses a comma-separated int list into one value per rank,
+// padding short lists with their last entry (so -weights 1,8 over four
+// workers means 1,8,8,8) and zeros when the flag is unset.
+func perRank(list string, n int) []int {
+	vals := make([]int, n)
+	if list == "" {
+		return vals
+	}
+	parts := strings.Split(list, ",")
+	last := 0
+	for i := 0; i < n; i++ {
+		if i < len(parts) {
+			v, err := strconv.Atoi(strings.TrimSpace(parts[i]))
+			if err != nil {
+				log.Fatalf("bad per-rank list %q: %v", list, err)
+			}
+			last = v
+		}
+		vals[i] = last
+	}
+	return vals
+}
+
+func parent(workers int, connect string, timeout time.Duration, weights, priorities []int) {
 	addr := connect
 	shmDir := os.Getenv("GVMD_SHM_DIR")
 	if connect == "" {
@@ -89,7 +118,9 @@ func parent(workers int, connect string, timeout time.Duration) {
 	for i := range cmds {
 		cmds[i] = exec.Command(self,
 			"-role=worker", "-addr="+addr, fmt.Sprintf("-rank=%d", i),
-			fmt.Sprintf("-timeout=%s", timeout))
+			fmt.Sprintf("-timeout=%s", timeout),
+			fmt.Sprintf("-weight=%d", weights[i]),
+			fmt.Sprintf("-priority=%d", priorities[i]))
 		cmds[i].Stdout = os.Stdout
 		cmds[i].Stderr = os.Stderr
 		cmds[i].Env = append(os.Environ(), "GVMD_SHM_DIR="+shmDir)
@@ -110,7 +141,7 @@ func parent(workers int, connect string, timeout time.Duration) {
 	fmt.Println("parent: all workers verified their results through the daemon")
 }
 
-func worker(addr string, rank int, timeout time.Duration) error {
+func worker(addr string, rank int, timeout time.Duration, weight, priority int) error {
 	client, err := ipc.DialOptions(addr, ipc.Options{
 		ShmDir:  os.Getenv("GVMD_SHM_DIR"),
 		Timeout: timeout,
@@ -121,7 +152,8 @@ func worker(addr string, rank int, timeout time.Duration) error {
 	defer client.Close()
 
 	start := time.Now()
-	sess, err := client.Request(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}, rank)
+	sess, err := client.RequestOptions(workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}, rank,
+		ipc.SessionOptions{Weight: weight, Priority: priority})
 	if err != nil {
 		return err
 	}

@@ -57,6 +57,9 @@ type MicroBenchReport struct {
 	// server's registry — the same series /metrics serves — taken after
 	// the full client matrix ran against it.
 	DaemonMetrics []metrics.Sample `json:"daemon_metrics,omitempty"`
+	// Interference is the QoS co-location sweep: solo vs co-located tail
+	// latency per scheduling mode plus the weighted fairness races.
+	Interference *InterferenceReport `json:"interference,omitempty"`
 }
 
 type microArena struct {
@@ -278,6 +281,11 @@ func WriteMicroBenchJSON(path string) error {
 	rep.Results = append(rep.Results, DaemonShardBench()...)
 	rep.Results = append(rep.Results, DaemonOversubBench()...)
 	rep.DaemonMetrics = snap
+	interf, err := InterferenceBench(false)
+	if err != nil {
+		return fmt.Errorf("interference bench: %w", err)
+	}
+	rep.Interference = interf
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@ package gpusim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"gpuvirt/internal/cuda"
 	"gpuvirt/internal/fermi"
@@ -59,6 +60,12 @@ type Config struct {
 	// n > 1 = fixed pool. Virtual timing is unaffected either way; the
 	// knob only changes host CPU usage while a launch's body executes.
 	ExecWorkers int
+	// PreemptRatio gates wave-boundary preemption in the SM scheduler: a
+	// pending kernel preempts an active one iff its weight exceeds
+	// ratio x the active kernel's weight. 0 means the default of 1.0
+	// (any strictly higher weight preempts); negative disables
+	// preemption entirely.
+	PreemptRatio float64
 }
 
 // Device is one simulated GPU attached to a simulation environment.
@@ -86,17 +93,26 @@ type Device struct {
 	nextCtxID    int
 	nextStreamID int
 
-	arbOwner  *Context // context currently owning the device
-	arbHolder bool
-	arbQueue  []arbWaiter
-	sched     *smScheduler
+	arbOwner     *Context // context currently owning the device
+	arbHolder    bool
+	arbQueue     []arbWaiter
+	sched        *smScheduler
+	preemptRatio float64
 
 	// Counters for tests and reporting.
 	ContextSwitches int
 	BytesH2D        int64
 	BytesD2H        int64
 	KernelsRun      int
+	// preemptions counts wave-boundary preemptions (kernels demoted from
+	// the concurrent-kernel window so a higher-weight kernel could run).
+	// Atomic so metrics scrapers may read it off the owner goroutine.
+	preemptions atomic.Int64
 }
+
+// Preemptions returns the wave-boundary preemption count. Safe to call
+// from any goroutine.
+func (d *Device) Preemptions() int64 { return d.preemptions.Load() }
 
 type arbWaiter struct {
 	ctx   *Context
@@ -117,6 +133,14 @@ func New(env *sim.Env, cfg Config) (*Device, error) {
 		exec:       cuda.NewExecutor(cfg.ExecWorkers),
 		alloc:      NewAllocator(cfg.Arch.MemBytes, 256),
 		driver:     env.NewResource(1),
+	}
+	switch {
+	case cfg.PreemptRatio < 0:
+		d.preemptRatio = 0 // disabled
+	case cfg.PreemptRatio == 0:
+		d.preemptRatio = 1.0
+	default:
+		d.preemptRatio = cfg.PreemptRatio
 	}
 	d.h2dEngine = env.NewResource(1)
 	if cfg.Arch.CopyEngines >= 2 {
@@ -511,11 +535,37 @@ func (c *Context) Launch(p *sim.Proc, k *cuda.Kernel) error {
 }
 
 // LaunchAsync pays the launch overhead on the calling process and enqueues
-// the kernel for execution; the returned event fires at completion.
+// the kernel for execution at the default weight; the returned event fires
+// at completion.
 func (c *Context) LaunchAsync(p *sim.Proc, k *cuda.Kernel) (*sim.Event, error) {
+	return c.LaunchAsyncOpts(p, k, LaunchOptions{})
+}
+
+// LaunchOptions carries per-launch QoS parameters.
+type LaunchOptions struct {
+	// Weight is the kernel's share of SM issue throughput relative to
+	// co-resident kernels, and its precedence for window admission and
+	// wave-boundary preemption. 0 or 1 is the default (all pre-QoS
+	// behavior, bit-identical); values are clamped to [1, MaxLaunchWeight].
+	Weight int
+}
+
+// MaxLaunchWeight bounds per-launch weights so the weight-class metric
+// label set stays small and integer arithmetic in the scheduler cannot
+// overflow.
+const MaxLaunchWeight = 1024
+
+// LaunchAsyncOpts is LaunchAsync with explicit QoS options.
+func (c *Context) LaunchAsyncOpts(p *sim.Proc, k *cuda.Kernel, o LaunchOptions) (*sim.Event, error) {
 	c.mustLive()
 	if err := k.Validate(c.dev.arch); err != nil {
 		return nil, err
+	}
+	w := o.Weight
+	if w < 1 {
+		w = 1
+	} else if w > MaxLaunchWeight {
+		w = MaxLaunchWeight
 	}
 	d := c.dev
 	p.Sleep(d.arch.KernelLaunchOverhead)
@@ -523,7 +573,7 @@ func (c *Context) LaunchAsync(p *sim.Proc, k *cuda.Kernel) (*sim.Event, error) {
 		// Architectures without copy/compute overlap serialize the kernel
 		// against transfers: hold the exclusive engine for the duration.
 		d.exclusive.Acquire(p, 1)
-		done := d.sched.launch(c, k)
+		done := d.sched.launch(c, k, w)
 		release := d.env.NewEvent()
 		done.OnFire(func(any) {
 			d.exclusive.Release(1)
@@ -531,5 +581,5 @@ func (c *Context) LaunchAsync(p *sim.Proc, k *cuda.Kernel) (*sim.Event, error) {
 		})
 		return release, nil
 	}
-	return d.sched.launch(c, k), nil
+	return d.sched.launch(c, k, w), nil
 }

@@ -3,6 +3,7 @@ package gpusim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"gpuvirt/internal/cuda"
 	"gpuvirt/internal/fermi"
@@ -17,6 +18,25 @@ import (
 // models imperfect latency hiding at low occupancy (a lone warp cannot
 // saturate an SM).
 //
+// Compute time is a weighted resource. Every launch carries a weight
+// (default 1); when all co-resident kernels share one weight the SM
+// drains exactly like classic processor sharing (throughput split over
+// warps — bit-identical to the pre-QoS scheduler). When weights differ,
+// each SM's issue capacity is divided across kernels in proportion to
+// weight by water-filling: a kernel can never absorb more than its own
+// warps allow (thr·min(1, warps/LatencyHidingWarps)), and capacity a
+// capped kernel leaves behind flows to the others. Block placement
+// likewise favors the most underserved kernel per unit weight, so
+// steady-state SM residency converges toward the weight ratio.
+//
+// Wave-boundary preemption: when a higher-weight kernel waits for a
+// window slot, lower-weight kernels (by the configured preemption ratio)
+// stop receiving new blocks; once such a kernel's resident blocks drain
+// (a wave boundary) it vacates its window slot back to the pending queue
+// — keeping all completed-block credit — and the preemptor is admitted.
+// Resident blocks are never killed, so functional results are
+// bit-identical with or without preemption.
+//
 // Concurrent execution follows Fermi's rules: at most
 // Arch.MaxConcurrentKernels kernels are admitted at once, and only kernels
 // of the *current* device context can be resident together — the device
@@ -29,12 +49,28 @@ type smScheduler struct {
 
 	sms     []*smState
 	window  int            // kernels currently admitted
-	pending []*launchState // waiting for a window slot, FIFO
-	active  []*launchState // admitted kernels, FIFO dispatch priority
+	pending []*launchState // waiting for a window slot; admitted by weight, FIFO within a weight
+	active  []*launchState // admitted kernels, arrival order
 	nextSM  int            // round-robin cursor
+	// preemptRatio gates wave-boundary preemption: a pending kernel
+	// preempts an active one iff pendingWeight > ratio·activeWeight.
+	// <= 0 disables preemption.
+	preemptRatio float64
 	// groupFree recycles smGroups so a steady stream of small kernels
 	// (the daemon's warm ring cycle) does not allocate one per launch.
 	groupFree []*smGroup
+	// perSMFree recycles the per-kernel resident-block count slices.
+	perSMFree [][]int32
+
+	// Scratch buffers reused across reschedules (never escape).
+	orderScratch []*launchState
+	rateScratch  []float64      // per-group drain rate, indexed like sm.groups
+	wfK          []*launchState // distinct kernels on the SM being rated
+	wfWarps      []int
+	wfBlocks     []int
+	wfCap        []float64
+	wfRate       []float64
+	wfDone       []bool
 }
 
 // launchState tracks one in-flight kernel.
@@ -42,18 +78,36 @@ type launchState struct {
 	ctx         *Context
 	k           *cuda.Kernel
 	occ         fermi.Occupancy
-	blockWork   float64 // lane-cycles per block
+	weight      int // share of SM issue throughput relative to co-residents
+	blockWork   float64
 	regsPerBlk  int
 	shmemPerBlk int
 
 	blocksLeft int // not yet dispatched
 	blocksDone int
 	total      int
+	// perSM[i] counts this kernel's blocks resident on SM i, so the
+	// per-kernel occupancy check in fits is O(1) instead of a rescan of
+	// the SM's group list per placement.
+	perSM []int32
+	// inhibited marks a kernel being preempted: its resident blocks
+	// drain but no new blocks are placed until the preemptor is served.
+	inhibited bool
+	// deficit banks placement credit for weighted deficit round-robin:
+	// each dispatch pass deposits weight and each placed block spends the
+	// pass's minimum active weight, so placement interleaves in weight
+	// proportion (uniform weights degenerate to the legacy one block per
+	// kernel per pass). Reset when the kernel cannot place, so credit
+	// never banks across scarcity.
+	deficit int
 
 	start       sim.Time
 	memFloorEnd sim.Time
 	done        *sim.Event
 }
+
+// resident returns how many of the kernel's blocks currently occupy SMs.
+func (ls *launchState) resident() int { return ls.total - ls.blocksDone - ls.blocksLeft }
 
 // smState is one streaming multiprocessor.
 type smState struct {
@@ -83,7 +137,7 @@ type smGroup struct {
 }
 
 func newSMScheduler(env *sim.Env, dev *Device) *smScheduler {
-	s := &smScheduler{env: env, dev: dev, arch: dev.arch}
+	s := &smScheduler{env: env, dev: dev, arch: dev.arch, preemptRatio: dev.preemptRatio}
 	s.sms = make([]*smState, dev.arch.SMs)
 	for i := range s.sms {
 		s.sms[i] = &smState{idx: i}
@@ -92,8 +146,9 @@ func newSMScheduler(env *sim.Env, dev *Device) *smScheduler {
 }
 
 // launch registers a kernel for execution and returns its completion
-// event. The caller has already paid the launch overhead.
-func (s *smScheduler) launch(ctx *Context, k *cuda.Kernel) *sim.Event {
+// event. The caller has already paid the launch overhead and normalized
+// the weight to >= 1.
+func (s *smScheduler) launch(ctx *Context, k *cuda.Kernel, weight int) *sim.Event {
 	occ, err := s.arch.Occupancy(k.Resources())
 	if err != nil {
 		// Validate is called before launch; reaching here is a bug.
@@ -113,11 +168,13 @@ func (s *smScheduler) launch(ctx *Context, k *cuda.Kernel) *sim.Event {
 		ctx:         ctx,
 		k:           k,
 		occ:         occ,
+		weight:      weight,
 		blockWork:   float64(k.Block.Count()) * k.CyclesPerThread,
 		regsPerBlk:  regsPerWarp * warpsPerBlock,
 		shmemPerBlk: shm,
 		blocksLeft:  k.Blocks(),
 		total:       k.Blocks(),
+		perSM:       s.takePerSM(),
 		start:       s.env.Now(),
 		done:        s.env.NewEvent(),
 	}
@@ -138,6 +195,49 @@ func (s *smScheduler) admit(ls *launchState) {
 	s.active = append(s.active, ls)
 }
 
+// admitNext fills one free window slot with the highest-weight pending
+// kernel (FIFO among equals, so uniform-weight runs admit in arrival
+// order exactly like the pre-QoS scheduler).
+func (s *smScheduler) admitNext() {
+	if len(s.pending) == 0 || s.window >= s.arch.MaxConcurrentKernels {
+		return
+	}
+	best := 0
+	for i, ls := range s.pending {
+		if ls.weight > s.pending[best].weight {
+			best = i
+		}
+	}
+	next := s.pending[best]
+	s.pending = append(s.pending[:best], s.pending[best+1:]...)
+	// A kernel re-admitted after demotion must not carry banked placement
+	// credit from its previous residency.
+	next.deficit = 0
+	s.admit(next)
+}
+
+func (s *smScheduler) takePerSM() []int32 {
+	if n := len(s.perSMFree); n > 0 {
+		p := s.perSMFree[n-1]
+		s.perSMFree[n-1] = nil
+		s.perSMFree = s.perSMFree[:n-1]
+		return p
+	}
+	return make([]int32, len(s.sms))
+}
+
+func (s *smScheduler) releasePerSM(ls *launchState) {
+	p := ls.perSM
+	ls.perSM = nil
+	if p == nil || len(s.perSMFree) >= 32 {
+		return
+	}
+	for i := range p {
+		p[i] = 0
+	}
+	s.perSMFree = append(s.perSMFree, p)
+}
+
 // advanceAll drains every SM's groups up to the current instant.
 func (s *smScheduler) advanceAll() {
 	now := s.env.Now()
@@ -147,9 +247,9 @@ func (s *smScheduler) advanceAll() {
 		if dt <= 0 || len(sm.groups) == 0 {
 			continue
 		}
-		denom := s.denom(sm)
-		for _, g := range sm.groups {
-			g.remWork -= s.perBlockRate(g, denom) * dt
+		rates := s.groupRates(sm)
+		for i, g := range sm.groups {
+			g.remWork -= rates[i] * dt
 			if g.remWork < 0 {
 				g.remWork = 0
 			}
@@ -177,6 +277,119 @@ func (s *smScheduler) perBlockRate(g *smGroup, denom float64) float64 {
 	throughput := float64(s.arch.CoresPerSM) * s.arch.ClockHz // lane-cycles/s
 	warpsPerBlock := float64(g.warps) / float64(g.blocks)
 	return throughput * warpsPerBlock / denom
+}
+
+// groupRates returns the per-block drain rate of every group on sm, in
+// group order (the slice is scheduler scratch, valid until the next
+// call). When all resident kernels share one weight this is classic
+// processor sharing over warps, evaluated with exactly the pre-QoS float
+// operations so uniform-weight runs are bit-identical. With mixed
+// weights the SM's issue capacity is water-filled across kernels in
+// proportion to weight, each kernel capped at what its resident warps
+// can absorb through the latency-hiding floor.
+func (s *smScheduler) groupRates(sm *smState) []float64 {
+	rates := s.rateScratch[:0]
+	uniform := true
+	for _, g := range sm.groups[1:] {
+		if g.ls.weight != sm.groups[0].ls.weight {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		denom := s.denom(sm)
+		for _, g := range sm.groups {
+			rates = append(rates, s.perBlockRate(g, denom))
+		}
+		s.rateScratch = rates
+		return rates
+	}
+
+	// Gather distinct kernels with their total warps/blocks on this SM.
+	ks, warps, blocks := s.wfK[:0], s.wfWarps[:0], s.wfBlocks[:0]
+	for _, g := range sm.groups {
+		found := false
+		for i, ls := range ks {
+			if ls == g.ls {
+				warps[i] += g.warps
+				blocks[i] += g.blocks
+				found = true
+				break
+			}
+		}
+		if !found {
+			ks = append(ks, g.ls)
+			warps = append(warps, g.warps)
+			blocks = append(blocks, g.blocks)
+		}
+	}
+
+	thr := float64(s.arch.CoresPerSM) * s.arch.ClockHz
+	lh := float64(s.arch.LatencyHidingWarps)
+	// Total SM capacity equals the aggregate of classic processor
+	// sharing: thr·min(1, usedWarps/LH).
+	capacity := thr
+	if uw := float64(sm.usedWarps); uw < lh {
+		capacity = thr * uw / lh
+	}
+	caps, kRate, done := s.wfCap[:0], s.wfRate[:0], s.wfDone[:0]
+	for i := range ks {
+		c := thr
+		if w := float64(warps[i]); w < lh {
+			c = thr * w / lh
+		}
+		caps = append(caps, c)
+		kRate = append(kRate, 0)
+		done = append(done, false)
+	}
+	// Water-fill: give each kernel capacity ∝ weight; kernels that would
+	// exceed their absorption cap are clamped and the remainder is
+	// redistributed. Σcaps >= capacity always, so this terminates with
+	// the capacity fully (or maximally) assigned, deterministically.
+	remC := capacity
+	for {
+		sumW := 0
+		for i := range ks {
+			if !done[i] {
+				sumW += ks[i].weight
+			}
+		}
+		if sumW == 0 {
+			break
+		}
+		changed := false
+		for i := range ks {
+			if done[i] {
+				continue
+			}
+			if remC*float64(ks[i].weight) >= caps[i]*float64(sumW) {
+				kRate[i] = caps[i]
+				remC -= caps[i]
+				done[i] = true
+				changed = true
+			}
+		}
+		if !changed {
+			for i := range ks {
+				if !done[i] {
+					kRate[i] = remC * float64(ks[i].weight) / float64(sumW)
+				}
+			}
+			break
+		}
+	}
+	for _, g := range sm.groups {
+		for i, ls := range ks {
+			if ls == g.ls {
+				rates = append(rates, kRate[i]/float64(blocks[i]))
+				break
+			}
+		}
+	}
+	s.rateScratch = rates
+	s.wfK, s.wfWarps, s.wfBlocks = ks, warps, blocks
+	s.wfCap, s.wfRate, s.wfDone = caps, kRate, done
+	return rates
 }
 
 // reschedule is called after any state change: it collects finished
@@ -208,6 +421,7 @@ func (s *smScheduler) collectFinished() {
 			sm.usedBlocks -= g.blocks
 			ls := g.ls
 			ls.blocksDone += g.blocks
+			ls.perSM[sm.idx] -= int32(g.blocks)
 			*g = smGroup{}
 			if len(s.groupFree) < 32 {
 				s.groupFree = append(s.groupFree, g)
@@ -224,18 +438,22 @@ func (s *smScheduler) collectFinished() {
 // mode), honors the memory-bandwidth floor, fires done, frees the window
 // slot and admits the next pending kernel.
 func (s *smScheduler) finish(ls *launchState) {
-	s.window--
 	for i, a := range s.active {
 		if a == ls {
-			s.active = append(s.active[:i], s.active[i+1:]...)
-			break
+			s.finishAt(ls, i)
+			return
 		}
 	}
-	if len(s.pending) > 0 {
-		next := s.pending[0]
-		s.pending = s.pending[1:]
-		s.admit(next)
-	}
+	panic(fmt.Sprintf("gpusim: finish of kernel %q not in active set", ls.k.Name))
+}
+
+// finishAt is finish when the caller already knows the kernel's index in
+// s.active.
+func (s *smScheduler) finishAt(ls *launchState, i int) {
+	s.window--
+	s.active = append(s.active[:i], s.active[i+1:]...)
+	s.releasePerSM(ls)
+	s.admitNext()
 	s.dev.KernelsRun++
 	if s.env.Now() < ls.memFloorEnd {
 		s.env.At(ls.memFloorEnd, func() { s.fireLaunch(ls) })
@@ -262,76 +480,202 @@ func (s *smScheduler) fireLaunch(ls *launchState) {
 	ls.done.Fire(nil)
 }
 
-// dispatch places undispatched blocks onto SMs: kernels in FIFO order,
-// SMs round-robin, one block at a time, merging same-instant placements
-// of one kernel on one SM into a single group.
+// preempt implements wave-boundary preemption. While a pending kernel
+// outweighs an active one by more than the preemption ratio, the active
+// kernel stops receiving new blocks (inhibited); once its resident
+// blocks have drained it returns to the pending queue — retaining every
+// completed block — and its window slot goes to the preemptor. Progress
+// is guaranteed: only strictly higher-weight pending kernels inhibit, so
+// the demoted kernel resumes as soon as the preemptor's weight class
+// drains from the window.
+func (s *smScheduler) preempt() {
+	for _, ls := range s.active {
+		ls.inhibited = false
+	}
+	if s.preemptRatio <= 0 {
+		return
+	}
+	for {
+		// maxW must be recomputed after every demotion: demoting admits a
+		// pending kernel (usually the preemptor itself), and judging the
+		// remaining actives against the pre-admission queue would demote
+		// kernels whose preemptor is already in the window — two equal-weight
+		// kernels would then swap between active and pending forever at one
+		// virtual instant.
+		maxW := 0
+		for _, ls := range s.pending {
+			if ls.weight > maxW {
+				maxW = ls.weight
+			}
+		}
+		demoted := false
+		for i := 0; i < len(s.active); i++ {
+			ls := s.active[i]
+			// A kernel yields its slot only to a strictly heavier pending
+			// kernel past the ratio threshold; the strict half of the test
+			// means every demotion raises the window's total weight, so this
+			// loop terminates for any ratio.
+			if maxW <= ls.weight || float64(maxW) <= s.preemptRatio*float64(ls.weight) {
+				// Also undoes inhibition from an earlier round whose
+				// preemptor has been admitted by now.
+				ls.inhibited = false
+				continue
+			}
+			if ls.resident() > 0 || ls.blocksLeft == 0 {
+				// Mid-wave (or fully dispatched): let resident blocks
+				// drain, place nothing new.
+				ls.inhibited = true
+				continue
+			}
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			s.window--
+			ls.inhibited = false
+			s.pending = append(s.pending, ls)
+			s.dev.preemptions.Add(1)
+			s.admitNext()
+			demoted = true
+			break
+		}
+		if !demoted {
+			return
+		}
+	}
+}
+
+// dispatchOrder returns the order in which active kernels claim SM block
+// slots this pass. With uniform weights it is s.active itself (arrival
+// order — bit-identical to the pre-QoS scheduler). With mixed weights,
+// kernels are ordered by weight-normalized residency (fewest resident
+// blocks per unit weight first, stable by arrival among ties), so scarce
+// slots go to the most underserved kernel and steady-state residency
+// converges toward the weight ratio.
+func (s *smScheduler) dispatchOrder() []*launchState {
+	uniform := true
+	for _, ls := range s.active {
+		if ls.weight != s.active[0].weight {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return s.active
+	}
+	order := append(s.orderScratch[:0], s.active...)
+	s.orderScratch = order
+	sort.SliceStable(order, func(a, b int) bool {
+		// resident_a/weight_a < resident_b/weight_b, cross-multiplied to
+		// stay in exact integer arithmetic.
+		return int64(order[a].resident())*int64(order[b].weight) <
+			int64(order[b].resident())*int64(order[a].weight)
+	})
+	return order
+}
+
+// dispatch places undispatched blocks onto SMs: kernels in weighted
+// order, SMs round-robin, one block per kernel per pass, merging
+// same-instant placements of one kernel on one SM into a single group.
 func (s *smScheduler) dispatch() {
 	for _, sm := range s.sms {
 		sm.freshFrom = len(sm.groups)
 	}
-	for {
-		// Zero-work kernels complete without occupying hardware. finish
-		// mutates s.active (and may admit pending kernels), so restart the
-		// scan after each one.
-		for again := true; again; {
-			again = false
-			for _, ls := range s.active {
-				if ls.blocksLeft > 0 && ls.blockWork <= 0 {
-					ls.blocksDone += ls.blocksLeft
-					ls.blocksLeft = 0
-					s.finish(ls)
-					again = true
-					break
-				}
-			}
+	// Zero-work kernels complete without occupying hardware. finishAt
+	// removes index i in place and any kernel it admits from the pending
+	// queue is appended to s.active, so one forward pass visits
+	// everything — no restart-rescan.
+	for i := 0; i < len(s.active); {
+		ls := s.active[i]
+		if ls.blocksLeft > 0 && ls.blockWork <= 0 {
+			ls.blocksDone += ls.blocksLeft
+			ls.blocksLeft = 0
+			s.finishAt(ls, i)
+			continue
 		}
-		placed := false
+		i++
+	}
+	s.preempt()
+	for {
+		// Deficit round-robin: each pass deposits weight into every
+		// placeable kernel's credit and a placed block costs the pass's
+		// minimum weight, so placement interleaves in weight proportion
+		// (4:1 weights place 4 blocks per pass against 1). With uniform
+		// weights every quota is exactly one block, which reproduces the
+		// legacy one-block-per-kernel interleave bit for bit.
+		minW := 0
 		for _, ls := range s.active {
-			if ls.blocksLeft == 0 || ls.blockWork <= 0 {
+			if ls.blocksLeft == 0 || ls.blockWork <= 0 || ls.inhibited {
 				continue
 			}
-			for try := 0; try < len(s.sms); try++ {
-				sm := s.sms[s.nextSM]
-				s.nextSM = (s.nextSM + 1) % len(s.sms)
-				if !s.fits(sm, ls) {
-					continue
+			if minW == 0 || ls.weight < minW {
+				minW = ls.weight
+			}
+		}
+		if minW == 0 {
+			return
+		}
+		placed := false
+		for _, ls := range s.dispatchOrder() {
+			if ls.blocksLeft == 0 || ls.blockWork <= 0 || ls.inhibited {
+				continue
+			}
+			ls.deficit += ls.weight
+			for ls.deficit >= minW && ls.blocksLeft > 0 {
+				if !s.placeOne(ls) {
+					// No SM fits: drop banked credit so it cannot burst
+					// later and starve lighter kernels when slots free up.
+					ls.deficit = 0
+					break
 				}
-				var g *smGroup
-				for _, fg := range sm.groups[sm.freshFrom:] {
-					if fg.ls == ls {
-						g = fg
-						break
-					}
-				}
-				if g == nil {
-					if n := len(s.groupFree); n > 0 {
-						g = s.groupFree[n-1]
-						s.groupFree[n-1] = nil
-						s.groupFree = s.groupFree[:n-1]
-					} else {
-						g = &smGroup{}
-					}
-					g.ls = ls
-					g.remWork = ls.blockWork
-					sm.groups = append(sm.groups, g)
-				}
-				g.blocks++
-				g.warps += ls.occ.WarpsPerBlock
-				g.regs += ls.regsPerBlk
-				g.shmem += ls.shmemPerBlk
-				sm.usedWarps += ls.occ.WarpsPerBlock
-				sm.usedRegs += ls.regsPerBlk
-				sm.usedShmem += ls.shmemPerBlk
-				sm.usedBlocks++
-				ls.blocksLeft--
+				ls.deficit -= minW
 				placed = true
-				break
 			}
 		}
 		if !placed {
 			return
 		}
 	}
+}
+
+// placeOne places one block of ls on the first SM (round-robin from
+// nextSM) with room, and reports whether it found one.
+func (s *smScheduler) placeOne(ls *launchState) bool {
+	for try := 0; try < len(s.sms); try++ {
+		sm := s.sms[s.nextSM]
+		s.nextSM = (s.nextSM + 1) % len(s.sms)
+		if !s.fits(sm, ls) {
+			continue
+		}
+		var g *smGroup
+		for _, fg := range sm.groups[sm.freshFrom:] {
+			if fg.ls == ls {
+				g = fg
+				break
+			}
+		}
+		if g == nil {
+			if n := len(s.groupFree); n > 0 {
+				g = s.groupFree[n-1]
+				s.groupFree[n-1] = nil
+				s.groupFree = s.groupFree[:n-1]
+			} else {
+				g = &smGroup{}
+			}
+			g.ls = ls
+			g.remWork = ls.blockWork
+			sm.groups = append(sm.groups, g)
+		}
+		g.blocks++
+		g.warps += ls.occ.WarpsPerBlock
+		g.regs += ls.regsPerBlk
+		g.shmem += ls.shmemPerBlk
+		sm.usedWarps += ls.occ.WarpsPerBlock
+		sm.usedRegs += ls.regsPerBlk
+		sm.usedShmem += ls.shmemPerBlk
+		sm.usedBlocks++
+		ls.perSM[sm.idx]++
+		ls.blocksLeft--
+		return true
+	}
+	return false
 }
 
 // fits reports whether one more block of ls fits on sm.
@@ -348,14 +692,8 @@ func (s *smScheduler) fits(sm *smState, ls *launchState) bool {
 	if sm.usedShmem+ls.shmemPerBlk > s.arch.SharedMemPerSM {
 		return false
 	}
-	// Per-kernel occupancy limit on this SM.
-	mine := 0
-	for _, g := range sm.groups {
-		if g.ls == ls {
-			mine += g.blocks
-		}
-	}
-	return mine+1 <= ls.occ.BlocksPerSM
+	// Per-kernel occupancy limit on this SM, tracked incrementally.
+	return int(ls.perSM[sm.idx])+1 <= ls.occ.BlocksPerSM
 }
 
 // armTimers schedules each SM's next group completion.
@@ -365,10 +703,10 @@ func (s *smScheduler) armTimers() {
 		if len(sm.groups) == 0 {
 			continue
 		}
-		denom := s.denom(sm)
+		rates := s.groupRates(sm)
 		next := math.Inf(1)
-		for _, g := range sm.groups {
-			rate := s.perBlockRate(g, denom)
+		for i, g := range sm.groups {
+			rate := rates[i]
 			if rate <= 0 {
 				continue
 			}

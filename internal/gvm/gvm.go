@@ -18,6 +18,7 @@ package gvm
 import (
 	"fmt"
 	"log/slog"
+	"math/bits"
 	"sort"
 	"strconv"
 
@@ -94,6 +95,13 @@ type Request struct {
 	// sessions are evicted first when the device cannot fit an
 	// allocation. Equal priorities fall back to LRU. 0 is the default.
 	Priority int
+	// Weight (REQ only) is the session's share of SM compute time
+	// relative to co-resident sessions, and its precedence for
+	// concurrent-kernel-window admission and wave-boundary preemption.
+	// 0 derives the weight from Priority (max(1, Priority+1)); explicit
+	// values are clamped to [1, gpusim.MaxLaunchWeight]. 1 everywhere
+	// reproduces the unweighted scheduler exactly.
+	Weight int
 }
 
 // Response is a control-plane message from the manager to a client.
@@ -276,6 +284,9 @@ type managerMetrics struct {
 	swapInBytes     *metrics.Counter
 	openSessions    *metrics.Gauge
 	barrierWaitNS   *metrics.Histogram
+	// turnaroundNS aggregates STR->completion virtual time across all
+	// sessions of this shard; the SLO placement policy reads its p99.
+	turnaroundNS *metrics.Histogram
 }
 
 // session is the manager-side state of one VGPU (one client process).
@@ -309,8 +320,14 @@ type session struct {
 	evicted  bool
 	lastUsed sim.Time // LRU clock for victim selection
 	priority int      // lower evicts first (Request.Priority)
+	weight   int      // SM compute-time share (Request.Weight, normalized)
 	memQuota int64    // hard Malloc-time limit, 0 = unlimited
 	devBytes int64    // logical device bytes reserved by this session
+
+	// Prebound per-weight-class instruments (label class="<weight
+	// rounded down to a power of two>", so cardinality stays bounded).
+	launches    *metrics.Counter   // gpusim_sched_launches_total
+	turnClassNS *metrics.Histogram // gvm_turnaround_class_ns
 
 	// Prebound flush sequence (H2D, kernels, D2H) and completion callback,
 	// built once at REQ so steady-state flushes enqueue stream work without
@@ -372,8 +389,11 @@ func New(env *sim.Env, cfg Config) *Manager {
 		swapInBytes:     reg.Counter("gvm_swap_bytes_total", "bytes moved between device arenas and host snapshots", gl, metrics.L("dir", "in")),
 		openSessions:    reg.Gauge("gvm_open_sessions", "live sessions", gl),
 		barrierWaitNS:   reg.Histogram("gvm_barrier_wait_ns", "virtual ns each session waited at the STR barrier", gl),
+		turnaroundNS:    reg.Histogram("gvm_turnaround_ns", "virtual ns from STR arrival to cycle completion", gl),
 	}
 	dev := m.dev
+	reg.CounterFunc("gpusim_preemptions_total", "wave-boundary preemptions (kernels demoted from the concurrent-kernel window for a higher-weight kernel)",
+		func() int64 { return dev.Preemptions() }, gl)
 	reg.GaugeFunc("gvm_mem_in_use_bytes", "device memory allocated to sessions",
 		func() int64 { return dev.MemInUse() }, gl)
 	reg.GaugeFunc("gvm_resident_bytes", "session bytes physically resident in device memory",
@@ -564,7 +584,15 @@ func (m *Manager) handleREQ(p *sim.Proc, r Request) {
 	s := &session{
 		id: m.nextID, spec: r.Spec, reply: r.Reply, direct: r.Direct,
 		memQuota: r.MemQuota, priority: r.Priority, lastUsed: p.Now(),
+		weight: sessionWeight(r),
 	}
+	// Weight-class instruments are prebound so the hot path pays no map
+	// lookups; the registry is idempotent, so sessions of one class on
+	// one shard share a series.
+	cl := metrics.L("class", strconv.Itoa(weightClass(s.weight)))
+	gl := metrics.L("gpu", strconv.Itoa(m.cfg.GPUIndex))
+	s.launches = m.reg.Counter("gpusim_sched_launches_total", "kernel launches by weight class", gl, cl)
+	s.turnClassNS = m.reg.Histogram("gvm_turnaround_class_ns", "virtual ns from STR arrival to cycle completion, by weight class", gl, cl)
 	ctx := m.ctx
 	dev := m.dev
 	// Direct sessions never move bytes through the segment, so it stays
@@ -768,6 +796,33 @@ func (m *Manager) flushBatch(p *sim.Proc, timedOut bool) {
 	})
 }
 
+// sessionWeight derives a session's compute weight from its REQ: an
+// explicit Weight wins; otherwise Priority maps to max(1, Priority+1) so
+// the eviction-priority extension PR7 landed doubles as a coarse compute
+// weight. The result is clamped to gpusim's launch-weight range.
+func sessionWeight(r Request) int {
+	w := r.Weight
+	if w < 1 {
+		w = r.Priority + 1
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > gpusim.MaxLaunchWeight {
+		w = gpusim.MaxLaunchWeight
+	}
+	return w
+}
+
+// weightClass buckets a weight for metric labels: the largest power of
+// two <= weight, so at most 11 classes exist.
+func weightClass(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(w)) - 1)
+}
+
 // prepareOps prebinds the session's flush sequence — H2D, the kernel
 // chain, D2H — and its completion callback. Building these once at REQ
 // keeps every subsequent flush free of per-operation closure and event
@@ -783,7 +838,8 @@ func (m *Manager) prepareOps(s *session) {
 	for _, k := range s.kernels {
 		k := k
 		s.ops = append(s.ops, func(p *sim.Proc) {
-			done, err := ctx.LaunchAsync(p, k)
+			s.launches.Inc()
+			done, err := ctx.LaunchAsyncOpts(p, k, gpusim.LaunchOptions{Weight: s.weight})
 			if err != nil {
 				panic(fmt.Sprintf("gvm: session %d: %v", s.id, err))
 			}
@@ -796,6 +852,9 @@ func (m *Manager) prepareOps(s *session) {
 	s.finishCB = func() {
 		s.running = false
 		s.done = true
+		turn := int64(m.env.Now() - s.strArrived)
+		m.met.turnaroundNS.Observe(turn)
+		s.turnClassNS.Observe(turn)
 		if s.stpWaiting {
 			s.stpWaiting = false
 			// Reply from a transient process so the response hop happens

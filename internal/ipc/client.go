@@ -176,6 +176,11 @@ type SessionOptions struct {
 	// Priority orders eviction under memory pressure: lower-priority
 	// sessions are evicted first. 0 is the default class.
 	Priority int
+	// Weight is the session's weighted-fair share of SM compute time and
+	// its preemption precedence. 0 derives the weight from Priority;
+	// 1 everywhere reproduces the unweighted scheduler. Daemons predating
+	// the field ignore it (the wire encoding is backward compatible).
+	Weight int
 }
 
 // Request opens a VGPU session for the given workload reference. A
@@ -193,7 +198,7 @@ func (c *Client) RequestOptions(ref workloads.Ref, rank int, o SessionOptions) (
 	reqPlane, timeout := c.plane, c.timeout
 	c.mu.Unlock()
 	req := Request{Verb: "REQ", Ref: &ref, Rank: rank, Plane: reqPlane,
-		MemQuota: o.MemQuota, Priority: o.Priority}
+		MemQuota: o.MemQuota, Priority: o.Priority, Weight: o.Weight}
 	resp, err := c.roundTrip(req)
 	if err != nil {
 		if reqPlane == transport.PlaneRing && strings.Contains(err.Error(), "unknown data plane") {

@@ -37,6 +37,11 @@ type ServerConfig struct {
 	// ExecWorkers sizes the functional kernel-execution worker pool
 	// (gpusim.Config.ExecWorkers): 0 = GOMAXPROCS, 1 = serial.
 	ExecWorkers int
+	// PreemptRatio is each GPU's wave-boundary preemption threshold
+	// (gpusim.Config.PreemptRatio): a pending kernel preempts an active
+	// one iff its weight exceeds ratio x the active kernel's weight.
+	// 0 = default 1.0; negative disables preemption.
+	PreemptRatio float64
 	// GPUs is the number of per-GPU manager shards the daemon runs
 	// (default 1). Each shard is an independent sim.Env + device +
 	// gvm.Manager with its own owner goroutine, so shards serve verbs in
@@ -174,6 +179,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Arch:            cfg.Arch,
 		Functional:      cfg.Functional,
 		ExecWorkers:     cfg.ExecWorkers,
+		PreemptRatio:    cfg.PreemptRatio,
 		Parties:         cfg.Parties,
 		Placement:       cfg.Placement,
 		MaxSessionBytes: cfg.MaxSessionBytes,

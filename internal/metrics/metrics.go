@@ -14,6 +14,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"strings"
@@ -103,6 +104,32 @@ func (h *Histogram) Bucket(i int) int64 { return h.buckets[i].Load() }
 
 // BucketBound returns bucket i's inclusive upper bound (2^i).
 func BucketBound(i int) int64 { return 1 << uint(i) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution as the upper bound of the bucket holding the rank-q
+// observation — an overestimate by at most 2x, which is what a log2
+// histogram can promise. It returns 0 when nothing has been observed,
+// and the largest finite bound when the rank falls beyond the finite
+// buckets. Safe to call concurrently with Observe; the estimate is then
+// approximate in the usual scrape-time sense.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < HistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(HistBuckets - 1)
+}
 
 type kind uint8
 

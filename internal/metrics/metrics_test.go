@@ -97,6 +97,42 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram p99 = %d, want 0", got)
+	}
+	// 99 fast observations and one slow: the p50 resolves to the fast
+	// bucket's bound, the p99 and p100 to the slow one's. Quantiles are
+	// bucket upper bounds (powers of two), so use exact-bound values.
+	for i := 0; i < 99; i++ {
+		h.Observe(100) // bucket le=128
+	}
+	h.Observe(100_000) // bucket le=131072
+	if got := h.Quantile(0.5); got != 128 {
+		t.Fatalf("p50 = %d, want 128", got)
+	}
+	if got := h.Quantile(0.98); got != 128 {
+		t.Fatalf("p98 = %d, want 128", got)
+	}
+	if got := h.Quantile(0.99); got != 128 {
+		t.Fatalf("p99 (rank 99 of 100) = %d, want 128", got)
+	}
+	if got := h.Quantile(0.995); got != 131072 {
+		t.Fatalf("p99.5 = %d, want 131072", got)
+	}
+	if got := h.Quantile(1); got != 131072 {
+		t.Fatalf("p100 = %d, want 131072", got)
+	}
+	// An observation beyond the last finite bucket saturates quantiles at
+	// the largest finite bound rather than inventing a value.
+	var big Histogram
+	big.Observe(1 << 45)
+	if got := big.Quantile(0.5); got != BucketBound(HistBuckets-1) {
+		t.Fatalf("overflow p50 = %d, want last finite bound %d", got, BucketBound(HistBuckets-1))
+	}
+}
+
 func TestFuncInstruments(t *testing.T) {
 	r := NewRegistry()
 	n := int64(41)

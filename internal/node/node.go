@@ -49,6 +49,11 @@ type Config struct {
 	Functional bool
 	// ExecWorkers sizes each device's functional kernel-execution pool.
 	ExecWorkers int
+	// PreemptRatio is each shard's wave-boundary preemption threshold
+	// (gpusim.Config.PreemptRatio): a pending kernel preempts an active
+	// one iff its weight exceeds ratio x the active kernel's weight.
+	// 0 = default 1.0; negative disables preemption.
+	PreemptRatio float64
 	// Parties is the STR barrier width OF EACH SHARD: a shard flushes
 	// when Parties of ITS sessions have issued STR. Placement decides
 	// which sessions share a shard (and hence a barrier), so Parties > 1
@@ -103,6 +108,10 @@ type Node struct {
 	// be read off-lock (Loads, tests, /metrics).
 	placedSessions []*metrics.Gauge
 	placedBytes    []*metrics.Gauge
+	// turnNS are the shards' live gvm_turnaround_ns histograms (the same
+	// instruments the managers observe into — registration is
+	// idempotent); the SLO policy reads their p99 at placement time.
+	turnNS []*metrics.Histogram
 }
 
 // New builds the node's shards and validates the placement config. Call
@@ -141,9 +150,10 @@ func New(cfg Config) (*Node, error) {
 			env = sim.NewEnv()
 		}
 		dev, err := gpusim.New(env, gpusim.Config{
-			Arch:        cfg.Arch,
-			Functional:  cfg.Functional,
-			ExecWorkers: cfg.ExecWorkers,
+			Arch:         cfg.Arch,
+			Functional:   cfg.Functional,
+			ExecWorkers:  cfg.ExecWorkers,
+			PreemptRatio: cfg.PreemptRatio,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("node: gpu %d: %w", i, err)
@@ -165,6 +175,10 @@ func New(cfg Config) (*Node, error) {
 			reg.Gauge("node_placed_sessions", "sessions the placement layer has assigned to the shard", gl))
 		n.placedBytes = append(n.placedBytes,
 			reg.Gauge("node_placed_bytes", "staging bytes the placement layer has reserved on the shard", gl))
+		// gvm.New above already registered this series; the idempotent
+		// registry hands back the same instrument the manager observes.
+		n.turnNS = append(n.turnNS,
+			reg.Histogram("gvm_turnaround_ns", "virtual ns from STR arrival to cycle completion", gl))
 	}
 	return n, nil
 }
@@ -227,11 +241,12 @@ func (n *Node) Loads() []Load {
 	loads := make([]Load, len(n.shards))
 	for i, sh := range n.shards {
 		loads[i] = Load{
-			Shard:    i,
-			Sessions: n.placedSessions[i].Value(),
-			Bytes:    n.placedBytes[i].Value(),
-			MemFree:  n.quota(sh) - n.placedBytes[i].Value(),
-			Resident: sh.Dev.MemResident(),
+			Shard:     i,
+			Sessions:  n.placedSessions[i].Value(),
+			Bytes:     n.placedBytes[i].Value(),
+			MemFree:   n.quota(sh) - n.placedBytes[i].Value(),
+			Resident:  sh.Dev.MemResident(),
+			P99TurnNS: n.turnNS[i].Quantile(0.99),
 		}
 	}
 	return loads
@@ -290,6 +305,12 @@ func (n *Node) Release(idx int, inBytes, outBytes int64) {
 // here). The caller should pair a successful Connect with
 // Release(shard, spec.InBytes, spec.OutBytes) after VGPU.Release.
 func (n *Node) Connect(p *sim.Proc, spec *task.Spec) (*vgpu.VGPU, int, error) {
+	return n.ConnectOpts(p, spec, vgpu.Opts{})
+}
+
+// ConnectOpts is Connect with explicit session options (weight, priority,
+// memory quota) forwarded to the shard's manager.
+func (n *Node) ConnectOpts(p *sim.Proc, spec *task.Spec, o vgpu.Opts) (*vgpu.VGPU, int, error) {
 	if spec == nil {
 		return nil, -1, fmt.Errorf("node: nil task spec")
 	}
@@ -297,7 +318,7 @@ func (n *Node) Connect(p *sim.Proc, spec *task.Spec) (*vgpu.VGPU, int, error) {
 	if err != nil {
 		return nil, -1, err
 	}
-	v, err := vgpu.Connect(p, n.shards[idx].Mgr, spec)
+	v, err := vgpu.ConnectOpts(p, n.shards[idx].Mgr, spec, o)
 	if err != nil {
 		n.Release(idx, spec.InBytes, spec.OutBytes)
 		return nil, -1, err

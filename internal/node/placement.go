@@ -27,6 +27,11 @@ type Load struct {
 	// beyond Resident are evicted arenas (or not-yet-touched
 	// reservations) living in host snapshots.
 	Resident int64
+	// P99TurnNS is the shard's observed p99 STR→completion turnaround in
+	// virtual nanoseconds, read from the live gvm_turnaround_ns metric
+	// (0 until the shard has completed a cycle). The SLO policy places by
+	// this instead of by session count.
+	P99TurnNS int64
 }
 
 // Policy picks the shard for a new session. Pick receives the admissible
@@ -45,11 +50,12 @@ const (
 	RoundRobin    = "round-robin"
 	LeastMemory   = "least-memory"
 	WeightedBytes = "weighted-bytes"
+	SLO           = "slo"
 )
 
 // PolicyNames lists the built-in policies in flag-help order.
 func PolicyNames() []string {
-	return []string{LeastSessions, RoundRobin, LeastMemory, WeightedBytes}
+	return []string{LeastSessions, RoundRobin, LeastMemory, WeightedBytes, SLO}
 }
 
 // PolicyByName returns a fresh instance of a built-in policy.
@@ -63,6 +69,8 @@ func PolicyByName(name string) (Policy, error) {
 		return leastMemory{}, nil
 	case WeightedBytes:
 		return weightedBytes{}, nil
+	case SLO:
+		return sloPolicy{}, nil
 	}
 	return nil, fmt.Errorf("node: unknown placement policy %q (want %s)",
 		name, strings.Join(PolicyNames(), ", "))
@@ -125,6 +133,29 @@ func (weightedBytes) Pick(cands []Load, _ int64) int {
 	for i, c := range cands {
 		if c.Bytes < cands[best].Bytes {
 			best = i
+		}
+	}
+	return best
+}
+
+// sloPolicy picks the shard with the lowest observed p99 turnaround —
+// the live latency a new tenant would actually experience there — read
+// from each shard's gvm_turnaround_ns histogram. Shards with no
+// completed cycles report 0 and thus attract sessions first (cold shards
+// are the best SLO bet); ties fall back to fewest sessions, then lowest
+// index, so a cold multi-shard node behaves like least-sessions until
+// latency signal accumulates.
+type sloPolicy struct{}
+
+func (sloPolicy) Name() string { return SLO }
+
+func (sloPolicy) Pick(cands []Load, _ int64) int {
+	best := 0
+	for i, c := range cands[1:] {
+		b := cands[best]
+		if c.P99TurnNS < b.P99TurnNS ||
+			(c.P99TurnNS == b.P99TurnNS && c.Sessions < b.Sessions) {
+			best = i + 1
 		}
 	}
 	return best

@@ -90,6 +90,44 @@ func TestPolicyTieBreak(t *testing.T) {
 	}
 }
 
+// TestSLOPolicyPicks pins the SLO policy: lowest observed p99 turnaround
+// wins even against a session-count advantage, cold shards (no latency
+// signal yet) attract sessions first, and full ties fall back to fewest
+// sessions then lowest index.
+func TestSLOPolicyPicks(t *testing.T) {
+	p, err := PolicyByName(SLO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded shard with the best tail latency beats an idle-but-slow one.
+	cands := []Load{
+		{Shard: 0, Sessions: 1, P99TurnNS: 5_000_000},
+		{Shard: 1, Sessions: 4, P99TurnNS: 2_000_000},
+		{Shard: 2, Sessions: 2, P99TurnNS: 3_000_000},
+	}
+	if got := p.Pick(cands, 64); got != 1 {
+		t.Errorf("slo picked cands[%d], want cands[1] (lowest p99)", got)
+	}
+	// A cold shard reports p99 = 0 and wins over any measured latency.
+	cands[2].P99TurnNS = 0
+	if got := p.Pick(cands, 64); got != 2 {
+		t.Errorf("slo picked cands[%d], want cands[2] (cold shard)", got)
+	}
+	// Equal p99 falls back to fewest sessions.
+	even := []Load{
+		{Shard: 0, Sessions: 3, P99TurnNS: 0},
+		{Shard: 1, Sessions: 1, P99TurnNS: 0},
+	}
+	if got := p.Pick(even, 64); got != 1 {
+		t.Errorf("slo tie picked cands[%d], want cands[1] (fewest sessions)", got)
+	}
+	// Full tie goes to the lowest index for run-to-run reproducibility.
+	even[1].Sessions = 3
+	if got := p.Pick(even, 64); got != 0 {
+		t.Errorf("slo full tie picked cands[%d], want cands[0]", got)
+	}
+}
+
 // TestPlacementSkewProperty is the property test for the placement
 // layer: placing K sessions over N shards never skews the shards beyond
 // the policy's balance bound. Session-count policies stay within one

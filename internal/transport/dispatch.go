@@ -331,7 +331,7 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit ShardSubmitter)
 	)
 	if !submit(shard, func(p *sim.Proc) {
 		v, verr = vgpu.ConnectOpts(p, mgr, spec, vgpu.Opts{
-			Direct: true, MemQuota: req.MemQuota, Priority: req.Priority,
+			Direct: true, MemQuota: req.MemQuota, Priority: req.Priority, Weight: req.Weight,
 		})
 		if verr == nil && d.cfg.Functional {
 			stageIn, stageOut = mgr.Staging(v.Session())

@@ -23,9 +23,10 @@ import (
 // appends a sub-request count and each sub-request's fields (same
 // layout, no nesting); single-verb frames carry no batch section at all,
 // so they are byte-identical to the pre-batch format. A frame whose REQ
-// carries extension fields (MemQuota, Priority) appends, after the batch
+// carries extension fields (MemQuota, Priority, Weight) appends, after the batch
 // section (count 0 when there is none), an extension-flags uvarint
-// followed by one varint per set flag — bit 0 MemQuota, bit 1 Priority.
+// followed by one varint per set flag — bit 0 MemQuota, bit 1 Priority,
+// bit 2 Weight.
 // Frames without extension fields omit the section entirely, keeping
 // them byte-identical to the pre-extension format.
 // Response payload: status, session, err, plane, segment, inBytes,
@@ -206,7 +207,7 @@ func (e *frameEncoder) encodeRequest(req Request) error {
 	if err := e.requestFields(req); err != nil {
 		return err
 	}
-	ext := req.MemQuota != 0 || req.Priority != 0
+	ext := req.MemQuota != 0 || req.Priority != 0 || req.Weight != 0
 	if len(req.Batch) > 0 || ext {
 		// The extension section sits after the batch section, so a frame
 		// carrying extensions always emits the batch count (possibly 0).
@@ -215,9 +216,9 @@ func (e *frameEncoder) encodeRequest(req Request) error {
 			if len(req.Batch[i].Batch) > 0 {
 				return fmt.Errorf("transport: nested batch in %s frame", req.Verb)
 			}
-			if req.Batch[i].MemQuota != 0 || req.Batch[i].Priority != 0 {
+			if req.Batch[i].MemQuota != 0 || req.Batch[i].Priority != 0 || req.Batch[i].Weight != 0 {
 				// REQ is disallowed inside BAT, and the fields are REQ-only.
-				return fmt.Errorf("transport: MemQuota/Priority on batch sub-request %s", req.Batch[i].Verb)
+				return fmt.Errorf("transport: MemQuota/Priority/Weight on batch sub-request %s", req.Batch[i].Verb)
 			}
 			if err := e.requestFields(req.Batch[i]); err != nil {
 				return err
@@ -232,12 +233,18 @@ func (e *frameEncoder) encodeRequest(req Request) error {
 		if req.Priority != 0 {
 			flags |= 2
 		}
+		if req.Weight != 0 {
+			flags |= 4
+		}
 		e.uvarint(flags)
 		if flags&1 != 0 {
 			e.varint(req.MemQuota)
 		}
 		if flags&2 != 0 {
 			e.varint(int64(req.Priority))
+		}
+		if flags&4 != 0 {
+			e.varint(int64(req.Weight))
 		}
 	}
 	return e.finish()
@@ -592,7 +599,10 @@ func (r *frameReader) requestExt(req *Request) {
 	if flags&2 != 0 {
 		req.Priority = int(r.varint())
 	}
-	if flags&^uint64(3) != 0 {
+	if flags&4 != 0 {
+		req.Weight = int(r.varint())
+	}
+	if flags&^uint64(7) != 0 {
 		r.fail("unknown request extension flags %#x", flags)
 	}
 }

@@ -46,6 +46,8 @@ func TestBinaryRequestExtensionRoundTrip(t *testing.T) {
 		{Verb: "REQ", Ref: refp("mm", nil), Priority: 7},
 		{Verb: "REQ", Ref: refp("mm", nil), Priority: -2},
 		{Verb: "REQ", Ref: refp("mm", nil), MemQuota: 4096, Priority: 3},
+		{Verb: "REQ", Ref: refp("mm", nil), Weight: 8},
+		{Verb: "REQ", Ref: refp("mm", nil), MemQuota: 4096, Priority: 3, Weight: 4},
 		{Verb: "BAT", MemQuota: 96 << 10, Batch: []Request{
 			{Verb: "SND", Session: 4, Data: []byte{9}},
 			{Verb: "STR", Session: 4},
@@ -91,7 +93,7 @@ func TestBinaryRequestExtensionUnknownFlagRejected(t *testing.T) {
 	if frame[len(frame)-2] != 0x02 {
 		t.Fatalf("flags byte = %#x, want 0x02 (layout changed?)", frame[len(frame)-2])
 	}
-	frame[len(frame)-2] = 0x04
+	frame[len(frame)-2] = 0x08
 	if _, err := DecodeRequestBinary(frame); err == nil ||
 		!strings.Contains(err.Error(), "unknown request extension") {
 		t.Fatalf("unknown flag: got %v, want extension-flags rejection", err)

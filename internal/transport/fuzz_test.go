@@ -135,7 +135,7 @@ func requestsEqual(a, b Request) bool {
 	if a.Verb != b.Verb || a.Session != b.Session || a.Rank != b.Rank || a.Plane != b.Plane {
 		return false
 	}
-	if a.MemQuota != b.MemQuota || a.Priority != b.Priority {
+	if a.MemQuota != b.MemQuota || a.Priority != b.Priority || a.Weight != b.Weight {
 		return false
 	}
 	if !bytesEqualStrict(a.Data, b.Data) {

@@ -38,6 +38,11 @@ type Request struct {
 	// Priority (REQ only) orders eviction under memory pressure: lower
 	// priority sessions are evicted first. 0 is the default class.
 	Priority int `json:"priority,omitempty"`
+	// Weight (REQ only) is the session's weighted-fair share of SM
+	// compute time (and its preemption precedence). 0 (the wire default)
+	// derives the weight from Priority; frames without the field are
+	// byte-identical to the pre-QoS format.
+	Weight int `json:"weight,omitempty"`
 }
 
 // Response is a wire-encoded protocol response.

@@ -69,6 +69,9 @@ type Opts struct {
 	// Priority orders eviction under memory pressure: lower-priority
 	// sessions are evicted first. 0 is the default class.
 	Priority int
+	// Weight is the session's weighted-fair share of SM compute time and
+	// its preemption precedence. 0 derives the weight from Priority.
+	Weight int
 }
 
 // ConnectOpts issues REQ with explicit session options.
@@ -88,7 +91,7 @@ func connect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec, o Opts) (*VGPU, err
 	}
 	mgr.RequestQueue().Send(p, gvm.Request{
 		Verb: gvm.REQ, Spec: spec, Reply: v.resp, Direct: o.Direct,
-		MemQuota: o.MemQuota, Priority: o.Priority,
+		MemQuota: o.MemQuota, Priority: o.Priority, Weight: o.Weight,
 	})
 	r := v.resp.Recv(p)
 	if r.Status != gvm.ACK {
