@@ -5,7 +5,7 @@ GO ?= go
 all: ci
 
 # Tier-1 gate (README "CI gate"): everything a change must keep green.
-ci: fmt vet build test race bench-short interference-short smoke
+ci: fmt vet build test race bench-short interference-short chaos-short smoke
 
 # Formatting gate: fails listing any file gofmt would rewrite.
 fmt:
@@ -38,6 +38,13 @@ bench-short:
 	$(GO) test -run '^$$' -bench 'IPCPipeRoundTrip|RingCycle' -benchtime 20x -benchmem ./internal/transport/ ./internal/ipc/
 	$(GO) test -run '^$$' -bench 'DaemonThroughput' -benchtime 20x -benchmem ./internal/ipc/
 	$(GO) test -run '^$$' -bench 'FunctionalExec|IPCFrame|ShmCopy|Calendar' -benchtime 100ms -benchmem ./...
+
+# CI-sized chaos run: fault injection under 8-client pipelined load on a
+# 2-shard daemon — no session lost, outputs byte-identical to a
+# fault-free serial reference, both shards drained after release — plus
+# the byte-identical mid-job drain migration.
+chaos-short:
+	$(GO) test -race -run 'TestChaosFaultInjection8Clients|TestDrainMigratesMidJobByteIdentical' -count=1 ./internal/ipc/
 
 # CI-sized QoS interference run: asserts weighted-fair co-location keeps
 # the latency tenant's p99 within 2x solo while the FIFO baseline blows

@@ -34,6 +34,7 @@ import (
 	"syscall"
 
 	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/gpusim"
 	"gpuvirt/internal/ipc"
 	"gpuvirt/internal/metrics"
 	"gpuvirt/internal/node"
@@ -70,6 +71,7 @@ func main() {
 	memBytes := flag.Int64("mem", 0, "override each simulated GPU's device memory in bytes (0 = architecture default; shrink it to demo -overcommit eviction)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for CPU/alloc profiles of the daemon hot path")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus text metrics at http://<addr>/metrics (e.g. localhost:9090; also mounted on the -pprof mux)")
+	faultInject := flag.String("fault-inject", "", "inject simulated XID faults on kernel launches, e.g. 'gpu=0,after=25,kind=hang' or 'rate=0.01,seed=7,kinds=hang|fatal' (faulted shards are evacuated by live session migration)")
 	logLevel := flag.String("log-level", "", "structured verb logging to stderr: debug (one line per verb), info (one line per flush), warn, error; empty disables")
 	flag.Parse()
 
@@ -114,6 +116,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("gvmd: %v", err)
 	}
+	var faultPlan *gpusim.FaultPlan
+	if *faultInject != "" {
+		faultPlan, err = gpusim.ParseFaultSpec(*faultInject)
+		if err != nil {
+			log.Fatalf("gvmd: -fault-inject: %v", err)
+		}
+	}
 	if *memBytes < 0 {
 		log.Fatalf("gvmd: -mem must be >= 0, got %d", *memBytes)
 	}
@@ -154,6 +163,7 @@ func main() {
 		MaxSessionBytes: *maxSessionBytes,
 		Overcommit:      *overcommit,
 		BarrierTimeout:  *barrierTimeout,
+		FaultPlan:       faultPlan,
 		Logger:          log.New(os.Stderr, "gvmd: ", log.LstdFlags),
 		Metrics:         reg,
 		Slog:            logger,
@@ -179,8 +189,27 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	got := <-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	// SIGUSR1 gracefully drains one shard per signal, in index order:
+	// the shard stops taking placements and its sessions live-migrate to
+	// the remaining healthy shards (maintenance without client errors).
+	var got os.Signal
+	drainNext := 0
+	for got == nil || got == syscall.SIGUSR1 {
+		got = <-sig
+		if got != syscall.SIGUSR1 {
+			break
+		}
+		if drainNext >= srv.Node().NumShards() {
+			log.Printf("gvmd: SIGUSR1: every gpu already draining")
+			continue
+		}
+		log.Printf("gvmd: SIGUSR1: draining gpu %d", drainNext)
+		if err := srv.Drain(drainNext); err != nil {
+			log.Printf("gvmd: drain: %v", err)
+		}
+		drainNext++
+	}
 	log.Printf("gvmd: %v: shutting down", got)
 	done := make(chan struct{})
 	go func() {

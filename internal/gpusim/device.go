@@ -99,6 +99,15 @@ type Device struct {
 	sched        *smScheduler
 	preemptRatio float64
 
+	// XID-style fault state (fault.go). index labels errors and
+	// telemetry; fault is atomic so health probes may read it off the
+	// owner goroutine; onFault callbacks drive the node health machine;
+	// injector, when set, is ticked once per kernel launch.
+	index    int
+	fault    atomic.Int32
+	onFault  []func(FaultKind)
+	injector *FaultInjector
+
 	// Counters for tests and reporting.
 	ContextSwitches int
 	BytesH2D        int64
@@ -390,9 +399,13 @@ func (c *Context) Release() {
 	next.grant.Fire(nil)
 }
 
-// Malloc allocates device memory for this context.
+// Malloc allocates device memory for this context. On a device with a
+// memory or fatal fault it fails with a *FaultError.
 func (c *Context) Malloc(n int64) (cuda.DevPtr, error) {
 	c.mustLive()
+	if err := c.dev.faultFor(XidMemory, XidFatal); err != nil {
+		return 0, err
+	}
 	p, err := c.dev.alloc.Alloc(n)
 	if err != nil {
 		return 0, err
@@ -555,10 +568,17 @@ type LaunchOptions struct {
 // overflow.
 const MaxLaunchWeight = 1024
 
-// LaunchAsyncOpts is LaunchAsync with explicit QoS options.
+// LaunchAsyncOpts is LaunchAsync with explicit QoS options. On a device
+// with a hang or fatal fault the launch fails synchronously with a
+// *FaultError; an injector installed via SetFaultInjector is ticked
+// first, so a launch may itself trip the fault it then fails with.
 func (c *Context) LaunchAsyncOpts(p *sim.Proc, k *cuda.Kernel, o LaunchOptions) (*sim.Event, error) {
 	c.mustLive()
 	if err := k.Validate(c.dev.arch); err != nil {
+		return nil, err
+	}
+	c.dev.injector.tick(c.dev)
+	if err := c.dev.faultFor(XidHang, XidFatal); err != nil {
 		return nil, err
 	}
 	w := o.Weight
@@ -575,9 +595,11 @@ func (c *Context) LaunchAsyncOpts(p *sim.Proc, k *cuda.Kernel, o LaunchOptions) 
 		d.exclusive.Acquire(p, 1)
 		done := d.sched.launch(c, k, w)
 		release := d.env.NewEvent()
-		done.OnFire(func(any) {
+		done.OnFire(func(v any) {
 			d.exclusive.Release(1)
-			release.Fire(nil)
+			// Forward the payload: an aborted kernel's *FaultError must
+			// reach the waiter through the wrapper event too.
+			release.Fire(v)
 		})
 		return release, nil
 	}

@@ -480,6 +480,38 @@ func (s *smScheduler) fireLaunch(ls *launchState) {
 	ls.done.Fire(nil)
 }
 
+// abortAll kills every in-flight kernel (hang/fatal fault injection):
+// resident blocks are discarded, SM budgets returned, the window and
+// pending queue emptied, and each kernel's done event fires with err as
+// its payload — no functional body runs and no KernelsRun credit is
+// given, so waiters observe the fault instead of a silent success.
+func (s *smScheduler) abortAll(err error) {
+	s.advanceAll()
+	for _, sm := range s.sms {
+		for _, g := range sm.groups {
+			sm.usedWarps -= g.warps
+			sm.usedRegs -= g.regs
+			sm.usedShmem -= g.shmem
+			sm.usedBlocks -= g.blocks
+			*g = smGroup{}
+			if len(s.groupFree) < 32 {
+				s.groupFree = append(s.groupFree, g)
+			}
+		}
+		sm.groups = sm.groups[:0]
+		sm.freshFrom = 0
+		sm.timerGen++ // invalidate armed completion timers
+	}
+	aborted := append(append([]*launchState(nil), s.active...), s.pending...)
+	s.active = s.active[:0]
+	s.pending = s.pending[:0]
+	s.window = 0
+	for _, ls := range aborted {
+		s.releasePerSM(ls)
+		ls.done.Fire(err)
+	}
+}
+
 // preempt implements wave-boundary preemption. While a pending kernel
 // outweighs an active one by more than the preemption ratio, the active
 // kernel stops receiving new blocks (inhibited); once its resident
@@ -571,17 +603,11 @@ func (s *smScheduler) dispatchOrder() []*launchState {
 	return order
 }
 
-// dispatch places undispatched blocks onto SMs: kernels in weighted
-// order, SMs round-robin, one block per kernel per pass, merging
-// same-instant placements of one kernel on one SM into a single group.
-func (s *smScheduler) dispatch() {
-	for _, sm := range s.sms {
-		sm.freshFrom = len(sm.groups)
-	}
-	// Zero-work kernels complete without occupying hardware. finishAt
-	// removes index i in place and any kernel it admits from the pending
-	// queue is appended to s.active, so one forward pass visits
-	// everything — no restart-rescan.
+// completeZeroWork finishes active kernels whose blocks carry no work:
+// they complete without occupying hardware. finishAt removes index i in
+// place and any kernel it admits from the pending queue is appended to
+// s.active, so one forward pass visits everything — no restart-rescan.
+func (s *smScheduler) completeZeroWork() {
 	for i := 0; i < len(s.active); {
 		ls := s.active[i]
 		if ls.blocksLeft > 0 && ls.blockWork <= 0 {
@@ -592,7 +618,22 @@ func (s *smScheduler) dispatch() {
 		}
 		i++
 	}
+}
+
+// dispatch places undispatched blocks onto SMs: kernels in weighted
+// order, SMs round-robin, one block per kernel per pass, merging
+// same-instant placements of one kernel on one SM into a single group.
+func (s *smScheduler) dispatch() {
+	for _, sm := range s.sms {
+		sm.freshFrom = len(sm.groups)
+	}
+	s.completeZeroWork()
 	s.preempt()
+	// preempt's demotions admit pending kernels; a zero-work kernel
+	// admitted that way can never be placed (the placement loop skips
+	// blockWork <= 0), so it must be completed here or its waiter
+	// deadlocks with an empty calendar.
+	s.completeZeroWork()
 	for {
 		// Deficit round-robin: each pass deposits weight into every
 		// placeable kernel's credit and a placed block costs the pass's

@@ -86,7 +86,14 @@ func (m *Manager) DirectVerb(id int, verb Verb) error {
 	}
 	m.met.requests.Inc()
 	s.lastUsed = m.env.Now()
-	if s.susp != nil && (verb == SND || verb == STR || verb == RCV) {
+	if s.failed != nil && verb != RLS {
+		// The device faulted under this session's kernels: bounce with a
+		// retryable error until the failover engine migrates the session.
+		s.notify(verb, ERR, retryableSessionErr(s.id, m.cfg.GPUIndex, s.failed))
+		return nil
+	}
+	if s.susp != nil && (verb == SND || verb == STR || verb == RCV ||
+		(verb == STP && s.rerunPending)) {
 		if !s.evicted {
 			// Client-driven SUS still demands an explicit RES.
 			s.notify(verb, ERR, fmt.Sprintf("gvm: %v on suspended session %d", verb, s.id))
@@ -104,10 +111,15 @@ func (m *Manager) DirectVerb(id int, verb Verb) error {
 				}
 				return
 			}
+			// Adopted mid-cycle: replay or cancel the interrupted flush
+			// before serving the verb (an STP triggering a replay then
+			// parks on stpDirectWait).
+			m.gateRerun(s, verb)
 			m.directDispatch(s, verb)
 		})
 		return nil
 	}
+	m.gateRerun(s, verb)
 	return m.directDispatch(s, verb)
 }
 

@@ -1,0 +1,275 @@
+package gvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gpuvirt/internal/metrics"
+	"gpuvirt/internal/shm"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/task"
+)
+
+// Session failover: ExtractSession packages a session's complete state —
+// arena snapshot, staging bytes, options — off a faulted or draining
+// shard, and AdoptSession rebuilds it, same id, on a healthy one. The
+// pair reuses the suspend/eviction machinery (suspend.go): extraction is
+// a suspend whose snapshot leaves the manager, adoption is an arrival in
+// the evicted state whose next restore materializes it. D2H copies work
+// on a faulted device (only allocations and launches fail), so state is
+// always evacuable.
+
+// RetryableMark tags protocol error strings whose verb is safe to retry
+// once after the dispatcher has migrated the session to a healthy shard.
+// Clients substring-match it because every transport layer prefixes
+// error strings ("vgpu: STP: ...", "ipc: STP (pipelined): ...").
+const RetryableMark = "(retryable: session migrating)"
+
+// Retryable marks an error message as safe to retry after failover.
+func Retryable(msg string) string { return msg + " " + RetryableMark }
+
+// IsRetryable reports whether a protocol error string carries the
+// failover retry mark, however many transport prefixes wrap it.
+func IsRetryable(msg string) bool { return strings.Contains(msg, RetryableMark) }
+
+// retryableSessionErr is the response text verbs on a failed session
+// answer with until the failover engine migrates it away.
+func retryableSessionErr(id, gpu int, cause error) string {
+	return Retryable(fmt.Sprintf("gvm: session %d failed on gpu %d: %v", id, gpu, cause))
+}
+
+// ExtractedSession is a session's portable state between ExtractSession
+// on the source shard and AdoptSession on the target.
+type ExtractedSession struct {
+	ID       int
+	Spec     *task.Spec
+	Direct   bool
+	MemQuota int64
+	Priority int
+	Weight   int
+	// Done preserves the completed-cycle flag (an idle session whose
+	// client has not collected results yet must still answer STP/RCV on
+	// the target).
+	Done bool
+	// Rerun marks an interrupted cycle (the device fault aborted its
+	// kernels, or the session was still waiting to materialize a
+	// previous rerun): the target re-runs the flush after restoring, so
+	// the client's in-flight poll completes with correct results.
+	Rerun     bool
+	Footprint int64
+	DevBytes  int64
+	// PinIn/PinOut carry the pinned staging contents: SND input that
+	// must survive to the rerun's H2D, and completed results that RCV
+	// serves without re-touching the device.
+	PinIn, PinOut []byte
+
+	snap *snapshot
+}
+
+// Bytes returns the total host bytes the migration moves (arena
+// snapshot plus staging copies) — the node_migrated_bytes_total unit.
+func (e *ExtractedSession) Bytes() int64 {
+	return e.snap.total + int64(len(e.PinIn)) + int64(len(e.PinOut))
+}
+
+// ExtractSession quiesces session id at its next verb boundary,
+// snapshots its device arenas (reusing the suspend engine) and staging
+// buffers, and removes it from this manager without the close
+// accounting — the session is moving, not ending. Must run on the
+// manager's owner goroutine with a live process p (the evacuation D2H
+// is charged on p's clock).
+//
+// A session parked at the STR barrier cannot keep waiting (its barrier
+// peers are being migrated too): its unacknowledged STR completes with
+// a retryable error and the session leaves as idle — the client
+// re-issues STR on the target after failover.
+func (m *Manager) ExtractSession(p *sim.Proc, id int) (*ExtractedSession, error) {
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("gvm: ExtractSession: unknown session %d", id)
+	}
+	prev := m.curProc
+	m.curProc = p
+	defer func() { m.curProc = prev }()
+
+	for i, bs := range m.strPending {
+		if bs != s {
+			continue
+		}
+		m.strPending = append(m.strPending[:i], m.strPending[i+1:]...)
+		s.running = false
+		msg := Retryable(fmt.Sprintf("gvm: session %d leaving the STR barrier: migrating off gpu %d", s.id, m.cfg.GPUIndex))
+		if s.notify != nil {
+			s.notify(STR, ERR, msg)
+		} else {
+			s.reply.Send(p, Response{Status: ERR, Session: s.id, Err: msg})
+		}
+		break
+	}
+
+	// Quiesce an in-flight flush. On a hang/fatal-faulted device the
+	// scheduler has already aborted the kernels, so the stream drains in
+	// copy time; on a draining healthy shard the cycle completes
+	// normally. The wait is virtual and bounded.
+	const quiesceMax = 60 * sim.Second
+	delay := 100 * sim.Microsecond
+	var waited sim.Duration
+	for s.running {
+		if waited >= quiesceMax {
+			return nil, fmt.Errorf("gvm: ExtractSession: session %d still running after %v", id, quiesceMax)
+		}
+		p.Sleep(delay)
+		waited += delay
+		if delay < 10*sim.Millisecond {
+			delay *= 2
+		}
+	}
+
+	if s.susp == nil {
+		m.suspendSession(p, s)
+	}
+	ext := &ExtractedSession{
+		ID: s.id, Spec: s.spec, Direct: s.direct,
+		MemQuota: s.memQuota, Priority: s.priority, Weight: s.weight,
+		Done:      s.done,
+		Rerun:     s.failed != nil || s.rerunPending,
+		Footprint: s.footprint, DevBytes: s.devBytes,
+		snap: s.susp,
+	}
+	if s.pinIn != nil && s.pinIn.Data() != nil {
+		ext.PinIn = append([]byte(nil), s.pinIn.Data()...)
+	}
+	if s.pinOut != nil && s.pinOut.Data() != nil {
+		ext.PinOut = append([]byte(nil), s.pinOut.Data()...)
+	}
+
+	// Remove without sessionsClosed credit: openSessions moves shards,
+	// opened/closed totals see one lifetime.
+	s.notify = nil
+	s.stpDirectWait = false
+	if s.stream != nil {
+		s.stream.Close()
+		s.stream = nil
+	}
+	if s.seg != nil {
+		_ = s.seg.Close()
+		s.seg = nil
+	}
+	if s.devBytes > 0 {
+		m.dev.Unreserve(s.devBytes)
+		s.devBytes = 0
+	}
+	m.shmInUse -= s.footprint
+	delete(m.sessions, s.id)
+	m.met.openSessions.Dec()
+	if m.log != nil {
+		m.log.Info("gvm extract", "session", ext.ID, "gpu", m.cfg.GPUIndex,
+			"bytes", ext.Bytes(), "rerun", ext.Rerun)
+	}
+	return ext, nil
+}
+
+// AdoptSession installs an extracted session on this manager under its
+// original id, replying on the given queue from now on. The session
+// arrives in the evicted state and is materialized eagerly; if the
+// target is too loaded to restore right now the snapshot stays intact
+// and the next verb's transparent restore retries — adoption itself
+// only fails on an id collision (impossible under the node's striped id
+// scheme). The session was admitted on its source shard and the node
+// re-placed it against this shard's headroom, so no quota re-check.
+func (m *Manager) AdoptSession(p *sim.Proc, ext *ExtractedSession, reply *Queue[Response]) error {
+	if _, exists := m.sessions[ext.ID]; exists {
+		return fmt.Errorf("gvm: AdoptSession: session id %d already live on gpu %d", ext.ID, m.cfg.GPUIndex)
+	}
+	prev := m.curProc
+	m.curProc = p
+	defer func() { m.curProc = prev }()
+	dev := m.dev
+	s := &session{
+		id: ext.ID, spec: ext.Spec, reply: reply, direct: ext.Direct,
+		memQuota: ext.MemQuota, priority: ext.Priority, weight: ext.Weight,
+		lastUsed:     p.Now(),
+		done:         ext.Done,
+		footprint:    ext.Footprint,
+		susp:         ext.snap,
+		evicted:      true,
+		rerunPending: ext.Rerun,
+	}
+	cl := metrics.L("class", strconv.Itoa(weightClass(s.weight)))
+	gl := metrics.L("gpu", strconv.Itoa(m.cfg.GPUIndex))
+	s.launches = m.reg.Counter("gpusim_sched_launches_total", "kernel launches by weight class", gl, cl)
+	s.turnClassNS = m.reg.Histogram("gvm_turnaround_class_ns", "virtual ns from STR arrival to cycle completion, by weight class", gl, cl)
+	s.seg = shm.NewMemory(ext.Footprint, dev.Functional() && !ext.Direct)
+	m.shmInUse += ext.Footprint
+	if ext.DevBytes > 0 {
+		s.devBytes = ext.DevBytes
+		dev.Reserve(ext.DevBytes)
+	}
+	if ext.Spec.InBytes > 0 {
+		s.pinIn = dev.AllocHost(ext.Spec.InBytes, m.cfg.PinnedStaging)
+		if s.pinIn.Data() != nil && ext.PinIn != nil {
+			copy(s.pinIn.Data(), ext.PinIn)
+		}
+	}
+	if ext.Spec.OutBytes > 0 {
+		s.pinOut = dev.AllocHost(ext.Spec.OutBytes, m.cfg.PinnedStaging)
+		if s.pinOut.Data() != nil && ext.PinOut != nil {
+			copy(s.pinOut.Data(), ext.PinOut)
+		}
+	}
+	s.stream = m.ctx.NewStream()
+	m.sessions[s.id] = s
+	m.met.openSessions.Inc()
+	if err := m.restoreWithBackoff(p, s); err != nil {
+		// Lazy path: the snapshot is intact, the next verb retries.
+		if m.log != nil {
+			m.log.Warn("gvm adopt: deferred restore", "session", s.id, "gpu", m.cfg.GPUIndex, "err", err)
+		}
+		return nil
+	}
+	// A pending rerun is NOT replayed here: the client may already be
+	// re-issuing its whole batch, and its SND stages bytes into pinned
+	// memory on the connection goroutine — racing an adoption-started
+	// flush's H2D read. gateRerun resolves the rerun on the client's next
+	// verb instead, where the protocol serializes staging and flush.
+	if m.log != nil {
+		m.log.Info("gvm adopt", "session", s.id, "gpu", m.cfg.GPUIndex, "rerun", ext.Rerun)
+	}
+	return nil
+}
+
+// gateRerun resolves a pending cycle re-run before serving a verb on a
+// materialized (restored, idle) session. The client's own SND or STR
+// supersedes the interrupted flush — it is re-driving the cycle with
+// freshly staged input, so replaying the old one would race that
+// staging and run the cycle twice. STP or RCV mean the client is
+// waiting on the interrupted cycle's results, so the flush re-runs now
+// and the poll path observes its completion as usual.
+func (m *Manager) gateRerun(s *session, verb Verb) {
+	if !s.rerunPending || s.susp != nil || s.running {
+		return
+	}
+	switch verb {
+	case SND, STR:
+		s.rerunPending = false
+		s.failed = nil
+		s.done = false
+	case STP, RCV:
+		m.rerunFlush(s)
+	}
+}
+
+// rerunFlush re-runs an interrupted cycle on a freshly restored session:
+// the kernels are deterministic functions of the (migrated) staging
+// input, so the re-run reproduces the exact bytes the aborted flush
+// would have produced. The flush completes asynchronously as the shard's
+// calendar drains; the client's STP poll observes completion as usual.
+func (m *Manager) rerunFlush(s *session) {
+	s.rerunPending = false
+	s.failed = nil
+	s.running = true
+	s.done = false
+	s.strArrived = m.env.Now()
+	m.flush(s)
+}

@@ -311,6 +311,17 @@ type session struct {
 	footprint  int64     // bytes counted against the manager's quota
 	susp       *snapshot // non-nil while suspended (extension verbs SUS/RES)
 
+	// Failover state. failed records the first device fault that hit
+	// this session's kernels; while set, every verb except RLS answers a
+	// retryable error until the failover engine migrates the session to
+	// a healthy shard (migration clears it — the cycle re-runs there).
+	// rerunPending marks an adopted session whose interrupted cycle
+	// still needs re-running here: AdoptSession could not materialize it
+	// immediately, so the transparent-restore gate performs the flush on
+	// the next verb.
+	failed       error
+	rerunPending bool
+
 	// Residency-layer state: a session's device reservation (devBytes,
 	// the rounded bytes it logically holds) outlives eviction — evicted
 	// means the manager moved the arena to the host snapshot to make
@@ -506,12 +517,28 @@ func (m *Manager) handle(p *sim.Proc, r Request) {
 	}
 	s, ok := m.sessions[r.Session]
 	if !ok {
-		// No reply queue is reachable; drop. (Client bugs surface as
-		// timeouts in their own tests.)
+		// A verb can race a migration: the session was extracted from this
+		// shard after the caller resolved it. When the request carries a
+		// reply queue, answer with a retryable error so the caller can
+		// re-resolve; otherwise drop (client bugs surface as timeouts in
+		// their own tests).
+		if r.Reply != nil {
+			r.Reply.Send(p, Response{Status: ERR, Session: r.Session,
+				Err: Retryable(fmt.Sprintf("gvm: unknown session %d on gpu %d", r.Session, m.cfg.GPUIndex))})
+		}
 		return
 	}
 	s.lastUsed = p.Now()
-	if s.susp != nil && (r.Verb == SND || r.Verb == STR || r.Verb == RCV) {
+	if s.failed != nil && r.Verb != RLS {
+		// The device faulted under this session's kernels. Everything but
+		// release bounces with a retryable error so the client backs off
+		// while the failover engine migrates the session.
+		s.reply.Send(p, Response{Status: ERR, Session: s.id,
+			Err: retryableSessionErr(s.id, m.cfg.GPUIndex, s.failed)})
+		return
+	}
+	if s.susp != nil && (r.Verb == SND || r.Verb == STR || r.Verb == RCV ||
+		(r.Verb == STP && s.rerunPending)) {
 		if !s.evicted {
 			// Client-driven SUS: the client must issue an explicit RES.
 			s.reply.Send(p, Response{Status: ERR, Session: s.id,
@@ -527,6 +554,10 @@ func (m *Manager) handle(p *sim.Proc, r Request) {
 			return
 		}
 	}
+	// Adopted mid-cycle: replay or cancel the interrupted flush now that
+	// the arena is materialized, then serve the verb (an STP that
+	// triggered a replay lands in the poll path and sees WAIT).
+	m.gateRerun(s, r.Verb)
 	switch r.Verb {
 	case SND:
 		m.handleSND(p, s)
@@ -838,12 +869,27 @@ func (m *Manager) prepareOps(s *session) {
 	for _, k := range s.kernels {
 		k := k
 		s.ops = append(s.ops, func(p *sim.Proc) {
+			if s.failed != nil {
+				return // an earlier op already hit the device fault
+			}
 			s.launches.Inc()
 			done, err := ctx.LaunchAsyncOpts(p, k, gpusim.LaunchOptions{Weight: s.weight})
 			if err != nil {
+				if _, ok := gpusim.IsFault(err); ok {
+					s.failed = err
+					return
+				}
+				// Non-fault launch errors are manager bugs: the kernel was
+				// validated at REQ and resources are stream-serialized.
 				panic(fmt.Sprintf("gvm: session %d: %v", s.id, err))
 			}
-			p.Wait(done)
+			// A hang/fatal fault aborts in-flight kernels by firing their
+			// completion events with a *FaultError payload.
+			if v := p.Wait(done); v != nil {
+				if e, ok := v.(error); ok {
+					s.failed = e
+				}
+			}
 		})
 	}
 	if s.spec.OutBytes > 0 {
@@ -852,21 +898,30 @@ func (m *Manager) prepareOps(s *session) {
 	s.finishCB = func() {
 		s.running = false
 		s.done = true
-		turn := int64(m.env.Now() - s.strArrived)
-		m.met.turnaroundNS.Observe(turn)
-		s.turnClassNS.Observe(turn)
+		if s.failed == nil {
+			turn := int64(m.env.Now() - s.strArrived)
+			m.met.turnaroundNS.Observe(turn)
+			s.turnClassNS.Observe(turn)
+		}
+		st, errMsg := ACK, ""
+		if s.failed != nil {
+			// The cycle died on a device fault: answer pending polls with a
+			// retryable error so the client backs off while the failover
+			// engine migrates the session (the rerun happens there).
+			st, errMsg = ERR, retryableSessionErr(s.id, m.cfg.GPUIndex, s.failed)
+		}
 		if s.stpWaiting {
 			s.stpWaiting = false
 			// Reply from a transient process so the response hop happens
 			// in virtual time even though the manager loop may be busy.
 			m.env.Go("gvm-stp-reply", func(p *sim.Proc) {
-				s.reply.Send(p, Response{Status: ACK, Session: s.id})
+				s.reply.Send(p, Response{Status: st, Session: s.id, Err: errMsg})
 			})
 		}
 		if s.stpDirectWait {
 			s.stpDirectWait = false
 			if s.notify != nil {
-				s.notify(STP, ACK, "")
+				s.notify(STP, st, errMsg)
 			}
 		}
 	}

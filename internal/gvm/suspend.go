@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpuvirt/internal/cuda"
+	"gpuvirt/internal/gpusim"
 	"gpuvirt/internal/sim"
 	"gpuvirt/internal/task"
 )
@@ -212,6 +213,31 @@ func (m *Manager) resumeSession(p *sim.Proc, s *session, evictedRestore bool) er
 // so their restores must not fail while progress is possible. The wait
 // is bounded (a wedged strict barrier can pin memory forever), and
 // client-driven RES keeps fail-fast semantics via resumeSession.
+//
+// Device faults fail fast: a faulted device rejects every Malloc, so no
+// amount of waiting for other sessions makes a restore succeed — without
+// the check, a restore on a degraded shard with other sessions running
+// would burn the full 60 virtual seconds retrying an allocation that can
+// never work, stalling the failover engine's quiesce behind it.
+//
+// The give-up condition distinguishes HOW the blocking memory can come
+// free (audited for the failover restore path, which runs off the
+// request loop):
+//
+//   - progressCalendar: a running flush's completion, or a parked
+//     barrier's timeout flush, is a calendar event — it fires while this
+//     restore sleeps, so backing off and retrying makes progress.
+//   - progressQueued: the memory is pinned by sessions parked at the STR
+//     barrier with no timeout armed. Only queued owner work — the peer
+//     STR that completes the barrier, or an RLS already waiting behind
+//     the verb being served — can free it, and that work cannot run
+//     while this restore occupies the loop (queue path) or keeps the
+//     calendar busy (direct/adopt paths). Sleeping here is futile:
+//     give up NOW with a retryable error so the owner drains its queue
+//     and the client re-issues the verb against freed memory.
+//   - progressNone: nothing running, nothing parked — every evictable
+//     victim was already evicted by the failed resume, so no amount of
+//     waiting helps. Surface the error.
 func (m *Manager) restoreWithBackoff(p *sim.Proc, s *session) error {
 	const maxWait = 60 * sim.Second
 	delay := sim.Millisecond
@@ -221,7 +247,18 @@ func (m *Manager) restoreWithBackoff(p *sim.Proc, s *session) error {
 		if err == nil {
 			return nil
 		}
-		if waited >= maxWait || !m.anyOtherRunning(s) {
+		if _, ok := gpusim.IsFault(err); ok {
+			return err
+		}
+		if waited >= maxWait {
+			return err
+		}
+		switch m.restoreProgress(s) {
+		case progressCalendar:
+			// Retry below: the calendar frees memory while we sleep.
+		case progressQueued:
+			return fmt.Errorf("%s", Retryable(err.Error()))
+		default:
 			return err
 		}
 		p.Sleep(delay) // calendar drains; running streams complete
@@ -232,15 +269,43 @@ func (m *Manager) restoreWithBackoff(p *sim.Proc, s *session) error {
 	}
 }
 
-// anyOtherRunning reports whether any session besides s is running (and
-// so will eventually complete and become evictable).
-func (m *Manager) anyOtherRunning(s *session) bool {
+// Progress classes for a failed in-backoff restore; see
+// restoreWithBackoff.
+const (
+	progressNone = iota
+	progressQueued
+	progressCalendar
+)
+
+// restoreProgress classifies how memory pinned by other sessions can
+// come free for a retried restore of s.
+func (m *Manager) restoreProgress(s *session) int {
+	parked := func(o *session) bool {
+		for _, b := range m.strPending {
+			if b == o {
+				return true
+			}
+		}
+		return false
+	}
+	best := progressNone
 	for _, o := range m.sessions {
-		if o != s && o.running {
-			return true
+		if o == s || !o.running {
+			continue
+		}
+		if !parked(o) {
+			// A launched flush completes on the calendar.
+			return progressCalendar
+		}
+		// Parked at the barrier: only a timeout flush progresses on the
+		// calendar; otherwise the peer STR must come through the queue.
+		if m.cfg.BarrierTimeout > 0 {
+			best = progressCalendar
+		} else if best < progressQueued {
+			best = progressQueued
 		}
 	}
-	return false
+	return best
 }
 
 // evictForAlloc is the allocator's make-room callback: suspend the

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"gpuvirt/internal/gvm"
 	"gpuvirt/internal/transport"
 	"gpuvirt/internal/workloads"
 )
@@ -145,6 +146,33 @@ func (c *Client) wrapTimeout(verb string, err error) error {
 	return err
 }
 
+// failoverAttempts bounds how many times a verb is re-issued after a
+// retryable failover error, so a daemon that cannot place the session
+// anywhere healthy fails the call instead of hanging the client.
+const failoverAttempts = 8
+
+// retryFailover runs fn, re-issuing it while the daemon answers with a
+// retryable error — the session is being live-migrated off a faulted
+// shard, or the verb raced the move. The first retry usually lands on
+// the session's new shard (the daemon migrates on touch); the brief
+// backoff covers background evacuations still in flight. All verbs are
+// safe to re-issue: SND restages the same bytes, STR re-runs a
+// deterministic cycle, STP/RCV only observe.
+func retryFailover(fn func() error) error {
+	delay := time.Millisecond
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || attempt >= failoverAttempts || !gvm.IsRetryable(err.Error()) {
+			return err
+		}
+		time.Sleep(delay)
+		if delay < 16*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
 // Session is one VGPU session over the wire: the client-side handle of
 // the paper's API layer for real processes. Its method set mirrors
 // vgpu.VGPU; payload movement is delegated to the session's data plane.
@@ -243,16 +271,18 @@ func (s *Session) OutBytes() int64 { return s.outBytes }
 func (s *Session) Plane() string { return s.plane.Kind() }
 
 func (s *Session) verb(verb string) error {
-	if s.ring != nil {
-		_, err := s.ringTrip(Request{Verb: verb, Session: s.id})
-		return err
-	}
-	resp, err := s.c.roundTrip(Request{Verb: verb, Session: s.id})
-	if err != nil {
-		return err
-	}
-	s.VirtualMS = resp.VirtualMS
-	return nil
+	return retryFailover(func() error {
+		if s.ring != nil {
+			_, err := s.ringTrip(Request{Verb: verb, Session: s.id})
+			return err
+		}
+		resp, err := s.c.roundTrip(Request{Verb: verb, Session: s.id})
+		if err != nil {
+			return err
+		}
+		s.VirtualMS = resp.VirtualMS
+		return nil
+	})
 }
 
 // ringTrip performs one ring round trip under the session's trip lock.
@@ -296,16 +326,21 @@ func (s *Session) SendInput(data []byte) error {
 			return err
 		}
 	}
-	if s.ring != nil {
-		_, err := s.ringTrip(req)
-		return err
-	}
-	resp, err := s.c.roundTrip(req)
-	if err != nil {
-		return err
-	}
-	s.VirtualMS = resp.VirtualMS
-	return nil
+	// The staged bytes survive a retry: the plane (or req.Data for the
+	// inline plane) still holds them, and the daemon restages from
+	// scratch on each attempt.
+	return retryFailover(func() error {
+		if s.ring != nil {
+			_, err := s.ringTrip(req)
+			return err
+		}
+		resp, err := s.c.roundTrip(req)
+		if err != nil {
+			return err
+		}
+		s.VirtualMS = resp.VirtualMS
+		return nil
+	})
 }
 
 // Start issues STR; it returns once the daemon's barrier has flushed all
@@ -319,18 +354,28 @@ func (s *Session) Wait() error {
 	if s.ring != nil {
 		// Ring STP is blocking-style: the daemon acks once the stream
 		// completes, so a single trip suffices and nothing ever polls.
-		resp, err := s.ringTrip(Request{Verb: "STP", Session: s.id})
-		if err != nil {
-			return err
-		}
-		if resp.Status != "ACK" {
-			return errors.New("ipc: unexpected STP status " + resp.Status)
-		}
-		return nil
+		return retryFailover(func() error {
+			resp, err := s.ringTrip(Request{Verb: "STP", Session: s.id})
+			if err != nil {
+				return err
+			}
+			if resp.Status != "ACK" {
+				return errors.New("ipc: unexpected STP status " + resp.Status)
+			}
+			return nil
+		})
 	}
 	delay := time.Millisecond
 	for {
-		resp, err := s.c.roundTrip(Request{Verb: "STP", Session: s.id})
+		var resp Response
+		err := retryFailover(func() error {
+			r, err := s.c.roundTrip(Request{Verb: "STP", Session: s.id})
+			if err != nil {
+				return err
+			}
+			resp = r
+			return nil
+		})
 		if err != nil {
 			return err
 		}
@@ -355,14 +400,23 @@ func (s *Session) Receive(buf []byte) error {
 		return fmt.Errorf("ipc: output buffer is %d bytes, session stages %d", len(buf), s.outBytes)
 	}
 	if s.ring != nil {
-		resp, err := s.ringTrip(Request{Verb: "RCV", Session: s.id})
+		return retryFailover(func() error {
+			resp, err := s.ringTrip(Request{Verb: "RCV", Session: s.id})
+			if err != nil {
+				return err
+			}
+			return s.plane.CollectOut(buf, resp)
+		})
+	}
+	var resp Response
+	if err := retryFailover(func() error {
+		r, err := s.c.roundTrip(Request{Verb: "RCV", Session: s.id})
 		if err != nil {
 			return err
 		}
-		return s.plane.CollectOut(buf, resp)
-	}
-	resp, err := s.c.roundTrip(Request{Verb: "RCV", Session: s.id})
-	if err != nil {
+		resp = r
+		return nil
+	}); err != nil {
 		return err
 	}
 	s.VirtualMS = resp.VirtualMS
@@ -437,7 +491,23 @@ func (s *Session) RunCycle(in, out []byte) error {
 			return err
 		}
 	}
-	resps, err := s.c.Do(reqs)
+	// A failover mid-batch fails one step with a retryable error (later
+	// steps report skipped); re-issuing the whole cycle is safe — SND
+	// restages the same bytes and the cycle is deterministic.
+	var resps []Response
+	err := retryFailover(func() error {
+		rs, err := s.c.Do(reqs)
+		if err != nil {
+			return err
+		}
+		for i, r := range rs {
+			if r.Status != "ACK" {
+				return fmt.Errorf("ipc: %s (pipelined): %s", reqs[i].Verb, r.Err)
+			}
+		}
+		resps = rs
+		return nil
+	})
 	if err != nil {
 		if strings.Contains(err.Error(), "unknown verb") {
 			// Pre-pipelining daemon: remember and fall back to serial.
@@ -447,11 +517,6 @@ func (s *Session) RunCycle(in, out []byte) error {
 			return s.runCycleSerial(in, out)
 		}
 		return err
-	}
-	for i, r := range resps {
-		if r.Status != "ACK" {
-			return fmt.Errorf("ipc: %s (pipelined): %s", reqs[i].Verb, r.Err)
-		}
 	}
 	s.VirtualMS = resps[3].VirtualMS
 	return s.plane.CollectOut(out, &resps[3])
@@ -473,20 +538,31 @@ func (s *Session) runCycleRing(in, out []byte) error {
 	s.ringReqs[1] = Request{Verb: "STR", Session: s.id}
 	s.ringReqs[2] = Request{Verb: "STP", Session: s.id}
 	s.ringReqs[3] = Request{Verb: "RCV", Session: s.id}
-	resp, err := s.ring.Trip(Request{Verb: "BAT", Session: s.id, Batch: s.ringReqs[:]})
+	// A failover aborts the in-flight frame with a retryable error; the
+	// re-issued frame queues in the submission ring and the adopting
+	// shard's sweep serves it once the session lands there.
+	var resp *transport.Response
+	err := retryFailover(func() error {
+		r, err := s.ring.Trip(Request{Verb: "BAT", Session: s.id, Batch: s.ringReqs[:]})
+		if err != nil {
+			return err
+		}
+		if r.Status != "ACK" {
+			return fmt.Errorf("ipc: BAT: %s", r.Err)
+		}
+		if len(r.Batch) != len(s.ringReqs) {
+			return fmt.Errorf("ipc: ring BAT returned %d responses for %d requests", len(r.Batch), len(s.ringReqs))
+		}
+		for i := range r.Batch {
+			if r.Batch[i].Status != "ACK" {
+				return fmt.Errorf("ipc: %s (pipelined): %s", s.ringReqs[i].Verb, r.Batch[i].Err)
+			}
+		}
+		resp = r
+		return nil
+	})
 	if err != nil {
 		return err
-	}
-	if resp.Status != "ACK" {
-		return fmt.Errorf("ipc: BAT: %s", resp.Err)
-	}
-	if len(resp.Batch) != len(s.ringReqs) {
-		return fmt.Errorf("ipc: ring BAT returned %d responses for %d requests", len(resp.Batch), len(s.ringReqs))
-	}
-	for i := range resp.Batch {
-		if resp.Batch[i].Status != "ACK" {
-			return fmt.Errorf("ipc: %s (pipelined): %s", s.ringReqs[i].Verb, resp.Batch[i].Err)
-		}
 	}
 	s.VirtualMS = resp.Batch[3].VirtualMS
 	return s.plane.CollectOut(out, &resp.Batch[3])

@@ -1,0 +1,308 @@
+package ipc
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gpuvirt/internal/gpusim"
+	"gpuvirt/internal/node"
+	"gpuvirt/internal/workloads"
+)
+
+// shardStats reads one shard's session and memory accounting on its
+// owner goroutine.
+func shardStats(t *testing.T, s *Server, shard int) (open int, inUse, reserved int64) {
+	t.Helper()
+	if !s.submitProbe(shard, func() {
+		sh := s.node.Shard(shard)
+		open = sh.Mgr.OpenSessions()
+		inUse = sh.Dev.MemInUse()
+		reserved = sh.Dev.MemReserved()
+	}) {
+		t.Fatal("server closed early")
+	}
+	return
+}
+
+// waitShardsClean polls until every shard reports zero open sessions,
+// zero device memory in use and zero reserved bytes (failover cleanup
+// is asynchronous: evacuations and hang-up releases race the probes).
+func waitShardsClean(t *testing.T, s *Server) {
+	t.Helper()
+	for deadline := 800; deadline > 0; deadline-- {
+		clean := true
+		for shard := 0; shard < s.node.NumShards(); shard++ {
+			open, inUse, reserved := shardStats(t, s, shard)
+			if open != 0 || inUse != 0 || reserved != 0 {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			for _, l := range s.node.Loads() {
+				if l.Sessions != 0 || l.Bytes != 0 {
+					t.Fatalf("gpu %d placement not drained: %d sessions, %d bytes",
+						l.Shard, l.Sessions, l.Bytes)
+				}
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for shard := 0; shard < s.node.NumShards(); shard++ {
+		open, inUse, reserved := shardStats(t, s, shard)
+		t.Errorf("gpu %d: %d open sessions, %d bytes in use, %d reserved after release",
+			shard, open, inUse, reserved)
+	}
+	t.Fatal("shards never drained to zero")
+}
+
+// TestDrainMigratesMidJobByteIdentical is the byte-identical mid-job
+// migration check: a session sends its input and starts a cycle on
+// shard A, the operator drains shard A mid-flight, and the client's
+// STP/RCV — transparently re-issued after the retryable migration
+// errors — must be served from shard B with the exact bytes a
+// migration-free run produces.
+func TestDrainMigratesMidJobByteIdentical(t *testing.T) {
+	const n = 1024
+	s := startServerOn(t, ServerConfig{
+		Listen:     []string{"inproc://drain-midjob"},
+		Functional: true,
+		GPUs:       2,
+	})
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Migration-free reference: same workload, same rank, same input.
+	cRef, err := Dial(s.Addr(), s.cfg.ShmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cRef.Close()
+	refSess, err := cRef.Request(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, refSess.InBytes())
+	want := make([]byte, refSess.OutBytes())
+	w.Fill(0, in)
+	if err := refSess.RunCycle(in, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := refSess.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Dial(s.Addr(), s.cfg.ShmDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Request(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SendInput(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the shard that owns the running session and drain it.
+	src := -1
+	for shard := 0; shard < 2; shard++ {
+		if open, _, _ := shardStats(t, s, shard); open == 1 {
+			src = shard
+		}
+	}
+	if src < 0 {
+		t.Fatal("no shard owns the session after STR")
+	}
+	if err := s.Drain(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.node.Health(src); got != node.Draining {
+		t.Fatalf("gpu %d health = %v after Drain, want draining", src, got)
+	}
+
+	// STP and RCV complete from the target shard; the bytes must match.
+	if err := sess.Wait(); err != nil {
+		t.Fatalf("Wait across migration: %v", err)
+	}
+	out := make([]byte, sess.OutBytes())
+	if err := sess.Receive(out); err != nil {
+		t.Fatalf("Receive across migration: %v", err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatal("RCV digest changed across mid-job migration")
+	}
+
+	// The session now lives on the other shard, and the source is empty.
+	for deadline := 400; ; deadline-- {
+		srcOpen, _, _ := shardStats(t, s, src)
+		dstOpen, _, _ := shardStats(t, s, 1-src)
+		if srcOpen == 0 && dstOpen == 1 {
+			break
+		}
+		if deadline == 0 {
+			t.Fatalf("session placement after drain: src %d open, dst %d open; want 0 and 1",
+				srcOpen, dstOpen)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	samples := scrapeMetrics(t, s.Metrics())
+	if got := samples["node_failovers_total"]; got < 1 {
+		t.Errorf("node_failovers_total = %d, want >= 1", got)
+	}
+	if got := samples["node_migrated_bytes_total"]; got <= 0 {
+		t.Errorf("node_migrated_bytes_total = %d, want > 0", got)
+	}
+	if got := samples["node_migration_latency_ns_count"]; got < 1 {
+		t.Errorf("node_migration_latency_ns_count = %d, want >= 1", got)
+	}
+
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+	waitShardsClean(t, s)
+}
+
+// TestChaosFaultInjection8Clients is the chaos check: fault injection
+// on gpu 0 under 8-client pipelined load on a 2-shard daemon. Every
+// cycle the fault interrupts is transparently re-run after failover, so
+// no session is lost, every rank's output is byte-identical to a
+// fault-free serial reference, and both shards drain to zero after
+// release. The deterministic case trips on an exact launch count; the
+// seeded case draws per launch, exercising the same path under a
+// randomized trigger.
+func TestChaosFaultInjection8Clients(t *testing.T) {
+	for _, tc := range []struct {
+		name, spec string
+	}{
+		{"deterministic-hang", "gpu=0,after=6,kind=hang"},
+		{"seeded-random", "gpu=0,rate=0.3,seed=11,kinds=hang|fatal"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := gpusim.ParseFaultSpec(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := startServerOn(t, ServerConfig{
+				Listen:     []string{"inproc://chaos-" + tc.name},
+				Functional: true,
+				GPUs:       2,
+				FaultPlan:  plan,
+			})
+			const clients, cycles = 8, 3
+			ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 256}}
+			w, err := workloads.FromRef(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			outs := make([][]byte, clients)
+			errs := make([]error, clients)
+			var wg sync.WaitGroup
+			for r := 0; r < clients; r++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					errs[rank] = func() error {
+						c, err := Dial(s.Addr(), s.cfg.ShmDir)
+						if err != nil {
+							return err
+						}
+						defer c.Close()
+						sess, err := c.Request(ref, rank)
+						if err != nil {
+							return err
+						}
+						in := make([]byte, sess.InBytes())
+						out := make([]byte, sess.OutBytes())
+						w.Fill(rank, in)
+						for i := 0; i < cycles; i++ {
+							if err := sess.RunCycle(in, out); err != nil {
+								return fmt.Errorf("rank %d cycle %d: %w", rank, i, err)
+							}
+							if err := w.Check(rank, out); err != nil {
+								return fmt.Errorf("rank %d cycle %d: %w", rank, i, err)
+							}
+						}
+						outs[rank] = out
+						return sess.Release()
+					}()
+				}(r)
+			}
+			wg.Wait()
+			for rank, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d lost its session: %v", rank, err)
+				}
+			}
+
+			// Fault-free serial reference: gpu 0 is Unhealthy by now, so
+			// these sessions run on the surviving shard, one at a time.
+			c, err := DialOptions(s.Addr(), Options{ShmDir: s.cfg.ShmDir, NoPipeline: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			for rank := 0; rank < clients; rank++ {
+				sess, err := c.Request(ref, rank)
+				if err != nil {
+					t.Fatal(err)
+				}
+				in := make([]byte, sess.InBytes())
+				want := make([]byte, sess.OutBytes())
+				w.Fill(rank, in)
+				if err := sess.RunCycle(in, want); err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.Release(); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(outs[rank], want) {
+					t.Fatalf("rank %d: output under fault injection differs from fault-free serial reference", rank)
+				}
+			}
+
+			samples := scrapeMetrics(t, s.Metrics())
+			faults := samples[`gpusim_faults_total{gpu="0",kind="hang"}`] +
+				samples[`gpusim_faults_total{gpu="0",kind="fatal"}`]
+			if tc.name == "deterministic-hang" && faults != 1 {
+				t.Errorf("gpusim_faults_total on gpu 0 = %d, want exactly 1", faults)
+			}
+			if faults > 0 {
+				// A fault fired on a launch, so some session was mid-cycle
+				// on gpu 0 and had to move.
+				if got := samples["node_failovers_total"]; got < 1 {
+					t.Errorf("node_failovers_total = %d after %d faults, want >= 1", got, faults)
+				}
+				if got := s.node.Health(0); got != node.Unhealthy {
+					t.Errorf("gpu 0 health = %v after hang/fatal fault, want unhealthy", got)
+				}
+				if got := samples[`node_shard_health{gpu="0"}`]; got != int64(node.Unhealthy) {
+					t.Errorf(`node_shard_health{gpu="0"} = %d, want %d`, got, int64(node.Unhealthy))
+				}
+				if open, _, _ := shardStats(t, s, 0); open != 0 {
+					t.Errorf("unhealthy gpu 0 still holds %d sessions", open)
+				}
+			} else if tc.name == "seeded-random" {
+				t.Logf("seeded injector drew no fault this run (spec %q)", tc.spec)
+			}
+			if got := s.node.Health(1); got != node.Healthy {
+				t.Errorf("gpu 1 health = %v, want healthy (faults target gpu 0)", got)
+			}
+
+			waitShardsClean(t, s)
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gpuvirt/internal/fermi"
+	"gpuvirt/internal/gpusim"
 	"gpuvirt/internal/metrics"
 	"gpuvirt/internal/node"
 	"gpuvirt/internal/shm"
@@ -75,6 +76,11 @@ type ServerConfig struct {
 	// guard, not as a grace period.
 	BarrierTimeout sim.Duration
 	Logger         *log.Logger
+	// FaultPlan, when non-nil, installs seeded fault injectors on the
+	// shards' launch paths (gvmd -fault-inject). Injected faults escalate
+	// shard health; Unhealthy shards are evacuated automatically by live
+	// session migration.
+	FaultPlan *gpusim.FaultPlan
 	// Metrics is the registry shared by the manager, the dispatcher and
 	// the server's own connection instruments; a /metrics scrape of it
 	// covers the whole daemon path. nil creates one (Server.Metrics()).
@@ -185,6 +191,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		MaxSessionBytes: cfg.MaxSessionBytes,
 		Overcommit:      cfg.Overcommit,
 		BarrierTimeout:  cfg.BarrierTimeout,
+		FaultPlan:       cfg.FaultPlan,
 		Metrics:         cfg.Metrics,
 		Log:             cfg.Slog,
 	})
@@ -231,6 +238,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			"wall ns a request waited for the shard's simulation-owner goroutine",
 			metrics.L("gpu", strconv.Itoa(i)))
 	}
+	// Failover: a shard escalating to a state that demands evacuation
+	// (Unhealthy after a hang/fatal fault, or Draining) hands every one
+	// of its sessions to the dispatcher's live-migration engine. The
+	// handler fires on the shard's own goroutine mid-escalation, so the
+	// evacuation — which submits owner work — runs in the background.
+	n.SetFaultHandler(func(shard int, h node.HealthState) {
+		if !h.Evacuate() {
+			return
+		}
+		go s.disp.EvacuateShard(shard, s.submit)
+	})
 	s.wg.Add(n.NumShards() + len(lns))
 	for i := range s.work {
 		go s.owner(i)
@@ -255,6 +273,19 @@ func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
 // placement policy. Tests and stats consumers address shards explicitly
 // (there is no "the device" on a multi-GPU daemon).
 func (s *Server) Node() *node.Node { return s.node }
+
+// Drain marks a shard Draining — no new placements land on it — and
+// live-migrates its sessions to the remaining healthy shards. gvmd
+// triggers it on SIGUSR1 for graceful maintenance; already-Unhealthy
+// shards keep their state (health only escalates).
+func (s *Server) Drain(shard int) error {
+	if shard < 0 || shard >= s.node.NumShards() {
+		return fmt.Errorf("ipc: drain: no such gpu %d", shard)
+	}
+	s.node.Drain(shard)
+	go s.disp.EvacuateShard(shard, s.submit)
+	return nil
+}
 
 // Addr returns the first listener's address in URL form (Dial accepts
 // it directly).

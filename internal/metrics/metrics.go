@@ -65,8 +65,9 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // the upper bound 2^i: bucket 0 counts observations <= 1, bucket i
 // counts 2^(i-1) < v <= 2^i. The last bound is 2^39 (~9.2 minutes when
 // observing nanoseconds, 512 GiB when observing bytes); larger
-// observations count toward +Inf (and the sum) only, so the finite
-// cumulative buckets stay exact.
+// observations clamp into the last bucket, so every observation lands
+// in exactly one bucket and the bucket sum always equals the number of
+// completed Observe calls.
 const HistBuckets = 40
 
 // Histogram is a fixed-bucket log2 histogram: Observe costs three atomic
@@ -77,20 +78,24 @@ type Histogram struct {
 	count   atomic.Int64
 }
 
-// Observe records one value (negative values clamp to zero).
+// Observe records one value (negative values clamp to zero, values
+// beyond the largest finite bound clamp into the last bucket). The
+// bucket is bumped before sum/count so a concurrent Quantile never
+// observes a count that outruns the buckets.
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	h.sum.Add(v)
-	h.count.Add(1)
 	idx := 0
 	if v > 1 {
 		idx = bits.Len64(uint64(v - 1))
 	}
-	if idx < HistBuckets {
-		h.buckets[idx].Add(1)
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
 	}
+	h.buckets[idx].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
 }
 
 // Sum returns the running total of all observations.
@@ -108,22 +113,31 @@ func BucketBound(i int) int64 { return 1 << uint(i) }
 // Quantile estimates the q-quantile (0 < q <= 1) of the observed
 // distribution as the upper bound of the bucket holding the rank-q
 // observation — an overestimate by at most 2x, which is what a log2
-// histogram can promise. It returns 0 when nothing has been observed,
-// and the largest finite bound when the rank falls beyond the finite
-// buckets. Safe to call concurrently with Observe; the estimate is then
-// approximate in the usual scrape-time sense.
+// histogram can promise. It returns 0 when nothing has been observed.
+// Safe to call concurrently with Observe: the rank is computed against
+// the bucket counts actually read (not the separately-updated count
+// word), so an Observe racing the scrape can never push the rank past
+// the buckets and flash the max bound as a phantom tail.
 func (h *Histogram) Quantile(q float64) int64 {
-	n := h.count.Load()
-	if n == 0 {
+	var counts [HistBuckets]int64
+	var total int64
+	for i := 0; i < HistBuckets; i++ {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
 		return 0
 	}
-	rank := int64(math.Ceil(q * float64(n)))
+	rank := int64(math.Ceil(q * float64(total)))
 	if rank < 1 {
 		rank = 1
 	}
+	if rank > total {
+		rank = total
+	}
 	var cum int64
 	for i := 0; i < HistBuckets; i++ {
-		cum += h.buckets[i].Load()
+		cum += counts[i]
 		if cum >= rank {
 			return BucketBound(i)
 		}

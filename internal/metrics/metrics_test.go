@@ -83,18 +83,116 @@ func TestHistogramBuckets(t *testing.T) {
 	if h.Sum() != sum {
 		t.Fatalf("sum = %d, want %d", h.Sum(), sum)
 	}
-	// An observation beyond the last finite bound counts toward count
-	// (the +Inf bucket) but no finite bucket.
+	// An observation beyond the last finite bound clamps into the last
+	// bucket: dropping it would leave count ahead of the bucket sum and
+	// permanently skew every later Quantile toward the max bound.
 	var big Histogram
 	big.Observe(1 << 45)
-	for i := 0; i < HistBuckets; i++ {
+	if got := big.Bucket(HistBuckets - 1); got != 1 {
+		t.Fatalf("overflow observation: last bucket = %d, want 1", got)
+	}
+	for i := 0; i < HistBuckets-1; i++ {
 		if big.Bucket(i) != 0 {
-			t.Fatalf("out-of-range observation landed in finite bucket %d", i)
+			t.Fatalf("overflow observation landed in bucket %d", i)
 		}
 	}
 	if big.Count() != 1 {
-		t.Fatal("out-of-range observation not counted")
+		t.Fatal("overflow observation not counted")
 	}
+}
+
+// TestHistogramOverflowRoundTrip pins the overflow-clamp fix: an
+// observation beyond the last finite bound must round-trip through
+// Quantile and Snapshot like any other observation. Pre-fix, Observe
+// added it to count/sum but no bucket, so a histogram holding only
+// overflow observations reported cumulative buckets that never reach
+// count and (with rank computed from count) every quantile flashed to
+// the max bound even at q→0.
+func TestHistogramOverflowRoundTrip(t *testing.T) {
+	var h Histogram
+	h.Observe(1 << 45)
+	if got := h.Quantile(0.5); got != BucketBound(HistBuckets-1) {
+		t.Fatalf("overflow p50 = %d, want last finite bound %d", got, BucketBound(HistBuckets-1))
+	}
+	if got := h.Quantile(1); got != BucketBound(HistBuckets-1) {
+		t.Fatalf("overflow p100 = %d, want last finite bound %d", got, BucketBound(HistBuckets-1))
+	}
+	// Mix with a small observation: the overflow must count as one real
+	// observation above it, not vanish from the distribution.
+	h.Observe(1)
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("mixed p50 = %d, want 1", got)
+	}
+	var sum int64
+	for i := 0; i < HistBuckets; i++ {
+		sum += h.Bucket(i)
+	}
+	if sum != h.Count() {
+		t.Fatalf("bucket sum %d != count %d after overflow", sum, h.Count())
+	}
+	r := NewRegistry()
+	rh := r.Histogram("ovf_ns", "")
+	rh.Observe(1 << 45)
+	snap := r.Snapshot()
+	bs := snap[0].Buckets
+	if len(bs) == 0 || bs[len(bs)-1].Count != snap[0].Count {
+		t.Fatalf("snapshot cumulative buckets %+v never reach count %d", bs, snap[0].Count)
+	}
+}
+
+// TestHistogramQuantileTornObserve pins the write-ordering fix: a
+// Quantile racing an in-flight Observe must never report the max bound
+// for a distribution that contains no large observation. The torn state
+// is reproduced deterministically — pre-fix Observe bumped count before
+// the bucket, so a concurrent reader could load count=1 with all
+// buckets still zero, walk off the end, and return BucketBound(39): a
+// phantom ~9-minute p99 that steers the slo placement policy away from
+// a healthy shard.
+func TestHistogramQuantileTornObserve(t *testing.T) {
+	var h Histogram
+	h.count.Store(1) // count visible, bucket increment not yet
+	if got := h.Quantile(0.99); got == BucketBound(HistBuckets-1) {
+		t.Fatalf("torn observe: p99 = %d (max bound); want a value derived from the buckets actually read", got)
+	}
+	// The symmetric torn state under the fixed ordering (bucket visible,
+	// count not yet) must also resolve sanely.
+	var h2 Histogram
+	h2.buckets[7].Store(1)
+	if got := h2.Quantile(0.99); got != BucketBound(7) {
+		t.Fatalf("bucket-only torn state: p99 = %d, want %d", got, BucketBound(7))
+	}
+}
+
+// TestHistogramQuantileConcurrentObserve hammers Quantile against a
+// writer that only ever observes values <= 1000 (bucket le=1024). Any
+// reader seeing a quantile above 1024 has manufactured a tail that was
+// never observed. Fails pre-fix within a few thousand iterations on a
+// multicore box; run with -race in CI either way.
+func TestHistogramQuantileConcurrentObserve(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(1000)
+			}
+		}
+	}()
+	for i := 0; i < 200_000; i++ {
+		if got := h.Quantile(0.99); got > 1024 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("iteration %d: p99 = %d for a stream of 1000-valued observations (want <= 1024)", i, got)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestHistogramQuantile(t *testing.T) {

@@ -89,6 +89,10 @@ type Config struct {
 	// Metrics receives every shard's manager series (gpu-labelled) plus
 	// the node's placement gauges. nil creates a private registry.
 	Metrics *metrics.Registry
+	// FaultPlan, when non-nil, installs launch-path fault injectors on
+	// the shards it targets (gvmd -fault-inject). Each shard derives its
+	// own deterministic injector via FaultPlan.ForGPU.
+	FaultPlan *gpusim.FaultPlan
 	// Log is handed to every shard's manager.
 	Log *slog.Logger
 }
@@ -112,6 +116,13 @@ type Node struct {
 	// instruments the managers observe into — registration is
 	// idempotent); the SLO policy reads their p99 at placement time.
 	turnNS []*metrics.Histogram
+	// health holds each shard's HealthState in the node_shard_health
+	// gauge (the gauge atomic IS the state, so scrapes and Place read
+	// the same word). Escalations go through SetHealth.
+	health []*metrics.Gauge
+	// faultHandler is the failover engine's escalation callback
+	// (SetFaultHandler); invoked outside mu.
+	faultHandler func(shard int, h HealthState)
 }
 
 // New builds the node's shards and validates the placement config. Call
@@ -179,6 +190,24 @@ func New(cfg Config) (*Node, error) {
 		// registry hands back the same instrument the manager observes.
 		n.turnNS = append(n.turnNS,
 			reg.Histogram("gvm_turnaround_ns", "virtual ns from STR arrival to cycle completion", gl))
+		n.health = append(n.health,
+			reg.Gauge("node_shard_health", "shard health state: 0 healthy, 1 degraded, 2 draining, 3 unhealthy", gl))
+		// Device fault events drive the shard health machine. The counter
+		// set is pre-registered per kind so a scrape before any fault
+		// still shows the series at zero.
+		dev.SetIndex(i)
+		dev.SetFaultInjector(cfg.FaultPlan.ForGPU(i))
+		faults := map[gpusim.FaultKind]*metrics.Counter{}
+		for _, k := range []gpusim.FaultKind{gpusim.XidMemory, gpusim.XidHang, gpusim.XidFatal} {
+			faults[k] = reg.Counter("gpusim_faults_total", "injected device faults by kind", gl, metrics.L("kind", k.String()))
+		}
+		shard := i
+		dev.OnFault(func(kind gpusim.FaultKind) {
+			if c := faults[kind]; c != nil {
+				c.Inc()
+			}
+			n.SetHealth(shard, healthFor(kind))
+		})
 	}
 	return n, nil
 }
@@ -271,13 +300,23 @@ func (n *Node) Place(inBytes, outBytes int64) (int, error) {
 	defer n.mu.Unlock()
 	all := n.Loads()
 	cands := all[:0:0]
+	placeable := 0
 	for _, l := range all {
+		// Degraded/draining/unhealthy shards are invisible to the
+		// policy: faults must never attract new sessions.
+		if !HealthState(n.health[l.Shard].Value()).Placeable() {
+			continue
+		}
+		placeable++
 		if footprint <= l.MemFree {
 			cands = append(cands, l)
 		}
 	}
+	if placeable == 0 {
+		return -1, fmt.Errorf("node: no healthy GPU to place on (%s)", describeLoads(all))
+	}
 	if len(cands) == 0 {
-		return -1, fmt.Errorf("node: session footprint %d bytes exceeds every GPU's reservation headroom at overcommit %.2g (%s)",
+		return -1, fmt.Errorf("node: session footprint %d bytes exceeds every healthy GPU's reservation headroom at overcommit %.2g (%s)",
 			footprint, n.cfg.Overcommit, describeLoads(all))
 	}
 	k := n.policy.Pick(cands, footprint)

@@ -84,6 +84,13 @@ type dispMetrics struct {
 	copyIn   map[string]*metrics.Histogram // plane kind -> wall ns
 	copyOut  map[string]*metrics.Histogram
 	batSteps *metrics.Histogram
+
+	// Failover instruments: sessions migrated off unhealthy/draining
+	// shards, the host bytes their snapshots moved, and wall-clock
+	// migration latency.
+	failovers     *metrics.Counter
+	migratedBytes *metrics.Counter
+	migLatencyNS  *metrics.Histogram
 }
 
 // verbInst is one verb's request/error/latency triple.
@@ -108,6 +115,12 @@ func newDispMetrics(reg *metrics.Registry) *dispMetrics {
 		copyIn:   make(map[string]*metrics.Histogram),
 		copyOut:  make(map[string]*metrics.Histogram),
 		batSteps: reg.Histogram("gvmd_bat_steps", "sub-requests per BAT frame"),
+		failovers: reg.Counter("node_failovers_total",
+			"sessions live-migrated off unhealthy or draining shards"),
+		migratedBytes: reg.Counter("node_migrated_bytes_total",
+			"host bytes moved by session failover (arena snapshots plus staging)"),
+		migLatencyNS: reg.Histogram("node_migration_latency_ns",
+			"wall-clock latency of one session failover (extract to adopt)"),
 	}
 	mk := func(v string) *verbInst {
 		return &verbInst{
@@ -137,24 +150,43 @@ func newDispMetrics(reg *metrics.Registry) *dispMetrics {
 // goroutine copies into (SND) and out of (RCV) directly.
 type hostSession struct {
 	id    int
-	v     *vgpu.VGPU
-	shard int          // the node shard (GPU) hosting the session
 	inB   int64        // staging footprint reserved on the shard
 	outB  int64        //   (returned to the node on release)
 	owner *ConnState   // the connection that opened the session
 	met   *dispMetrics // the owning dispatcher's instruments
 
-	// mu guards the connection-side staging state (plane + buffers)
-	// against teardown: release marks the session closed under mu before
-	// closing the plane, and staging copies check closed under mu first.
-	// It is never held across a Submitter call.
-	mu       sync.Mutex
-	closed   bool
-	plane    HostPlane
-	stageIn  []byte // pinned SND staging (nil when timing-only or 0 bytes)
-	stageOut []byte // pinned RCV staging
+	// migMu serializes failover migrations against verb dispatch and
+	// teardown: migrate holds it across both owner submits (source
+	// extract, target adopt), and every owner-phase caller holds it
+	// around its submit so a verb never runs while the session is
+	// between shards. Lock order: migMu before mu; neither is ever
+	// taken by an owner-goroutine closure, so holding migMu across a
+	// Submitter call cannot deadlock.
+	migMu sync.Mutex
+
+	// mu guards the connection-side staging state (plane + buffers) and
+	// the session's location (shard + vgpu handle, remapped atomically
+	// by failover) against teardown: release marks the session closed
+	// under mu before closing the plane, and staging copies check closed
+	// under mu first. It is never held across a Submitter call.
+	mu        sync.Mutex
+	closed    bool
+	migrating bool // a failover is moving the session between shards
+	v         *vgpu.VGPU
+	shard     int // the node shard (GPU) hosting the session
+	plane     HostPlane
+	stageIn   []byte // pinned SND staging (nil when timing-only or 0 bytes)
+	stageOut  []byte // pinned RCV staging
 
 	started bool // owner-goroutine state: an STR has not been STP'd yet
+}
+
+// loc snapshots the session's current placement.
+func (s *hostSession) loc() (shard int, v *vgpu.VGPU) {
+	s.mu.Lock()
+	shard, v = s.shard, s.v
+	s.mu.Unlock()
+	return shard, v
 }
 
 // copyIn stages a SND payload from the data plane straight into the
@@ -164,6 +196,9 @@ func (s *hostSession) copyIn(req *Request) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("transport: session %d is closed", s.id)
+	}
+	if s.migrating {
+		return errors.New(gvm.Retryable(fmt.Sprintf("transport: session %d migrating", s.id)))
 	}
 	if s.stageIn == nil {
 		return nil // timing-only: no bytes move
@@ -184,6 +219,9 @@ func (s *hostSession) copyOut(resp *Response) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("transport: session %d is closed", s.id)
+	}
+	if s.migrating {
+		return errors.New(gvm.Retryable(fmt.Sprintf("transport: session %d migrating", s.id)))
 	}
 	if s.stageOut == nil {
 		return nil
@@ -459,8 +497,9 @@ func (d *Dispatcher) ringReleased(s *hostSession) {
 	d.mu.Unlock()
 	s.mu.Lock()
 	s.closed = true
+	shard := s.shard
 	s.mu.Unlock()
-	d.cfg.Node.Release(s.shard, s.inB, s.outB)
+	d.cfg.Node.Release(shard, s.inB, s.outB)
 }
 
 func (d *Dispatcher) serveVerb(req Request, cs *ConnState, submit ShardSubmitter) (Response, bool) {
@@ -468,6 +507,10 @@ func (d *Dispatcher) serveVerb(req Request, cs *ConnState, submit ShardSubmitter
 	if err != nil {
 		return errResp(err), true
 	}
+	// Failover on touch: if the session's shard has been marked for
+	// evacuation, move the session before dispatching — the verb then
+	// runs on the healthy target instead of bouncing.
+	d.rescueIfUnhealthy(s, submit)
 	if req.Verb == "SND" {
 		if err := s.copyIn(&req); err != nil {
 			return errResp(err), true
@@ -475,12 +518,22 @@ func (d *Dispatcher) serveVerb(req Request, cs *ConnState, submit ShardSubmitter
 	}
 	resp := Response{Status: "ACK", Session: s.id}
 	var verr error
-	if !submit(s.shard, func(p *sim.Proc) {
+	s.migMu.Lock()
+	shard, _ := s.loc()
+	if !submit(shard, func(p *sim.Proc) {
+		if cur, _ := s.loc(); cur != shard {
+			// Unreachable while migMu pins the placement; kept as a
+			// tripwire for future call paths that skip the lock.
+			verr = errors.New(gvm.Retryable("transport: session migrated during dispatch"))
+			return
+		}
 		verr = d.ownerVerb(p, s, req.Verb)
 		resp.VirtualMS = p.Now().Milliseconds()
 	}) {
+		s.migMu.Unlock()
 		return Response{}, false
 	}
+	s.migMu.Unlock()
 	if verr != nil {
 		r := errResp(verr)
 		r.VirtualMS = resp.VirtualMS
@@ -580,6 +633,23 @@ func (d *Dispatcher) serveBAT(req Request, cs *ConnState, submit ShardSubmitter)
 	}
 	d.met.batSteps.Observe(int64(len(steps)))
 
+	// Failover on touch, once per distinct session in the batch. Sessions
+	// belong to exactly one connection and a connection serves one frame
+	// at a time, so no two in-flight batches share a session — locking
+	// the migMus in batch order below cannot deadlock against another
+	// batch (migrate only ever holds one).
+	uniq := make([]*hostSession, 0, len(lastRank))
+	seenSess := make(map[int]bool, len(lastRank))
+	for i := range steps {
+		if s := steps[i].s; !seenSess[s.id] {
+			seenSess[s.id] = true
+			uniq = append(uniq, s)
+		}
+	}
+	for _, s := range uniq {
+		d.rescueIfUnhealthy(s, submit)
+	}
+
 	// Connection phase: stage every SND payload into pinned memory.
 	limit := len(steps)
 	for i := range steps {
@@ -593,13 +663,28 @@ func (d *Dispatcher) serveBAT(req Request, cs *ConnState, submit ShardSubmitter)
 	}
 
 	// Owner phase: one submission per contiguous same-shard run of staged
-	// steps, stopping the whole batch at the first failure.
+	// steps, stopping the whole batch at the first failure. Every
+	// session's migMu is held across the phase so its placement cannot
+	// change between the shard snapshot and the owner closure running.
+	for _, s := range uniq {
+		s.migMu.Lock()
+	}
+	unlock := func() {
+		for _, s := range uniq {
+			s.migMu.Unlock()
+		}
+	}
+	shardOf := make(map[int]int, len(uniq))
+	for _, s := range uniq {
+		sh, _ := s.loc()
+		shardOf[s.id] = sh
+	}
 	var vms float64
 	failed := false
 	for i := 0; i < limit && !failed; {
 		j := i
-		shard := steps[i].s.shard
-		for j < limit && steps[j].s.shard == shard {
+		shard := shardOf[steps[i].s.id]
+		for j < limit && shardOf[steps[j].s.id] == shard {
 			j++
 		}
 		lo, hi := i, j
@@ -616,10 +701,12 @@ func (d *Dispatcher) serveBAT(req Request, cs *ConnState, submit ShardSubmitter)
 			}
 			vms = p.Now().Milliseconds()
 		}) {
+			unlock()
 			return Response{}, false
 		}
 		i = j
 	}
+	unlock()
 
 	// Connection phase: collect RCV results, finish RLS bookkeeping,
 	// assemble per-step responses.
@@ -670,13 +757,13 @@ func (d *Dispatcher) releaseOwner(p *sim.Proc, s *hostSession) {
 	}
 	s.mu.Lock()
 	s.closed = true
-	plane := s.plane
+	plane, v, shard := s.plane, s.v, s.shard
 	s.mu.Unlock()
-	_ = s.v.Release(p)
+	_ = v.Release(p)
 	if plane != nil {
 		_ = plane.Close()
 	}
-	d.cfg.Node.Release(s.shard, s.inB, s.outB)
+	d.cfg.Node.Release(shard, s.inB, s.outB)
 }
 
 // HangUp releases every session a disconnected client left open,
@@ -688,7 +775,10 @@ func (d *Dispatcher) HangUp(cs *ConnState, submit ShardSubmitter) {
 		s := d.sessions[id]
 		d.mu.RUnlock()
 		if s != nil && s.owner == cs {
-			submit(s.shard, func(p *sim.Proc) { d.releaseOwner(p, s) })
+			s.migMu.Lock()
+			shard, _ := s.loc()
+			submit(shard, func(p *sim.Proc) { d.releaseOwner(p, s) })
+			s.migMu.Unlock()
 		}
 	}
 	cs.owned = nil
@@ -705,8 +795,189 @@ func (d *Dispatcher) ReleaseAll(submit ShardSubmitter) {
 	d.mu.RUnlock()
 	for _, s := range live {
 		s := s
-		submit(s.shard, func(p *sim.Proc) { d.releaseOwner(p, s) })
+		s.migMu.Lock()
+		shard, _ := s.loc()
+		submit(shard, func(p *sim.Proc) { d.releaseOwner(p, s) })
+		s.migMu.Unlock()
 	}
+}
+
+// rescueIfUnhealthy migrates s off its shard when the shard is marked
+// for evacuation (Unhealthy or Draining). Verb paths call it before
+// dispatching so a session on a faulted shard moves at the next client
+// touch even if the background evacuation has not reached it yet.
+// Failures are logged, not returned: the verb proceeds and reports its
+// own (retryable) error.
+func (d *Dispatcher) rescueIfUnhealthy(s *hostSession, submit ShardSubmitter) {
+	shard, _ := s.loc()
+	if !d.cfg.Node.Health(shard).Evacuate() {
+		return
+	}
+	if err := d.migrate(s, submit); err != nil && d.cfg.Log != nil {
+		d.cfg.Log.Warn("session failover failed", "session", s.id, "err", err)
+	}
+}
+
+// EvacuateShard live-migrates every session off shard. The daemon wires
+// it to the node's fault handler (and to drain requests) so a shard
+// going Unhealthy empties itself in the background; verbs arriving for
+// a session mid-move answer retryable errors the client retries.
+func (d *Dispatcher) EvacuateShard(shard int, submit ShardSubmitter) {
+	d.mu.RLock()
+	victims := make([]*hostSession, 0, len(d.sessions))
+	for _, s := range d.sessions {
+		if sh, _ := s.loc(); sh == shard {
+			victims = append(victims, s)
+		}
+	}
+	d.mu.RUnlock()
+	for _, s := range victims {
+		if err := d.migrate(s, submit); err != nil && d.cfg.Log != nil {
+			d.cfg.Log.Warn("session failover failed",
+				"session", s.id, "shard", shard, "err", err)
+		}
+	}
+}
+
+// migrate live-migrates one session off its current shard: quiesce and
+// extract on the source owner (gvm.Manager.ExtractSession snapshots the
+// session's arenas with the suspend machinery), re-place through the
+// node's live policy — which only sees healthy shards — adopt on the
+// target owner, and atomically remap the session's routing. Verbs that
+// race the move answer retryable errors; an interrupted execution cycle
+// re-runs on the target, which is byte-identical because kernels are
+// deterministic functions of the staged input. If no healthy shard can
+// take the session it is re-adopted on the source so teardown keeps
+// working, and the error reports the stranding.
+func (d *Dispatcher) migrate(s *hostSession, submit ShardSubmitter) error {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	from := s.shard
+	if !d.cfg.Node.Health(from).Evacuate() {
+		s.mu.Unlock()
+		return nil // another migration already moved it
+	}
+	s.migrating = true
+	rp, _ := s.plane.(*ringHostPlane)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.migrating = false
+		s.mu.Unlock()
+	}()
+
+	start := time.Now()
+	fromMgr := d.cfg.Node.Shard(from).Mgr
+
+	// Source owner: pull a ring session out of its shard's sweep (the
+	// in-flight frame, if any, answers a retryable error; the client's
+	// mapping stays valid), then quiesce and extract the gvm session.
+	var (
+		ext  *gvm.ExtractedSession
+		xerr error
+	)
+	if !submit(from, func(p *sim.Proc) {
+		if rp != nil {
+			rp.sess.detach()
+		}
+		ext, xerr = fromMgr.ExtractSession(p, s.id)
+	}) {
+		return errors.New("transport: shutdown during migration")
+	}
+	if xerr != nil {
+		return fmt.Errorf("transport: extract session %d from gpu %d: %w", s.id, from, xerr)
+	}
+
+	// adoptOn lands the extracted session on shard: adopt into the gvm
+	// manager, rebind the ring segment (or refresh the pinned staging
+	// pointers), and remap the dispatcher's routing. The ring session's
+	// mgr/shard fields are set inside the owner closure so the target
+	// sweep observes them through the Register happens-before edge.
+	adoptOn := func(shard int) error {
+		mgr := d.cfg.Node.Shard(shard).Mgr
+		var (
+			nv        *vgpu.VGPU
+			aerr      error
+			sIn, sOut []byte
+		)
+		if !submit(shard, func(p *sim.Proc) {
+			nv, aerr = vgpu.Adopt(p, mgr, ext)
+			if aerr != nil {
+				return
+			}
+			if rp != nil {
+				sr := rp.sess.sr
+				if berr := mgr.BindDirect(s.id, sr.In(), sr.Out(), rp.sess.notify); berr != nil {
+					aerr = fmt.Errorf("transport: rebind ring session %d on gpu %d: %w", s.id, shard, berr)
+					return
+				}
+				rp.sess.mgr = mgr
+				rp.sess.shard = d.cfg.Rings.Shard(shard)
+			} else if d.cfg.Functional {
+				sIn, sOut = mgr.Staging(s.id)
+			}
+		}) {
+			return errors.New("transport: shutdown during migration")
+		}
+		if aerr != nil {
+			return aerr
+		}
+		s.mu.Lock()
+		s.v = nv
+		s.shard = shard
+		if rp == nil {
+			s.stageIn, s.stageOut = sIn, sOut
+		} else {
+			rp.rs = d.cfg.Rings.Shard(shard)
+		}
+		s.mu.Unlock()
+		if rp != nil {
+			d.cfg.Rings.Shard(shard).Register(rp.sess)
+		}
+		return nil
+	}
+
+	to, perr := d.cfg.Node.Place(s.inB, s.outB)
+	if perr != nil {
+		// Nowhere healthy to go: park the session back on the source so
+		// release paths still reclaim its memory, and report the strand.
+		if rerr := adoptOn(from); rerr != nil {
+			return fmt.Errorf("transport: session %d stranded: placement: %v; re-adopt on gpu %d: %v",
+				s.id, perr, from, rerr)
+		}
+		return fmt.Errorf("transport: no healthy shard for session %d: %w", s.id, perr)
+	}
+	if aerr := adoptOn(to); aerr != nil {
+		d.cfg.Node.Release(to, s.inB, s.outB)
+		if rerr := adoptOn(from); rerr != nil {
+			return fmt.Errorf("transport: session %d stranded: adopt on gpu %d: %v; re-adopt on gpu %d: %v",
+				s.id, to, aerr, from, rerr)
+		}
+		return fmt.Errorf("transport: adopt session %d on gpu %d: %w", s.id, to, aerr)
+	}
+	d.cfg.Node.Release(from, s.inB, s.outB)
+	if rp != nil {
+		// The client's ring header still names the source shard's door;
+		// forward its rings to the adopting shard so the target owner
+		// wakes on new submissions.
+		d.cfg.Rings.Shard(from).Forward(d.cfg.Rings.Shard(to).Door())
+	}
+
+	d.met.failovers.Inc()
+	d.met.migratedBytes.Add(ext.Bytes())
+	d.met.migLatencyNS.Observe(int64(time.Since(start)))
+	if d.cfg.Log != nil {
+		d.cfg.Log.Info("session failover",
+			"session", s.id, "from", from, "to", to,
+			"bytes", ext.Bytes(), "rerun", ext.Rerun)
+	}
+	return nil
 }
 
 // OpenSessions returns the number of live dispatcher sessions.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"gpuvirt/internal/gvm"
@@ -159,9 +160,45 @@ type RingShard struct {
 	armCh  chan uint32   // owner -> waker: doorbell word to sleep on
 	wakeCh chan struct{} // waker -> owner: the doorbell rang while parked
 
+	// fwd holds the doorbells of shards that adopted sessions migrated
+	// off this shard. A migrated ring client keeps ringing THIS shard's
+	// door (the door offset was baked into its ring header at attach and
+	// cached at map time), so every sweep forwards the ring to the
+	// adopting shards' doors. Guarded by fwdMu (written by the failover
+	// engine's goroutine, read by the owner's sweep).
+	fwdMu sync.Mutex
+	fwd   []*atomic.Uint32
+
 	records *metrics.Counter
 	sweeps  *metrics.Counter
 	open    *metrics.Gauge
+}
+
+// Forward registers a doorbell to ring on every sweep of this shard —
+// the failover engine's bridge for migrated ring clients, whose mapped
+// ring header still names this shard's door. Any goroutine may call it;
+// it rings the target once immediately in case the client already rang.
+func (rs *RingShard) Forward(door *atomic.Uint32) {
+	rs.fwdMu.Lock()
+	for _, d := range rs.fwd {
+		if d == door {
+			rs.fwdMu.Unlock()
+			return
+		}
+	}
+	rs.fwd = append(rs.fwd, door)
+	rs.fwdMu.Unlock()
+	shm.DoorRing(door)
+}
+
+// forward rings every adopted-session doorbell (no-op until a migration
+// installs one).
+func (rs *RingShard) forward() {
+	rs.fwdMu.Lock()
+	for _, d := range rs.fwd {
+		shm.DoorRing(d)
+	}
+	rs.fwdMu.Unlock()
 }
 
 // Door returns the shard's submission doorbell word.
@@ -195,6 +232,7 @@ func (rs *RingShard) Unregister(sess *ringSession) {
 // back dry, then spins, then parks on the doorbell.
 func (rs *RingShard) Sweep() bool {
 	progress := false
+	rs.forward()
 	if !rs.events.Empty() {
 		rs.events.Drain(func(ev ringEvent) {
 			progress = true
@@ -512,6 +550,23 @@ func (s *ringSession) completed() {
 	if s.released {
 		s.done = true
 	}
+}
+
+// detach pulls the session out of its shard's sweep WITHOUT unmapping
+// the segment — the client keeps its mapping, and after adoption the
+// same ringSession re-registers on the failover target's sweep. An
+// in-flight frame cannot complete here anymore (its gvm session is
+// about to leave this shard), so it finishes with a retryable error;
+// the client re-submits the frame and the target's sweep serves it.
+// Source-shard owner-goroutine only.
+func (s *ringSession) detach() {
+	if s.active {
+		s.waiting = false
+		s.record("ERR", gvm.Retryable(fmt.Sprintf("transport: session %d migrating off gpu %d", s.id, s.shard.index)))
+		s.failed = true
+		s.finish()
+	}
+	s.shard.remove(s)
 }
 
 // closeOwner unmaps the session segment. Idempotent; owner-goroutine

@@ -102,6 +102,27 @@ func connect(p *sim.Proc, mgr *gvm.Manager, spec *task.Spec, o Opts) (*VGPU, err
 	return v, nil
 }
 
+// Adopt installs a session extracted from another shard's manager
+// (gvm.Manager.ExtractSession) on mgr — the failover target — and
+// returns a fresh handle bound to mgr's clock. The session keeps its
+// id; no REQ is issued, so placement admission is the caller's job
+// (the dispatcher re-places through the node before adopting). Must
+// run on mgr's owner goroutine, like every manager call.
+func Adopt(p *sim.Proc, mgr *gvm.Manager, ext *gvm.ExtractedSession) (*VGPU, error) {
+	v := &VGPU{
+		mgr:     mgr,
+		spec:    ext.Spec,
+		resp:    gvm.NewQueue[gvm.Response](mgr.Env(), 0, mgr.MsgLatency()),
+		session: ext.ID,
+		poll:    DefaultPollPolicy(),
+	}
+	if err := mgr.AdoptSession(p, ext, v.resp); err != nil {
+		return nil, err
+	}
+	v.seg = mgr.Segment(ext.ID)
+	return v, nil
+}
+
 // SetPollPolicy overrides the STP polling back-off.
 func (v *VGPU) SetPollPolicy(p PollPolicy) {
 	if p.Factor < 1 {
@@ -120,7 +141,9 @@ func (v *VGPU) SetPollPolicy(p PollPolicy) {
 func (v *VGPU) Session() int { return v.session }
 
 func (v *VGPU) call(p *sim.Proc, verb gvm.Verb) gvm.Response {
-	v.mgr.RequestQueue().Send(p, gvm.Request{Session: v.session, Verb: verb})
+	// Reply rides along so even an unknown-session verb (a race with a
+	// failover migration) gets an answer instead of parking forever.
+	v.mgr.RequestQueue().Send(p, gvm.Request{Session: v.session, Verb: verb, Reply: v.resp})
 	return v.resp.Recv(p)
 }
 

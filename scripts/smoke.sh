@@ -234,4 +234,68 @@ echo "smoke: overcommit metrics OK (evictions = $evictions, swapped out = $swapo
 kill "$gvmd_pid"
 wait "$gvmd_pid" 2>/dev/null || true
 gvmd_pid=""
+
+# Fourth round: fault injection and failover. A 2-shard daemon hangs
+# GPU 0 on its first kernel launch mid-run; the sessions placed there
+# must live-migrate to GPU 1, every worker must still exit 0 with
+# byte-verified results, and the failover counter must be nonzero.
+echo "smoke: starting a 2-shard gvmd with a hang fault armed on gpu 0"
+addrfile="$workdir/gvmd-fault.addr"
+logfile="$workdir/gvmd-fault.log"
+"$bindir/gvmd" -listen tcp://127.0.0.1:0 -gpus 2 \
+    -fault-inject "gpu=0,after=1,kind=hang" \
+    -addr-file "$addrfile" -metrics 127.0.0.1:0 \
+    >"$logfile" 2>&1 &
+gvmd_pid=$!
+tries=0
+while [ ! -s "$addrfile" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "smoke: fault gvmd never published its address" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    if ! kill -0 "$gvmd_pid" 2>/dev/null; then
+        echo "smoke: fault gvmd exited early" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(head -n1 "$addrfile")
+metrics_url=$(grep '^http://' "$addrfile" | head -n1)
+echo "smoke: fault gvmd is serving on $addr (metrics at $metrics_url)"
+
+out=$("$bindir/multiprocess" -workers 4 -connect "$addr")
+echo "$out"
+turnarounds=$(echo "$out" | grep -c "turnaround" || true)
+if [ "$turnarounds" -ne 4 ]; then
+    echo "smoke: expected 4 worker turnaround lines through a faulted shard, got $turnarounds" >&2
+    exit 1
+fi
+
+scrape=$(fetch "$metrics_url")
+faults=$(echo "$scrape" | grep -E '^gpusim_faults_total\{gpu="0",kind="hang"\} [0-9]+$' | awk '{print $2}')
+failovers=$(echo "$scrape" | grep -E '^node_failovers_total [0-9]+$' | awk '{print $2}')
+health=$(echo "$scrape" | grep -E '^node_shard_health\{gpu="0"\} [0-9]+$' | awk '{print $2}')
+if [ -z "$faults" ] || [ "$faults" -eq 0 ]; then
+    echo "smoke: gpusim_faults_total{gpu=\"0\",kind=\"hang\"} missing or zero — the injector never fired" >&2
+    echo "$scrape" | grep -E '^(gpusim_faults|node_)' >&2 || true
+    exit 1
+fi
+if [ -z "$failovers" ] || [ "$failovers" -eq 0 ]; then
+    echo "smoke: node_failovers_total missing or zero after a hang fault on gpu 0" >&2
+    echo "$scrape" | grep -E '^(gpusim_faults|node_)' >&2 || true
+    exit 1
+fi
+if [ -z "$health" ] || [ "$health" -ne 3 ]; then
+    echo "smoke: node_shard_health{gpu=\"0\"} = '$health', want 3 (unhealthy) after a hang fault" >&2
+    echo "$scrape" | grep '^node_shard_health' >&2 || true
+    exit 1
+fi
+echo "smoke: failover metrics OK (faults = $faults, failovers = $failovers, gpu 0 unhealthy)"
+
+kill "$gvmd_pid"
+wait "$gvmd_pid" 2>/dev/null || true
+gvmd_pid=""
 echo "smoke: OK"
