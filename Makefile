@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all ci fmt vet build test race bench bench-short bench-json interference-short smoke
+.PHONY: all ci fmt vet build test race bench bench-short bench-json interference-short fed-short smoke
 
 all: ci
 
 # Tier-1 gate (README "CI gate"): everything a change must keep green.
-ci: fmt vet build test race bench-short interference-short chaos-short smoke
+ci: fmt vet build test race bench-short interference-short chaos-short fed-short smoke
 
 # Formatting gate: fails listing any file gofmt would rewrite.
 fmt:
@@ -46,6 +46,13 @@ bench-short:
 chaos-short:
 	$(GO) test -race -run 'TestChaosFaultInjection8Clients|TestDrainMigratesMidJobByteIdentical' -count=1 ./internal/ipc/
 
+# CI-sized federation run: the gvmfed router's policy matrix
+# (byte-identical to direct single-node), the cross-node mid-job live
+# migration, and the 8-client kill-one-backend chaos round — all under
+# the race detector.
+fed-short:
+	$(GO) test -race -run 'TestFederationMatrixByteIdentical|TestCrossNodeMigrationMidJobByteIdentical|TestFederationChaosKillNodeMidRun' -count=1 ./internal/fed/
+
 # CI-sized QoS interference run: asserts weighted-fair co-location keeps
 # the latency tenant's p99 within 2x solo while the FIFO baseline blows
 # past it, with <= 15% batch throughput cost and byte-identical outputs.
@@ -55,13 +62,15 @@ interference-short:
 # Full benchmark matrix: data-plane microbenchmarks plus daemon cycle
 # throughput at 1/2/4/8 clients over inproc/unix/tcp/ring, pipelined vs
 # serial, the shard-scaling sweep (1/2/4 GPUs x 1/4/8 clients), the
+# federated throughput sweep (gvmfed fronting 1/2 nodes x 1/4/8
+# clients, quantifying the proxy hop against the direct numbers), the
 # memory-oversubscription sweep (sessions totaling 1x/2x/4x device
 # memory: swap traffic and p99 turnaround), and the QoS interference
 # co-location sweep (solo vs FIFO vs weighted-fair tail latency, batch
-# throughput cost, 1:2:4 fairness races), written as the PR8 JSON
+# throughput cost, 1:2:4 fairness races), written as the PR10 JSON
 # artifact.
 bench:
-	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr8.json
+	$(GO) run ./cmd/gvmbench -benchjson results/BENCH_pr10.json
 
 # Regenerate the machine-readable hot-path numbers (alias of bench;
 # earlier PR artifacts are kept as historical records).

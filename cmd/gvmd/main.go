@@ -177,10 +177,17 @@ func main() {
 	if *addrFile != "" {
 		// Written only after every listener is bound, so a waiter that
 		// sees the file can connect immediately. The metrics URL rides
-		// along as an extra http:// line for scrapers to discover.
+		// along as an extra http:// line for scrapers to discover, and the
+		// last line is the v2 capacity/health advertisement (one JSON
+		// object) a federation router reads to seed node-level placement.
+		// v1 readers (head -n1 for the address, grep ^http:// for the
+		// scrape URL) are unaffected.
 		lines := append([]string{}, addrs...)
 		if metricsURL != "" {
 			lines = append(lines, metricsURL)
+		}
+		if ad, err := node.MarshalAd(srv.Node().Advertise()); err == nil {
+			lines = append(lines, string(ad))
 		}
 		if err := os.WriteFile(*addrFile, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 			srv.Close()
@@ -190,25 +197,21 @@ func main() {
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
-	// SIGUSR1 gracefully drains one shard per signal, in index order:
-	// the shard stops taking placements and its sessions live-migrate to
-	// the remaining healthy shards (maintenance without client errors).
+	// SIGUSR1 gracefully drains the WHOLE node: every shard stops taking
+	// placements at once and the daemon's advertisement turns
+	// unplaceable. Behind gvmfed that is the maintenance signal — the
+	// router sees the next poll and live-migrates every session to the
+	// other nodes; standalone, sessions keep serving in place until their
+	// clients finish (no placements ping-pong between shards that are
+	// both about to drain).
 	var got os.Signal
-	drainNext := 0
 	for got == nil || got == syscall.SIGUSR1 {
 		got = <-sig
 		if got != syscall.SIGUSR1 {
 			break
 		}
-		if drainNext >= srv.Node().NumShards() {
-			log.Printf("gvmd: SIGUSR1: every gpu already draining")
-			continue
-		}
-		log.Printf("gvmd: SIGUSR1: draining gpu %d", drainNext)
-		if err := srv.Drain(drainNext); err != nil {
-			log.Printf("gvmd: drain: %v", err)
-		}
-		drainNext++
+		log.Printf("gvmd: SIGUSR1: draining all %d gpu(s)", srv.Node().NumShards())
+		srv.DrainAll()
 	}
 	log.Printf("gvmd: %v: shutting down", got)
 	done := make(chan struct{})

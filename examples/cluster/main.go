@@ -18,6 +18,14 @@
 // loopback). Both runs are measured in wall-clock time, so the protocol
 // and data-plane overhead of remote access is observed, not modeled.
 //
+// The remote shape extends one level up: put a gvmfed federation
+// router in front of several TCP gvmd nodes (see the README's
+// "Federation" section) and point examples/multiprocess -connect at
+// the router — the same SPMD job then measures the two-level shape,
+// with node placement and cross-node failover in the path. The router
+// forces payloads inline exactly like the rCUDA-shape run here, so its
+// extra hop is directly comparable.
+//
 // Run with: go run ./examples/cluster [-real [-procs 4] [-n 1000000]]
 package main
 

@@ -43,6 +43,7 @@ func main() {
 	workers := flag.Int("workers", 4, "number of SPMD worker processes")
 	connect := flag.String("connect", "", "dial an external gvmd at this address (unix:///path or tcp://host:port) instead of starting one in-process")
 	timeout := flag.Duration("timeout", 0, "per-request I/O timeout on client round trips (0 = none)")
+	duration := flag.Duration("duration", 0, "keep re-running full verified cycles until this much wall time has elapsed (0 = one cycle); spans daemon restarts for failover drills")
 	weight := flag.Int("weight", 0, "this worker's weighted-fair SM share (0 = derive from -priority)")
 	priority := flag.Int("priority", 0, "this worker's session priority (eviction order and default weight class)")
 	weights := flag.String("weights", "", "comma-separated per-rank weights, e.g. 1,1,4,8 (padded with the last value)")
@@ -51,9 +52,9 @@ func main() {
 
 	switch *role {
 	case "parent":
-		parent(*workers, *connect, *timeout, perRank(*weights, *workers), perRank(*priorities, *workers))
+		parent(*workers, *connect, *timeout, *duration, perRank(*weights, *workers), perRank(*priorities, *workers))
 	case "worker":
-		if err := worker(*addr, *rank, *timeout, *weight, *priority); err != nil {
+		if err := worker(*addr, *rank, *timeout, *duration, *weight, *priority); err != nil {
 			log.Fatalf("worker %d: %v", *rank, err)
 		}
 	default:
@@ -84,7 +85,7 @@ func perRank(list string, n int) []int {
 	return vals
 }
 
-func parent(workers int, connect string, timeout time.Duration, weights, priorities []int) {
+func parent(workers int, connect string, timeout, duration time.Duration, weights, priorities []int) {
 	addr := connect
 	shmDir := os.Getenv("GVMD_SHM_DIR")
 	if connect == "" {
@@ -119,6 +120,7 @@ func parent(workers int, connect string, timeout time.Duration, weights, priorit
 		cmds[i] = exec.Command(self,
 			"-role=worker", "-addr="+addr, fmt.Sprintf("-rank=%d", i),
 			fmt.Sprintf("-timeout=%s", timeout),
+			fmt.Sprintf("-duration=%s", duration),
 			fmt.Sprintf("-weight=%d", weights[i]),
 			fmt.Sprintf("-priority=%d", priorities[i]))
 		cmds[i].Stdout = os.Stdout
@@ -141,7 +143,7 @@ func parent(workers int, connect string, timeout time.Duration, weights, priorit
 	fmt.Println("parent: all workers verified their results through the daemon")
 }
 
-func worker(addr string, rank int, timeout time.Duration, weight, priority int) error {
+func worker(addr string, rank int, timeout, duration time.Duration, weight, priority int) error {
 	client, err := ipc.DialOptions(addr, ipc.Options{
 		ShmDir:  os.Getenv("GVMD_SHM_DIR"),
 		Timeout: timeout,
@@ -163,21 +165,28 @@ func worker(addr string, rank int, timeout time.Duration, weight, priority int) 
 		in[n+i] = float32(rank + 1)
 	}
 	out := make([]byte, n*4)
-	if err := sess.RunCycle(cuda.HostFloat32Bytes(in), out); err != nil {
-		return err
-	}
-	res := cuda.Float32s(byteMem(out), 0, n)
-	for i := 0; i < n; i++ {
-		if res[i] != float32(i)+float32(rank+1) {
-			return fmt.Errorf("bad result at %d: %g", i, res[i])
+	cycles := 0
+	for {
+		if err := sess.RunCycle(cuda.HostFloat32Bytes(in), out); err != nil {
+			return fmt.Errorf("cycle %d: %w", cycles, err)
+		}
+		res := cuda.Float32s(byteMem(out), 0, n)
+		for i := 0; i < n; i++ {
+			if res[i] != float32(i)+float32(rank+1) {
+				return fmt.Errorf("cycle %d: bad result at %d: %g", cycles, i, res[i])
+			}
+		}
+		cycles++
+		if time.Since(start) >= duration {
+			break
 		}
 	}
 	virtMS := sess.VirtualMS
 	if err := sess.Release(); err != nil {
 		return err
 	}
-	fmt.Printf("worker %d (pid %d): %d elements verified over %s plane, turnaround %.1f ms wall, device clock %.2f ms\n",
-		rank, os.Getpid(), n, sess.Plane(), time.Since(start).Seconds()*1e3, virtMS)
+	fmt.Printf("worker %d (pid %d): %d elements verified over %s plane in %d cycle(s), turnaround %.1f ms wall, device clock %.2f ms\n",
+		rank, os.Getpid(), n, sess.Plane(), cycles, time.Since(start).Seconds()*1e3, virtMS)
 	return nil
 }
 

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"gpuvirt/internal/fed"
+	"gpuvirt/internal/ipc"
+)
+
+// FedBench measures federated daemon cycle throughput: full pipelined
+// SND+STR+STP+RCV cycles per second through a gvmfed router fronting
+// 1 or 2 gvmd nodes, at 1/4/8 concurrent clients, next to the direct
+// (router-free) numbers from DaemonBench. The delta quantifies the
+// proxy hop — one extra frame decode/encode pair and an id rewrite per
+// verb, with the data plane forced inline — and the 2-node rows show
+// node-level least-sessions placement spreading the client load.
+func FedBench() []MicroBenchResult {
+	var out []MicroBenchResult
+	for _, nodes := range []int{1, 2} {
+		out = append(out, fedBenchNodes(nodes)...)
+	}
+	return out
+}
+
+func fedBenchNodes(nodes int) []MicroBenchResult {
+	fail := func() []MicroBenchResult {
+		return []MicroBenchResult{{Name: fmt.Sprintf("fed-cycle-n%d", nodes), NsPerOp: -1}}
+	}
+	backends := make([]string, nodes)
+	srvs := make([]*ipc.Server, nodes)
+	defer func() {
+		for _, s := range srvs {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}()
+	for i := range backends {
+		shmDir := shmBenchDir()
+		srv, err := ipc.NewServer(ipc.ServerConfig{
+			Listen:     []string{fmt.Sprintf("inproc://gvmbench-fed-n%d-%d", nodes, i)},
+			Functional: true,
+			ShmDir:     shmDir,
+		})
+		if err != nil {
+			return fail()
+		}
+		if shmDir != "" {
+			defer os.RemoveAll(shmDir)
+		}
+		srvs[i] = srv
+		backends[i] = srv.Addr()
+	}
+	router, err := fed.New(fed.Config{Backends: backends, Placement: "least-sessions"})
+	if err != nil {
+		return fail()
+	}
+	if err := router.Start([]string{fmt.Sprintf("inproc://gvmbench-fed-n%d", nodes)}); err != nil {
+		return fail()
+	}
+	defer router.Close()
+
+	var out []MicroBenchResult
+	for _, clients := range []int{1, 4, 8} {
+		name := fmt.Sprintf("fed-cycle-n%d-c%d/pipelined", nodes, clients)
+		r, err := daemonBenchRun(router.Addr(), "", clients, false)
+		if err != nil {
+			out = append(out, MicroBenchResult{Name: name, NsPerOp: -1})
+			continue
+		}
+		res := MicroBenchResult{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if r.NsPerOp() > 0 {
+			res.CyclesPerSec = float64(clients) * 1e9 / float64(r.NsPerOp())
+		}
+		out = append(out, res)
+	}
+	return out
+}

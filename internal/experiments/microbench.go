@@ -279,6 +279,7 @@ func WriteMicroBenchJSON(path string) error {
 	daemon, snap := DaemonBench()
 	rep.Results = append(rep.Results, daemon...)
 	rep.Results = append(rep.Results, DaemonShardBench()...)
+	rep.Results = append(rep.Results, FedBench()...)
 	rep.Results = append(rep.Results, DaemonOversubBench()...)
 	rep.DaemonMetrics = snap
 	interf, err := InterferenceBench(false)

@@ -1,0 +1,68 @@
+package fed
+
+import (
+	"net"
+	"testing"
+
+	"gpuvirt/internal/transport"
+)
+
+// TestWarmProxyHopZeroAlloc asserts the warm-hop acceptance criterion:
+// once a session's sticky backend connection is up, proxying a verb —
+// client frame in, id rewrite, pooled zero-copy frame to the backend,
+// response back with the id restored — allocates nothing in the router.
+func TestWarmProxyHopZeroAlloc(t *testing.T) {
+	r, err := New(Config{Backends: []string{"inproc://alloc-fake"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The router is not Started: the backend is never dialed or polled.
+	// Hand-wire a placed session to an in-memory echo peer standing in
+	// for the backend daemon.
+	routerEnd, backendEnd := net.Pipe()
+	conn, peer := transport.NewConn(routerEnd), transport.NewConn(backendEnd)
+	t.Cleanup(func() { conn.Close(); peer.Close() })
+	done := make(chan struct{})
+	t.Cleanup(func() { close(done) })
+	go func() {
+		for {
+			req, err := peer.ReadRequest()
+			if err != nil {
+				select {
+				case <-done:
+				default:
+					t.Error(err)
+				}
+				return
+			}
+			// Respond with the request's payload aliasing the read buffer,
+			// exactly as the daemon's zero-copy RCV path does.
+			if err := peer.WriteResponse(transport.Response{Status: "ACK", Session: req.Session, Data: req.Data}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	cc := &clientConn{}
+	s := &fedSession{vid: 1, owner: cc, staged: true, inB: 64 << 10, outB: 64 << 10}
+	s.attachLocked(r.backends[0], 42, conn, routerEnd)
+	r.sessions[1] = s
+
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	hop := func() {
+		resp := r.serveVerb(transport.Request{Verb: "SND", Session: 1, Data: payload}, cc)
+		if resp.Status != "ACK" || resp.Session != 1 || len(resp.Data) != len(payload) {
+			t.Fatalf("hop came back %q session %d with %d bytes", resp.Status, resp.Session, len(resp.Data))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		hop() // warm the framing pools and retained buffers
+	}
+	if allocs := testing.AllocsPerRun(50, hop); allocs > 0 {
+		t.Fatalf("warm proxy hop allocates %.1f times per round trip, want 0", allocs)
+	}
+}

@@ -1,0 +1,466 @@
+package fed
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpuvirt/internal/ipc"
+	"gpuvirt/internal/metrics"
+	"gpuvirt/internal/transport"
+	"gpuvirt/internal/workloads"
+)
+
+// startNode runs one in-process gvmd backend on an inproc transport.
+func startNode(t *testing.T, name string, gpus int) *ipc.Server {
+	t.Helper()
+	s, err := ipc.NewServer(ipc.ServerConfig{
+		Listen:     []string{"inproc://" + name},
+		Functional: true,
+		GPUs:       gpus,
+		ShmDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// startRouter runs a gvmfed router fronting the given backends.
+func startRouter(t *testing.T, name, policy string, poll time.Duration, nodes ...*ipc.Server) *Router {
+	t.Helper()
+	backs := make([]string, len(nodes))
+	for i, n := range nodes {
+		backs[i] = n.Addr()
+	}
+	r, err := New(Config{Backends: backs, Placement: policy, PollInterval: poll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start([]string{"inproc://" + name}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// nodeOpenSessions sums live gvm sessions over a backend's shards (the
+// counters are atomic-backed, safe off-owner).
+func nodeOpenSessions(s *ipc.Server) int {
+	open := 0
+	for i := 0; i < s.Node().NumShards(); i++ {
+		open += s.Node().Shard(i).Mgr.OpenSessions()
+	}
+	return open
+}
+
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?\d+(\.\d+)?$`)
+
+// scrape reads a registry through the Prometheus text handler into a
+// sample map (integer-valued samples only, which is all the fed_*
+// series emit).
+func scrape(t *testing.T, reg *metrics.Registry) map[string]int64 {
+	t.Helper()
+	ts := httptest.NewServer(metrics.Handler(reg))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]int64)
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Fatalf("malformed Prometheus sample line %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil {
+			continue // histogram quantile with decimals; fed asserts use counters
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// directReference computes each rank's expected output bytes on a
+// dedicated single-node daemon with serial verbs — the migration-free,
+// federation-free baseline every federated run must match byte for
+// byte.
+func directReference(t *testing.T, name string, ref workloads.Ref, ranks int) [][]byte {
+	t.Helper()
+	srv := startNode(t, name, 1)
+	c, err := ipc.DialOptions(srv.Addr(), ipc.Options{NoPipeline: true, Plane: transport.PlaneInline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, ranks)
+	for rank := 0; rank < ranks; rank++ {
+		sess, err := c.Request(ref, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([]byte, sess.InBytes())
+		out := make([]byte, sess.OutBytes())
+		w.Fill(rank, in)
+		if err := sess.RunCycle(in, out); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Release(); err != nil {
+			t.Fatal(err)
+		}
+		want[rank] = out
+	}
+	return want
+}
+
+// TestFederationMatrixByteIdentical is the satellite matrix: an inproc
+// router fronting 2 nodes under each node-level policy must serve RCV
+// bytes identical to a direct single-node serial run — the federation
+// hop, the forced inline plane, and the node-level placement must be
+// invisible in the data.
+func TestFederationMatrixByteIdentical(t *testing.T) {
+	const ranks = 4
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 512}}
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directReference(t, "fedmatrix-ref", ref, ranks)
+
+	for _, policy := range []string{"least-sessions", "least-memory", "slo"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			a := startNode(t, "fedmatrix-a-"+policy, 2)
+			b := startNode(t, "fedmatrix-b-"+policy, 2)
+			r := startRouter(t, "fedmatrix-"+policy, policy, 50*time.Millisecond, a, b)
+
+			// Open every session up front so the policy sees the earlier
+			// placements, then run the cycles pipelined through the proxy.
+			clients := make([]*ipc.Client, ranks)
+			sessions := make([]*ipc.Session, ranks)
+			for rank := 0; rank < ranks; rank++ {
+				c, err := ipc.Dial(r.Addr(), "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				clients[rank] = c
+				sess, err := c.Request(ref, rank)
+				if err != nil {
+					t.Fatalf("%s: REQ rank %d: %v", policy, rank, err)
+				}
+				sessions[rank] = sess
+			}
+			if policy == "least-sessions" {
+				// The canonical spread: 4 held sessions across 2 nodes must
+				// go 2/2.
+				if ao, bo := nodeOpenSessions(a), nodeOpenSessions(b); ao != 2 || bo != 2 {
+					t.Fatalf("least-sessions spread = %d/%d, want 2/2", ao, bo)
+				}
+			}
+			for rank, sess := range sessions {
+				in := make([]byte, sess.InBytes())
+				out := make([]byte, sess.OutBytes())
+				w.Fill(rank, in)
+				if err := sess.RunCycle(in, out); err != nil {
+					t.Fatalf("%s: rank %d cycle: %v", policy, rank, err)
+				}
+				if !bytes.Equal(out, want[rank]) {
+					t.Fatalf("%s: rank %d output differs from direct single-node reference", policy, rank)
+				}
+				if err := sess.Release(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if ao, bo := nodeOpenSessions(a), nodeOpenSessions(b); ao != 0 || bo != 0 {
+				t.Fatalf("backends hold %d/%d sessions after release, want 0/0", ao, bo)
+			}
+			samples := scrape(t, r.Metrics())
+			if got := samples[`fed_nodes{state="alive"}`]; got != 2 {
+				t.Errorf(`fed_nodes{state="alive"} = %d, want 2`, got)
+			}
+			if got := samples[`fed_proxy_latency_ns_count{verb="REQ"}`]; got != ranks {
+				t.Errorf("REQ proxy latency count = %d, want %d", got, ranks)
+			}
+			if got := samples[`fed_proxy_latency_ns_count{verb="BAT"}`]; got < ranks {
+				t.Errorf("BAT proxy latency count = %d, want >= %d", got, ranks)
+			}
+		})
+	}
+}
+
+// TestCrossNodeMigrationMidJobByteIdentical drains a whole backend node
+// while a session is mid-cycle on it: the router must extract the
+// session (MIG), adopt it on the survivor (ADP), and serve the
+// remaining STP/RCV from there with bytes identical to an undisturbed
+// run — and the source node must end with zero open sessions, zero
+// device memory in use and zero reserved bytes.
+func TestCrossNodeMigrationMidJobByteIdentical(t *testing.T) {
+	const n = 1024
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": n}}
+	want := directReference(t, "fedmig-ref", ref, 1)
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := startNode(t, "fedmig-a", 1)
+	b := startNode(t, "fedmig-b", 1)
+	r := startRouter(t, "fedmig", "least-sessions", 20*time.Millisecond, a, b)
+
+	c, err := ipc.DialOptions(r.Addr(), ipc.Options{NoPipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Request(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, sess.InBytes())
+	w.Fill(0, in)
+	if err := sess.SendInput(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The session is mid-job on one of the nodes; drain that whole node.
+	src, dst := a, b
+	if nodeOpenSessions(b) == 1 {
+		src, dst = b, a
+	}
+	if nodeOpenSessions(src) != 1 {
+		t.Fatal("no backend owns the session after STR")
+	}
+	src.DrainAll()
+
+	// The router's next poll sees the node advertise itself unplaceable
+	// and evacuates it in the background.
+	for deadline := 400; nodeOpenSessions(dst) != 1 || nodeOpenSessions(src) != 0; deadline-- {
+		if deadline == 0 {
+			t.Fatalf("session never migrated: src %d open, dst %d open",
+				nodeOpenSessions(src), nodeOpenSessions(dst))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// STP and RCV are served by the surviving node, byte-identically.
+	if err := sess.Wait(); err != nil {
+		t.Fatalf("Wait across cross-node migration: %v", err)
+	}
+	out := make([]byte, sess.OutBytes())
+	if err := sess.Receive(out); err != nil {
+		t.Fatalf("Receive across cross-node migration: %v", err)
+	}
+	if !bytes.Equal(out, want[0]) {
+		t.Fatal("RCV bytes changed across cross-node migration")
+	}
+
+	// The source node is fully empty: session registry, device memory,
+	// reservations, and placement counters.
+	sh := src.Node().Shard(0)
+	if open := sh.Mgr.OpenSessions(); open != 0 {
+		t.Errorf("source node still has %d open sessions", open)
+	}
+	if inUse := sh.Dev.MemInUse(); inUse != 0 {
+		t.Errorf("source node still has %d bytes of device memory in use", inUse)
+	}
+	if reserved := sh.Dev.MemReserved(); reserved != 0 {
+		t.Errorf("source node still has %d bytes reserved", reserved)
+	}
+	for _, l := range src.Node().Loads() {
+		if l.Sessions != 0 || l.Bytes != 0 {
+			t.Errorf("source gpu %d placement not drained: %d sessions, %d bytes",
+				l.Shard, l.Sessions, l.Bytes)
+		}
+	}
+
+	samples := scrape(t, r.Metrics())
+	if got := samples["fed_failovers_total"]; got < 1 {
+		t.Errorf("fed_failovers_total = %d, want >= 1", got)
+	}
+	if got := samples["fed_migrated_bytes_total"]; got <= 0 {
+		t.Errorf("fed_migrated_bytes_total = %d, want > 0", got)
+	}
+	if got := samples[`fed_nodes{state="draining"}`]; got != 1 {
+		t.Errorf(`fed_nodes{state="draining"} = %d, want 1`, got)
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFederationChaosKillNodeMidRun is the e2e federation acceptance
+// test: 8 pipelined clients run cycles through the router against 2
+// nodes x 2 shards while one backend dies outright mid-run. Every
+// session on the dead node is re-created on the survivor and its
+// replayed cycles produce bytes identical to a single-node serial
+// reference — no session lost.
+func TestFederationChaosKillNodeMidRun(t *testing.T) {
+	const clients, cycles = 8, 3
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 256}}
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directReference(t, "fedchaos-ref", ref, clients)
+
+	a := startNode(t, "fedchaos-a", 2)
+	b := startNode(t, "fedchaos-b", 2)
+	r := startRouter(t, "fedchaos", "least-sessions", 20*time.Millisecond, a, b)
+
+	var (
+		firstCycle sync.WaitGroup
+		barrier    = make(chan struct{})
+		wg         sync.WaitGroup
+		errs       = make([]error, clients)
+	)
+	firstCycle.Add(clients)
+	for rank := 0; rank < clients; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = func() error {
+				c, err := ipc.Dial(r.Addr(), "")
+				if err != nil {
+					firstCycle.Done()
+					return err
+				}
+				defer c.Close()
+				sess, err := c.Request(ref, rank)
+				if err != nil {
+					firstCycle.Done()
+					return err
+				}
+				in := make([]byte, sess.InBytes())
+				out := make([]byte, sess.OutBytes())
+				w.Fill(rank, in)
+				for i := 0; i < cycles; i++ {
+					if err := sess.RunCycle(in, out); err != nil {
+						if i == 0 {
+							firstCycle.Done()
+						}
+						return fmt.Errorf("rank %d cycle %d: %w", rank, i, err)
+					}
+					if !bytes.Equal(out, want[rank]) {
+						if i == 0 {
+							firstCycle.Done()
+						}
+						return fmt.Errorf("rank %d cycle %d: output differs from serial reference", rank, i)
+					}
+					if i == 0 {
+						firstCycle.Done()
+						<-barrier // every rank finishes cycle 0 before the kill
+					}
+				}
+				return sess.Release()
+			}()
+		}(rank)
+	}
+	firstCycle.Wait()
+	// Hard kill: no drain, no advertisement — the node just dies with 4
+	// sessions' state. Clients discover it mid-verb, the router marks the
+	// node dead, re-creates the sessions on the survivor, and the
+	// clients' retry loops replay the cycles.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(barrier)
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d lost its session: %v", rank, err)
+		}
+	}
+	if open := nodeOpenSessions(b); open != 0 {
+		t.Errorf("surviving node holds %d sessions after release, want 0", open)
+	}
+
+	samples := scrape(t, r.Metrics())
+	if got := samples["fed_failovers_total"]; got < 1 {
+		t.Errorf("fed_failovers_total = %d, want >= 1 (4 sessions died with the node)", got)
+	}
+	if got := samples[`fed_nodes{state="dead"}`]; got != 1 {
+		t.Errorf(`fed_nodes{state="dead"} = %d, want 1`, got)
+	}
+	if got := samples[`fed_nodes{state="alive"}`]; got != 1 {
+		t.Errorf(`fed_nodes{state="alive"} = %d, want 1`, got)
+	}
+	if got := samples[`fed_placed_sessions{node="0"}`] + samples[`fed_placed_sessions{node="1"}`]; got != 0 {
+		t.Errorf("fed_placed_sessions sum = %d after all releases, want 0", got)
+	}
+}
+
+// TestFederatedSuspendResume pins that SUS/RES proxy through the
+// router like any session verb.
+func TestFederatedSuspendResume(t *testing.T) {
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 256}}
+	want := directReference(t, "fedsus-ref", ref, 1)
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := startNode(t, "fedsus-a", 1)
+	b := startNode(t, "fedsus-b", 1)
+	r := startRouter(t, "fedsus", "least-sessions", 50*time.Millisecond, a, b)
+	c, err := ipc.DialOptions(r.Addr(), ipc.Options{NoPipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Request(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, sess.InBytes())
+	out := make([]byte, sess.OutBytes())
+	w.Fill(0, in)
+	if err := sess.SendInput(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Suspend(); err != nil {
+		t.Fatalf("Suspend through the router: %v", err)
+	}
+	if err := sess.Resume(); err != nil {
+		t.Fatalf("Resume through the router: %v", err)
+	}
+	if err := sess.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Receive(out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want[0]) {
+		t.Fatal("suspend/resume through the router changed the output bytes")
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package fed
+
+import (
+	"time"
+
+	"gpuvirt/internal/node"
+	"gpuvirt/internal/transport"
+)
+
+// Advertisement polling: every PollInterval the router sends STA on a
+// per-backend control connection and folds the reply into the backend's
+// node-level Load. The poll is also the health probe — a node that
+// stops answering goes dead, and a node that advertises itself
+// unplaceable (whole-node drain, every shard faulted) goes draining and
+// gets a background evacuation.
+
+func (r *Router) pollLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.quit:
+			return
+		case <-t.C:
+			for _, b := range r.backends {
+				r.pollBackend(b)
+			}
+		}
+	}
+}
+
+// pollBackend performs one STA round trip on the backend's control
+// connection (dialing or redialing it as needed) and applies the
+// advertisement. Dial failure marks the node dead; dead nodes are not
+// polled again (their state never de-escalates).
+func (r *Router) pollBackend(b *backend) {
+	b.mu.Lock()
+	if b.state == stateDead {
+		b.mu.Unlock()
+		return
+	}
+	ctl, nc := b.ctl, b.ctlNC
+	b.mu.Unlock()
+	if ctl == nil {
+		var err error
+		ctl, nc, err = r.dialBackend(b)
+		if err != nil {
+			r.markDead(b, err)
+			return
+		}
+		b.mu.Lock()
+		b.ctl, b.ctlNC = ctl, nc
+		b.mu.Unlock()
+	}
+	resp, err := tripConn(ctl, transport.Request{Verb: "STA"})
+	if err != nil {
+		nc.Close()
+		ctl.Release()
+		b.mu.Lock()
+		b.ctl, b.ctlNC = nil, nil
+		b.mu.Unlock()
+		// One redial covers a benign dropped control connection; a node
+		// that cannot be re-reached is dead.
+		ctl2, nc2, derr := r.dialBackend(b)
+		if derr != nil {
+			r.markDead(b, derr)
+			return
+		}
+		resp, err = tripConn(ctl2, transport.Request{Verb: "STA"})
+		if err != nil {
+			nc2.Close()
+			ctl2.Release()
+			r.markDead(b, err)
+			return
+		}
+		b.mu.Lock()
+		b.ctl, b.ctlNC = ctl2, nc2
+		b.mu.Unlock()
+	}
+	if resp.Status != "ACK" {
+		// A daemon predating STA answers "unknown verb": leave its load
+		// at the zero value (always placeable by headroom 0... no —
+		// MemFree 0 keeps it last in line) and its state alive.
+		return
+	}
+	ad, err := node.UnmarshalAd(resp.Data)
+	if err != nil {
+		if r.cfg.Log != nil {
+			r.cfg.Log.Warn("bad advertisement", "node", b.idx, "err", err)
+		}
+		return
+	}
+	load := node.NodeLoad(b.idx, ad)
+	b.mu.Lock()
+	b.ad = load
+	drained := b.state == stateAlive && !load.Health.Placeable()
+	if drained {
+		b.state = stateDraining
+	}
+	b.mu.Unlock()
+	if drained {
+		if r.cfg.Log != nil {
+			r.cfg.Log.Warn("backend node draining", "node", b.idx, "health", load.Health.String())
+		}
+		go r.evacuate(b)
+	}
+}

@@ -461,6 +461,20 @@ func (m *Manager) Device() *gpusim.Device { return m.dev }
 // value of every manager series' gpu label).
 func (m *Manager) GPUIndex() int { return m.cfg.GPUIndex }
 
+// MintSessionID advances the manager's striped id counter and returns a
+// fresh session id. REQ mints through it; the cross-node adoption path
+// also calls it to re-id an ExtractedSession whose source-node id may
+// collide with a live local one. Owner-goroutine side (it mutates
+// manager state), like AdoptSession.
+func (m *Manager) MintSessionID() int {
+	stride := m.cfg.SessionIDStride
+	if stride < 1 {
+		stride = 1
+	}
+	m.nextID += stride
+	return m.nextID
+}
+
 // Ready fires once the manager has initialized the device, created its
 // single GPU context, and begun serving requests. Clients connecting
 // earlier simply queue.
@@ -607,13 +621,8 @@ func (m *Manager) handleREQ(p *sim.Proc, r Request) {
 			m.cfg.GPUIndex, m.shmInUse, footprint, quota)})
 		return
 	}
-	stride := m.cfg.SessionIDStride
-	if stride < 1 {
-		stride = 1
-	}
-	m.nextID += stride
 	s := &session{
-		id: m.nextID, spec: r.Spec, reply: r.Reply, direct: r.Direct,
+		id: m.MintSessionID(), spec: r.Spec, reply: r.Reply, direct: r.Direct,
 		memQuota: r.MemQuota, priority: r.Priority, lastUsed: p.Now(),
 		weight: sessionWeight(r),
 	}

@@ -1,0 +1,92 @@
+package ipc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The failover backoff must stay inside its documented envelope for any
+// jitter draw: each delay in [failoverBase/2, 1.5*failoverMaxDelay),
+// total sleep capped at failoverMaxElapsed, and the retry budget finite
+// (a daemon that can never re-place the session fails the call).
+func TestFailoverBackoffBounds(t *testing.T) {
+	for _, draw := range []struct {
+		name string
+		rnd  func() float64
+	}{
+		{"min-jitter", func() float64 { return 0 }},
+		{"max-jitter", func() float64 { return 0.999999 }},
+		{"seeded", rand.New(rand.NewSource(42)).Float64},
+	} {
+		t.Run(draw.name, func(t *testing.T) {
+			bo := failoverBackoff{rnd: draw.rnd}
+			var total time.Duration
+			retries := 0
+			for {
+				d, ok := bo.next()
+				if !ok {
+					break
+				}
+				retries++
+				if retries > 10_000 {
+					t.Fatal("backoff never exhausted its elapsed budget")
+				}
+				if d < 1 {
+					t.Fatalf("retry %d: non-positive delay %v", retries, d)
+				}
+				if d >= time.Duration(1.5*float64(failoverMaxDelay))+1 {
+					t.Fatalf("retry %d: delay %v above the 1.5x max-delay jitter ceiling", retries, d)
+				}
+				total += d
+			}
+			if total > failoverMaxElapsed {
+				t.Fatalf("total sleep %v exceeds the max-elapsed cap %v", total, failoverMaxElapsed)
+			}
+			if total < failoverMaxElapsed {
+				t.Fatalf("backoff gave up at %v with budget %v left", total, failoverMaxElapsed-total)
+			}
+		})
+	}
+}
+
+// Delays must grow exponentially until the per-try clamp: with jitter
+// pinned to 1.0x, the sequence is exactly base, 2*base, ... up to
+// failoverMaxDelay and then stays there.
+func TestFailoverBackoffGrowth(t *testing.T) {
+	bo := failoverBackoff{rnd: func() float64 { return 0.5 }} // jitter factor exactly 1.0
+	want := failoverBase
+	for i := 0; i < 12; i++ {
+		d, ok := bo.next()
+		if !ok {
+			t.Fatalf("budget exhausted after only %d tries", i)
+		}
+		if d != want {
+			t.Fatalf("try %d: delay %v, want %v", i, d, want)
+		}
+		if want < failoverMaxDelay {
+			want *= 2
+			if want > failoverMaxDelay {
+				want = failoverMaxDelay
+			}
+		}
+	}
+}
+
+// Two workers with different jitter draws must not sleep in lockstep —
+// the whole point of the jitter.
+func TestFailoverBackoffJitterSpreads(t *testing.T) {
+	a := failoverBackoff{rnd: rand.New(rand.NewSource(1)).Float64}
+	b := failoverBackoff{rnd: rand.New(rand.NewSource(2)).Float64}
+	same := 0
+	for i := 0; i < 8; i++ {
+		da, _ := a.next()
+		db, _ := b.next()
+		if da == db {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("independent workers drew identical delay sequences")
+	}
+}

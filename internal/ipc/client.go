@@ -3,6 +3,7 @@ package ipc
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"strings"
@@ -146,30 +147,73 @@ func (c *Client) wrapTimeout(verb string, err error) error {
 	return err
 }
 
-// failoverAttempts bounds how many times a verb is re-issued after a
-// retryable failover error, so a daemon that cannot place the session
-// anywhere healthy fails the call instead of hanging the client.
-const failoverAttempts = 8
+// Failover retry backoff bounds. Exponential growth from the base,
+// clamped per try, with full ±50% jitter — N workers bounced by the
+// same node failover must not thundering-herd the router in lockstep —
+// and a max-elapsed budget so a daemon that can never re-place the
+// session fails the call instead of hanging the client.
+const (
+	failoverBase       = time.Millisecond
+	failoverMaxDelay   = 32 * time.Millisecond
+	failoverMaxElapsed = 2 * time.Second
+)
+
+// failoverBackoff yields the sleep before each failover retry. Not
+// goroutine-safe; each retry loop owns one.
+type failoverBackoff struct {
+	attempt int
+	slept   time.Duration
+	rnd     func() float64 // [0,1); nil = math/rand (tests inject)
+}
+
+// next returns the next sleep and whether the elapsed budget allows
+// another retry. Every returned delay lies in
+// [failoverBase/2, 1.5*failoverMaxDelay) and the sum of all returned
+// delays never exceeds failoverMaxElapsed.
+func (b *failoverBackoff) next() (time.Duration, bool) {
+	if b.slept >= failoverMaxElapsed {
+		return 0, false
+	}
+	d := failoverBase << b.attempt
+	if d <= 0 || d > failoverMaxDelay {
+		d = failoverMaxDelay
+	}
+	r := b.rnd
+	if r == nil {
+		r = rand.Float64
+	}
+	d = time.Duration(float64(d) * (0.5 + r())) // jitter: [0.5x, 1.5x)
+	if d < 1 {
+		d = 1
+	}
+	if remaining := failoverMaxElapsed - b.slept; d > remaining {
+		d = remaining
+	}
+	b.attempt++
+	b.slept += d
+	return d, true
+}
 
 // retryFailover runs fn, re-issuing it while the daemon answers with a
 // retryable error — the session is being live-migrated off a faulted
-// shard, or the verb raced the move. The first retry usually lands on
-// the session's new shard (the daemon migrates on touch); the brief
-// backoff covers background evacuations still in flight. All verbs are
-// safe to re-issue: SND restages the same bytes, STR re-runs a
-// deterministic cycle, STP/RCV only observe.
+// shard or a draining node, or the verb raced the move. The first retry
+// usually lands on the session's new home (daemons migrate on touch;
+// the federation router re-places on the next verb); the jittered,
+// budgeted backoff covers background evacuations still in flight. All
+// verbs are safe to re-issue: SND restages the same bytes, STR re-runs
+// a deterministic cycle, STP/RCV only observe.
 func retryFailover(fn func() error) error {
-	delay := time.Millisecond
-	var err error
-	for attempt := 0; ; attempt++ {
-		err = fn()
-		if err == nil || attempt >= failoverAttempts || !gvm.IsRetryable(err.Error()) {
+	var bo failoverBackoff
+	for {
+		err := fn()
+		if err == nil || !gvm.IsRetryable(err.Error()) {
 			return err
 		}
-		time.Sleep(delay)
-		if delay < 16*time.Millisecond {
-			delay *= 2
+		d, ok := bo.next()
+		if !ok {
+			return err
 		}
+		time.Sleep(d)
 	}
 }
 

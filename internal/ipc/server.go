@@ -287,6 +287,15 @@ func (s *Server) Drain(shard int) error {
 	return nil
 }
 
+// DrainAll gracefully decommissions the whole node: every shard stops
+// taking placements at once. gvmd triggers it on SIGUSR1. Intra-node
+// failover has nowhere to go, so sessions keep serving in place; a
+// fronting gvmfed sees the node advertise itself unplaceable and
+// live-migrates the sessions to other nodes.
+func (s *Server) DrainAll() {
+	s.node.DrainAll()
+}
+
 // Addr returns the first listener's address in URL form (Dial accepts
 // it directly).
 func (s *Server) Addr() string { return s.lns[0].Addr() }

@@ -98,6 +98,33 @@ func (n *Node) SetHealth(i int, h HealthState) {
 // the fault handler (the failover engine) migrates its sessions away.
 func (n *Node) Drain(i int) { n.SetHealth(i, Draining) }
 
+// DrainAll drains the whole node: every shard is marked Draining before
+// any fault handler fires, so the per-shard evacuations that follow
+// cannot ping-pong sessions onto a sibling that is about to drain too.
+// With no placeable shard left the intra-node failover engine leaves
+// sessions serving in place; a federation router sees the node
+// advertise itself unplaceable and migrates the sessions across nodes.
+func (n *Node) DrainAll() {
+	n.mu.Lock()
+	changed := make([]int, 0, len(n.health))
+	for i := range n.health {
+		if HealthState(n.health[i].Value()) < Draining {
+			n.health[i].Set(int64(Draining))
+			changed = append(changed, i)
+		}
+	}
+	fn := n.faultHandler
+	n.mu.Unlock()
+	for _, i := range changed {
+		if n.cfg.Log != nil {
+			n.cfg.Log.Warn("shard health escalated", "gpu", i, "to", Draining.String())
+		}
+		if fn != nil {
+			fn(i, Draining)
+		}
+	}
+}
+
 // SetFaultHandler installs the callback invoked whenever a shard's
 // health escalates (fault injection or Drain). The handler runs on the
 // goroutine that caused the escalation — for device faults that is the

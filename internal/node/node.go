@@ -106,7 +106,7 @@ type Node struct {
 	reg    *metrics.Registry
 
 	mu     sync.Mutex
-	policy Policy
+	placer *Placer
 	// Per-shard placement loads, mutated under mu. The gauges double as
 	// the scrape-visible node_placed_* series, and being atomics they can
 	// be read off-lock (Loads, tests, /metrics).
@@ -146,7 +146,7 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Overcommit == 0 {
 		cfg.Overcommit = 1.0
 	}
-	policy, err := PolicyByName(cfg.Placement)
+	placer, err := NewPlacer(cfg.Placement, "GPU")
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +154,7 @@ func New(cfg Config) (*Node, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	n := &Node{cfg: cfg, reg: reg, policy: policy}
+	n := &Node{cfg: cfg, reg: reg, placer: placer}
 	for i := 0; i < cfg.GPUs; i++ {
 		env := cfg.SharedEnv
 		if env == nil {
@@ -244,7 +244,7 @@ func (n *Node) Shard(i int) *Shard { return n.shards[i] }
 func (n *Node) Shards() []*Shard { return n.shards }
 
 // Policy returns the active placement policy's name.
-func (n *Node) Policy() string { return n.policy.Name() }
+func (n *Node) Policy() string { return n.placer.Policy() }
 
 // SessionShard maps a session id back to the shard that minted it (ids
 // are striped GPUIndex+1, GPUIndex+1+GPUs, ...). It does not check
@@ -271,6 +271,7 @@ func (n *Node) Loads() []Load {
 	for i, sh := range n.shards {
 		loads[i] = Load{
 			Shard:     i,
+			Health:    HealthState(n.health[i].Value()),
 			Sessions:  n.placedSessions[i].Value(),
 			Bytes:     n.placedBytes[i].Value(),
 			MemFree:   n.quota(sh) - n.placedBytes[i].Value(),
@@ -298,32 +299,13 @@ func (n *Node) Place(inBytes, outBytes int64) (int, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	all := n.Loads()
-	cands := all[:0:0]
-	placeable := 0
-	for _, l := range all {
-		// Degraded/draining/unhealthy shards are invisible to the
-		// policy: faults must never attract new sessions.
-		if !HealthState(n.health[l.Shard].Value()).Placeable() {
-			continue
-		}
-		placeable++
-		if footprint <= l.MemFree {
-			cands = append(cands, l)
-		}
+	// The shared two-level Placer does the health filter and the policy
+	// pick; n.mu makes snapshot→select→reserve atomic against concurrent
+	// Places.
+	idx, err := n.placer.Select(n.Loads(), footprint)
+	if err != nil {
+		return -1, fmt.Errorf("node: %v (overcommit %.2g)", err, n.cfg.Overcommit)
 	}
-	if placeable == 0 {
-		return -1, fmt.Errorf("node: no healthy GPU to place on (%s)", describeLoads(all))
-	}
-	if len(cands) == 0 {
-		return -1, fmt.Errorf("node: session footprint %d bytes exceeds every healthy GPU's reservation headroom at overcommit %.2g (%s)",
-			footprint, n.cfg.Overcommit, describeLoads(all))
-	}
-	k := n.policy.Pick(cands, footprint)
-	if k < 0 || k >= len(cands) {
-		k = 0
-	}
-	idx := cands[k].Shard
 	n.placedSessions[idx].Inc()
 	n.placedBytes[idx].Add(footprint)
 	return idx, nil

@@ -241,7 +241,7 @@ func TestAdmissionMemoryFit(t *testing.T) {
 	if err == nil {
 		t.Fatal("unfittable session placed")
 	}
-	for _, want := range []string{"reservation headroom", "gpu 0: 1024 B headroom", "gpu 1: 1024 B headroom"} {
+	for _, want := range []string{"reservation headroom", "gpu 0 healthy: 1024 B headroom", "gpu 1 healthy: 1024 B headroom"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("admission error %q missing %q", err, want)
 		}
@@ -259,7 +259,7 @@ func TestAdmissionMemoryFit(t *testing.T) {
 	if err == nil {
 		t.Fatal("session placed with no shard headroom")
 	}
-	if !strings.Contains(err.Error(), "gpu 0: 0 B headroom") || !strings.Contains(err.Error(), "gpu 1: 424 B headroom") {
+	if !strings.Contains(err.Error(), "gpu 0 healthy: 0 B headroom") || !strings.Contains(err.Error(), "gpu 1 healthy: 424 B headroom") {
 		t.Fatalf("admission error %q does not report per-GPU headroom", err)
 	}
 }

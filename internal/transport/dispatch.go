@@ -129,7 +129,7 @@ func newDispMetrics(reg *metrics.Registry) *dispMetrics {
 			lat:  reg.Histogram("gvmd_verb_latency_ns", "wall-clock verb service time", metrics.L("verb", v)),
 		}
 	}
-	for _, v := range []string{"REQ", "BAT", "SND", "STR", "STP", "RCV", "RLS", "SUS", "RES"} {
+	for _, v := range []string{"REQ", "BAT", "SND", "STR", "STP", "RCV", "RLS", "SUS", "RES", "STA", "MIG", "ADP"} {
 		dm.verbs[v] = mk(v)
 	}
 	dm.other = mk("other")
@@ -154,6 +154,11 @@ type hostSession struct {
 	outB  int64        //   (returned to the node on release)
 	owner *ConnState   // the connection that opened the session
 	met   *dispMetrics // the owning dispatcher's instruments
+	// ref/rank identify the session's workload in wire-serializable form;
+	// the cross-node MIG path ships them with the extracted state so the
+	// adopting node can rebuild the (non-serializable) kernel spec.
+	ref  workloads.Ref
+	rank int
 
 	// migMu serializes failover migrations against verb dispatch and
 	// teardown: migrate holds it across both owner submits (source
@@ -294,6 +299,12 @@ func (d *Dispatcher) Serve(req Request, cs *ConnState, submit ShardSubmitter) (r
 		resp, ok = d.serveBAT(req, cs, submit)
 	case "SND", "STR", "STP", "RCV", "RLS", "SUS", "RES":
 		resp, ok = d.serveVerb(req, cs, submit)
+	case "STA":
+		resp, ok = d.serveSTA(), true
+	case "MIG":
+		resp, ok = d.serveMIG(req, cs, submit)
+	case "ADP":
+		resp, ok = d.serveADP(req, cs, submit)
 	default:
 		resp, ok = errResp(fmt.Errorf("transport: unknown verb %q", req.Verb)), true
 	}
@@ -396,6 +407,7 @@ func (d *Dispatcher) serveREQ(req Request, cs *ConnState, submit ShardSubmitter)
 		id: v.Session(), v: v, shard: shard,
 		inB: spec.InBytes, outB: spec.OutBytes,
 		owner: cs, met: d.met, stageIn: stageIn, stageOut: stageOut,
+		ref: *req.Ref, rank: req.Rank,
 	}
 	name := fmt.Sprintf("%s-%d", d.cfg.SegPrefix, s.id)
 	s.plane, err = NewHostPlane(kind, d.cfg.ShmDir, name, spec.InBytes, spec.OutBytes)

@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"gpuvirt/internal/gvm"
+	"gpuvirt/internal/node"
+	"gpuvirt/internal/sim"
+	"gpuvirt/internal/vgpu"
+	"gpuvirt/internal/workloads"
+)
+
+// Federation verbs: the daemon-side half of the gvmfed protocol.
+//
+//	STA — capacity/health advertisement: the router polls it to drive
+//	      node-level placement (the same JSON as the -addr-file v2
+//	      trailer, but live).
+//	MIG — extract one session for cross-node migration: quiesce,
+//	      snapshot, serialize, and forget it. Sent by the router on the
+//	      session's own sticky connection when the node is draining.
+//	ADP — adopt a MIG blob under a freshly minted local id: the inverse
+//	      end, sent by the router on the session's new sticky connection
+//	      to the surviving node.
+//
+// MIG/ADP reuse PR9's ExtractSession/AdoptSession machinery one level
+// up: intra-node failover moves a session between shards behind one
+// dispatcher; these verbs move it between dispatchers.
+
+// MigBlob is the cross-node migration payload: the serialized gvm
+// session state plus everything the adopting node needs that cannot
+// ride inside it — the workload reference and rank (kernel builders are
+// closures; the target rebuilds the spec from its own registry) and the
+// staging footprint for placement.
+type MigBlob struct {
+	Ref      workloads.Ref   `json:"ref"`
+	Rank     int             `json:"rank"`
+	InBytes  int64           `json:"in_bytes"`
+	OutBytes int64           `json:"out_bytes"`
+	Started  bool            `json:"started,omitempty"` // an STR has not been STP'd yet
+	Ext      json.RawMessage `json:"ext"`
+}
+
+// serveSTA answers the node's current capacity/health advertisement.
+// Connection-goroutine side, no owner submit: every input is an atomic
+// gauge or quantile read.
+func (d *Dispatcher) serveSTA() Response {
+	ad, err := node.MarshalAd(d.cfg.Node.Advertise())
+	if err != nil {
+		return errResp(err)
+	}
+	return Response{Status: "ACK", Data: ad}
+}
+
+// serveMIG extracts a session for cross-node migration and answers with
+// the serialized MigBlob. The session leaves this node entirely: it is
+// unpublished from the dispatcher, its plane closed, its placement
+// reservation released. The router must send MIG on the session's own
+// (sticky) connection — the ownership check holds like any other verb.
+func (d *Dispatcher) serveMIG(req Request, cs *ConnState, submit ShardSubmitter) (Response, bool) {
+	s, err := d.lookup(req.Session, cs)
+	if err != nil {
+		return errResp(err), true
+	}
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errResp(fmt.Errorf("transport: session %d is closed", s.id)), true
+	}
+	if _, isRing := s.plane.(*ringHostPlane); isRing {
+		// A ring client's mapped segment names this node's doorbells;
+		// the mapping cannot follow the session to another process.
+		s.mu.Unlock()
+		return errResp(fmt.Errorf("transport: session %d uses the ring plane; cross-node migration needs inline", s.id)), true
+	}
+	s.migrating = true
+	from := s.shard
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.migrating = false
+		s.mu.Unlock()
+	}()
+
+	fromMgr := d.cfg.Node.Shard(from).Mgr
+	var (
+		ext     *gvm.ExtractedSession
+		xerr    error
+		started bool
+	)
+	if !submit(from, func(p *sim.Proc) {
+		ext, xerr = fromMgr.ExtractSession(p, s.id)
+		started = s.started // owner-goroutine state, read under the owner
+	}) {
+		return Response{}, false
+	}
+	if xerr != nil {
+		return errResp(fmt.Errorf("transport: MIG extract session %d from gpu %d: %w", s.id, from, xerr)), true
+	}
+	extB, err := ext.Encode()
+	if err == nil {
+		var blob []byte
+		blob, err = json.Marshal(MigBlob{
+			Ref: s.ref, Rank: s.rank,
+			InBytes: s.inB, OutBytes: s.outB,
+			Started: started,
+			Ext:     extB,
+		})
+		if err == nil {
+			// Point of no return: the session has left this node. The
+			// sticky connection stays up (the router owns its lifetime)
+			// but the id no longer resolves here.
+			d.mu.Lock()
+			delete(d.sessions, s.id)
+			d.mu.Unlock()
+			cs.dropOwned(s.id)
+			s.mu.Lock()
+			s.closed = true
+			plane := s.plane
+			s.mu.Unlock()
+			if plane != nil {
+				_ = plane.Close()
+			}
+			d.cfg.Node.Release(from, s.inB, s.outB)
+			if d.cfg.Log != nil {
+				d.cfg.Log.Info("session extracted for cross-node migration",
+					"session", s.id, "gpu", from, "bytes", ext.Bytes())
+			}
+			return Response{Status: "ACK", Session: s.id, Data: blob}, true
+		}
+	}
+	// Serialization failed: put the session back so it keeps serving.
+	mgr := d.cfg.Node.Shard(from).Mgr
+	var (
+		nv        *vgpu.VGPU
+		aerr      error
+		sIn, sOut []byte
+	)
+	if !submit(from, func(p *sim.Proc) {
+		nv, aerr = vgpu.Adopt(p, mgr, ext)
+		if aerr == nil && d.cfg.Functional {
+			sIn, sOut = mgr.Staging(s.id)
+		}
+	}) {
+		return Response{}, false
+	}
+	if aerr != nil {
+		return errResp(fmt.Errorf("transport: session %d stranded: encode: %v; re-adopt on gpu %d: %v", s.id, err, from, aerr)), true
+	}
+	s.mu.Lock()
+	s.v = nv
+	s.stageIn, s.stageOut = sIn, sOut
+	s.mu.Unlock()
+	return errResp(fmt.Errorf("transport: MIG encode session %d: %w", s.id, err)), true
+}
+
+// serveADP adopts a MIG blob under a freshly minted local session id
+// (the source node's striped ids can collide with live local ones) and
+// answers like a REQ: the new id, the inline plane, and the staging
+// sizes. The adopting connection becomes the session's owner — the
+// router sends ADP as the first frame on the session's new sticky
+// connection.
+func (d *Dispatcher) serveADP(req Request, cs *ConnState, submit ShardSubmitter) (Response, bool) {
+	if len(req.Data) == 0 {
+		return errResp(errors.New("transport: ADP needs a migration blob")), true
+	}
+	var blob MigBlob
+	if err := json.Unmarshal(req.Data, &blob); err != nil {
+		return errResp(fmt.Errorf("transport: ADP decode: %w", err)), true
+	}
+	ext, err := gvm.DecodeExtracted(blob.Ext)
+	if err != nil {
+		return errResp(err), true
+	}
+	w, err := workloads.FromRef(blob.Ref)
+	if err != nil {
+		return errResp(err), true
+	}
+	spec := w.Spec(blob.Rank)
+	ext.Spec = spec
+	srcID := ext.ID
+
+	// Two-level placement, lower level: the router picked this node, the
+	// node's own policy picks the shard.
+	shard, err := d.cfg.Node.Place(spec.InBytes, spec.OutBytes)
+	if err != nil {
+		return errResp(err), true
+	}
+	mgr := d.cfg.Node.Shard(shard).Mgr
+	var (
+		id                int
+		v                 *vgpu.VGPU
+		aerr              error
+		stageIn, stageOut []byte
+		vms               float64
+	)
+	if !submit(shard, func(p *sim.Proc) {
+		id = mgr.MintSessionID()
+		ext.SetID(id)
+		v, aerr = vgpu.Adopt(p, mgr, ext)
+		if aerr == nil && d.cfg.Functional {
+			stageIn, stageOut = mgr.Staging(id)
+		}
+		vms = p.Now().Milliseconds()
+	}) {
+		d.cfg.Node.Release(shard, spec.InBytes, spec.OutBytes)
+		return Response{}, false
+	}
+	if aerr != nil {
+		d.cfg.Node.Release(shard, spec.InBytes, spec.OutBytes)
+		r := errResp(fmt.Errorf("transport: ADP adopt on gpu %d: %w", shard, aerr))
+		r.VirtualMS = vms
+		return r, true
+	}
+	s := &hostSession{
+		id: id, v: v, shard: shard,
+		inB: spec.InBytes, outB: spec.OutBytes,
+		owner: cs, met: d.met, stageIn: stageIn, stageOut: stageOut,
+		ref: blob.Ref, rank: blob.Rank,
+		started: blob.Started, // pre-publication write, no lock needed
+	}
+	s.plane, _ = NewHostPlane(PlaneInline, "", "", spec.InBytes, spec.OutBytes)
+	d.mu.Lock()
+	d.sessions[id] = s
+	d.mu.Unlock()
+	cs.owned = append(cs.owned, id)
+	if d.cfg.Log != nil {
+		d.cfg.Log.Info("session adopted from cross-node migration",
+			"session", id, "source-session", srcID, "gpu", shard)
+	}
+	return Response{
+		Status:    "ACK",
+		Session:   id,
+		Plane:     PlaneInline,
+		InBytes:   spec.InBytes,
+		OutBytes:  spec.OutBytes,
+		VirtualMS: vms,
+	}, true
+}

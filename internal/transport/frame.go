@@ -63,6 +63,7 @@ const (
 // what keeps the steady-state SND/RCV decode path at zero allocations.
 var internTable = [...]string{
 	"REQ", "SND", "STR", "STP", "RCV", "RLS", "SUS", "RES", "BAT",
+	"STA", "MIG", "ADP",
 	"ACK", "WAIT", "ERR",
 	PlaneShm, PlaneInline, PlaneRing,
 }

@@ -298,4 +298,114 @@ echo "smoke: failover metrics OK (faults = $faults, failovers = $failovers, gpu 
 kill "$gvmd_pid"
 wait "$gvmd_pid" 2>/dev/null || true
 gvmd_pid=""
+
+# Fifth round: two-level federation. gvmfed fronts two single-shard gvmd
+# nodes over TCP; eight workers run verified cycles through the router
+# for two seconds while one backend is SIGTERM'd mid-run. Every worker
+# must still exit 0 (the router re-creates the dead node's sessions on
+# the survivor and the clients replay), and the router's
+# fed_failovers_total must be nonzero.
+echo "smoke: building gvmfed"
+${GO:-go} build -o "$bindir/gvmfed" ./cmd/gvmfed
+
+node_a_pid=""
+node_b_pid=""
+gvmfed_pid=""
+fed_cleanup() {
+    for pid in "$node_a_pid" "$node_b_pid" "$gvmfed_pid"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+}
+trap 'fed_cleanup; cleanup' EXIT INT TERM
+
+echo "smoke: starting two gvmd nodes and a gvmfed router"
+for node in a b; do
+    addrfile="$workdir/gvmd-$node.addr"
+    "$bindir/gvmd" -listen tcp://127.0.0.1:0 \
+        -addr-file "$addrfile" \
+        >"$workdir/gvmd-$node.log" 2>&1 &
+    eval "node_${node}_pid=$!"
+done
+for node in a b; do
+    addrfile="$workdir/gvmd-$node.addr"
+    tries=0
+    while [ ! -s "$addrfile" ]; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 100 ]; then
+            echo "smoke: gvmd node $node never published its address" >&2
+            cat "$workdir/gvmd-$node.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+done
+
+fed_addrfile="$workdir/gvmfed.addr"
+"$bindir/gvmfed" -listen tcp://127.0.0.1:0 \
+    -backend-file "$workdir/gvmd-a.addr" -backend-file "$workdir/gvmd-b.addr" \
+    -placement least-sessions -poll 50ms \
+    -addr-file "$fed_addrfile" -metrics 127.0.0.1:0 \
+    >"$workdir/gvmfed.log" 2>&1 &
+gvmfed_pid=$!
+tries=0
+while [ ! -s "$fed_addrfile" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "smoke: gvmfed never published its address" >&2
+        cat "$workdir/gvmfed.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$gvmfed_pid" 2>/dev/null; then
+        echo "smoke: gvmfed exited early" >&2
+        cat "$workdir/gvmfed.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+fed_addr=$(head -n1 "$fed_addrfile")
+fed_metrics_url=$(grep '^http://' "$fed_addrfile" | head -n1)
+echo "smoke: gvmfed is routing on $fed_addr (metrics at $fed_metrics_url)"
+
+"$bindir/multiprocess" -workers 8 -connect "$fed_addr" -duration 2s \
+    >"$workdir/fed-workers.log" 2>&1 &
+mp_pid=$!
+sleep 0.7
+echo "smoke: SIGTERM'ing gvmd node a mid-run"
+kill "$node_a_pid"
+wait "$node_a_pid" 2>/dev/null || true
+node_a_pid=""
+if ! wait "$mp_pid"; then
+    echo "smoke: a worker failed after the mid-run backend kill" >&2
+    cat "$workdir/fed-workers.log" >&2
+    cat "$workdir/gvmfed.log" >&2
+    exit 1
+fi
+cat "$workdir/fed-workers.log"
+turnarounds=$(grep -c "turnaround" "$workdir/fed-workers.log" || true)
+if [ "$turnarounds" -ne 8 ]; then
+    echo "smoke: expected 8 worker turnaround lines through gvmfed, got $turnarounds" >&2
+    exit 1
+fi
+
+scrape=$(fetch "$fed_metrics_url")
+failovers=$(echo "$scrape" | grep -E '^fed_failovers_total [0-9]+$' | awk '{print $2}')
+dead=$(echo "$scrape" | grep -E '^fed_nodes\{state="dead"\} [0-9]+$' | awk '{print $2}')
+if [ -z "$failovers" ] || [ "$failovers" -eq 0 ]; then
+    echo "smoke: fed_failovers_total missing or zero after SIGTERM'ing a backend mid-run" >&2
+    echo "$scrape" | grep '^fed_' >&2 || true
+    exit 1
+fi
+if [ -z "$dead" ] || [ "$dead" -ne 1 ]; then
+    echo "smoke: fed_nodes{state=\"dead\"} = '$dead', want 1 after killing one of two nodes" >&2
+    echo "$scrape" | grep '^fed_nodes' >&2 || true
+    exit 1
+fi
+echo "smoke: federation metrics OK (failovers = $failovers, one node dead, one alive)"
+
+fed_cleanup
+node_b_pid=""
+gvmfed_pid=""
 echo "smoke: OK"
