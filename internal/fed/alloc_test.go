@@ -54,7 +54,11 @@ func TestWarmProxyHopZeroAlloc(t *testing.T) {
 		payload[i] = byte(i)
 	}
 	hop := func() {
-		resp := r.serveVerb(transport.Request{Verb: "SND", Session: 1, Data: payload}, cc)
+		resp, locked := r.serveVerb(transport.Request{Verb: "SND", Session: 1, Data: payload}, cc)
+		if locked == nil {
+			t.Fatal("hop did not return the locked session")
+		}
+		locked.mu.Unlock()
 		if resp.Status != "ACK" || resp.Session != 1 || len(resp.Data) != len(payload) {
 			t.Fatalf("hop came back %q session %d with %d bytes", resp.Status, resp.Session, len(resp.Data))
 		}

@@ -97,6 +97,15 @@ type backend struct {
 	// ad is the last polled advertisement folded into a node-level Load
 	// (zero until the first successful poll).
 	ad node.Load
+	// bytesAtPoll/sessionsAtPoll snapshot the router's own counters at
+	// the moment ad was taken, so load() can correct the advertisement
+	// by the DELTA placed since the poll. Correcting by the absolute
+	// counters would assume every session on the backend is ours —
+	// wrong the moment the node also serves direct clients or a second
+	// router, whose bytes would then inflate the computed headroom past
+	// the advertisement.
+	bytesAtPoll    int64
+	sessionsAtPoll int64
 	// ctl is the polling connection (lazily dialed, redialed on error).
 	ctl   *transport.Conn
 	ctlNC net.Conn
@@ -111,21 +120,31 @@ func (b *backend) getState() nodeState {
 // load folds the backend's last advertisement and the router's own
 // placement counters into one node-level Load for the Placer. The
 // router's counters correct the advertisement's staleness: sessions
-// placed (or released) since the last poll move the headroom before the
-// next poll confirms it.
+// placed (or released) THROUGH THIS ROUTER since the last poll move
+// the headroom before the next poll confirms it. Only the delta since
+// the poll is applied — the advertisement already accounts for
+// everything on the node at poll time, including sessions the router
+// never placed.
 func (b *backend) load() node.Load {
 	b.mu.Lock()
 	l := b.ad
 	st := b.state
+	bytesAtPoll, sessionsAtPoll := b.bytesAtPoll, b.sessionsAtPoll
 	b.mu.Unlock()
 	l.Shard = b.idx
-	fedBytes := b.bytes.Load()
-	l.MemFree -= fedBytes - l.Bytes
+	bytesDelta := b.bytes.Load() - bytesAtPoll
+	l.MemFree -= bytesDelta
 	if l.MemFree < 0 {
 		l.MemFree = 0
 	}
-	l.Bytes = fedBytes
-	l.Sessions = b.sessions.Value()
+	l.Bytes += bytesDelta
+	if l.Bytes < 0 {
+		l.Bytes = 0
+	}
+	l.Sessions += b.sessions.Value() - sessionsAtPoll
+	if l.Sessions < 0 {
+		l.Sessions = 0
+	}
 	switch st {
 	case stateDraining:
 		if l.Health < node.Draining {
@@ -166,11 +185,14 @@ type fedSession struct {
 	inB      int64
 	outB     int64
 
-	// staged reports whether a SND reached the CURRENT backend
-	// incarnation of the session. Re-creation clears it: results and
-	// staged input died with the node, so verbs that need input answer
-	// retryable errors until the client re-stages (a pipelined client's
-	// replayed BAT leads with SND and sails through).
+	// staged reports whether the CURRENT backend incarnation of the
+	// session holds the client's staging intact. True from REQ — a fresh
+	// session legitimately computes on zero-filled staging, exactly like
+	// a direct gvmd — and refreshed by SND. Only a dead-node re-creation
+	// clears it: results and staged input died with the node, so verbs
+	// that need input answer retryable errors until the client re-stages
+	// (a pipelined client's replayed BAT leads with SND and sails
+	// through).
 	staged bool
 }
 

@@ -415,6 +415,216 @@ func TestFederationChaosKillNodeMidRun(t *testing.T) {
 	}
 }
 
+// TestDrainUnderLoadByteIdentical drains a whole node while pipelined
+// clients stream cycles through the router. It pins the response-write
+// vs background-evacuation race: a verb response can alias its sticky
+// connection's pooled read buffer, and the evacuation goroutine used to
+// be able to reuse (MIG) and pool (teardown) that buffer while the
+// response bytes were still on their way to the client — serveConn now
+// holds the session locks across the client write. Run under -race.
+func TestDrainUnderLoadByteIdentical(t *testing.T) {
+	const clients, cycles = 4, 6
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 1024}}
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directReference(t, "feddrain-ref", ref, clients)
+
+	a := startNode(t, "feddrain-a", 2)
+	b := startNode(t, "feddrain-b", 2)
+	r := startRouter(t, "feddrain", "least-sessions", 10*time.Millisecond, a, b)
+
+	var (
+		firstCycle sync.WaitGroup
+		barrier    = make(chan struct{})
+		wg         sync.WaitGroup
+		errs       = make([]error, clients)
+	)
+	firstCycle.Add(clients)
+	for rank := 0; rank < clients; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			first := true
+			done := func() {
+				if first {
+					first = false
+					firstCycle.Done()
+					<-barrier
+				}
+			}
+			errs[rank] = func() error {
+				c, err := ipc.Dial(r.Addr(), "")
+				if err != nil {
+					done()
+					return err
+				}
+				defer c.Close()
+				sess, err := c.Request(ref, rank)
+				if err != nil {
+					done()
+					return err
+				}
+				in := make([]byte, sess.InBytes())
+				out := make([]byte, sess.OutBytes())
+				w.Fill(rank, in)
+				for i := 0; i < cycles; i++ {
+					if err := sess.RunCycle(in, out); err != nil {
+						done()
+						return fmt.Errorf("rank %d cycle %d: %w", rank, i, err)
+					}
+					if !bytes.Equal(out, want[rank]) {
+						done()
+						return fmt.Errorf("rank %d cycle %d: output differs from serial reference", rank, i)
+					}
+					done()
+				}
+				return sess.Release()
+			}()
+		}(rank)
+	}
+	firstCycle.Wait()
+	// Drain node a with its sessions mid-run, wait for the poller to see
+	// the advertisement (the draining transition spawns the background
+	// evacuation), then release the clients so their response traffic
+	// overlaps the evacuation's MIG/ADP trips.
+	a.DrainAll()
+	for deadline := 400; r.backends[0].getState() != stateDraining; deadline-- {
+		if deadline == 0 {
+			t.Fatal("router never saw node 0 draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(barrier)
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	if ao, bo := nodeOpenSessions(a), nodeOpenSessions(b); ao != 0 || bo != 0 {
+		t.Errorf("backends hold %d/%d sessions after release, want 0/0", ao, bo)
+	}
+	samples := scrape(t, r.Metrics())
+	if got := samples["fed_failovers_total"]; got < 1 {
+		t.Errorf("fed_failovers_total = %d, want >= 1 (node 0's sessions had to move)", got)
+	}
+}
+
+// TestEvacuationWaitsForInFlightResponse pins the response-write vs
+// background-evacuation race deterministically: a raw client issues RCV
+// and delays reading the response. The inproc pipe is synchronous, so
+// the router parks inside WriteResponse with the response Data still
+// aliasing the sticky connection's pooled read buffer. The whole source
+// node then drains; the background evacuation must NOT migrate the
+// session — its MIG would read its blob into, and then pool, that very
+// buffer — until the response has left. Run under -race: unlocking the
+// session before the client write fails both the byte comparison and
+// the race detector here.
+func TestEvacuationWaitsForInFlightResponse(t *testing.T) {
+	ref := workloads.Ref{Name: "vecadd", Params: map[string]int{"n": 1024}}
+	want := directReference(t, "fedpark-ref", ref, 1)
+	w, err := workloads.FromRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := startNode(t, "fedpark-a", 1)
+	b := startNode(t, "fedpark-b", 1)
+	r := startRouter(t, "fedpark", "least-sessions", 10*time.Millisecond, a, b)
+
+	nc, _, err := transport.DialAddr(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := transport.WritePreamble(nc, false); err != nil {
+		t.Fatal(err)
+	}
+	conn := transport.NewConn(nc)
+
+	trip := func(req transport.Request) transport.Response {
+		t.Helper()
+		if err := conn.WriteRequest(req); err != nil {
+			t.Fatalf("%s: %v", req.Verb, err)
+		}
+		resp, err := conn.ReadResponse()
+		if err != nil {
+			t.Fatalf("%s: %v", req.Verb, err)
+		}
+		if resp.Status != "ACK" {
+			t.Fatalf("%s: %s", req.Verb, resp.Err)
+		}
+		return resp
+	}
+	opened := trip(transport.Request{Verb: "REQ", Ref: &ref, Rank: 0})
+	vid := opened.Session
+	in := make([]byte, opened.InBytes)
+	w.Fill(0, in)
+	trip(transport.Request{Verb: "SND", Session: vid, Data: in})
+	trip(transport.Request{Verb: "STR", Session: vid})
+	trip(transport.Request{Verb: "STP", Session: vid})
+
+	src, dst, srcIdx := a, b, 0
+	if nodeOpenSessions(b) == 1 {
+		src, dst, srcIdx = b, a, 1
+	}
+	if nodeOpenSessions(src) != 1 {
+		t.Fatal("no node owns the session")
+	}
+
+	// RCV goes out but its response stays unread: the router trips the
+	// backend, then parks in WriteResponse on the synchronous pipe.
+	if err := conn.WriteRequest(transport.Request{Verb: "RCV", Session: vid}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the proxy reach the parked write
+
+	src.DrainAll()
+	for deadline := 400; r.backends[srcIdx].getState() != stateDraining; deadline-- {
+		if deadline == 0 {
+			t.Fatal("router never saw the source node draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Give the background evacuation every chance to (wrongly) touch the
+	// parked session before the response is read.
+	time.Sleep(150 * time.Millisecond)
+
+	// The evacuation must be parked on the session lock: as long as the
+	// RCV response is in flight, the session cannot have moved — a move
+	// would have read the MIG blob into, and then pooled, the very
+	// buffer the in-flight response aliases.
+	if nodeOpenSessions(dst) != 0 {
+		t.Fatal("evacuation moved the session while its RCV response was still in flight")
+	}
+
+	resp, err := conn.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ACK" {
+		t.Fatalf("RCV: %s", resp.Err)
+	}
+	if !bytes.Equal(resp.Data, want[0]) {
+		t.Fatal("RCV bytes corrupted by concurrent evacuation")
+	}
+
+	// With the response delivered the evacuation proceeds: the session
+	// lands on the survivor and RLS empties both nodes.
+	for deadline := 400; nodeOpenSessions(dst) != 1; deadline-- {
+		if deadline == 0 {
+			t.Fatal("session never migrated after the response was read")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	trip(transport.Request{Verb: "RLS", Session: vid})
+	if ao, bo := nodeOpenSessions(a), nodeOpenSessions(b); ao != 0 || bo != 0 {
+		t.Errorf("backends hold %d/%d sessions after release, want 0/0", ao, bo)
+	}
+}
+
 // TestFederatedSuspendResume pins that SUS/RES proxy through the
 // router like any session verb.
 func TestFederatedSuspendResume(t *testing.T) {

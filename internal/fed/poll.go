@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"net"
 	"time"
 
 	"gpuvirt/internal/node"
@@ -30,6 +31,24 @@ func (r *Router) pollLoop() {
 	}
 }
 
+// installCtl stores a freshly dialed control connection, unless a verb
+// goroutine marked the backend dead since the dial — markDead already
+// closed (a nil) b.ctlNC, and dead nodes are never polled again, so an
+// installed connection would sit open until Router.Close. Reports
+// whether the backend is still worth polling.
+func (b *backend) installCtl(ctl *transport.Conn, nc net.Conn) bool {
+	b.mu.Lock()
+	if b.state == stateDead {
+		b.mu.Unlock()
+		nc.Close()
+		ctl.Release()
+		return false
+	}
+	b.ctl, b.ctlNC = ctl, nc
+	b.mu.Unlock()
+	return true
+}
+
 // pollBackend performs one STA round trip on the backend's control
 // connection (dialing or redialing it as needed) and applies the
 // advertisement. Dial failure marks the node dead; dead nodes are not
@@ -49,9 +68,9 @@ func (r *Router) pollBackend(b *backend) {
 			r.markDead(b, err)
 			return
 		}
-		b.mu.Lock()
-		b.ctl, b.ctlNC = ctl, nc
-		b.mu.Unlock()
+		if !b.installCtl(ctl, nc) {
+			return
+		}
 	}
 	resp, err := tripConn(ctl, transport.Request{Verb: "STA"})
 	if err != nil {
@@ -74,9 +93,9 @@ func (r *Router) pollBackend(b *backend) {
 			r.markDead(b, err)
 			return
 		}
-		b.mu.Lock()
-		b.ctl, b.ctlNC = ctl2, nc2
-		b.mu.Unlock()
+		if !b.installCtl(ctl2, nc2) {
+			return
+		}
 	}
 	if resp.Status != "ACK" {
 		// A daemon predating STA answers "unknown verb": leave its load
@@ -94,6 +113,10 @@ func (r *Router) pollBackend(b *backend) {
 	load := node.NodeLoad(b.idx, ad)
 	b.mu.Lock()
 	b.ad = load
+	// Snapshot the router's own counters alongside the advertisement:
+	// load() corrects the ad by the delta placed since this moment.
+	b.bytesAtPoll = b.bytes.Load()
+	b.sessionsAtPoll = b.sessions.Value()
 	drained := b.state == stateAlive && !load.Health.Placeable()
 	if drained {
 		b.state = stateDraining

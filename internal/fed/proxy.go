@@ -79,18 +79,34 @@ func (r *Router) serveConn(nc net.Conn) {
 			}
 			return
 		}
+		// Session verb responses can alias a sticky backend connection's
+		// pooled read buffer (trip: "valid until the next trip"), and the
+		// poller's background evacuate() migrates sessions concurrently —
+		// its MIG trip reads into that same buffer and its teardown hands
+		// the buffer back to the pool. The handlers therefore return with
+		// the involved sessions still LOCKED; the locks drop only after
+		// the response bytes have left for the client.
 		var resp transport.Response
+		var locked *fedSession
+		var lockedMany []*fedSession
 		switch req.Verb {
 		case "REQ":
 			resp = r.serveREQ(req, cc)
 		case "BAT":
-			resp = r.serveBAT(req, cc)
+			resp, lockedMany = r.serveBAT(req, cc)
 		case "SND", "STR", "STP", "RCV", "RLS", "SUS", "RES":
-			resp = r.serveVerb(req, cc)
+			resp, locked = r.serveVerb(req, cc)
 		default:
 			resp = errResp(fmt.Errorf("fed: unknown verb %q", req.Verb))
 		}
-		if err := conn.WriteResponse(resp); err != nil {
+		werr := conn.WriteResponse(resp)
+		if locked != nil {
+			locked.mu.Unlock()
+		}
+		for _, s := range lockedMany {
+			s.mu.Unlock()
+		}
+		if werr != nil {
 			return
 		}
 	}
@@ -171,6 +187,16 @@ func (r *Router) serveREQ(req transport.Request, cc *clientConn) transport.Respo
 			ref:   *req.Ref, rank: req.Rank,
 			memQuota: req.MemQuota, priority: req.Priority, weight: req.Weight,
 			inB: resp.InBytes, outB: resp.OutBytes,
+			// A fresh session needs no restaging: a direct gvmd computes on
+			// zero-filled staging, and the router must be indistinguishable.
+			// Only a dead-node re-creation clears this.
+			staged: true,
+		}
+		if len(resp.Data) > 0 {
+			// Once the session is registered the background evacuation can
+			// trip on this connection; don't let the response alias its
+			// read buffer past the unlock below.
+			resp.Data = append([]byte(nil), resp.Data...)
 		}
 		s.mu.Lock()
 		s.attachLocked(b, resp.Session, conn, nc)
@@ -223,23 +249,27 @@ func needsStagedInput(verb string) bool {
 // serveVerb proxies one session verb over the session's sticky backend
 // connection. This is the warm hop: a struct copy, two id rewrites, and
 // the pooled zero-copy framing on both sides — no allocation.
-func (r *Router) serveVerb(req transport.Request, cc *clientConn) transport.Response {
+//
+// The returned session (when non-nil) is still LOCKED: the response may
+// alias the sticky connection's read buffer, so the caller must write
+// it to the client before unlocking, or a concurrent evacuation could
+// overwrite or pool the buffer mid-write.
+func (r *Router) serveVerb(req transport.Request, cc *clientConn) (transport.Response, *fedSession) {
 	s, err := r.lookup(req.Session, cc)
 	if err != nil {
-		return errResp(err)
+		return errResp(err), nil
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
-		return errResp(fmt.Errorf("fed: session %d is closed", s.vid))
+		return errResp(fmt.Errorf("fed: session %d is closed", s.vid)), s
 	}
 	if err := r.ensurePlacedLocked(s); err != nil {
-		return errResp(err)
+		return errResp(err), s
 	}
 	if !s.staged && s.inB > 0 && needsStagedInput(req.Verb) {
 		return retryableResp(fmt.Sprintf(
 			"fed: session %d was re-created on node %d and its input is not restaged; re-send the cycle from SND",
-			s.vid, s.b.idx))
+			s.vid, s.b.idx)), s
 	}
 	fwd := req
 	fwd.Session = s.realID
@@ -247,7 +277,7 @@ func (r *Router) serveVerb(req transport.Request, cc *clientConn) transport.Resp
 	if terr != nil {
 		r.markDead(s.b, terr)
 		r.dropBackendLocked(s, true)
-		return retryableResp(fmt.Sprintf("fed: %s: node %d lost mid-verb: %v", req.Verb, s.b.idx, terr))
+		return retryableResp(fmt.Sprintf("fed: %s: node %d lost mid-verb: %v", req.Verb, s.b.idx, terr)), s
 	}
 	if lostSession(resp) {
 		// The node answered but no longer knows the session: it restarted
@@ -255,7 +285,7 @@ func (r *Router) serveVerb(req transport.Request, cc *clientConn) transport.Resp
 		// connection drop — re-create on the next attempt.
 		node := s.b.idx
 		r.dropBackendLocked(s, true)
-		return retryableResp(fmt.Sprintf("fed: %s: node %d dropped session state: %s", req.Verb, node, resp.Err))
+		return retryableResp(fmt.Sprintf("fed: %s: node %d dropped session state: %s", req.Verb, node, resp.Err)), s
 	}
 	resp.Session = s.vid
 	if resp.Status == "ACK" {
@@ -263,11 +293,13 @@ func (r *Router) serveVerb(req transport.Request, cc *clientConn) transport.Resp
 		case "SND":
 			s.staged = true
 		case "RLS":
-			r.unregisterLocked(s, true)
+			// A data-carrying response would still alias the buffer while
+			// it is written to the client; leave it to the GC then.
+			r.unregisterLocked(s, len(resp.Data) == 0)
 			cc.dropOwned(s.vid)
 		}
 	}
-	return resp
+	return resp, s
 }
 
 // serveBAT proxies a pipelined batch: it partitions the sub-requests
@@ -275,9 +307,13 @@ func (r *Router) serveVerb(req transport.Request, cc *clientConn) transport.Resp
 // session's sticky connection, and merges the sub-responses back in
 // order. Mirroring the daemon, the first failing sub-request stops the
 // batch — later runs answer "skipped".
-func (r *Router) serveBAT(req transport.Request, cc *clientConn) transport.Response {
+//
+// The returned sessions are still LOCKED (same contract as serveVerb):
+// the merged responses alias their sticky connections' read buffers, so
+// the caller unlocks only after the client write.
+func (r *Router) serveBAT(req transport.Request, cc *clientConn) (transport.Response, []*fedSession) {
 	if len(req.Batch) == 0 {
-		return errResp(errors.New("fed: empty BAT"))
+		return errResp(errors.New("fed: empty BAT")), nil
 	}
 	type run struct {
 		s          *fedSession
@@ -290,18 +326,18 @@ func (r *Router) serveBAT(req transport.Request, cc *clientConn) transport.Respo
 		sub := &req.Batch[i]
 		rank, allowed := batchVerbRank[sub.Verb]
 		if !allowed {
-			return errResp(fmt.Errorf("transport: verb %q not allowed in BAT", sub.Verb))
+			return errResp(fmt.Errorf("transport: verb %q not allowed in BAT", sub.Verb)), nil
 		}
 		if len(sub.Batch) > 0 {
-			return errResp(errors.New("transport: nested BAT"))
+			return errResp(errors.New("transport: nested BAT")), nil
 		}
 		s, err := r.lookup(sub.Session, cc)
 		if err != nil {
-			return errResp(err)
+			return errResp(err), nil
 		}
 		if last, seen := lastRank[sub.Session]; seen && rank <= last {
 			return errResp(fmt.Errorf(
-				"transport: BAT verbs for session %d must appear once each, in SND<STR<STP<RCV<RLS order", sub.Session))
+				"transport: BAT verbs for session %d must appear once each, in SND<STR<STP<RCV<RLS order", sub.Session)), nil
 		}
 		if _, seen := lastRank[sub.Session]; !seen {
 			uniq = append(uniq, s)
@@ -315,15 +351,11 @@ func (r *Router) serveBAT(req transport.Request, cc *clientConn) transport.Respo
 	}
 	// Sessions belong to exactly one connection and a connection serves
 	// one frame at a time, so no two in-flight batches share a session —
-	// locking in batch order cannot deadlock.
+	// locking in batch order cannot deadlock. The locks are handed back
+	// to the caller, which drops them after the client write.
 	for _, s := range uniq {
 		s.mu.Lock()
 	}
-	defer func() {
-		for _, s := range uniq {
-			s.mu.Unlock()
-		}
-	}()
 	out := transport.Response{Status: "ACK", Batch: make([]transport.Response, len(req.Batch))}
 	failed := false
 	for ri := range runs {
@@ -352,7 +384,7 @@ func (r *Router) serveBAT(req transport.Request, cc *clientConn) transport.Respo
 			}
 		}
 	}
-	return out
+	return out, uniq
 }
 
 // forwardRun proxies one contiguous same-session slice of a BAT. Caller
